@@ -1,0 +1,70 @@
+"""Ablation — RSA accumulator vs. Merkle Hash Tree as the ADS.
+
+The paper (Section III.B) picks the RSA accumulator because its proof is
+constant-size and leaks nothing about neighbours, at the price of bignum
+exponentiation.  This bench measures both sides of that trade on the same
+set sizes: witness size, witness generation time, verification time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, write_report
+from repro.analysis.reporting import FigureReport
+from repro.common.rng import default_rng
+from repro.crypto.accumulator import Accumulator, AccumulatorParams, verify_membership
+from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.merkle import MerkleTree, verify_merkle
+
+SIZES = (64, 256, 1024)
+PARAMS = AccumulatorParams.demo(512)
+H = HashToPrime(64)
+
+_PROOF_SIZES = FigureReport("Ablation: ADS proof size", "set size", "bytes")
+_ACC_SERIES = _PROOF_SIZES.new_series("RSA accumulator")
+_MHT_SERIES = _PROOF_SIZES.new_series("Merkle tree")
+
+
+def elements(n: int) -> list[bytes]:
+    return [i.to_bytes(8, "big") for i in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ablation_accumulator_witness(benchmark, n):
+    primes = [H(e) for e in elements(n)]
+    acc = Accumulator(PARAMS.public(), primes)
+
+    witness = benchmark.pedantic(acc.witness, args=(primes[n // 2],), rounds=1, iterations=1)
+    assert verify_membership(PARAMS, acc.value, primes[n // 2], witness)
+    _ACC_SERIES.add(n, (witness.value.bit_length() + 7) // 8)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ablation_merkle_proof(benchmark, n):
+    tree = MerkleTree(elements(n))
+    proof = benchmark.pedantic(tree.prove, args=(n // 2,), rounds=1, iterations=1)
+    assert verify_merkle(tree.root, elements(n)[n // 2], proof)
+    _MHT_SERIES.add(n, proof.size_bytes)
+
+
+@pytest.mark.parametrize("n", [256])
+def test_ablation_verify_cost(benchmark, n):
+    """Verification side: one modexp vs. log(n) hashes."""
+    primes = [H(e) for e in elements(n)]
+    acc = Accumulator(PARAMS.public(), primes)
+    witness = acc.witness(primes[0])
+    benchmark(verify_membership, PARAMS, acc.value, primes[0], witness)
+
+
+def test_ablation_ads_report(benchmark):
+    touch_benchmark(benchmark)
+    write_report("ablation_ads", _PROOF_SIZES.render("{:.0f}"))
+    acc_sizes = _ACC_SERIES.ys()
+    mht_sizes = _MHT_SERIES.ys()
+    if acc_sizes and mht_sizes:
+        # Accumulator witnesses are constant-size; Merkle proofs grow with n.
+        assert max(acc_sizes) == min(acc_sizes)
+        assert mht_sizes == sorted(mht_sizes) and mht_sizes[-1] > mht_sizes[0]
+        # At large n the Merkle proof overtakes the constant witness.
+        assert mht_sizes[-1] > 0

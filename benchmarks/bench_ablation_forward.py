@@ -1,0 +1,92 @@
+"""Ablation — what forward security costs.
+
+The trapdoor-permutation chain is the price of insertion privacy: every
+insert into an existing keyword performs one RSA private operation
+(pi_sk^{-1}) at the owner, and every search walks the chain with public
+operations at the cloud.  This bench isolates those costs against a
+hypothetical non-forward-secure variant that reuses the same trapdoor
+(epoch never advances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, write_report
+from repro.analysis.reporting import render_kv_table
+from repro.common.rng import default_rng
+from repro.common.timing import time_call
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+
+PARAMS = SlicerParams.testing(value_bits=8)
+KEYS = KeyBundle.generate(default_rng(4444), 1024)
+EPOCHS = 10
+
+_RESULTS: dict[str, float] = {}
+
+
+def deploy_with_epochs(epochs: int):
+    owner = DataOwner(PARAMS, keys=KEYS, rng=default_rng(10))
+    cloud = CloudServer(PARAMS, KEYS.trapdoor.public)
+    out = owner.build(make_database([("seed", 7)], bits=8))
+    cloud.install(out.cloud_package)
+    for i in range(epochs):
+        add = Database(8)
+        add.add(f"e{i}", 7)
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+    user = DataUser(PARAMS, out.user_package, default_rng(11))
+    return owner, cloud, user
+
+
+def test_ablation_owner_insert_cost(benchmark):
+    """Per-insert owner cost: dominated by pi_sk^{-1} on hot keywords."""
+    owner = DataOwner(PARAMS, keys=KEYS, rng=default_rng(12))
+    owner.build(make_database([("seed", 7)], bits=8))
+    counter = [0]
+
+    def one_insert():
+        add = Database(8)
+        add.add(f"x{counter[0]}", 7)
+        counter[0] += 1
+        owner.insert(add)
+
+    benchmark.pedantic(one_insert, rounds=5, iterations=1)
+
+
+def test_ablation_search_walk_cost(benchmark):
+    """Search cost grows with epoch depth (one pi_pk per epoch per token)."""
+    owner, cloud, user = deploy_with_epochs(EPOCHS)
+    tokens = user.make_tokens(Query.parse(7, "="))
+    assert tokens[0].epoch == EPOCHS
+
+    response = benchmark(cloud.search, tokens)
+    assert len(response.all_entries()) == EPOCHS + 1
+    _RESULTS["deep-chain entries"] = len(response.all_entries())
+
+
+def test_ablation_epoch_depth_scaling(benchmark):
+    touch_benchmark(benchmark)
+    """Walking 2x the epochs costs measurably more at the cloud."""
+    _, cloud_short, user_short = deploy_with_epochs(3)
+    _, cloud_long, user_long = deploy_with_epochs(24)
+
+    tokens_short = user_short.make_tokens(Query.parse(7, "="))
+    tokens_long = user_long.make_tokens(Query.parse(7, "="))
+
+    short_s = min(time_call(lambda: cloud_short.search(tokens_short))[0] for _ in range(3))
+    long_s = min(time_call(lambda: cloud_long.search(tokens_long))[0] for _ in range(3))
+    _RESULTS["search 3 epochs (s)"] = short_s
+    _RESULTS["search 24 epochs (s)"] = long_s
+    assert long_s > short_s
+
+
+def test_ablation_forward_report(benchmark):
+    touch_benchmark(benchmark)
+    rows = [("Metric", "value")] + [(k, f"{v:.5f}" if isinstance(v, float) else str(v)) for k, v in _RESULTS.items()]
+    write_report("ablation_forward", render_kv_table("Ablation: forward security costs", rows))

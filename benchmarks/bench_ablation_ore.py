@@ -1,0 +1,107 @@
+"""Ablation — SORE vs. the ORE/OPE family it is built from.
+
+DESIGN.md calls out the SORE design choices: one ciphertext unit per *bit*
+(vs. per block), tuple matching (vs. pairwise comparison), and a left/right
+split inherited from Lewi-Wu.  This bench quantifies the trade-offs the
+paper argues qualitatively in Sections II.B and V.B:
+
+* ciphertext size: SORE ~ b PRF images; CLWW ~ 2 bits/symbol; Lewi-Wu right
+  ciphertexts ~ domain-size symbols; OPE ~ one integer.
+* comparison model: SORE compares by set intersection (exact-match
+  friendly -> usable as SSE keywords); the others need pairwise scans.
+* keyword-SSE enumeration: the strawman whose token count explodes with the
+  range width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, write_report
+from repro.analysis.reporting import render_kv_table
+from repro.baselines.keyword_sse import KeywordSse
+from repro.baselines.ope import OpeScheme
+from repro.baselines.ore_clww import ClwwOre
+from repro.baselines.ore_lewi_wu import LewiWuOre
+from repro.common.rng import default_rng
+from repro.sore.scheme import SoreScheme
+from repro.sore.tuples import OrderCondition
+
+BITS = 8
+DOMAIN = 1 << BITS
+
+SORE = SoreScheme(b"ablation-sore-ke", BITS, rng=default_rng(1))
+CLWW = ClwwOre(b"ablation-clww-ke", BITS)
+LEWI = LewiWuOre(b"ablation-lewi-ke", BITS, default_rng(2))
+OPE = OpeScheme(b"ablation-ope-key", BITS)
+
+_SIZES: dict[str, int] = {}
+
+
+def test_ablation_encrypt_sore(benchmark):
+    ct = benchmark(SORE.encrypt, 173)
+    _SIZES["SORE"] = sum(len(i) for i in ct.images)
+
+
+def test_ablation_encrypt_clww(benchmark):
+    ct = benchmark(CLWW.encrypt, 173)
+    _SIZES["CLWW"] = ct.size_bytes
+
+
+def test_ablation_encrypt_lewi_wu_right(benchmark):
+    ct = benchmark(LEWI.encrypt_right, 173)
+    _SIZES["LewiWu-right"] = ct.size_bytes
+
+
+def test_ablation_encrypt_ope(benchmark):
+    ct = benchmark(OPE.encrypt, 173)
+    _SIZES["OPE"] = (OPE.range_bits + 7) // 8
+
+
+def test_ablation_compare_sore(benchmark):
+    token = SORE.token(100, OrderCondition.GREATER)
+    ct = SORE.encrypt(42)
+    assert benchmark(SORE.compare, ct, token)
+
+
+def test_ablation_compare_clww(benchmark):
+    a, b = CLWW.encrypt(100), CLWW.encrypt(42)
+    assert benchmark(ClwwOre.compare, a, b) == 1
+
+
+def test_ablation_compare_lewi_wu(benchmark):
+    left, right = LEWI.encrypt_left(100), LEWI.encrypt_right(42)
+    assert benchmark(LewiWuOre.compare, left, right) == 1
+
+
+def test_ablation_range_token_explosion(benchmark):
+    """Keyword-SSE range-by-enumeration vs. SORE's b tokens."""
+    sse = KeywordSse(default_rng(3), trapdoor_bits=512)
+    sse.insert_values([(i.to_bytes(8, "big"), i) for i in range(DOMAIN)])
+
+    def enumerate_range():
+        return sse.range_search_by_enumeration(10, 200)[1]
+
+    tokens = benchmark.pedantic(enumerate_range, rounds=1, iterations=1)
+    assert tokens == 191  # one token per value in the range
+    _SIZES["keyword-sse-range-tokens"] = tokens
+    _SIZES["sore-range-tokens"] = BITS  # at most b slices per side
+
+
+def test_ablation_report(benchmark):
+    touch_benchmark(benchmark)
+    rows = [("Scheme / metric", "value")]
+    rows += [(k, f"{v:,}") for k, v in sorted(_SIZES.items())]
+    write_report(
+        "ablation_ore",
+        render_kv_table("Ablation: ORE family ciphertext sizes (bytes) and range tokens", rows),
+    )
+    # Shapes: CLWW is the most compact (2 bits/symbol); SORE pays b PRF
+    # images (linear in b); Lewi-Wu right ciphertexts grow EXPONENTIALLY in
+    # b (one symbol per domain element), which is why the paper's SORE keeps
+    # only the left/right *idea* and drops the per-domain-element table.
+    if {"SORE", "CLWW"} <= _SIZES.keys():
+        assert _SIZES["SORE"] > _SIZES["CLWW"]
+    small = LewiWuOre(b"ablation-lewi-k2", 4, default_rng(9)).encrypt_right(0).size_bytes
+    big = LEWI.encrypt_right(0).size_bytes
+    assert big - 16 >= 8 * (small - 16)  # exponential growth beyond the nonce

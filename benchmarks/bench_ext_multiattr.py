@@ -1,0 +1,72 @@
+"""Extension bench — multi-attribute scaling (Section V.F).
+
+The extension indexes each attribute independently (attribute name inside
+every tuple), so costs should scale *linearly in the attribute count* with
+no cross-attribute interference.  This bench builds 1..4-attribute datasets
+of fixed record count and checks index entries, keyword counts and
+per-attribute query cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import bench_params, touch_benchmark, write_report
+from repro.analysis.reporting import FigureReport
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle
+from repro.core.query import Query
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+BITS = 8
+N = 150
+
+_FIG = FigureReport("Extension: multi-attribute scaling", "attributes", "count")
+_ENTRIES = _FIG.new_series("index entries")
+_PRIMES = _FIG.new_series("keywords")
+
+
+@pytest.mark.parametrize("attributes", [1, 2, 3, 4])
+def test_ext_multiattr_sweep(benchmark, attributes):
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(710), 1024)
+    generator = WorkloadGenerator(default_rng(711 + attributes))
+    spec = {f"attr{i}": WorkloadSpec(0, BITS) for i in range(attributes)}
+    database = generator.attributed_database(N, spec)
+
+    def build():
+        owner = DataOwner(params, keys=keys, rng=default_rng(712))
+        out = owner.build(database)
+        return owner, out
+
+    owner, out = benchmark.pedantic(build, rounds=1, iterations=1)
+    entries = len(out.cloud_package.index)
+    _ENTRIES.add(attributes, entries)
+    _PRIMES.add(attributes, len(out.cloud_package.primes))
+
+    # Exactly (1 + b) entries per attribute per record, no interference.
+    assert entries == N * (1 + BITS) * attributes
+
+    # A per-attribute query still verifies and touches only its namespace.
+    cloud = CloudServer(params, keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(params, out.user_package, default_rng(713))
+    query = Query.parse(100, ">", attribute="attr0")
+    response = cloud.search(user.make_tokens(query))
+    assert verify_response(params, cloud.ads_value, response).ok
+    ids = user.decrypt_results(response)
+    assert ids == database.ids_matching("attr0", query.predicate())
+
+
+def test_ext_multiattr_report(benchmark):
+    touch_benchmark(benchmark)
+    write_report("ext_multiattr", _FIG.render("{:.0f}"))
+    entries = _ENTRIES.ys()
+    if len(entries) >= 2:
+        # Linear scaling: entries per attribute constant.
+        ratios = [e / (i + 1) for i, e in enumerate(entries)]
+        assert max(ratios) - min(ratios) < 1e-6

@@ -1,0 +1,61 @@
+"""Fig. 3 — time cost of Build, split into index building and ADS building.
+
+Paper shapes to reproduce:
+* Fig. 3a: index-building time rises **linearly** with record count at every
+  bit setting; more bits -> more slices -> more time.
+* Fig. 3b: ADS-building time for 8-bit values is **near constant** (the
+  value space saturates, so the keyword count stops growing), while 16- and
+  24-bit settings grow with the record count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, write_report
+from repro.analysis.reporting import FigureReport
+
+_FIG3A = FigureReport("Fig 3a: Build - index building time", "records", "seconds")
+_FIG3B = FigureReport("Fig 3b: Build - ADS building time", "records", "seconds")
+
+
+@pytest.mark.parametrize("bits", [8, 16, 24])
+def test_fig3_build_sweep(benchmark, cache, scale, bits):
+    """Builds every (n, bits) point of the sweep; figure data from stopwatches."""
+    if bits not in scale.bit_settings:
+        pytest.skip(f"{bits}-bit not in scale preset {scale.name}")
+    counts = list(scale.record_counts)
+
+    def sweep():
+        return [cache.get(n, bits) for n in counts]
+
+    deployments = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    index_series = _FIG3A.new_series(f"{bits}-bit")
+    ads_series = _FIG3B.new_series(f"{bits}-bit")
+    for deployment in deployments:
+        index_series.add(deployment.n_records, deployment.build_index_s)
+        ads_series.add(deployment.n_records, deployment.build_ads_s)
+
+    benchmark.extra_info["points"] = {
+        d.n_records: round(d.build_index_s + d.build_ads_s, 3) for d in deployments
+    }
+
+    # Shape assertions (the reproduction targets).  Wall-clock noise at small
+    # scale allows a 20% tolerance on per-step monotonicity.
+    index_times = index_series.ys()
+    assert all(b >= a * 0.8 for a, b in zip(index_times, index_times[1:]))
+    assert index_times[-1] > index_times[0], "index build time must grow with n"
+    if bits == 8 and counts[-1] >= 2 * (1 << bits):
+        # 8-bit plateau (needs the value space saturated): ADS time at k-x
+        # records grows far less than k-x.
+        ads = ads_series.ys()
+        if ads[0] > 0:
+            assert ads[-1] / ads[0] < (counts[-1] / counts[0]) / 2
+
+
+def test_fig3_report(benchmark, cache, scale):
+    touch_benchmark(benchmark)
+    """Render the figure after the sweeps above populated it."""
+    write_report("fig3_build_time", _FIG3A.render() + "\n\n" + _FIG3B.render())
+    assert _FIG3A.series and _FIG3B.series

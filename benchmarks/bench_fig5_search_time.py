@@ -1,0 +1,84 @@
+"""Fig. 5 — time cost of Search: result generation and VO generation, for
+equality search and order search (the paper plots 8-bit and 16-bit).
+
+Paper shapes to reproduce:
+* Fig. 5a: equality result-generation time rises faster at 8-bit than 16-bit
+  (denser value space -> more qualified results per query).
+* Fig. 5b: equality VO-generation stays small and grows when the bit count
+  (hence the prime list) grows.
+* Fig. 5c: order-search result generation grows with records at both
+  settings (similar result counts).
+* Fig. 5d: order-search VO generation grows with records and with bits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import equality_queries_on_data, touch_benchmark, write_report
+from repro.analysis.reporting import FigureReport
+from repro.common.rng import default_rng
+from repro.workloads.generator import WorkloadGenerator
+
+_FIGS = {
+    ("=", "results"): FigureReport("Fig 5a: equality search - result generation", "records", "seconds"),
+    ("=", "vo"): FigureReport("Fig 5b: equality search - VO generation", "records", "seconds"),
+    ("order", "results"): FigureReport("Fig 5c: order search - result generation", "records", "seconds"),
+    ("order", "vo"): FigureReport("Fig 5d: order search - VO generation", "records", "seconds"),
+}
+
+BIT_SETTINGS = (8, 16)
+
+
+def run_queries(deployment, queries):
+    """Run a query batch; return (results_seconds, vo_seconds) averaged."""
+    cloud = deployment.cloud
+    cloud.stopwatch.reset()
+    for query in queries:
+        tokens = deployment.user.make_tokens(query)
+        cloud.search(tokens)
+    trials = max(len(queries), 1)
+    return cloud.stopwatch.get("results") / trials, cloud.stopwatch.get("vo") / trials
+
+
+@pytest.mark.parametrize("bits", BIT_SETTINGS)
+@pytest.mark.parametrize("query_kind", ["=", "order"])
+def test_fig5_search_sweep(benchmark, cache, scale, bits, query_kind):
+    if bits not in scale.bit_settings:
+        pytest.skip(f"{bits}-bit not in scale preset {scale.name}")
+    counts = list(scale.record_counts)
+    gen = WorkloadGenerator(default_rng(555 + bits))
+    trials = scale.query_trials
+
+    def sweep():
+        points = []
+        for n in counts:
+            deployment = cache.get(n, bits)
+            if query_kind == "=":
+                queries = equality_queries_on_data(deployment, trials, default_rng(88 + n))
+            else:
+                queries = gen.order_queries(trials, bits)
+            points.append((n, *run_queries(deployment, queries)))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    res_series = _FIGS[(query_kind, "results")].new_series(f"{bits}-bit")
+    vo_series = _FIGS[(query_kind, "vo")].new_series(f"{bits}-bit")
+    for n, res_s, vo_s in points:
+        res_series.add(n, res_s)
+        vo_series.add(n, vo_s)
+
+    # Shape: order-search VO generation grows with the prime-list size.
+    # (Equality queries on sparse value spaces often match no keyword at
+    # small scale, so their VO timing carries no signal there.)
+    if query_kind == "order" and counts[-1] >= 8 * counts[0]:
+        vo_times = vo_series.ys()
+        assert vo_times[-1] >= vo_times[0]
+
+
+def test_fig5_report(benchmark, cache, scale):
+    touch_benchmark(benchmark)
+    rendered = "\n\n".join(fig.render("{:.5f}") for fig in _FIGS.values())
+    write_report("fig5_search_time", rendered)
+    assert all(fig.series for fig in _FIGS.values())

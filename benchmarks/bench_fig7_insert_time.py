@@ -1,0 +1,85 @@
+"""Fig. 7 — time cost of Insert, with a preloaded database.
+
+The paper preloads 160K records (scaled by the preset here), inserts batches
+of increasing size, and reports index time and ADS time separately.
+
+Paper shapes to reproduce:
+* both index and ADS insertion time grow proportionally with the number of
+  inserted records;
+* at 24-bit the ADS takes much more time than the index part (more distinct
+  slices -> more prime representatives to compute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, Deployment, bench_params, write_report
+from repro.analysis.reporting import FigureReport
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle
+from repro.core.user import DataUser
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+_FIG7A = FigureReport("Fig 7a: Insert - index time", "inserted records", "seconds")
+_FIG7B = FigureReport("Fig 7b: Insert - ADS time", "inserted records", "seconds")
+
+_ADS_HEAVY: dict[int, tuple[float, float]] = {}
+
+
+@pytest.mark.parametrize("bits", [8, 16, 24])
+def test_fig7_insert_sweep(benchmark, cache, scale, bits):
+    if bits not in scale.bit_settings:
+        pytest.skip(f"{bits}-bit not in scale preset {scale.name}")
+
+    params = bench_params(bits)
+    keys = KeyBundle.generate(default_rng(900 + bits), 1024)
+    generator = WorkloadGenerator(default_rng(901 + bits))
+
+    def sweep():
+        # Fresh owner preloaded with `scale.preload` records.
+        owner = DataOwner(params, keys=keys, rng=default_rng(902 + bits))
+        owner.build(generator.database(WorkloadSpec(scale.preload, bits)))
+        points = []
+        offset = scale.preload
+        for count in scale.insert_counts:
+            batch = generator.database(WorkloadSpec(count, bits), id_offset=offset)
+            offset += count
+            owner.stopwatch.reset()
+            owner.insert(batch)
+            points.append(
+                (count, owner.stopwatch.get("index"), owner.stopwatch.get("ads"))
+            )
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    index_series = _FIG7A.new_series(f"{bits}-bit")
+    ads_series = _FIG7B.new_series(f"{bits}-bit")
+    for count, index_s, ads_s in points:
+        index_series.add(count, index_s)
+        ads_series.add(count, ads_s)
+
+    # Shape: cost grows with the insert batch size (20% noise tolerance).
+    index_times = index_series.ys()
+    assert all(b >= a * 0.8 for a, b in zip(index_times, index_times[1:]))
+    assert index_times[-1] > index_times[0]
+    assert ads_series.ys()[-1] >= ads_series.ys()[0]
+    _ADS_HEAVY[bits] = (sum(index_series.ys()), sum(ads_series.ys()))
+
+
+def test_fig7_ads_dominates_at_24bit(benchmark, scale):
+    touch_benchmark(benchmark)
+    """The paper's observation: at 24 bits the ADS dominates insert cost."""
+    if 24 not in _ADS_HEAVY:
+        pytest.skip("24-bit sweep not run at this scale")
+    index_total, ads_total = _ADS_HEAVY[24]
+    assert ads_total > index_total
+
+
+def test_fig7_report(benchmark, scale):
+    touch_benchmark(benchmark)
+    write_report("fig7_insert_time", _FIG7A.render() + "\n\n" + _FIG7B.render())
+    assert _FIG7A.series

@@ -1,0 +1,118 @@
+"""Table II — gas cost of the smart contract.
+
+Paper (Rinkeby):   deployment 745,346 | data insertion 29,144 | result
+verification 94,531.
+
+We meter the same operation sequence on the simulated chain with Ethereum's
+published cost constants (see repro.blockchain.gas).  Absolute agreement
+within a few percent for deployment/insertion; verification depends on the
+modulus size (the MODEXP precompile term), so the target is the *shape*:
+
+* deployment is a one-off dominated by code deposit + parameter storage,
+* insertion is cheap and **independent of the batch size** (one digest
+  SSTORE),
+* verification sits in between, dominated by cryptographic precompiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import touch_benchmark, write_report
+from repro.analysis.reporting import render_kv_table
+from repro.common.rng import default_rng
+from repro.core.params import SlicerParams
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.crypto.accumulator import AccumulatorParams
+from repro.system import SlicerSystem
+
+PAPER_GAS = {"deployment": 745_346, "insertion": 29_144, "verification": 94_531}
+
+
+def table2_params() -> SlicerParams:
+    """Contract-side sizes for the gas comparison: 1024-bit modulus, 256-bit
+    primes.  The paper does not state its accumulator modulus; a 1024-bit
+    MODEXP (21,760 gas under EIP-2565) is the size that reproduces the
+    reported 94,531-gas verification, while 2048-bit would push the MODEXP
+    term alone to 87,040."""
+    return SlicerParams(
+        value_bits=8, prime_bits=256, accumulator=AccumulatorParams.demo(1024)
+    )
+
+
+@pytest.fixture(scope="module")
+def measured():
+    system = SlicerSystem(table2_params(), rng=default_rng(2222))
+    system.setup(make_database([(f"r{i}", (i * 11) % 256) for i in range(12)], bits=8))
+
+    add_small = Database(8)
+    add_small.add("s", 3)
+    insert_small = system.insert(add_small).gas_used
+
+    add_big = Database(8)
+    for i in range(25):
+        add_big.add(f"b{i}", (i * 7) % 256)
+    insert_big = system.insert(add_big).gas_used
+
+    outcome = system.search(Query.parse(11, "="))
+    assert outcome.verified
+
+    return {
+        "deployment": system.deploy_receipt.gas_used,
+        "insertion": insert_small,
+        "insertion_big_batch": insert_big,
+        "verification": outcome.settle_gas,
+        "verification_breakdown": outcome.settle_receipt.gas_breakdown,
+    }
+
+
+def test_table2_report(benchmark, measured):
+    rows = [
+        ("Operation", "measured gas | paper gas"),
+        ("Deployment", f"{measured['deployment']:,} | {PAPER_GAS['deployment']:,}"),
+        ("Data insertion", f"{measured['insertion']:,} | {PAPER_GAS['insertion']:,}"),
+        (
+            "Result verification (equality)",
+            f"{measured['verification']:,} | {PAPER_GAS['verification']:,}",
+        ),
+    ]
+    write_report("table2_gas", render_kv_table("Table II: gas cost of smart contract", rows))
+    benchmark.extra_info.update({k: v for k, v in measured.items() if isinstance(v, int)})
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+class TestGasShapes:
+    def test_deployment_within_paper_band(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        assert abs(measured["deployment"] - PAPER_GAS["deployment"]) / PAPER_GAS[
+            "deployment"
+        ] < 0.10
+
+    def test_insertion_within_paper_band(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        assert abs(measured["insertion"] - PAPER_GAS["insertion"]) / PAPER_GAS[
+            "insertion"
+        ] < 0.15
+
+    def test_insertion_batch_independent(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        assert abs(measured["insertion_big_batch"] - measured["insertion"]) < 200
+
+    def test_verification_order_of_magnitude(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        """MODEXP pricing differences keep this a factor-level target."""
+        assert PAPER_GAS["verification"] / 3 < measured["verification"] < PAPER_GAS[
+            "verification"
+        ] * 3
+
+    def test_cost_ordering(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        assert measured["deployment"] > measured["verification"] > measured["insertion"]
+
+    def test_verification_dominated_by_crypto(self, benchmark, measured):
+        touch_benchmark(benchmark)
+        breakdown = measured["verification_breakdown"]
+        crypto = breakdown.get("modexp", 0) + breakdown.get("primality", 0)
+        non_crypto = sum(v for k, v in breakdown.items() if k not in ("modexp", "primality"))
+        assert crypto > non_crypto - breakdown.get("intrinsic", 0)

@@ -1,0 +1,23 @@
+"""Benchmark fixtures: the shared deployment cache and the scale preset."""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _harness import DeploymentCache  # noqa: E402
+from repro.workloads.scaling import current_scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def cache() -> DeploymentCache:
+    return DeploymentCache()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""What does the adversary actually learn?  (Section VI made executable.)
+
+Runs the Real/Ideal security experiment from Definition 1: the real protocol
+on one side, a simulator fed ONLY the leakage functions on the other.  The
+two adversary views agree on every structural quantity — sizes, counts,
+epochs, repeats — and nothing else in the real view is predictable, which is
+the empirical content of Theorem 2.  Also demonstrates the analytical cost
+model predicting deployment sizes before building anything.
+
+Run:  python examples/leakage_analysis.py
+"""
+
+from repro.analysis.costmodel import (
+    expected_ads_bytes,
+    expected_distinct_keywords,
+    expected_index_bytes,
+    expected_order_tokens,
+)
+from repro.common.rng import default_rng
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import Query
+from repro.security.games import IdealGame, RealGame, looks_uniform, structural_view
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+N, BITS = 200, 8
+
+
+def main() -> None:
+    params = SlicerParams.testing(value_bits=BITS)
+    keys = KeyBundle.generate(default_rng(1), trapdoor_bits=512)
+    database = WorkloadGenerator(default_rng(2)).database(WorkloadSpec(N, BITS))
+
+    # --- 1. Predict the deployment before building it ---------------------
+    print(f"cost model predictions for n={N}, b={BITS}:")
+    print(f"  index bytes      {expected_index_bytes(N, params):,}")
+    print(f"  distinct keywords {expected_distinct_keywords(N, BITS):.0f}")
+    print(f"  ADS bytes        {expected_ads_bytes(N, params):,.0f}")
+    print(f"  tokens/order query {expected_order_tokens(N, BITS):.2f}")
+
+    # --- 2. Run the Real and Ideal games on the same script ---------------
+    operations = [
+        ("build", database),
+        ("search", Query.parse(100, ">")),
+        ("search", Query.parse(42, "=")),
+        ("search", Query.parse(100, ">")),  # a repeat!
+    ]
+    real = RealGame(params, keys, default_rng(3))
+    ideal = IdealGame(params, trapdoor_len=keys.trapdoor.public.byte_len, rng=default_rng(4))
+    for op, arg in operations:
+        getattr(real, op)(arg)
+        getattr(ideal, op)(arg)
+
+    rv, iv = structural_view(real.transcript), structural_view(ideal.transcript)
+    print("\nReal vs Ideal structural views:")
+    print(f"  index entries   {rv.entry_count} vs {iv.entry_count}")
+    print(f"  primes          {rv.prime_count} vs {iv.prime_count}")
+    print(f"  per-query (epoch, results) multisets:")
+    for r_group, i_group in zip(rv.per_query_tokens, iv.per_query_tokens):
+        print(f"    {r_group} vs {i_group}")
+    assert rv == iv, "leakage functions do not match the protocol!"
+
+    # --- 3. The repeat pattern is visible in both views (L_repeat) --------
+    def token_keys(transcript):
+        return [t.g1 for t in transcript.tokens]
+
+    real_keys, ideal_keys = token_keys(real.transcript), token_keys(ideal.transcript)
+    real_repeats = len(real_keys) - len(set(real_keys))
+    ideal_repeats = len(ideal_keys) - len(set(ideal_keys))
+    print(f"\nrepeated tokens observed: real={real_repeats}, ideal={ideal_repeats}")
+    assert real_repeats == ideal_repeats > 0
+
+    # --- 4. Beyond structure, the real view is PRF noise -------------------
+    assert looks_uniform(real.transcript.labels)
+    assert looks_uniform(real.transcript.payloads)
+    print("real index labels/payloads pass the uniformity check:")
+    print("  the adversary sees shapes, repeats and access patterns - nothing else.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reference environment has no ``wheel`` package, so ``pip install -e .``
+(which builds an editable wheel under PEP 660) cannot run offline.  This
+shim lets ``python setup.py develop`` provide the same editable install; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

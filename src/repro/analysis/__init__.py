@@ -1,0 +1,44 @@
+"""Measurement and reporting: sizes, feature matrix, figure rendering."""
+
+from .costmodel import (
+    GasEstimate,
+    estimate_gas,
+    expected_ads_bytes,
+    expected_distinct_keywords,
+    expected_equality_matches,
+    expected_index_bytes,
+    expected_index_entries,
+    expected_order_tokens,
+)
+from .feature_matrix import COLUMNS, TABLE_I, SchemeFeatures, Support, ours, render_table_i
+from .plots import bar_chart, line_chart, sparkline
+from .reporting import FigureReport, Series, render_kv_table
+from .sizing import BuildSizes, SearchSizes, measure_index, measure_package, measure_search
+
+__all__ = [
+    "COLUMNS",
+    "BuildSizes",
+    "FigureReport",
+    "GasEstimate",
+    "bar_chart",
+    "estimate_gas",
+    "expected_ads_bytes",
+    "expected_distinct_keywords",
+    "expected_equality_matches",
+    "expected_index_bytes",
+    "expected_index_entries",
+    "expected_order_tokens",
+    "line_chart",
+    "sparkline",
+    "SchemeFeatures",
+    "SearchSizes",
+    "Series",
+    "Support",
+    "TABLE_I",
+    "measure_index",
+    "measure_package",
+    "measure_search",
+    "ours",
+    "render_kv_table",
+    "render_table_i",
+]

@@ -1,0 +1,79 @@
+"""Terminal plotting for figure reports (no plotting libraries required).
+
+The paper's figures are line charts; these renderers approximate them with
+Unicode so `benchmarks/reports/*.txt` and the CLI can show the *shape* of a
+sweep (linear growth, plateaus, crossovers) at a glance, alongside the exact
+numeric tables from :mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from .reporting import FigureReport, Series
+
+_BAR_BLOCKS = " ▏▎▍▌▋▊▉█"
+_MARKS = "ox+*#@"
+
+
+def bar_chart(title: str, rows: list[tuple[str, float]], width: int = 40) -> str:
+    """Horizontal bar chart for one series of labelled values."""
+    if not rows:
+        return f"== {title} ==\n(no data)"
+    peak = max(value for _, value in rows) or 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = [f"== {title} =="]
+    for label, value in rows:
+        filled = value / peak * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BAR_BLOCKS) - 1))
+        bar = "█" * whole + (_BAR_BLOCKS[frac] if frac else "")
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(int((value - lo) / (hi - lo) * steps), steps - 1)
+
+
+def line_chart(figure: FigureReport, width: int = 56, height: int = 12) -> str:
+    """Multi-series scatter/line chart of a :class:`FigureReport`."""
+    points = [(x, y) for s in figure.series for x, y in s.points]
+    if not points:
+        return f"== {figure.title} ==\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, series in enumerate(figure.series):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in series.points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = mark
+
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={s.label}" for i, s in enumerate(figure.series)
+    )
+    lines = [f"== {figure.title} ==  ({figure.y_label} vs {figure.x_label})"]
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<10g}{' ' * max(width - 22, 1)}{x_hi:>10g}")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float]) -> str:
+    """One-line trend: ``▁▂▃▅▇`` style."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(blocks[_scale(v, lo, hi, len(blocks))] for v in values)

@@ -1,0 +1,68 @@
+"""Figure/table rendering for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's figures plot.  A
+:class:`Series` is one line of a figure (e.g. "8-bit index build time"), a
+:class:`FigureReport` groups the lines of one subplot and renders an ASCII
+table with the x-axis as rows — the form EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One plotted line: label + (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+
+@dataclass
+class FigureReport:
+    """A subplot: title, axis names, and one Series per plotted line."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def render(self, y_format: str = "{:.4g}") -> str:
+        xs = sorted({x for s in self.series for x, _ in s.points})
+        header = [self.x_label] + [s.label for s in self.series]
+        rows = [header]
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                match = [y for px, y in s.points if px == x]
+                row.append(y_format.format(match[0]) if match else "-")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [f"== {self.title}  ({self.y_label}) =="]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+            if i == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+
+def render_kv_table(title: str, rows: list[tuple[str, str]]) -> str:
+    """Simple two-column table (used for Table II)."""
+    key_w = max(len(k) for k, _ in rows)
+    val_w = max(len(v) for _, v in rows)
+    lines = [f"== {title} ==", "-" * (key_w + val_w + 2)]
+    for key, value in rows:
+        lines.append(f"{key.ljust(key_w)}  {value.rjust(val_w)}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Byte-accounting helpers behind the storage/overhead figures (4 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cloud import SearchResponse
+from ..core.state import CloudPackage, EncryptedIndex
+from ..core.tokens import SearchToken, tokens_size_bytes
+
+
+@dataclass(frozen=True)
+class BuildSizes:
+    """Fig. 4: storage written by Build/Insert."""
+
+    index_bytes: int
+    ads_bytes: int
+    entries: int
+    primes: int
+
+    @property
+    def index_mb(self) -> float:
+        return self.index_bytes / (1024 * 1024)
+
+    @property
+    def ads_mb(self) -> float:
+        return self.ads_bytes / (1024 * 1024)
+
+
+def measure_package(package: CloudPackage) -> BuildSizes:
+    return BuildSizes(
+        index_bytes=package.index.size_bytes,
+        ads_bytes=package.prime_bytes,
+        entries=len(package.index),
+        primes=len(package.primes),
+    )
+
+
+def measure_index(index: EncryptedIndex) -> int:
+    return index.size_bytes
+
+
+@dataclass(frozen=True)
+class SearchSizes:
+    """Fig. 6: overhead of one search (tokens, results, VOs)."""
+
+    token_count: int
+    token_bytes: int
+    result_entries: int
+    result_bytes: int
+    vo_bytes: int
+
+
+def measure_search(tokens: list[SearchToken], response: SearchResponse) -> SearchSizes:
+    return SearchSizes(
+        token_count=len(tokens),
+        token_bytes=tokens_size_bytes(tokens),
+        result_entries=len(response.all_entries()),
+        result_bytes=response.encrypted_result_bytes,
+        vo_bytes=response.witness_bytes,
+    )

@@ -1,0 +1,37 @@
+"""Baseline comparators the paper positions Slicer against."""
+
+from .keyword_sse import KeywordSse, KeywordToken
+from .linear_scan import LinearScanStore
+from .merkle_range import MerkleRangeIndex, RangeProof, verify_range_proof
+from .ope import OpeScheme
+from .ore_clww import ClwwCiphertext, ClwwOre
+from .ore_lewi_wu import LeftCiphertext, LewiWuOre, RightCiphertext
+from .range_tree_sse import (
+    DyadicInterval,
+    RangeTreeSse,
+    canonical_cover,
+    intervals_containing,
+)
+from .servedb import ServeDbIndex, ServeDbResponse, ServeDbVerifier
+
+__all__ = [
+    "ClwwCiphertext",
+    "ClwwOre",
+    "DyadicInterval",
+    "KeywordSse",
+    "KeywordToken",
+    "LeftCiphertext",
+    "LewiWuOre",
+    "LinearScanStore",
+    "MerkleRangeIndex",
+    "OpeScheme",
+    "RangeProof",
+    "RangeTreeSse",
+    "RightCiphertext",
+    "ServeDbIndex",
+    "ServeDbResponse",
+    "ServeDbVerifier",
+    "canonical_cover",
+    "intervals_containing",
+    "verify_range_proof",
+]

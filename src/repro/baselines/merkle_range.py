@@ -1,0 +1,138 @@
+"""Merkle-tree-verified range search baseline (the ADS alternative).
+
+The paper's preliminaries weigh the RSA accumulator against the Merkle Hash
+Tree: MHT proofs are ``O(log n)`` per element and reveal neighbourhood
+structure, while accumulator witnesses are constant-size.  This baseline is
+a *plaintext-order* MHT range index (values sorted, leaves = value||id):
+completeness is proven by returning the contiguous leaf run covering the
+range plus its two boundary leaves, each with an authentication path.
+
+It is NOT privacy-preserving (the server sees plaintext order) — it exists
+so the ADS ablation can compare proof sizes and verification costs on equal
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.encoding import encode_parts, encode_uint, decode_parts, decode_uint
+from ..common.errors import ParameterError
+from ..crypto.merkle import MerkleProof, MerkleTree, verify_merkle
+
+
+@dataclass(frozen=True)
+class RangeProof:
+    """Matched leaves + boundary leaves, each with its Merkle path."""
+
+    matched: tuple[tuple[bytes, MerkleProof], ...]
+    left_boundary: tuple[bytes, MerkleProof] | None
+    right_boundary: tuple[bytes, MerkleProof] | None
+
+    @property
+    def size_bytes(self) -> int:
+        total = 0
+        for leaf, proof in self.matched:
+            total += len(leaf) + proof.size_bytes
+        for boundary in (self.left_boundary, self.right_boundary):
+            if boundary is not None:
+                total += len(boundary[0]) + boundary[1].size_bytes
+        return total
+
+
+def _leaf(value: int, record_id: bytes) -> bytes:
+    return encode_parts(encode_uint(value), record_id)
+
+
+def _leaf_value(leaf: bytes) -> int:
+    return decode_uint(decode_parts(leaf)[0])
+
+
+class MerkleRangeIndex:
+    """Static sorted-order MHT over (value, record_id) pairs."""
+
+    def __init__(self, records: list[tuple[bytes, int]]) -> None:
+        if not records:
+            raise ParameterError("Merkle range index needs at least one record")
+        ordered = sorted(records, key=lambda rv: (rv[1], rv[0]))
+        self._leaves = [_leaf(value, rid) for rid, value in ordered]
+        self._values = [value for _, value in ordered]
+        self.tree = MerkleTree(self._leaves)
+
+    @property
+    def root(self) -> bytes:
+        return self.tree.root
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def query(self, lo: int, hi: int) -> RangeProof:
+        """Prove the contiguous run of leaves with ``lo <= value <= hi``."""
+        if lo > hi:
+            raise ParameterError("empty range")
+        import bisect
+
+        start = bisect.bisect_left(self._values, lo)
+        end = bisect.bisect_right(self._values, hi)
+        matched = tuple(
+            (self._leaves[i], self.tree.prove(i)) for i in range(start, end)
+        )
+        left = (self._leaves[start - 1], self.tree.prove(start - 1)) if start > 0 else None
+        right = (self._leaves[end], self.tree.prove(end)) if end < len(self._leaves) else None
+        return RangeProof(matched, left, right)
+
+
+def verify_range_proof(root: bytes, lo: int, hi: int, proof: RangeProof, total_leaves: int) -> bool:
+    """Check membership of every returned leaf *and* completeness.
+
+    Completeness: the matched leaves occupy contiguous indices, the left
+    boundary (if any) sits immediately before with value < lo, the right
+    boundary immediately after with value > hi, and absent boundaries imply
+    the run touches the tree edge.
+    """
+    indices = [p.leaf_index for _, p in proof.matched]
+    for leaf, path in proof.matched:
+        if not verify_merkle(root, leaf, path):
+            return False
+        if not lo <= _leaf_value(leaf) <= hi:
+            return False
+    if indices != sorted(indices) or any(
+        b - a != 1 for a, b in zip(indices, indices[1:])
+    ):
+        return False
+
+    start = indices[0] if indices else None
+    end = indices[-1] + 1 if indices else None
+
+    if proof.left_boundary is not None:
+        leaf, path = proof.left_boundary
+        if not verify_merkle(root, leaf, path) or _leaf_value(leaf) >= lo:
+            return False
+        if start is not None and path.leaf_index != start - 1:
+            return False
+        if start is None:
+            start = path.leaf_index + 1
+    elif start not in (None, 0):
+        return False
+
+    if proof.right_boundary is not None:
+        leaf, path = proof.right_boundary
+        if not verify_merkle(root, leaf, path) or _leaf_value(leaf) <= hi:
+            return False
+        if end is not None and path.leaf_index != end:
+            return False
+        if end is None:
+            end = path.leaf_index
+    elif end is not None and end != total_leaves:
+        return False
+
+    if start is None and end is None:
+        # Empty result with no boundaries: only valid for an empty tree,
+        # which the index forbids — reject.
+        return False
+    if indices == [] and proof.left_boundary and proof.right_boundary:
+        left_idx = proof.left_boundary[1].leaf_index
+        right_idx = proof.right_boundary[1].leaf_index
+        if right_idx - left_idx != 1:
+            return False
+    return True

@@ -1,0 +1,67 @@
+"""CLWW practical ORE baseline (Chenette-Lewi-Weis-Wu, FSE 2016).
+
+The first efficient order-revealing encryption: each bit position ``i``
+produces ``u_i = F_k(i, prefix) + b_i  (mod 3)``; comparing two ciphertexts
+finds the first differing position and reads the order from the mod-3
+difference.  Leakage: the index of the first differing bit of *any* pair of
+ciphertexts — the same quantity SORE leaks token-side, but CLWW leaks it
+*ciphertext-side and publicly*, with no SSE layer to hide it.  This is the
+construction the paper's SORE is "inspired by" (Section VI.A), so the
+ablation bench compares them head to head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitstring import bit_at, check_value_fits, prefix_bits
+from ..common.encoding import encode_parts, encode_str, encode_uint
+from ..crypto.prf import PRF
+
+
+@dataclass(frozen=True)
+class ClwwCiphertext:
+    """One mod-3 symbol per bit position."""
+
+    symbols: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """2 bits per symbol, rounded up — the scheme's succinct encoding."""
+        return (2 * len(self.symbols) + 7) // 8
+
+
+class ClwwOre:
+    """CLWW ORE over ``bits``-bit values."""
+
+    def __init__(self, key: bytes, bits: int) -> None:
+        self.bits = bits
+        self._prf = PRF(key)
+
+    def encrypt(self, value: int) -> ClwwCiphertext:
+        check_value_fits(value, self.bits)
+        symbols = []
+        for i in range(1, self.bits + 1):
+            mask = self._prf.eval_int(
+                encode_parts(encode_uint(i), encode_str(prefix_bits(value, i, self.bits)))
+            )
+            symbols.append((mask + bit_at(value, i, self.bits)) % 3)
+        return ClwwCiphertext(tuple(symbols))
+
+    @staticmethod
+    def compare(ct_x: ClwwCiphertext, ct_y: ClwwCiphertext) -> int:
+        """-1 if x < y, 0 if equal, +1 if x > y — public computation."""
+        for sx, sy in zip(ct_x.symbols, ct_y.symbols):
+            if sx != sy:
+                # At the first differing position the prefixes (hence the PRF
+                # masks) are equal, so the mod-3 gap is exactly b_y - b_x.
+                return -1 if (sy - sx) % 3 == 1 else 1
+        return 0
+
+    @staticmethod
+    def first_differing_bit(ct_x: ClwwCiphertext, ct_y: ClwwCiphertext) -> int | None:
+        """The leakage: 1-based index of the first differing symbol."""
+        for i, (sx, sy) in enumerate(zip(ct_x.symbols, ct_y.symbols), start=1):
+            if sx != sy:
+                return i
+        return None

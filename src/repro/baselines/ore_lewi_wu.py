@@ -1,0 +1,102 @@
+"""Lewi-Wu small-domain left/right ORE baseline (CCS 2016).
+
+The left/right framework the paper's SORE builds on: a *left* ciphertext
+(for the query side) and a *right* ciphertext (for the stored side) can be
+compared, but two right ciphertexts reveal **nothing** about their order —
+the semantically-secure half.  The cost is that a right ciphertext carries
+one masked comparison symbol for every domain element, so it only works for
+small domains (the paper's Section II.B: "two new ORE constructions for
+small domains and large domains").
+
+Comparison semantics: ``compare(left(x), right(y))`` returns -1/0/+1 for
+x<y / x=y / x>y.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.encoding import encode_parts, encode_uint
+from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG, default_rng
+from ..crypto.prf import PRF
+
+
+@dataclass(frozen=True)
+class LeftCiphertext:
+    """Query-side: the PRF key for x plus its permuted slot index."""
+
+    key_x: bytes
+    slot: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.key_x) + 4
+
+
+@dataclass(frozen=True)
+class RightCiphertext:
+    """Stored-side: a nonce plus one masked comparison symbol per slot."""
+
+    nonce: bytes
+    symbols: tuple[int, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.nonce) + (2 * len(self.symbols) + 7) // 8
+
+
+class LewiWuOre:
+    """Small-domain left/right ORE over ``[0, 2**bits)``."""
+
+    def __init__(self, key: bytes, bits: int, rng: DeterministicRNG | None = None) -> None:
+        if bits > 12:
+            raise ParameterError(
+                "small-domain Lewi-Wu right ciphertexts carry 2^bits symbols; "
+                "use block composition for wider values"
+            )
+        self.bits = bits
+        self.domain = 1 << bits
+        self._prf = PRF(key)
+        self._perm_prf = PRF(key, output_len=16)
+        self._rng = rng or default_rng()
+        self._permutation = self._derive_permutation()
+        self._inverse = [0] * self.domain
+        for slot, plain in enumerate(self._permutation):
+            self._inverse[plain] = slot
+
+    def _derive_permutation(self) -> list[int]:
+        """Key-derived pseudorandom permutation of the domain."""
+        scored = sorted(
+            range(self.domain),
+            key=lambda v: self._perm_prf.eval(b"perm", encode_uint(v)),
+        )
+        return scored
+
+    def _slot_key(self, slot: int) -> bytes:
+        return self._prf.eval(b"slotkey", encode_uint(slot))
+
+    def encrypt_left(self, value: int) -> LeftCiphertext:
+        if not 0 <= value < self.domain:
+            raise ParameterError("value outside domain")
+        slot = self._inverse[value]
+        return LeftCiphertext(self._slot_key(slot), slot)
+
+    def encrypt_right(self, value: int) -> RightCiphertext:
+        if not 0 <= value < self.domain:
+            raise ParameterError("value outside domain")
+        nonce = self._rng.token_bytes(16)
+        symbols = []
+        for slot in range(self.domain):
+            plain = self._permutation[slot]
+            cmp_val = (plain > value) - (plain < value)  # cmp(x_slot, y)
+            mask = PRF(self._slot_key(slot)).eval_int(b"mask", nonce)
+            symbols.append((cmp_val + mask) % 3)
+        return RightCiphertext(nonce, tuple(symbols))
+
+    @staticmethod
+    def compare(left: LeftCiphertext, right: RightCiphertext) -> int:
+        """-1/0/+1 for x<y / x=y / x>y; needs no secret key."""
+        mask = PRF(left.key_x).eval_int(b"mask", right.nonce)
+        symbol = (right.symbols[left.slot] - mask) % 3
+        return -1 if symbol == 2 else symbol

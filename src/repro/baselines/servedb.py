@@ -1,0 +1,200 @@
+"""ServeDB-style verifiable range index (Wu et al., ICDE 2019), simplified.
+
+ServeDB is the paper's closest prior work for *verifiable* range queries: a
+hierarchical cube-encoded tree over encrypted data, authenticated with
+Merkle hashing.  Its decisive limitation (paper Section I): verification
+needs the plaintext — either the verifier decrypts the results (so it must
+hold the key), or it checks positions in a value-ordered structure (so the
+plaintext values leak through the structure).  Either way it violates the
+paper's rule 1 for public verification ("cannot reveal any privacy of
+original data"), which is the gap Slicer's multiset-hash + accumulator
+pipeline closes.
+
+Implementation: a dyadic segment tree whose leaves are value buckets holding
+the encrypted records with that value; inner digests commit to children with
+per-level empty-subtree constants.  A range query returns the canonical
+cover nodes, each with its occupied-leaf payloads and an authentication path
+to the root.  ``verify`` recomputes each canonical subtree digest from the
+returned payload placement and folds it up the path — sound and complete,
+but the placement (leaf index = plaintext value) is exactly the privacy
+leak described above, and the tests assert it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.encoding import encode_parts, encode_uint
+from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG, default_rng
+from ..crypto.symmetric import SymmetricCipher
+from .range_tree_sse import DyadicInterval, canonical_cover
+
+
+def _leaf_digest(payload_hashes: tuple[bytes, ...]) -> bytes:
+    return hashlib.sha256(encode_parts(b"leaf", *payload_hashes)).digest()
+
+
+def _node_digest(level: int, left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(encode_parts(b"node", encode_uint(level, 1), left, right)).digest()
+
+
+def _empty_digests(bits: int) -> list[bytes]:
+    """digest of an entirely-empty subtree, per level."""
+    out = [_leaf_digest(())]
+    for level in range(1, bits + 1):
+        out.append(_node_digest(level, out[-1], out[-1]))
+    return out
+
+
+@dataclass(frozen=True)
+class NodeProof:
+    """One canonical cover node.
+
+    ``leaves`` maps occupied leaf values inside this node's range to their
+    encrypted records — note the keys are PLAINTEXT VALUES: that is the
+    structural privacy leak this baseline exists to demonstrate.
+    """
+
+    interval: DyadicInterval
+    leaves: tuple[tuple[int, tuple[bytes, ...]], ...]
+    path: tuple[tuple[bytes, bool], ...]  # (sibling digest, sibling-is-right)
+
+    @property
+    def vo_bytes(self) -> int:
+        return sum(len(s) + 1 for s, _ in self.path) + 8
+
+    @property
+    def ciphertexts(self) -> list[bytes]:
+        return [blob for _, blobs in self.leaves for blob in blobs]
+
+
+@dataclass(frozen=True)
+class ServeDbResponse:
+    nodes: tuple[NodeProof, ...]
+
+    @property
+    def vo_bytes(self) -> int:
+        return sum(n.vo_bytes for n in self.nodes)
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return sum(len(c) for n in self.nodes for c in n.ciphertexts)
+
+    @property
+    def revealed_values(self) -> set[int]:
+        """The plaintext values a keyless verifier learns from the proof."""
+        return {value for node in self.nodes for value, _ in node.leaves}
+
+
+class ServeDbIndex:
+    """Static authenticated dyadic tree over (record id, value) pairs."""
+
+    def __init__(
+        self,
+        records: list[tuple[bytes, int]],
+        bits: int,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        if not records:
+            raise ParameterError("ServeDB index needs at least one record")
+        self.bits = bits
+        self.rng = rng or default_rng()
+        self.cipher = SymmetricCipher.generate(self.rng)
+        self._empty = _empty_digests(bits)
+
+        self._leaves: dict[int, list[bytes]] = {}
+        for record_id, value in records:
+            if not 0 <= value < (1 << bits):
+                raise ParameterError(f"value {value} outside the domain")
+            self._leaves.setdefault(value, []).append(self.cipher.encrypt(record_id))
+
+        # Sparse digest cache: only subtrees containing records are stored.
+        self._digests: dict[tuple[int, int], bytes] = {}
+        for value, blobs in self._leaves.items():
+            self._digests[(0, value)] = _leaf_digest(
+                tuple(hashlib.sha256(b).digest() for b in blobs)
+            )
+        for level in range(1, bits + 1):
+            parents = {p >> 1 for (l, p) in self._digests if l == level - 1}
+            for prefix in parents:
+                self._digests[(level, prefix)] = _node_digest(
+                    level,
+                    self._digest_at(level - 1, prefix * 2),
+                    self._digest_at(level - 1, prefix * 2 + 1),
+                )
+        self.root = self._digest_at(bits, 0)
+
+    def _digest_at(self, level: int, prefix: int) -> bytes:
+        return self._digests.get((level, prefix), self._empty[level])
+
+    # --------------------------------------------------------------- query
+
+    def query(self, lo: int, hi: int) -> ServeDbResponse:
+        nodes = []
+        for interval in canonical_cover(lo, hi, self.bits):
+            leaves = tuple(
+                (value, tuple(blobs))
+                for value, blobs in sorted(self._leaves.items())
+                if interval.lo <= value <= interval.hi
+            )
+            path = []
+            level, prefix = interval.level, interval.prefix
+            while level < self.bits:
+                sibling = prefix ^ 1
+                path.append((self._digest_at(level, sibling), sibling > prefix))
+                level += 1
+                prefix >>= 1
+            nodes.append(NodeProof(interval, leaves, tuple(path)))
+        return ServeDbResponse(tuple(nodes))
+
+
+class ServeDbVerifier:
+    """Verification against the published root (no key needed — see leak)."""
+
+    def __init__(self, root: bytes, bits: int) -> None:
+        self.root = root
+        self.bits = bits
+        self._empty = _empty_digests(bits)
+
+    def _subtree_digest(
+        self, level: int, prefix: int, leaves: dict[int, tuple[bytes, ...]]
+    ) -> bytes:
+        lo, hi = prefix << level, ((prefix + 1) << level) - 1
+        if not any(lo <= v <= hi for v in leaves):
+            return self._empty[level]
+        if level == 0:
+            blobs = leaves.get(lo, ())
+            return _leaf_digest(tuple(hashlib.sha256(b).digest() for b in blobs))
+        return _node_digest(
+            level,
+            self._subtree_digest(level - 1, prefix * 2, leaves),
+            self._subtree_digest(level - 1, prefix * 2 + 1, leaves),
+        )
+
+    def verify(self, lo: int, hi: int, response: ServeDbResponse) -> bool:
+        """Sound + complete range verification — using plaintext positions."""
+        expected = [
+            (i.level, i.prefix) for i in canonical_cover(lo, hi, self.bits)
+        ]
+        got = [(n.interval.level, n.interval.prefix) for n in response.nodes]
+        if expected != got:
+            return False
+
+        for node in response.nodes:
+            leaves = dict(node.leaves)
+            if any(not node.interval.lo <= v <= node.interval.hi for v in leaves):
+                return False
+            digest = self._subtree_digest(node.interval.level, node.interval.prefix, leaves)
+            level, prefix = node.interval.level, node.interval.prefix
+            for sibling, sibling_is_right in node.path:
+                if sibling_is_right:
+                    digest = _node_digest(level + 1, digest, sibling)
+                else:
+                    digest = _node_digest(level + 1, sibling, digest)
+                level += 1
+                prefix >>= 1
+            if digest != self.root:
+                return False
+        return True

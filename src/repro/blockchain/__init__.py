@@ -1,0 +1,42 @@
+"""Simulated Ethereum-like blockchain substrate with EVM-calibrated gas."""
+
+from .accounts import Account, address_from_label, contract_address, format_address
+from .block import Block, BlockHeader, make_block
+from .chain import Blockchain, ChainConfig, DEFAULT_GAS_LIMIT
+from .contract import Contract, GasMeter
+from .gas import GasSchedule
+from .proofs import InclusionProof, prove_inclusion, verify_inclusion
+from .slicer_contract import (
+    ChainTokenResult,
+    SlicerContract,
+    response_to_chain_args,
+    tokens_digest_input,
+)
+from .transaction import LogEvent, Receipt, Transaction, encode_calldata
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ChainConfig",
+    "ChainTokenResult",
+    "Contract",
+    "DEFAULT_GAS_LIMIT",
+    "GasMeter",
+    "GasSchedule",
+    "InclusionProof",
+    "LogEvent",
+    "prove_inclusion",
+    "verify_inclusion",
+    "Receipt",
+    "SlicerContract",
+    "Transaction",
+    "address_from_label",
+    "contract_address",
+    "encode_calldata",
+    "format_address",
+    "make_block",
+    "response_to_chain_args",
+    "tokens_digest_input",
+]

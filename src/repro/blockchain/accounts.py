@@ -1,0 +1,48 @@
+"""Externally-owned accounts and addresses for the simulated chain."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import InsufficientFundsError
+
+ADDRESS_LEN = 20
+
+
+def address_from_label(label: str) -> bytes:
+    """Deterministic 20-byte address from a human-readable label."""
+    return hashlib.sha256(b"addr:" + label.encode("utf-8")).digest()[:ADDRESS_LEN]
+
+
+def contract_address(creator: bytes, nonce: int) -> bytes:
+    """CREATE-style address derivation: hash of (creator, nonce)."""
+    return hashlib.sha256(b"create:" + creator + nonce.to_bytes(8, "big")).digest()[
+        :ADDRESS_LEN
+    ]
+
+
+def format_address(address: bytes) -> str:
+    return "0x" + address.hex()
+
+
+@dataclass
+class Account:
+    """Balance/nonce pair; contracts reuse the same record for their balance."""
+
+    balance: int = 0
+    nonce: int = 0
+
+    def debit(self, amount: int) -> None:
+        if amount < 0:
+            raise InsufficientFundsError("negative debit")
+        if self.balance < amount:
+            raise InsufficientFundsError(
+                f"balance {self.balance} cannot cover {amount}"
+            )
+        self.balance -= amount
+
+    def credit(self, amount: int) -> None:
+        if amount < 0:
+            raise InsufficientFundsError("negative credit")
+        self.balance += amount

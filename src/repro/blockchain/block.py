@@ -1,0 +1,82 @@
+"""Blocks and the hash-linked header chain."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..common.encoding import encode_parts, encode_uint
+from .transaction import Receipt, Transaction
+
+GENESIS_PARENT = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Minimal PoA-style header: number, parent link, tx/receipt commitments."""
+
+    number: int
+    parent_hash: bytes
+    tx_root: bytes
+    receipt_root: bytes
+    sealer: bytes
+    timestamp: int
+
+    def hash(self) -> bytes:
+        return hashlib.sha256(
+            encode_parts(
+                encode_uint(self.number),
+                self.parent_hash,
+                self.tx_root,
+                self.receipt_root,
+                self.sealer,
+                encode_uint(self.timestamp),
+            )
+        ).digest()
+
+
+@dataclass
+class Block:
+    header: BlockHeader
+    transactions: list[Transaction] = field(default_factory=list)
+    receipts: list[Receipt] = field(default_factory=list)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def hash(self) -> bytes:
+        return self.header.hash()
+
+
+def merkleize(items: list[bytes]) -> bytes:
+    """Binary-tree commitment over a byte-string list (empty list -> zeros)."""
+    if not items:
+        return b"\x00" * 32
+    layer = [hashlib.sha256(b"\x00" + item).digest() for item in items]
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer), 2):
+            right = layer[i + 1] if i + 1 < len(layer) else layer[i]
+            nxt.append(hashlib.sha256(b"\x01" + layer[i] + right).digest())
+        layer = nxt
+    return layer[0]
+
+
+def make_block(
+    number: int,
+    parent_hash: bytes,
+    transactions: list[Transaction],
+    receipts: list[Receipt],
+    sealer: bytes,
+    timestamp: int,
+) -> Block:
+    header = BlockHeader(
+        number=number,
+        parent_hash=parent_hash,
+        tx_root=merkleize([tx.hash() for tx in transactions]),
+        receipt_root=merkleize([r.tx_hash + (b"\x01" if r.status else b"\x00") for r in receipts]),
+        sealer=sealer,
+        timestamp=timestamp,
+    )
+    return Block(header, list(transactions), list(receipts))

@@ -1,0 +1,81 @@
+"""Light client: header-chain tracking + inclusion checking.
+
+The data user's freshness guarantee rests on the blockchain being a trusted
+anchor, but a user device should not need to replay every transaction.  A
+light client keeps only the *headers* (checking parent links and the PoA
+sealer rotation) and verifies specific facts against them:
+
+* that a transaction — e.g. the owner's latest ``update_ads`` — is included
+  in a sealed block (Merkle inclusion against the header's tx root), and
+* that the header chain it follows is internally consistent.
+
+This closes the loop on the paper's multi-user freshness story: a user can
+convince itself the ``Ac`` digest it relies on was anchored on chain,
+without trusting the cloud or replaying state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import BlockchainError
+from .accounts import address_from_label
+from .block import GENESIS_PARENT, BlockHeader
+from .chain import Blockchain
+from .proofs import InclusionProof, verify_inclusion
+
+
+@dataclass
+class LightClient:
+    """Tracks headers only; verifies inclusion proofs against them."""
+
+    sealers: tuple[str, ...]
+    headers: list[BlockHeader] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._sealer_addresses = [address_from_label(s) for s in self.sealers]
+
+    @property
+    def height(self) -> int:
+        return len(self.headers)
+
+    # ------------------------------------------------------------- syncing
+
+    def accept_header(self, header: BlockHeader) -> None:
+        """Validate and append one header (parent link + sealer rotation)."""
+        expected_parent = self.headers[-1].hash() if self.headers else GENESIS_PARENT
+        if header.number != len(self.headers):
+            raise BlockchainError(
+                f"expected header #{len(self.headers)}, got #{header.number}"
+            )
+        if header.parent_hash != expected_parent:
+            raise BlockchainError("header does not extend the tracked chain")
+        expected_sealer = self._sealer_addresses[
+            header.number % len(self._sealer_addresses)
+        ]
+        if header.sealer != expected_sealer:
+            raise BlockchainError("header sealed by an unauthorised sealer")
+        self.headers.append(header)
+
+    def sync(self, chain: Blockchain) -> int:
+        """Pull any headers the client has not seen yet; returns new count."""
+        new = 0
+        for block in chain.blocks[len(self.headers) :]:
+            self.accept_header(block.header)
+            new += 1
+        return new
+
+    # ---------------------------------------------------------- inclusion
+
+    def check_inclusion(self, proof: InclusionProof) -> bool:
+        """Is the proven transaction inside a header this client accepted?"""
+        if not 0 <= proof.block_number < len(self.headers):
+            return False
+        return verify_inclusion(self.headers[proof.block_number].tx_root, proof)
+
+
+def follow(chain: Blockchain) -> LightClient:
+    """Create a light client for ``chain``'s sealer set and sync it."""
+    client = LightClient(chain.config.sealers)
+    client.sync(chain)
+    return client

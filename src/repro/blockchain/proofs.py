@@ -1,0 +1,68 @@
+"""Transaction inclusion proofs (light-client verification).
+
+The paper leans on the blockchain for *trusted storage* of ``Ac`` and
+*trusted execution* of the verification.  A party that does not replay the
+whole chain can still check that a transaction (say, the ADS update that
+anchors freshness) is included in a sealed block: the block header commits
+to its transaction list through a Merkle root, so inclusion is a standard
+authentication path against the header.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import BlockchainError
+from .block import Block
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Authentication path for one transaction inside one block."""
+
+    block_number: int
+    tx_index: int
+    tx_hash: bytes
+    path: tuple[tuple[bytes, bool], ...]  # (sibling, sibling-is-right)
+
+
+def _leaf(item: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + item).digest()
+
+
+def _node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def prove_inclusion(block: Block, tx_hash: bytes) -> InclusionProof:
+    """Build the Merkle path of ``tx_hash`` against the block's tx root."""
+    hashes = [tx.hash() for tx in block.transactions]
+    try:
+        index = hashes.index(tx_hash)
+    except ValueError as exc:
+        raise BlockchainError("transaction not in this block") from exc
+
+    layer = [_leaf(h) for h in hashes]
+    path: list[tuple[bytes, bool]] = []
+    pos = index
+    while len(layer) > 1:
+        sibling = pos ^ 1
+        if sibling >= len(layer):
+            sibling = pos  # odd node duplicated upward (matches merkleize)
+        path.append((layer[sibling], sibling >= pos))
+        nxt = []
+        for i in range(0, len(layer), 2):
+            right = layer[i + 1] if i + 1 < len(layer) else layer[i]
+            nxt.append(_node(layer[i], right))
+        layer = nxt
+        pos //= 2
+    return InclusionProof(block.number, index, tx_hash, tuple(path))
+
+
+def verify_inclusion(tx_root: bytes, proof: InclusionProof) -> bool:
+    """Check an inclusion proof against a header's transaction root."""
+    node = _leaf(proof.tx_hash)
+    for sibling, sibling_is_right in proof.path:
+        node = _node(node, sibling) if sibling_is_right else _node(sibling, node)
+    return node == tx_root

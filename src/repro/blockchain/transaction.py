@@ -1,0 +1,85 @@
+"""Transactions, receipts and event logs."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..common.encoding import encode_parts, encode_uint
+
+
+def encode_calldata(method: str, args: tuple) -> bytes:
+    """Canonical ABI-ish encoding of a call, priced as calldata.
+
+    Supported argument kinds mirror what the Slicer contract needs: byte
+    blobs, unsigned integers (minimal big-endian) and booleans.
+    """
+    parts: list[bytes] = [method.encode("utf-8")]
+    for arg in args:
+        if isinstance(arg, bool):
+            parts.append(b"\x01" if arg else b"\x00")
+        elif isinstance(arg, int):
+            if arg < 0:
+                raise TypeError("calldata integers are unsigned; got a negative value")
+            width = max(1, (arg.bit_length() + 7) // 8)
+            parts.append(arg.to_bytes(width, "big"))
+        elif isinstance(arg, (bytes, bytearray)):
+            parts.append(bytes(arg))
+        elif isinstance(arg, (list, tuple)):
+            parts.append(encode_calldata("", tuple(arg)))
+        else:
+            raise TypeError(f"cannot encode calldata argument of type {type(arg).__name__}")
+    return encode_parts(*parts)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A signed-by-assumption transaction on the simulated chain."""
+
+    sender: bytes
+    to: bytes | None  # None => contract creation
+    value: int
+    data: bytes
+    gas_limit: int
+    nonce: int
+
+    def hash(self) -> bytes:
+        return hashlib.sha256(
+            encode_parts(
+                self.sender,
+                self.to or b"",
+                encode_uint(self.value, 16),
+                self.data,
+                encode_uint(self.gas_limit),
+                encode_uint(self.nonce),
+            )
+        ).digest()
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """A contract event (LOG opcode analogue)."""
+
+    address: bytes
+    name: str
+    fields: tuple[tuple[str, object], ...]
+
+    def get(self, key: str) -> object:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+
+@dataclass
+class Receipt:
+    """Execution outcome: status, gas, logs and an itemised gas breakdown."""
+
+    tx_hash: bytes
+    status: bool
+    gas_used: int
+    logs: list[LogEvent] = field(default_factory=list)
+    contract_address: bytes | None = None
+    return_value: object = None
+    revert_reason: str = ""
+    gas_breakdown: dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run the full four-party flow on a generated dataset.
+* ``features`` — print the paper's Table I feature matrix.
+* ``gas``      — deploy on the simulated chain and print the Table II costs.
+* ``leakage``  — show what SORE leaks between two values.
+* ``bench-report`` — pretty-print a saved benchmark report with a chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.feature_matrix import render_table_i
+from .analysis.plots import bar_chart, sparkline
+from .analysis.reporting import render_kv_table
+from .common.rng import default_rng
+from .core.params import SlicerParams
+from .core.query import Query
+from .core.records import Database
+from .system import SlicerSystem
+from .workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Slicer (ICDCS 2022) reproduction - verifiable encrypted numerical search",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the full four-party flow")
+    demo.add_argument("--records", type=int, default=50, help="dataset size")
+    demo.add_argument("--bits", type=int, default=8, choices=[8, 16, 24])
+    demo.add_argument("--query", default="100>", help="e.g. '100>' '42=' '7<'")
+    demo.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("features", help="print Table I")
+
+    gas = sub.add_parser("gas", help="measure smart-contract gas (Table II)")
+    gas.add_argument("--modulus-bits", type=int, default=1024, choices=[512, 1024, 2048])
+
+    leak = sub.add_parser("leakage", help="SORE leakage between two values")
+    leak.add_argument("x", type=int)
+    leak.add_argument("y", type=int)
+    leak.add_argument("--bits", type=int, default=8)
+
+    report = sub.add_parser("bench-report", help="show a saved benchmark report")
+    report.add_argument("path", help="path to a benchmarks/reports/*.txt file")
+
+    sore = sub.add_parser(
+        "sore-demo", help="show SORE slicing for stored values vs queries (paper Fig. 2)"
+    )
+    sore.add_argument("--bits", type=int, default=4)
+    sore.add_argument("--values", default="5,8", help="comma-separated stored values")
+    sore.add_argument("--queries", default="6>,4<", help="comma-separated, e.g. '6>,4<'")
+
+    return parser
+
+
+def _parse_query(text: str) -> Query:
+    text = text.strip()
+    symbol = text[-1]
+    return Query.parse(int(text[:-1]), symbol)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    params = SlicerParams.testing(value_bits=args.bits, seed=args.seed)
+    generator = WorkloadGenerator(default_rng(args.seed))
+    database = generator.database(WorkloadSpec(args.records, args.bits))
+    query = _parse_query(args.query)
+    query.validate(args.bits)
+
+    print(f"building: {args.records} records, {args.bits}-bit values ...")
+    system = SlicerSystem(params, rng=default_rng(args.seed + 1))
+    system.setup(database)
+    print(f"  contract deployed       gas={system.deploy_receipt.gas_used:,}")
+
+    outcome = system.search(query)
+    expected = database.ids_matching(query.predicate())
+    print(f"query: {query.describe()}")
+    print(f"  tokens issued           {len(outcome.tokens)}")
+    print(f"  matches                 {len(outcome.record_ids)} (oracle: {len(expected)})")
+    print(f"  on-chain verification   gas={outcome.settle_gas:,} verified={outcome.verified}")
+    print(f"  balances                {system.balances()}")
+    if outcome.record_ids != expected:
+        print("MISMATCH against plaintext oracle!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_features(_: argparse.Namespace) -> int:
+    print(render_table_i())
+    return 0
+
+
+def cmd_gas(args: argparse.Namespace) -> int:
+    from .crypto.accumulator import AccumulatorParams
+
+    params = SlicerParams(
+        value_bits=8,
+        prime_bits=256 if args.modulus_bits >= 1024 else 64,
+        accumulator=AccumulatorParams.demo(args.modulus_bits),
+    )
+    system = SlicerSystem(params, rng=default_rng(11))
+    db = Database(8)
+    for i in range(10):
+        db.add(i, (i * 29) % 256)
+    system.setup(db)
+
+    add = Database(8)
+    add.add(100, 42)
+    insert_receipt = system.insert(add)
+    outcome = system.search(Query.parse(29, "="))
+
+    rows = [
+        ("Deployment", f"{system.deploy_receipt.gas_used:,} gas"),
+        ("Data insertion", f"{insert_receipt.gas_used:,} gas"),
+        ("Result verification", f"{outcome.settle_gas:,} gas"),
+    ]
+    print(render_kv_table(f"Gas costs ({args.modulus_bits}-bit modulus)", rows))
+    print()
+    print(bar_chart("relative cost", [(k, float(v.split()[0].replace(',', ''))) for k, v in rows]))
+    return 0
+
+
+def cmd_leakage(args: argparse.Namespace) -> int:
+    from .common.bitstring import first_differing_bit, to_bits
+    from .sore.leakage import token_side_leakage
+    from .sore.tuples import OrderCondition
+
+    bits = args.bits
+    fdb = first_differing_bit(args.x, args.y, bits)
+    common = token_side_leakage(args.x, args.y, OrderCondition.GREATER, bits)
+    print(f"x = {args.x} = {to_bits(args.x, bits)}")
+    print(f"y = {args.y} = {to_bits(args.y, bits)}")
+    if fdb is None:
+        print("values are equal: all tuples agree, nothing else leaks")
+    else:
+        print(f"first differing bit: {fdb} (1 = MSB)")
+        print(f"common tuples between their query tokens: {common}")
+        print("=> an adversary holding both token lists learns exactly the")
+        print(f"   shared-prefix length ({common} bits) and nothing more.")
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"cannot read report: {exc}", file=sys.stderr)
+        return 1
+    print(text)
+    # Append a sparkline per numeric column block for quick shape reading.
+    for line in text.splitlines():
+        cells = line.split()
+        try:
+            values = [float(c) for c in cells[1:]]
+        except ValueError:
+            continue
+        if len(values) >= 3:
+            print(f"trend {cells[0]:>10}: {sparkline(values)}")
+    return 0
+
+
+def cmd_sore_demo(args: argparse.Namespace) -> int:
+    """Reproduce the paper's Fig. 2: tuple tables with matches highlighted."""
+    from .common.bitstring import to_bits
+    from .sore.tuples import (
+        OrderCondition,
+        ciphertext_tuples,
+        token_tuples,
+    )
+
+    bits = args.bits
+    values = [int(v) for v in args.values.split(",")]
+    queries = []
+    for q in args.queries.split(","):
+        q = q.strip()
+        queries.append((int(q[:-1]), OrderCondition.from_symbol(q[-1])))
+
+    def fmt(t) -> str:
+        return f"({t.prefix or 'ε'}|{t.bit}|{t.flag.symbol})"
+
+    for value in values:
+        cts = ciphertext_tuples(value, bits)
+        print(f"Encrypt({value} = {to_bits(value, bits)}): " + " ".join(fmt(t) for t in cts))
+    print()
+    for qv, oc in queries:
+        tks = token_tuples(qv, oc, bits)
+        print(f"Token({qv} = {to_bits(qv, bits)}, {oc.symbol}): " + " ".join(fmt(t) for t in tks))
+        for value in values:
+            cts = set(ciphertext_tuples(value, bits))
+            common = [t for t in tks if t in cts]
+            verdict = f"MATCH at bit {common[0].index}" if common else "no match"
+            truth = oc.holds(qv, value)
+            print(f"  vs {value}: {verdict}  (plaintext: {qv} {oc.symbol} {value} is {truth})")
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "features": cmd_features,
+    "gas": cmd_gas,
+    "leakage": cmd_leakage,
+    "bench-report": cmd_bench_report,
+    "sore-demo": cmd_sore_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Shared low-level utilities: bit manipulation, encodings, RNG, timing."""
+
+from .bitstring import (
+    bit_at,
+    bytes_to_int,
+    check_value_fits,
+    first_differing_bit,
+    from_bits,
+    int_to_bytes,
+    prefix_bits,
+    to_bits,
+    xor_bytes,
+)
+from .encoding import (
+    decode_parts,
+    decode_uint,
+    encode_parts,
+    encode_str,
+    encode_uint,
+    sizeof,
+)
+from .errors import (
+    AccumulatorError,
+    BlockchainError,
+    ContractRevert,
+    IndexCorruptionError,
+    InsufficientFundsError,
+    OutOfGasError,
+    ParameterError,
+    ReproError,
+    StateError,
+)
+from .rng import DeterministicRNG, default_rng
+from .timing import Stopwatch, time_call
+
+__all__ = [
+    "AccumulatorError",
+    "BlockchainError",
+    "ContractRevert",
+    "DeterministicRNG",
+    "IndexCorruptionError",
+    "InsufficientFundsError",
+    "OutOfGasError",
+    "ParameterError",
+    "ReproError",
+    "StateError",
+    "Stopwatch",
+    "bit_at",
+    "bytes_to_int",
+    "check_value_fits",
+    "decode_parts",
+    "decode_uint",
+    "default_rng",
+    "encode_parts",
+    "encode_str",
+    "encode_uint",
+    "first_differing_bit",
+    "from_bits",
+    "int_to_bytes",
+    "prefix_bits",
+    "sizeof",
+    "time_call",
+    "to_bits",
+    "xor_bytes",
+]

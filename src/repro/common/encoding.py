@@ -1,0 +1,75 @@
+"""Canonical byte encodings shared by every party.
+
+Concatenation in the paper (the ``||`` operator) must be injective: the
+tuple ``prefix || bit || oc`` fed to the PRF has to map distinct tuples to
+distinct byte strings, otherwise two different slices could collide before
+encryption even happens.  We therefore length-prefix every component.
+
+The same helpers serialize protocol messages so that the sizes reported by
+the benchmarks (Fig. 4 and Fig. 6) measure real wire bytes, not Python
+object overhead.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from .errors import ParameterError
+
+_LEN = struct.Struct(">I")
+
+
+def encode_parts(*parts: bytes) -> bytes:
+    """Injectively concatenate byte strings (4-byte big-endian length prefix)."""
+    out = bytearray()
+    for part in parts:
+        if not isinstance(part, (bytes, bytearray)):
+            raise ParameterError(f"encode_parts expects bytes, got {type(part).__name__}")
+        out += _LEN.pack(len(part))
+        out += part
+    return bytes(out)
+
+
+def decode_parts(blob: bytes) -> list[bytes]:
+    """Inverse of :func:`encode_parts`."""
+    parts: list[bytes] = []
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise ParameterError("truncated length prefix")
+        (length,) = _LEN.unpack_from(blob, offset)
+        offset += _LEN.size
+        if offset + length > total:
+            raise ParameterError("truncated payload")
+        parts.append(blob[offset : offset + length])
+        offset += length
+    return parts
+
+
+def encode_str(text: str) -> bytes:
+    """UTF-8 encode a label (attribute names, order conditions)."""
+    return text.encode("utf-8")
+
+
+def encode_uint(value: int, width: int = 8) -> bytes:
+    """Fixed-width big-endian unsigned encoding (counters, update epochs)."""
+    if value < 0:
+        raise ParameterError("unsigned encoding of a negative value")
+    return value.to_bytes(width, "big")
+
+
+def decode_uint(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def sizeof(*items: bytes | Iterable[bytes]) -> int:
+    """Total byte size of wire items; used by the storage/overhead benches."""
+    total = 0
+    for item in items:
+        if isinstance(item, (bytes, bytearray)):
+            total += len(item)
+        else:
+            total += sum(len(x) for x in item)
+    return total

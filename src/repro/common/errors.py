@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Slicer reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.  Protocol-level failures (a cloud
+returning bad results, a verification failing on chain) are *not* errors --
+they are modelled as return values -- so the exceptions here indicate misuse
+or genuine internal faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A caller supplied an out-of-range or inconsistent parameter."""
+
+
+class KeyError_(ReproError):
+    """A cryptographic key is missing, malformed or mismatched."""
+
+
+class StateError(ReproError):
+    """A protocol party was driven in an invalid order.
+
+    Example: asking a data user for search tokens before the owner shared the
+    trapdoor state, or inserting into a protocol instance that was never
+    built.
+    """
+
+
+class IndexCorruptionError(ReproError):
+    """The encrypted index violates a structural invariant.
+
+    This is raised only for *local* data structures; dishonest-cloud behaviour
+    surfaces as a failed verification, never as this exception.
+    """
+
+
+class AccumulatorError(ReproError):
+    """RSA accumulator misuse (unknown element, bad witness request...)."""
+
+
+class BlockchainError(ReproError):
+    """The simulated chain rejected a transaction for structural reasons."""
+
+
+class OutOfGasError(BlockchainError):
+    """A metered contract call exceeded its gas allowance."""
+
+
+class InsufficientFundsError(BlockchainError):
+    """An account tried to spend more than its balance."""
+
+
+class ContractRevert(BlockchainError):
+    """A contract aborted execution; state changes are rolled back."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "execution reverted")
+        self.reason = reason

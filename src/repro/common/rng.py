@@ -1,0 +1,66 @@
+"""Randomness plumbing.
+
+Two needs coexist in this codebase:
+
+* **Security-relevant randomness** (keys, trapdoors) — defaults to
+  :func:`secrets.token_bytes` quality via ``random.SystemRandom``.
+* **Reproducibility** — benchmarks and tests want deterministic runs, so
+  every component that draws randomness accepts an explicit ``rng``.
+
+:class:`DeterministicRNG` wraps :class:`random.Random` with the handful of
+draw shapes the library needs (bytes, ints below a bound, shuffles), so the
+protocol code never touches the global ``random`` state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import MutableSequence, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """A seedable randomness source with the draws the library needs."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        if seed is None:
+            self._rng: random.Random = random.SystemRandom()
+        else:
+            self._rng = random.Random(seed)
+        self.seed = seed
+
+    def token_bytes(self, n: int) -> bytes:
+        """Draw ``n`` uniform random bytes."""
+        return self._rng.getrandbits(8 * n).to_bytes(n, "big") if n else b""
+
+    def randbits(self, k: int) -> int:
+        """Draw a uniform integer in ``[0, 2**k)``."""
+        return self._rng.getrandbits(k)
+
+    def randint_below(self, bound: int) -> int:
+        """Draw a uniform integer in ``[0, bound)``."""
+        return self._rng.randrange(bound)
+
+    def randrange(self, start: int, stop: int) -> int:
+        """Draw a uniform integer in ``[start, stop)``."""
+        return self._rng.randrange(start, stop)
+
+    def shuffle(self, seq: MutableSequence[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(seq)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    def spawn(self) -> "DeterministicRNG":
+        """Derive an independent child stream (stable given this stream)."""
+        return DeterministicRNG(self._rng.getrandbits(64))
+
+
+def default_rng(seed: int | None = None) -> DeterministicRNG:
+    """Create an RNG; ``seed=None`` gives OS-entropy randomness."""
+    return DeterministicRNG(seed)

@@ -1,0 +1,37 @@
+"""Lightweight timing and measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations across protocol phases."""
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+
+    def get(self, label: str) -> float:
+        return self.durations.get(label, 0.0)
+
+    def reset(self) -> None:
+        self.durations.clear()
+
+
+def time_call(fn: Callable[[], object]) -> tuple[float, object]:
+    """Run ``fn`` once; return (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result

@@ -1,0 +1,307 @@
+"""The cloud server: storage, Cloud.Search (Algorithm 4), and adversaries.
+
+The honest cloud stores the encrypted index ``I`` and the prime list ``X``.
+Given a search token ``(t_j, j, G1, G2)`` it walks epochs ``j`` down to 0 —
+deriving each older trapdoor with the *public* permutation ``π_pk`` — and
+inside each epoch scans counters until the PRF label misses.  It then hashes
+the collected result multiset, recomputes the prime representative, and
+produces the RSA-accumulator membership witness (the verification object).
+
+:class:`MaliciousCloud` wraps the honest search with the paper's threat-model
+behaviours (return incorrect or incomplete results) so the tests and the
+fairness example can demonstrate that every such deviation is caught by
+public verification (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..common.bitstring import xor_bytes
+from ..common.encoding import encode_parts, encode_uint, sizeof
+from ..common.rng import DeterministicRNG, default_rng
+from ..common.timing import Stopwatch
+from ..crypto.accumulator import Accumulator, MembershipWitness
+from ..crypto.multiset_hash import MultisetHash
+from ..crypto.prf import PRF
+from ..crypto.trapdoor import TrapdoorPublicKey
+from .params import SlicerParams
+from .state import CloudPackage, EncryptedIndex, set_hash_key
+from .tokens import SearchToken
+
+
+@dataclass
+class TokenResult:
+    """One token's share of the response: encrypted results + its VO."""
+
+    token: SearchToken
+    entries: list[bytes]
+    witness: MembershipWitness
+
+    @property
+    def result_bytes(self) -> int:
+        return sizeof(self.entries)
+
+    @property
+    def witness_bytes(self) -> int:
+        return (self.witness.value.bit_length() + 7) // 8
+
+
+@dataclass
+class SearchResponse:
+    """Everything the cloud posts to the blockchain for one query."""
+
+    results: list[TokenResult] = field(default_factory=list)
+
+    @property
+    def encrypted_result_bytes(self) -> int:
+        """Total ``er`` size — Fig. 6b/6c measurement."""
+        return sum(r.result_bytes for r in self.results)
+
+    @property
+    def witness_bytes(self) -> int:
+        """Total VO size — Fig. 6d measurement."""
+        return sum(r.witness_bytes for r in self.results)
+
+    def all_entries(self) -> list[bytes]:
+        return [entry for result in self.results for entry in result.entries]
+
+
+class CloudServer:
+    """Honest-but-curious (and possibly dishonest) storage/search provider."""
+
+    def __init__(self, params: SlicerParams, trapdoor_public: TrapdoorPublicKey) -> None:
+        self.params = params.public()
+        self.trapdoor_public = trapdoor_public
+        self.index = EncryptedIndex()
+        self._primes: set[int] = set()
+        self._prime_product = 1
+        self.ads_value = 0
+        self._hash_to_prime = params.hash_to_prime()
+        self._witness_cache: dict[int, int] | None = None
+        #: Phase timings ("results" / "vo") for the Fig. 5 benches.
+        self.stopwatch = Stopwatch()
+
+    # ---------------------------------------------------------------- setup
+
+    def install(self, package: CloudPackage) -> None:
+        """Receive ``(I, X, Ac)`` from the owner (Build or Insert delta)."""
+        self.index.merge(package.index)
+        for prime in package.primes:
+            if prime not in self._primes:
+                self._primes.add(prime)
+                self._prime_product *= prime
+        self.ads_value = package.accumulation
+        # Any update changes every witness; drop the precomputed cache.
+        self._witness_cache = None
+
+    def precompute_witnesses(self) -> int:
+        """Precompute the witness for every accumulated prime.
+
+        Trades install-time work (root-factor batch, ``O(|X| log |X|)``
+        exponentiations) for near-zero VO-generation latency per query —
+        the trade a production cloud serving many queries per update cycle
+        would take.  The cache is invalidated by the next :meth:`install`.
+        Returns the number of cached witnesses.
+        """
+        acc = self.params.accumulator
+        temp = Accumulator(acc, sorted(self._primes))
+        self._witness_cache = {p: w.value for p, w in temp.witness_all().items()}
+        return len(self._witness_cache)
+
+    @property
+    def prime_count(self) -> int:
+        return len(self._primes)
+
+    # --------------------------------------------------------------- search
+
+    def search(self, tokens: list[SearchToken]) -> SearchResponse:
+        """Algorithm 4 (Cloud.Search) over a token list.
+
+        Witness generation is batched: all tokens of one query share the
+        ``g^{prod(X \\ subset)}`` base and the per-token witnesses are filled
+        in by root-factor recursion over the (small) subset.  One query costs
+        one full-product exponentiation instead of one per token, which is
+        what keeps order-search VO generation (paper Fig. 5d) tractable.
+        """
+        with self.stopwatch.measure("results"):
+            partials = [(token, self._collect_entries(token)) for token in tokens]
+        with self.stopwatch.measure("vo"):
+            witnesses = self._batch_witnesses(partials)
+        return SearchResponse(
+            [TokenResult(t, e, w) for (t, e), w in zip(partials, witnesses)]
+        )
+
+    def _search_token(self, token: SearchToken) -> TokenResult:
+        entries = self._collect_entries(token)
+        witness = self._batch_witnesses([(token, entries)])[0]
+        return TokenResult(token, entries, witness)
+
+    def _collect_entries(self, token: SearchToken) -> list[bytes]:
+        """Walk epochs j..0 via π_pk, scanning counters inside each epoch."""
+        label_prf = PRF(token.g1, self.params.label_len)
+        pad_prf = PRF(token.g2)
+        entries: list[bytes] = []
+        trapdoor = token.trapdoor
+        for _ in range(token.epoch, -1, -1):
+            counter = 0
+            while True:
+                label = label_prf.eval(trapdoor, encode_uint(counter))
+                payload = self.index.find(label)
+                if payload is None:
+                    break
+                pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
+                entries.append(xor_bytes(pad, payload))
+                counter += 1
+            trapdoor = self.trapdoor_public.apply(trapdoor)
+        return entries
+
+    def _token_prime(self, token: SearchToken, entries: list[bytes]) -> int:
+        """The prime representative of (token state, result multiset hash)."""
+        result_hash = MultisetHash.of(entries, self.params.multiset_field)
+        state_key = set_hash_key(token.trapdoor, token.epoch, token.g1, token.g2)
+        return self._hash_to_prime(encode_parts(state_key, result_hash.to_bytes()))
+
+    def _batch_witnesses(
+        self, partials: list[tuple[SearchToken, list[bytes]]]
+    ) -> list[MembershipWitness]:
+        """``MemWit`` for every token of one query, sharing the big base pow.
+
+        If a derived prime is not in the stored set — which happens when the
+        cloud's index is out of sync with the owner's updates (a "lazy"
+        cloud) — no valid witness exists.  A real cloud would still have to
+        submit *something* to the contract, so those tokens get a best-effort
+        (and necessarily invalid) witness over the full product; verification
+        rejects it and the payment is refunded.
+        """
+        acc = self.params.accumulator
+        n, g = acc.modulus, acc.generator
+        primes = [self._token_prime(token, entries) for token, entries in partials]
+        if self._witness_cache is not None:
+            out = []
+            fallback: int | None = None
+            for prime in primes:
+                if prime in self._witness_cache:
+                    out.append(MembershipWitness(self._witness_cache[prime]))
+                else:
+                    if fallback is None:
+                        fallback = pow(g, self._prime_product, n)
+                    out.append(MembershipWitness(fallback))
+            return out
+        subset = sorted({p for p in primes if p in self._primes})
+
+        witness_by_prime: dict[int, int] = {}
+        if subset:
+            subset_product = 1
+            for p in subset:
+                subset_product *= p
+            base = pow(g, self._prime_product // subset_product, n)
+
+            def recurse(current: int, xs: list[int]) -> None:
+                if len(xs) == 1:
+                    witness_by_prime[xs[0]] = current
+                    return
+                mid = len(xs) // 2
+                left, right = xs[:mid], xs[mid:]
+                prod_left = 1
+                for p in left:
+                    prod_left *= p
+                prod_right = 1
+                for p in right:
+                    prod_right *= p
+                recurse(pow(current, prod_right, n), left)
+                recurse(pow(current, prod_left, n), right)
+
+            recurse(base, subset)
+
+        fallback: int | None = None
+        out: list[MembershipWitness] = []
+        for prime in primes:
+            if prime in witness_by_prime:
+                out.append(MembershipWitness(witness_by_prime[prime]))
+            else:
+                if fallback is None:
+                    fallback = pow(g, self._prime_product, n)
+                out.append(MembershipWitness(fallback))
+        return out
+
+
+class Misbehavior(enum.Enum):
+    """The dishonest-cloud behaviours from the threat model (Section IV.B)."""
+
+    DROP_ENTRY = "drop_entry"  # incomplete results: omit one matching record
+    INJECT_ENTRY = "inject_entry"  # incorrect results: add a non-matching record
+    TAMPER_ENTRY = "tamper_entry"  # flip bits inside a returned ciphertext
+    OMIT_OLD_EPOCHS = "omit_old_epochs"  # return only the newest epoch's entries
+    FORGE_WITNESS = "forge_witness"  # random verification object
+    STALE_WITNESS = "stale_witness"  # honest witness but for tampered results
+    EMPTY_RESULT = "empty_result"  # claim nothing matched
+
+
+class MaliciousCloud(CloudServer):
+    """A cloud that applies one :class:`Misbehavior` to otherwise honest output.
+
+    Witness handling mirrors what a real cheater can do: it cannot *forge* a
+    witness for results it did not store (strong-RSA), so except for
+    ``FORGE_WITNESS`` it returns the witness for the honest result set and
+    hopes the verifier will not notice the result tampering.
+    """
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        trapdoor_public: TrapdoorPublicKey,
+        misbehavior: Misbehavior,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        super().__init__(params, trapdoor_public)
+        self.misbehavior = misbehavior
+        self.rng = rng or default_rng()
+
+    def search(self, tokens: list[SearchToken]) -> SearchResponse:
+        honest = super().search(tokens)
+        tampered = [self._tamper(result) for result in honest.results]
+        return SearchResponse(tampered)
+
+    def _tamper(self, result: TokenResult) -> TokenResult:
+        kind = self.misbehavior
+        entries = list(result.entries)
+        witness = result.witness
+        if kind is Misbehavior.DROP_ENTRY and entries:
+            entries.pop(self.rng.randint_below(len(entries)))
+        elif kind is Misbehavior.INJECT_ENTRY:
+            size = len(entries[0]) if entries else 16 + self.params.record_id_len
+            entries.append(self.rng.token_bytes(size))
+        elif kind is Misbehavior.TAMPER_ENTRY and entries:
+            victim = self.rng.randint_below(len(entries))
+            blob = bytearray(entries[victim])
+            blob[self.rng.randint_below(len(blob))] ^= 0xFF
+            entries[victim] = bytes(blob)
+        elif kind is Misbehavior.OMIT_OLD_EPOCHS and result.token.epoch > 0:
+            entries = self._newest_epoch_only(result.token)
+        elif kind is Misbehavior.FORGE_WITNESS:
+            witness = MembershipWitness(
+                self.rng.randrange(2, self.params.accumulator.modulus - 1)
+            )
+        elif kind is Misbehavior.EMPTY_RESULT:
+            entries = []
+        # STALE_WITNESS keeps the honest witness with honest entries when no
+        # tampering applied; combined with any entry change above it is the
+        # default because we never recompute the witness over tampered data.
+        return TokenResult(result.token, entries, witness)
+
+    def _newest_epoch_only(self, token: SearchToken) -> list[bytes]:
+        label_prf = PRF(token.g1, self.params.label_len)
+        pad_prf = PRF(token.g2)
+        entries: list[bytes] = []
+        counter = 0
+        while True:
+            label = label_prf.eval(token.trapdoor, encode_uint(counter))
+            payload = self.index.find(label)
+            if payload is None:
+                break
+            pad = pad_prf.eval_stream(len(payload), token.trapdoor, encode_uint(counter))
+            entries.append(xor_bytes(pad, payload))
+            counter += 1
+        return entries

@@ -1,0 +1,182 @@
+"""Deletion and update via the dual-instance construction (Section V.F).
+
+The base scheme is append-only, so Slicer follows Sophos: run **two**
+protocol instances — one accumulating insertions, one accumulating
+deletions — and define the final result as the set difference
+
+    result = search(insert-instance) \\ search(delete-instance).
+
+Both instances are independently verifiable on chain; an update of a record
+is one deletion (of the old value) plus one insertion (of the new one).
+Repeated insertion of the same record ID into the same instance is rejected,
+matching the paper's uniqueness requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError, StateError
+from ..common.rng import DeterministicRNG, default_rng
+from .cloud import CloudServer, SearchResponse
+from .owner import DataOwner, OwnerOutput
+from .params import SlicerParams
+from .query import Query
+from .records import Database
+from .tokens import SearchToken
+from .user import DataUser
+from .verify import VerificationReport, verify_response
+
+
+@dataclass
+class DualSearchResult:
+    """Verified outputs of both instances plus the combined plaintext answer."""
+
+    inserted_ids: set[bytes]
+    deleted_ids: set[bytes]
+    insert_report: VerificationReport
+    delete_report: VerificationReport
+
+    @property
+    def ids(self) -> set[bytes]:
+        return self.inserted_ids - self.deleted_ids
+
+    @property
+    def verified(self) -> bool:
+        return self.insert_report.ok and self.delete_report.ok
+
+
+class DualInstanceSlicer:
+    """Owner+user+cloud façade running the insert- and delete-instances.
+
+    This class wires both instances end to end *off chain* (local
+    verification of both responses); the on-chain flow simply runs the
+    fair-exchange orchestration once per instance.
+    """
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        rng: DeterministicRNG | None = None,
+        trapdoor_bits: int = 1024,
+    ) -> None:
+        self.params = params
+        self.rng = rng or default_rng()
+        from .params import KeyBundle
+
+        self.insert_owner = DataOwner(
+            params, keys=KeyBundle.generate(self.rng.spawn(), trapdoor_bits), rng=self.rng.spawn()
+        )
+        self.delete_owner = DataOwner(
+            params, keys=KeyBundle.generate(self.rng.spawn(), trapdoor_bits), rng=self.rng.spawn()
+        )
+        self.insert_cloud = CloudServer(params, self.insert_owner.keys.trapdoor.public)
+        self.delete_cloud = CloudServer(params, self.delete_owner.keys.trapdoor.public)
+        self._insert_user: DataUser | None = None
+        self._delete_user: DataUser | None = None
+        self._live_ids: set[bytes] = set()
+        self._deleted_ids: set[bytes] = set()
+        self._values: dict[bytes, int] = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def build(self, database: Database) -> tuple[OwnerOutput, OwnerOutput]:
+        """Initial build: all records go to the insert-instance."""
+        out_ins = self.insert_owner.build(database)
+        self.insert_cloud.install(out_ins.cloud_package)
+        # The delete-instance starts empty but must still exist on chain.
+        out_del = self.delete_owner.build(Database(self.params.value_bits, id_len=self.params.record_id_len))
+        self.delete_cloud.install(out_del.cloud_package)
+        for record in database:
+            self._live_ids.add(record.record_id)
+            self._values[record.record_id] = record.value
+        self._refresh_users(out_ins, out_del)
+        return out_ins, out_del
+
+    def insert(self, record_id: bytes, value: int) -> OwnerOutput:
+        """Add a record; re-adding a live or previously deleted ID is rejected."""
+        if record_id in self._live_ids:
+            raise ParameterError("record ID already live; delete it first")
+        if record_id in self._deleted_ids:
+            raise ParameterError(
+                "record ID was deleted; the dual-instance construction forbids reuse"
+            )
+        additions = Database(self.params.value_bits, id_len=self.params.record_id_len)
+        additions.add(record_id, value)
+        out = self.insert_owner.insert(additions)
+        self.insert_cloud.install(out.cloud_package)
+        self._live_ids.add(record_id)
+        self._values[record_id] = value
+        self._refresh_users(out, None)
+        return out
+
+    def delete(self, record_id: bytes) -> OwnerOutput:
+        """Remove a record by inserting it into the delete-instance."""
+        if record_id not in self._live_ids:
+            raise StateError("cannot delete a record that is not live")
+        removals = Database(self.params.value_bits, id_len=self.params.record_id_len)
+        removals.add(record_id, self._values[record_id])
+        out = self.delete_owner.insert(removals)
+        self.delete_cloud.install(out.cloud_package)
+        self._live_ids.discard(record_id)
+        self._deleted_ids.add(record_id)
+        self._refresh_users(None, out)
+        return out
+
+    def update(self, record_id: bytes, new_value: int) -> tuple[OwnerOutput, OwnerOutput]:
+        """Update = delete(old) + insert-as-new.
+
+        The paper forbids re-inserting the *same* ID, so updates mint a new
+        physical ID version internally; callers address records by the
+        original ID via the returned alias.
+        """
+        out_del = self.delete(record_id)
+        versioned = self._next_version(record_id)
+        out_ins = self.insert(versioned, new_value)
+        return out_del, out_ins
+
+    def _next_version(self, record_id: bytes) -> bytes:
+        import hashlib
+
+        return hashlib.sha256(b"version:" + record_id).digest()[: len(record_id)]
+
+    # -------------------------------------------------------------- search
+
+    def search(self, query: Query) -> DualSearchResult:
+        """Run the query on both instances and combine."""
+        if self._insert_user is None or self._delete_user is None:
+            raise StateError("build() must run before search()")
+        ins_ids, ins_report = self._run_side(self._insert_user, self.insert_cloud, query)
+        del_ids, del_report = self._run_side(self._delete_user, self.delete_cloud, query)
+        return DualSearchResult(ins_ids, del_ids, ins_report, del_report)
+
+    def _run_side(
+        self, user: DataUser, cloud: CloudServer, query: Query
+    ) -> tuple[set[bytes], VerificationReport]:
+        tokens: list[SearchToken] = user.make_tokens(query)
+        response: SearchResponse = cloud.search(tokens)
+        report = verify_response(self.params, cloud.ads_value, response)
+        return user.decrypt_results(response), report
+
+    def _refresh_users(self, out_ins: OwnerOutput | None, out_del: OwnerOutput | None) -> None:
+        if out_ins is not None:
+            if self._insert_user is None:
+                self._insert_user = DataUser(self.params, out_ins.user_package, self.rng.spawn())
+            else:
+                self._insert_user.refresh(out_ins.user_package)
+        if out_del is not None:
+            if self._delete_user is None:
+                self._delete_user = DataUser(self.params, out_del.user_package, self.rng.spawn())
+            else:
+                self._delete_user.refresh(out_del.user_package)
+
+    # ------------------------------------------------------------- oracle
+
+    def expected_ids(self, query: Query) -> set[bytes]:
+        """Plaintext ground truth over the *live* records."""
+        predicate = query.predicate()
+        return {
+            rid
+            for rid in self._live_ids
+            if predicate(self._values[rid])
+        }

@@ -1,0 +1,54 @@
+"""Keyword derivation — where SORE plugs into the SSE layer.
+
+Algorithm 1 indexes every record under the keyword set
+``{v} ∪ {ct_i}``: the plain value ``v`` (serving equality search) plus each
+SORE ciphertext tuple (serving order search).  A query then maps to either
+the single equality keyword or the *b* SORE token tuples, and by Theorem 1 a
+record matches an order query iff exactly one of the query's keywords was
+indexed for it.
+
+Keywords are canonical byte strings; all secrecy comes from the PRF ``G``
+applied on top (``G1 = G(K, w||1)``), exactly as in the paper.  Domain tags
+keep the equality and order namespaces disjoint even for colliding byte
+patterns, and the attribute name rides inside the tuple per Section V.F.
+"""
+
+from __future__ import annotations
+
+from ..common.bitstring import check_value_fits
+from ..common.encoding import encode_parts, encode_str, encode_uint
+from ..sore.tuples import OrderCondition, ciphertext_tuples, token_tuples
+
+_EQ_TAG = b"eq"
+_ORD_TAG = b"ord"
+
+
+def equality_keyword(value: int, bits: int, attribute: str = "") -> bytes:
+    """The keyword indexing records whose value equals ``value``."""
+    check_value_fits(value, bits)
+    return encode_parts(_EQ_TAG, encode_str(attribute), encode_uint(value))
+
+
+def order_keywords_for_value(value: int, bits: int, attribute: str = "") -> list[bytes]:
+    """Keywords a *stored* value is indexed under (its SORE ciphertext slices)."""
+    return [
+        encode_parts(_ORD_TAG, t.encode())
+        for t in ciphertext_tuples(value, bits, attribute)
+    ]
+
+
+def order_keywords_for_query(
+    value: int, oc: OrderCondition, bits: int, attribute: str = ""
+) -> list[bytes]:
+    """Keywords an order *query* probes (its SORE token slices)."""
+    return [
+        encode_parts(_ORD_TAG, t.encode())
+        for t in token_tuples(value, oc, bits, attribute)
+    ]
+
+
+def keywords_for_record(value: int, bits: int, attribute: str = "") -> list[bytes]:
+    """The full keyword set ``{v} ∪ {ct_i}`` a record is indexed under."""
+    return [equality_keyword(value, bits, attribute)] + order_keywords_for_value(
+        value, bits, attribute
+    )

@@ -1,0 +1,184 @@
+"""The data owner: Build (Algorithm 1) and forward-secure Insert (Algorithm 2).
+
+The owner is the only fully-trusted party with secrets.  It
+
+1. derives the keyword set ``{v} ∪ {ct_i}`` for every record,
+2. writes PRF-labelled index entries ``(l, d)`` per keyword posting,
+3. folds each record ciphertext into the keyword's running multiset hash,
+4. maps every ``(trapdoor, epoch, G1, G2, hash)`` state to a prime
+   representative and accumulates all primes into ``Ac``, and
+5. on insertion, advances the keyword's trapdoor with ``π_sk^{-1}`` so the
+   new entries are unlinkable to previously released search tokens
+   (forward security).
+
+Build is the degenerate case of Insert on empty state — the two algorithms
+in the paper differ only in the trapdoor-advance branch — so both public
+methods share :meth:`DataOwner._index_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitstring import xor_bytes
+from ..common.encoding import encode_parts, encode_uint
+from ..common.errors import StateError
+from ..common.rng import DeterministicRNG, default_rng
+from ..common.timing import Stopwatch
+from ..crypto.accumulator import Accumulator
+from ..crypto.multiset_hash import MultisetHash
+from ..crypto.prf import PRF
+from ..crypto.symmetric import SymmetricCipher
+from .keywords import keywords_for_record
+from .params import KeyBundle, SlicerParams, UserKeys
+from .records import AttributedDatabase, AttributedRecord, Database, Record
+from .state import (
+    CloudPackage,
+    EncryptedIndex,
+    SetHashState,
+    TrapdoorState,
+    set_hash_key,
+)
+from .tokens import derive_g1_g2
+
+
+@dataclass
+class UserPackage:
+    """What the owner shares with an authorised user: keys + trapdoor state."""
+
+    keys: UserKeys
+    trapdoor_state: TrapdoorState
+    ads_value: int
+
+
+@dataclass
+class OwnerOutput:
+    """The three outbound messages after Build or Insert (Algorithm 1 lines
+    21-23 / Algorithm 2 lines 26-28): a package for the cloud, the bare
+    accumulation value for the blockchain, and the refreshed user package."""
+
+    cloud_package: CloudPackage
+    chain_ads: int
+    user_package: UserPackage
+
+
+class DataOwner:
+    """Holds all secrets; drives Build and Insert."""
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        keys: KeyBundle | None = None,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.params = params
+        self.rng = rng or default_rng()
+        self.keys = keys or KeyBundle.generate(self.rng)
+        self.trapdoor_state = TrapdoorState()
+        self.set_hash_state = SetHashState()
+        self.accumulator = Accumulator(params.accumulator)
+        self._cipher = SymmetricCipher(self.keys.record_key, self.rng)
+        self._hash_to_prime = params.hash_to_prime()
+        self._built = False
+        #: Phase timings ("index" / "ads") for the Fig. 3 and Fig. 7 benches.
+        self.stopwatch = Stopwatch()
+
+    # ------------------------------------------------------------------ API
+
+    def build(self, database: Database | AttributedDatabase) -> OwnerOutput:
+        """Algorithm 1: build encrypted index and ADS from scratch."""
+        if self._built:
+            raise StateError("Build may run once; use insert() for updates")
+        if database.bits != self.params.value_bits:
+            raise StateError(
+                f"database bit width {database.bits} != params {self.params.value_bits}"
+            )
+        self._built = True
+        package = self._index_batch(list(database))
+        return self._finish(package)
+
+    def insert(self, additions: Database | AttributedDatabase) -> OwnerOutput:
+        """Algorithm 2: forward-secure insertion of new records."""
+        if not self._built:
+            raise StateError("call build() before insert()")
+        if additions.bits != self.params.value_bits:
+            raise StateError(
+                f"insert bit width {additions.bits} != params {self.params.value_bits}"
+            )
+        package = self._index_batch(list(additions))
+        return self._finish(package)
+
+    def user_package(self) -> UserPackage:
+        """Keys + current trapdoor state for an authorised data user."""
+        return UserPackage(
+            keys=self.keys.user_view(),
+            trapdoor_state=self.trapdoor_state.snapshot(),
+            ads_value=self.accumulator.value,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _postings(self, records: list[Record | AttributedRecord]) -> dict[bytes, list[bytes]]:
+        """Group record IDs by every keyword they are indexed under."""
+        bits = self.params.value_bits
+        postings: dict[bytes, list[bytes]] = {}
+        for record in records:
+            if isinstance(record, AttributedRecord):
+                pairs = record.attributes
+            else:
+                pairs = (("", record.value),)
+            for attribute, value in pairs:
+                for keyword in keywords_for_record(value, bits, attribute):
+                    postings.setdefault(keyword, []).append(record.record_id)
+        return postings
+
+    def _index_batch(self, records: list[Record | AttributedRecord]) -> CloudPackage:
+        """The shared core of Build and Insert: one epoch per touched keyword."""
+        new_index = EncryptedIndex()
+        new_primes: list[int] = []
+        field = self.params.multiset_field
+
+        for keyword, record_ids in self._postings(records).items():
+            with self.stopwatch.measure("index"):
+                g1, g2 = derive_g1_g2(self.keys.prf_key, keyword)
+                entry = self.trapdoor_state.find(keyword)
+                if entry is None:
+                    # First sighting: fresh trapdoor, epoch 0, empty hash H(φ).
+                    trapdoor = self.keys.trapdoor.sample_trapdoor(self.rng)
+                    epoch = 0
+                    running = MultisetHash.empty(field)
+                else:
+                    # Known keyword: pop its running hash and advance the
+                    # trapdoor via π_sk^{-1} (the forward-security step).
+                    trapdoor, epoch = entry.trapdoor, entry.epoch
+                    running = self.set_hash_state.pop(set_hash_key(trapdoor, epoch, g1, g2))
+                    trapdoor = self.keys.trapdoor.invert(trapdoor)
+                    epoch += 1
+                self.trapdoor_state.put(keyword, trapdoor, epoch)
+
+                label_prf = PRF(g1, self.params.label_len)
+                pad_prf = PRF(g2)
+                for counter, record_id in enumerate(record_ids):
+                    record_ct = self._cipher.encrypt(record_id)
+                    label = label_prf.eval(trapdoor, encode_uint(counter))
+                    pad = pad_prf.eval_stream(len(record_ct), trapdoor, encode_uint(counter))
+                    new_index.put(label, xor_bytes(pad, record_ct))
+                    running = running.add(record_ct)
+
+            with self.stopwatch.measure("ads"):
+                state_key = set_hash_key(trapdoor, epoch, g1, g2)
+                self.set_hash_state.put(state_key, running)
+                new_primes.append(
+                    self._hash_to_prime(encode_parts(state_key, running.to_bytes()))
+                )
+
+        with self.stopwatch.measure("ads"):
+            self.accumulator.add_many(new_primes)
+        return CloudPackage(new_index, new_primes, self.accumulator.value)
+
+    def _finish(self, package: CloudPackage) -> OwnerOutput:
+        return OwnerOutput(
+            cloud_package=package,
+            chain_ads=self.accumulator.value,
+            user_package=self.user_package(),
+        )

@@ -1,0 +1,71 @@
+"""Query model: a value plus a matching condition ``mc ∈ {"=", ">", "<"}``."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..common.bitstring import check_value_fits
+from ..common.errors import ParameterError
+from ..sore.tuples import OrderCondition
+
+
+class MatchCondition(enum.Enum):
+    """The paper's ``mc``: equality or one of the two order conditions."""
+
+    EQUAL = "="
+    GREATER = ">"
+    LESS = "<"
+
+    @property
+    def is_order(self) -> bool:
+        return self is not MatchCondition.EQUAL
+
+    def order_condition(self) -> OrderCondition:
+        if self is MatchCondition.GREATER:
+            return OrderCondition.GREATER
+        if self is MatchCondition.LESS:
+            return OrderCondition.LESS
+        raise ParameterError("equality queries carry no order condition")
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "MatchCondition":
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise ParameterError(f"unknown matching condition {symbol!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single query ``(v, mc)`` over one attribute.
+
+    The semantics follow the paper's Token algorithm: the query selects all
+    stored values ``a`` with ``v mc a``.  So ``Query(6, ">")`` returns records
+    whose value is *below* 6.
+    """
+
+    value: int
+    condition: MatchCondition
+    attribute: str = ""
+
+    @classmethod
+    def parse(cls, value: int, symbol: str, attribute: str = "") -> "Query":
+        return cls(value, MatchCondition.from_symbol(symbol), attribute)
+
+    def validate(self, bits: int) -> None:
+        check_value_fits(self.value, bits)
+
+    def predicate(self) -> Callable[[int], bool]:
+        """Plaintext ground truth ``a -> (v mc a)`` for oracle checks."""
+        v = self.value
+        if self.condition is MatchCondition.EQUAL:
+            return lambda a: a == v
+        if self.condition is MatchCondition.GREATER:
+            return lambda a: v > a
+        return lambda a: v < a
+
+    def describe(self) -> str:
+        attr = f"{self.attribute} " if self.attribute else ""
+        return f"{attr}{self.value} {self.condition.value} a"

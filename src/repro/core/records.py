@@ -1,0 +1,167 @@
+"""Record and database types.
+
+The paper's database is ``DB = {(R, v)}``: a unique record ID ``R`` and a
+numerical value ``v``.  The multi-attribute extension (Section V.F) widens a
+record to ``(R, {(a, v)})``.  Record IDs travel through the protocol as
+fixed-width byte strings so every index payload has identical length (a
+structural requirement: the payload pad ``F(G2, t||c)`` must cover the whole
+record ciphertext, and uniform sizes are also what the leakage function
+``L^build`` promises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.bitstring import check_value_fits
+from ..common.errors import ParameterError
+
+RECORD_ID_LEN = 8
+
+
+def encode_record_id(record_id: int | str | bytes, length: int = RECORD_ID_LEN) -> bytes:
+    """Normalise a record ID to exactly ``length`` bytes."""
+    if isinstance(record_id, int):
+        if record_id < 0:
+            raise ParameterError("integer record IDs must be non-negative")
+        try:
+            return record_id.to_bytes(length, "big")
+        except OverflowError as exc:
+            raise ParameterError(f"record ID {record_id} exceeds {length} bytes") from exc
+    if isinstance(record_id, str):
+        raw = record_id.encode("utf-8")
+    else:
+        raw = bytes(record_id)
+    if len(raw) > length:
+        raise ParameterError(f"record ID {raw!r} exceeds {length} bytes")
+    return raw.rjust(length, b"\x00")
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single key-value record ``(R, v)``."""
+
+    record_id: bytes
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.record_id, bytes):
+            raise ParameterError("record_id must be bytes; use encode_record_id()")
+        if self.value < 0:
+            raise ParameterError("values must be non-negative integers")
+
+
+@dataclass(frozen=True)
+class AttributedRecord:
+    """Multi-attribute record ``(R, {(a, v)})`` from the Section V.F extension."""
+
+    record_id: bytes
+    attributes: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        names = [a for a, _ in self.attributes]
+        if len(names) != len(set(names)):
+            raise ParameterError("attribute names must be unique within a record")
+        for _, v in self.attributes:
+            if v < 0:
+                raise ParameterError("attribute values must be non-negative")
+
+    def value_of(self, attribute: str) -> int:
+        for a, v in self.attributes:
+            if a == attribute:
+                return v
+        raise KeyError(attribute)
+
+
+@dataclass
+class Database:
+    """An in-memory plaintext database the owner encrypts and outsources.
+
+    ``id_len`` must match the protocol's ``SlicerParams.record_id_len`` —
+    all record IDs are padded to that width so index payloads are uniform.
+    """
+
+    bits: int
+    records: list[Record] = field(default_factory=list)
+    id_len: int = RECORD_ID_LEN
+
+    def __post_init__(self) -> None:
+        seen: set[bytes] = set()
+        for record in self.records:
+            self._check(record, seen)
+
+    def _check(self, record: Record, seen: set[bytes]) -> None:
+        check_value_fits(record.value, self.bits)
+        if record.record_id in seen:
+            raise ParameterError(f"duplicate record ID {record.record_id!r}")
+        seen.add(record.record_id)
+
+    def add(self, record_id: int | str | bytes, value: int) -> Record:
+        record = Record(encode_record_id(record_id, self.id_len), value)
+        check_value_fits(value, self.bits)
+        if any(r.record_id == record.record_id for r in self.records):
+            raise ParameterError(f"duplicate record ID {record.record_id!r}")
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def values(self) -> list[int]:
+        return [r.value for r in self.records]
+
+    def ids_matching(self, predicate) -> set[bytes]:
+        """Ground-truth query evaluation (the oracle the tests compare against)."""
+        return {r.record_id for r in self.records if predicate(r.value)}
+
+
+@dataclass
+class AttributedDatabase:
+    """Database of multi-attribute records (Section V.F extension)."""
+
+    bits: int
+    records: list[AttributedRecord] = field(default_factory=list)
+    id_len: int = RECORD_ID_LEN
+
+    def add(
+        self, record_id: int | str | bytes, attributes: dict[str, int] | list[tuple[str, int]]
+    ) -> AttributedRecord:
+        pairs = tuple(attributes.items() if isinstance(attributes, dict) else attributes)
+        for _, value in pairs:
+            check_value_fits(value, self.bits)
+        record = AttributedRecord(encode_record_id(record_id, self.id_len), pairs)
+        if any(r.record_id == record.record_id for r in self.records):
+            raise ParameterError(f"duplicate record ID {record.record_id!r}")
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def ids_matching(self, attribute: str, predicate) -> set[bytes]:
+        """Ground-truth evaluation of a single-attribute predicate."""
+        out = set()
+        for record in self.records:
+            try:
+                value = record.value_of(attribute)
+            except KeyError:
+                continue
+            if predicate(value):
+                out.add(record.record_id)
+        return out
+
+
+def make_database(
+    pairs: list[tuple[int | str | bytes, int]], bits: int, id_len: int = RECORD_ID_LEN
+) -> Database:
+    """Build a :class:`Database` from ``(record_id, value)`` pairs."""
+    db = Database(bits, id_len=id_len)
+    for record_id, value in pairs:
+        db.add(record_id, value)
+    return db

@@ -1,0 +1,80 @@
+"""Search tokens (Algorithm 3) and their wire encoding.
+
+A search token for one keyword is the tuple ``(t_j, j, G1, G2)``: the newest
+trapdoor, its epoch, and the two derived PRF keys.  An equality query yields
+at most one token; an order query yields up to *b* (one per SORE slice that
+actually occurs in the trapdoor state — absent slices match no records and
+are skipped, which is why Fig. 6a's token count varies with how full the
+value space is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.encoding import encode_parts, encode_uint, sizeof
+from ..common.rng import DeterministicRNG, default_rng
+from ..crypto.prf import derive_key
+from .keywords import equality_keyword, order_keywords_for_query
+from .query import Query
+from .state import TrapdoorState
+
+
+@dataclass(frozen=True)
+class SearchToken:
+    """One per-keyword token ``(t_j, j, G1, G2)``."""
+
+    trapdoor: bytes
+    epoch: int
+    g1: bytes
+    g2: bytes
+
+    def encode(self) -> bytes:
+        """Canonical wire encoding (sized by Fig. 6a, hashed by the contract)."""
+        return encode_parts(self.trapdoor, encode_uint(self.epoch), self.g1, self.g2)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+def derive_g1_g2(prf_key: bytes, keyword: bytes) -> tuple[bytes, bytes]:
+    """``G1 = G(K, w||1)``, ``G2 = G(K, w||2)``."""
+    return derive_key(prf_key, keyword, b"1"), derive_key(prf_key, keyword, b"2")
+
+
+def generate_search_tokens(
+    prf_key: bytes,
+    trapdoor_state: TrapdoorState,
+    query: Query,
+    bits: int,
+    rng: DeterministicRNG | None = None,
+) -> list[SearchToken]:
+    """Algorithm 3 (User.Token): tokens for every live keyword of ``query``.
+
+    The keyword list is shuffled for order queries (Algorithm 3 line 5) so
+    the token order does not reveal slice bit-indices.
+    """
+    query.validate(bits)
+    rng = rng or default_rng()
+    if query.condition.is_order:
+        keywords = order_keywords_for_query(
+            query.value, query.condition.order_condition(), bits, query.attribute
+        )
+        rng.shuffle(keywords)
+    else:
+        keywords = [equality_keyword(query.value, bits, query.attribute)]
+
+    tokens: list[SearchToken] = []
+    for keyword in keywords:
+        entry = trapdoor_state.find(keyword)
+        if entry is None:
+            continue  # slice never indexed: no record can match it
+        g1, g2 = derive_g1_g2(prf_key, keyword)
+        tokens.append(SearchToken(entry.trapdoor, entry.epoch, g1, g2))
+    return tokens
+
+
+def tokens_size_bytes(tokens: list[SearchToken]) -> int:
+    """Total wire size of a token list (Fig. 6a measurement)."""
+    return sizeof(*[t.encode() for t in tokens])

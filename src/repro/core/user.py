@@ -1,0 +1,124 @@
+"""The data user: token generation, result decryption, range composition.
+
+Users are quasi-honest (Section IV.B): they hold the shared secret keys and
+generate correct tokens, but may *deny* correct results to dodge search fees
+— which is exactly why verification runs on chain instead of at the user.
+This class still exposes :meth:`verify_locally` so the fairness comparison
+(and older-scheme baselines) can be demonstrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError, StateError
+from ..common.rng import DeterministicRNG, default_rng
+from ..crypto.symmetric import SymmetricCipher
+from .cloud import SearchResponse
+from .owner import UserPackage
+from .params import SlicerParams
+from .query import MatchCondition, Query
+from .tokens import SearchToken, generate_search_tokens
+from .verify import VerificationReport, verify_response
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A closed two-sided range ``lo <= a <= hi`` over one attribute.
+
+    The paper's protocol natively answers single-sided order queries; a
+    two-sided range is the intersection of one ``">"`` and one ``"<"`` query
+    (each independently verifiable).  Bounds at the domain edge drop the
+    redundant side.
+    """
+
+    lo: int
+    hi: int
+    attribute: str = ""
+
+    def to_queries(self, bits: int) -> list[Query]:
+        if self.lo > self.hi:
+            raise ParameterError(f"empty range [{self.lo}, {self.hi}]")
+        if self.lo < 0 or self.hi >= (1 << bits):
+            raise ParameterError("range bounds outside the value domain")
+        queries = []
+        if self.lo == self.hi:
+            return [Query(self.lo, MatchCondition.EQUAL, self.attribute)]
+        if self.lo > 0:
+            # a >= lo  <=>  (lo - 1) < a
+            queries.append(Query(self.lo - 1, MatchCondition.LESS, self.attribute))
+        if self.hi < (1 << bits) - 1:
+            # a <= hi  <=>  (hi + 1) > a
+            queries.append(Query(self.hi + 1, MatchCondition.GREATER, self.attribute))
+        if not queries:
+            raise ParameterError(
+                "range covers the whole domain; fetch the dataset instead of searching"
+            )
+        return queries
+
+
+class DataUser:
+    """An authorised searcher holding the owner-shared keys and state."""
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        package: UserPackage,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.params = params
+        self.rng = rng or default_rng()
+        self._keys = package.keys
+        self._trapdoor_state = package.trapdoor_state
+        self._ads_value = package.ads_value
+        self._cipher = SymmetricCipher(self._keys.record_key, self.rng)
+
+    def refresh(self, package: UserPackage) -> None:
+        """Absorb the owner's post-insert state update (Algorithm 2 line 28)."""
+        self._trapdoor_state = package.trapdoor_state
+        self._ads_value = package.ads_value
+
+    @property
+    def ads_value(self) -> int:
+        """The accumulation value this user last saw from the owner."""
+        return self._ads_value
+
+    # --------------------------------------------------------------- tokens
+
+    def make_tokens(self, query: Query) -> list[SearchToken]:
+        """Algorithm 3: search tokens for one query."""
+        return generate_search_tokens(
+            self._keys.prf_key, self._trapdoor_state, query, self.params.value_bits, self.rng
+        )
+
+    # -------------------------------------------------------------- results
+
+    def decrypt_results(self, response: SearchResponse) -> set[bytes]:
+        """Decrypt every returned ciphertext into a record-ID set."""
+        out: set[bytes] = set()
+        for blob in response.all_entries():
+            plaintext = self._cipher.decrypt(blob)
+            if len(plaintext) != self.params.record_id_len:
+                raise StateError("decrypted record has unexpected length")
+            out.add(plaintext)
+        return out
+
+    def verify_locally(self, response: SearchResponse) -> VerificationReport:
+        """The legacy local-verification mode (no fairness guarantee)."""
+        return verify_response(self.params, self._ads_value, response)
+
+    # ---------------------------------------------------------------- range
+
+    def range_tokens(self, range_query: RangeQuery) -> list[tuple[Query, list[SearchToken]]]:
+        """Token lists for both sides of a two-sided range."""
+        return [(q, self.make_tokens(q)) for q in range_query.to_queries(self.params.value_bits)]
+
+    @staticmethod
+    def intersect_range_results(side_results: list[set[bytes]]) -> set[bytes]:
+        """Combine per-side decrypted ID sets into the range answer."""
+        if not side_results:
+            return set()
+        out = set(side_results[0])
+        for side in side_results[1:]:
+            out &= side
+        return out

@@ -1,0 +1,324 @@
+"""RSA accumulator (paper Section III.B, following Li-Li-Xue [28]).
+
+Provides constant-size set-membership proofs: the authenticated data
+structure (ADS) Slicer stores on chain is a single group element
+``Ac = g^{prod(X)} mod n`` over the prime-representative list ``X``; the
+cloud proves a result set correct with the witness ``mw = g^{prod(X)/x}``
+and the smart contract checks ``mw^x == Ac``.
+
+Design notes
+------------
+* ``n = p*q`` with ``p, q`` *safe* primes and ``g`` a quadratic residue, so
+  the strong-RSA assumption applies and witnesses cannot be forged.
+* Safe-prime generation is slow in pure Python, so
+  :meth:`AccumulatorParams.demo` returns fixed precomputed parameters for
+  tests and benchmarks (clearly not for production — the factorisation is in
+  the source).  :meth:`AccumulatorParams.generate` does a real trusted setup.
+* The cloud does not know ``phi(n)``; its witness generation is the
+  ``g^{prod(X \\ {x})}`` exponentiation.  :meth:`Accumulator.witness_all`
+  computes witnesses for *every* element with the Sander-Ta-Shma /
+  root-factor divide-and-conquer in ``O(|X| log |X|)`` exponentiations
+  instead of ``O(|X|^2)`` — this is what makes the Fig. 5 VO-generation
+  benchmark feasible at paper scale.
+* Non-membership witnesses (Bezout pairs) are included because [28] is a
+  *universal* accumulator; Slicer itself only needs membership, but the
+  dual-instance deletion tests exercise non-membership too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+from ..common.errors import AccumulatorError, ParameterError
+from ..common.rng import DeterministicRNG, default_rng
+from .modmath import mod_inverse
+from .primes import is_prime, random_safe_prime
+
+# Precomputed safe primes for demo/test parameter sets (generated once with
+# repro's own `random_safe_prime`; see DESIGN.md Section 3).  NOT FOR
+# PRODUCTION USE: the factorisation of the modulus is public here.
+_DEMO_SAFE_PRIMES = {
+    512: (
+        0xF844257662CEC54E0B2B6B274292F92D8E2761C79BF848662092EC825ED01BAB,
+        0xA252363211224274024C034527879257E2663936263F2EC0E8818B63737F276B,
+    ),
+    1024: (
+        0xE3EC71C8976C46D8D9FD3C7A4213647D2A1E059B22FC1121995854A8A63A3CA193947B86C317A51AEA6E0E9E171D8FEE688A30036EB2268C25B80871F8860737,
+        0x973ECFD4BD399D8E6274B32CACCCAD5D88C5C04A7ADCDE59DEB09C5C1E7606F15E239BA4B092CAB0097C63FB2505305F57BF9BF4C352601F6D8DBC1F3947951B,
+    ),
+    2048: (
+        0xE68FB4A6476BA349BF96104C334CC5ED1FB0F7A70BCDB51B0BBF766A113C5E781839F3A259F396123CA39C9A8426970670F3321E51AE832F22A1C97449DA56B5EAE55CDDE013480AAC8FB7D9808BB9168B5E404E8B2416C1A988642418381723C9D11CEE2799E1788B3025B47021583A2BA2199E4A334E961C714CACC894B0AF,
+        0x93A3BBDB9F901BB9361A8C17B2D19D009E10C302D4984DD9B5B5A0B495CE06755CC832C1416DDC3B633BAFCF1A41739F5FD4E055404F84FF1492930E3C7C9D211649A6B810EDC99F1FE453102FE5FDC462593FDF60722A3F50B34F8BF4A6BBFD2B11D9A8708A4630AF158A9A92A8A5D9B248D896D1F29C696E864ACE5CEEA8BB,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AccumulatorParams:
+    """Public accumulator parameters ``(n, g)``.
+
+    The optional trapdoor ``(p, q)`` is known only to the setup party; it is
+    never needed by the protocol (the cloud computes witnesses from the
+    prime list), but speeds up test fixtures via exponent reduction mod
+    ``phi(n)``.
+    """
+
+    modulus: int
+    generator: int
+    p: int | None = None
+    q: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.modulus < 15:
+            raise ParameterError("accumulator modulus too small")
+        if not 1 < self.generator < self.modulus:
+            raise ParameterError("generator out of range")
+        if self.p is not None and self.q is not None and self.p * self.q != self.modulus:
+            raise ParameterError("trapdoor does not factor the modulus")
+
+    @property
+    def bits(self) -> int:
+        return self.modulus.bit_length()
+
+    @property
+    def has_trapdoor(self) -> bool:
+        return self.p is not None and self.q is not None
+
+    def phi(self) -> int:
+        if not self.has_trapdoor:
+            raise AccumulatorError("phi(n) requires the setup trapdoor")
+        assert self.p is not None and self.q is not None
+        return (self.p - 1) * (self.q - 1)
+
+    def public(self) -> "AccumulatorParams":
+        """Strip the trapdoor — what the cloud and the contract see."""
+        return AccumulatorParams(self.modulus, self.generator)
+
+    @classmethod
+    def generate(
+        cls, bits: int = 2048, rng: DeterministicRNG | None = None
+    ) -> "AccumulatorParams":
+        """Trusted setup with fresh safe primes (slow: minutes at 2048 bits)."""
+        if bits < 32 or bits % 2:
+            raise ParameterError("modulus bits must be even and >= 32")
+        rng = rng or default_rng()
+        half = bits // 2
+        p = random_safe_prime(half, rng)
+        q = random_safe_prime(half, rng)
+        while q == p:  # pragma: no cover - astronomically unlikely
+            q = random_safe_prime(half, rng)
+        return cls._finish_setup(p, q, rng)
+
+    @classmethod
+    def demo(cls, bits: int = 1024, rng: DeterministicRNG | None = None) -> "AccumulatorParams":
+        """Fixed precomputed parameters for tests/benchmarks (INSECURE)."""
+        if bits not in _DEMO_SAFE_PRIMES:
+            raise ParameterError(f"no demo parameters for {bits}-bit modulus")
+        p, q = _DEMO_SAFE_PRIMES[bits]
+        return cls._finish_setup(p, q, rng or default_rng(7))
+
+    @classmethod
+    def _finish_setup(cls, p: int, q: int, rng: DeterministicRNG) -> "AccumulatorParams":
+        n = p * q
+        # A uniform square is a quadratic residue; exclude the trivial 1.
+        while True:
+            a = rng.randrange(2, n - 1)
+            g = pow(a, 2, n)
+            if g not in (0, 1):
+                return cls(n, g, p, q)
+
+
+@dataclass(frozen=True)
+class MembershipWitness:
+    """Constant-size proof that one prime is in the accumulated set."""
+
+    value: int
+
+    def to_bytes(self, params: AccumulatorParams) -> bytes:
+        width = (params.modulus.bit_length() + 7) // 8
+        return self.value.to_bytes(width, "big")
+
+
+@dataclass(frozen=True)
+class NonMembershipWitness:
+    """Bezout-style proof that a prime is *not* in the accumulated set."""
+
+    a: int
+    d: int
+
+
+class Accumulator:
+    """Mutable accumulator over a multiset-free set of primes.
+
+    Tracks the accumulated prime set ``X`` (the paper's list the owner ships
+    to the cloud) and the current value ``Ac``.  All operations are public
+    computations unless the params carry a trapdoor.
+    """
+
+    def __init__(self, params: AccumulatorParams, primes: list[int] | None = None) -> None:
+        self.params = params
+        self._primes: dict[int, None] = {}
+        self._value = params.generator % params.modulus
+        if primes:
+            self.add_many(primes)
+
+    @property
+    def value(self) -> int:
+        """The current accumulation value ``Ac``."""
+        return self._value
+
+    @property
+    def primes(self) -> list[int]:
+        """The accumulated prime set, in insertion order."""
+        return list(self._primes)
+
+    def __len__(self) -> int:
+        return len(self._primes)
+
+    def __contains__(self, x: int) -> bool:
+        return x in self._primes
+
+    def _check_prime(self, x: int) -> None:
+        if x < 3 or not is_prime(x):
+            raise AccumulatorError(f"accumulator elements must be odd primes, got {x}")
+
+    def add(self, x: int) -> int:
+        """Absorb prime ``x``; returns the new ``Ac``.  Idempotent per element."""
+        self._check_prime(x)
+        if x not in self._primes:
+            self._primes[x] = None
+            self._value = pow(self._value, x, self.params.modulus)
+        return self._value
+
+    def add_many(self, xs: list[int]) -> int:
+        """Absorb several primes with one combined exponentiation."""
+        fresh = []
+        for x in xs:
+            self._check_prime(x)
+            if x not in self._primes:
+                self._primes[x] = None
+                fresh.append(x)
+        if fresh:
+            exponent = _product(fresh)
+            if self.params.has_trapdoor:
+                exponent %= self.params.phi()
+            self._value = pow(self._value, exponent, self.params.modulus)
+        return self._value
+
+    def remove(self, x: int) -> int:
+        """Remove prime ``x`` (requires trapdoor or full recompute).
+
+        With the setup trapdoor this is one exponentiation by ``x^{-1} mod
+        phi(n)``; otherwise the value is recomputed from scratch.  Slicer
+        never removes on chain (deletion uses a second instance), but the
+        baselines and tests do.
+        """
+        if x not in self._primes:
+            raise AccumulatorError(f"{x} is not accumulated")
+        del self._primes[x]
+        n = self.params.modulus
+        if self.params.has_trapdoor:
+            inv = mod_inverse(x, self.params.phi())
+            self._value = pow(self._value, inv, n)
+        else:
+            self._value = pow(self.params.generator, _product(list(self._primes)), n)
+        return self._value
+
+    def witness(self, x: int) -> MembershipWitness:
+        """``MemWit``: witness for one accumulated prime (no trapdoor needed)."""
+        if x not in self._primes:
+            raise AccumulatorError(f"cannot produce membership witness for absent {x}")
+        others = [p for p in self._primes if p != x]
+        exponent = _product(others)
+        if self.params.has_trapdoor:
+            exponent %= self.params.phi()
+        return MembershipWitness(pow(self.params.generator, exponent, self.params.modulus))
+
+    def witness_all(self) -> dict[int, MembershipWitness]:
+        """Witnesses for every accumulated prime via root-factor recursion."""
+        primes = list(self._primes)
+        out: dict[int, MembershipWitness] = {}
+        if not primes:
+            return out
+        n = self.params.modulus
+
+        def recurse(base: int, subset: list[int]) -> None:
+            if len(subset) == 1:
+                out[subset[0]] = MembershipWitness(base)
+                return
+            mid = len(subset) // 2
+            left, right = subset[:mid], subset[mid:]
+            base_right = pow(base, _product(left), n)
+            base_left = pow(base, _product(right), n)
+            recurse(base_left, left)
+            recurse(base_right, right)
+
+        recurse(self.params.generator % n, primes)
+        return out
+
+    def nonmembership_witness(self, x: int) -> NonMembershipWitness:
+        """Universal-accumulator proof that prime ``x`` is NOT in the set."""
+        self._check_prime(x)
+        if x in self._primes:
+            raise AccumulatorError(f"{x} is accumulated; no non-membership witness")
+        x_p = _product(list(self._primes))
+        g, a, b = _ext_gcd(x_p, x)
+        if g != 1:
+            raise AccumulatorError("element shares a factor with the set product")
+        n = self.params.modulus
+        # a*x_p + b*x = 1  =>  Ac^a = g * (g^{-b})^x
+        if b <= 0:
+            d = pow(self.params.generator, -b, n)
+        else:
+            d = mod_inverse(pow(self.params.generator, b, n), n)
+        return NonMembershipWitness(a, d)
+
+
+def verify_membership(
+    params: AccumulatorParams, accumulated: int, x: int, witness: MembershipWitness
+) -> bool:
+    """``VerifyMem``: check ``witness^x == Ac`` — what the contract runs."""
+    if x < 2:
+        return False
+    return pow(witness.value, x, params.modulus) == accumulated % params.modulus
+
+
+def verify_nonmembership(
+    params: AccumulatorParams, accumulated: int, x: int, witness: NonMembershipWitness
+) -> bool:
+    """Check a non-membership witness: ``Ac^a == g * d^x``."""
+    n = params.modulus
+    a = witness.a
+    if a >= 0:
+        lhs = pow(accumulated, a, n)
+    else:
+        lhs = pow(mod_inverse(accumulated, n), -a, n)
+    rhs = (params.generator * pow(witness.d, x, n)) % n
+    return lhs == rhs
+
+
+def _product(values: list[int]) -> int:
+    """Balanced product (kept local to avoid import cycles in hot paths)."""
+    if not values:
+        return 1
+    layer = list(values)
+    while len(layer) > 1:
+        nxt = [layer[i] * layer[i + 1] for i in range(0, len(layer) - 1, 2)]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def _ext_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y == g."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t

@@ -1,0 +1,67 @@
+"""``H_prime``: hash arbitrary bytes to a prime (Barić-Pfitzmann representatives).
+
+The RSA accumulator only absorbs primes, so protocol values (search token ||
+multiset hash) are first mapped to *prime representatives* through a random
+oracle (paper Section III.B, citing [29]).  The standard construction hashes
+the input together with an incrementing counter until the digest, read as an
+odd integer of fixed bit length, is prime.  Determinism matters: the data
+owner, the cloud and the verifying smart contract must all derive the *same*
+prime from the same protocol bytes, so the counter walk is part of the
+function, not a retry loop with randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..common.errors import ParameterError
+from .primes import is_prime
+
+DEFAULT_PRIME_BITS = 256
+
+
+class HashToPrime:
+    """Deterministic random-oracle-to-prime map of fixed output size."""
+
+    def __init__(self, prime_bits: int = DEFAULT_PRIME_BITS, domain: bytes = b"H_prime") -> None:
+        if prime_bits < 16:
+            raise ParameterError("prime representatives need at least 16 bits")
+        if prime_bits > 512:
+            raise ParameterError("prime representatives above 512 bits are wasteful")
+        self.prime_bits = prime_bits
+        self._domain = domain
+
+    def _candidate(self, data: bytes, counter: int) -> int:
+        material = b""
+        block = 0
+        needed = (self.prime_bits + 7) // 8
+        while len(material) < needed:
+            material += hashlib.sha256(
+                self._domain + counter.to_bytes(8, "big") + block.to_bytes(4, "big") + data
+            ).digest()
+            block += 1
+        candidate = int.from_bytes(material[:needed], "big")
+        # Force exact bit length and oddness so the output size is stable.
+        candidate |= 1 << (self.prime_bits - 1)
+        candidate |= 1
+        candidate &= (1 << self.prime_bits) - 1
+        return candidate
+
+    def hash_to_prime(self, data: bytes) -> int:
+        """Map ``data`` to a ``prime_bits``-bit prime, deterministically."""
+        return self.hash_to_prime_with_counter(data)[0]
+
+    def hash_to_prime_with_counter(self, data: bytes) -> tuple[int, int]:
+        """As :meth:`hash_to_prime`, also returning the candidate count.
+
+        The simulated smart contract charges hashing gas per candidate, so it
+        needs to know how many counter steps the deterministic walk took.
+        """
+        counter = 0
+        while True:
+            candidate = self._candidate(data, counter)
+            if is_prime(candidate):
+                return candidate, counter + 1
+            counter += 1
+
+    __call__ = hash_to_prime

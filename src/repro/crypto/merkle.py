@@ -1,0 +1,93 @@
+"""Merkle Hash Tree ADS — the comparison point from paper Section III.B.
+
+The paper chooses the RSA accumulator over a Merkle Hash Tree because the
+accumulator's proof is constant-size and "leaks no extraneous information"
+(sibling hashes in a Merkle proof reveal neighbourhood structure).  This
+module implements the MHT so the ablation benchmark
+(``benchmarks/bench_ablation_ads.py``) can measure exactly that trade-off:
+log-size proofs and cheap hashing versus constant-size proofs and bignum
+exponentiation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_TAG + data).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_TAG + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path for one leaf: (sibling hash, sibling-is-right) pairs."""
+
+    leaf_index: int
+    path: tuple[tuple[bytes, bool], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the proof (drives the ADS ablation bench)."""
+        return sum(len(h) + 1 for h, _ in self.path) + 4
+
+
+class MerkleTree:
+    """Static binary Merkle tree over an ordered leaf list."""
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ParameterError("Merkle tree needs at least one leaf")
+        self._leaves = list(leaves)
+        self._layers: list[list[bytes]] = [[_hash_leaf(leaf) for leaf in leaves]]
+        while len(self._layers[-1]) > 1:
+            prev = self._layers[-1]
+            layer = []
+            for i in range(0, len(prev), 2):
+                left = prev[i]
+                right = prev[i + 1] if i + 1 < len(prev) else prev[i]
+                layer.append(_hash_node(left, right))
+            self._layers.append(layer)
+
+    @property
+    def root(self) -> bytes:
+        return self._layers[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def prove(self, index: int) -> MerkleProof:
+        """Authentication path for leaf ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise ParameterError(f"leaf index {index} out of range")
+        path: list[tuple[bytes, bool]] = []
+        pos = index
+        for layer in self._layers[:-1]:
+            sibling = pos ^ 1
+            if sibling >= len(layer):
+                sibling = pos  # odd node duplicated upward
+            path.append((layer[sibling], sibling > pos or sibling == pos))
+            pos //= 2
+        return MerkleProof(index, tuple(path))
+
+
+def verify_merkle(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check an authentication path against a published root."""
+    node = _hash_leaf(leaf)
+    pos = proof.leaf_index
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            node = _hash_node(node, sibling)
+        else:
+            node = _hash_node(sibling, node)
+        pos //= 2
+    return node == root

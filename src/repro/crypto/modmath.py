@@ -1,0 +1,66 @@
+"""Modular arithmetic helpers used by the accumulator and trapdoor permutation."""
+
+from __future__ import annotations
+
+from math import gcd
+
+from ..common.errors import ParameterError
+
+
+def mod_inverse(a: int, n: int) -> int:
+    """Return ``a^{-1} mod n``; raises if the inverse does not exist."""
+    if n <= 0:
+        raise ParameterError("modulus must be positive")
+    try:
+        return pow(a, -1, n)
+    except ValueError as exc:  # pragma: no cover - message normalisation
+        raise ParameterError(f"{a} is not invertible modulo {n}") from exc
+
+
+def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
+    """Chinese-remainder combine of two residues with coprime moduli.
+
+    Returns the unique ``x mod p*q`` with ``x ≡ r_p (mod p)`` and
+    ``x ≡ r_q (mod q)``.  Used to speed up RSA private operations.
+    """
+    if gcd(p, q) != 1:
+        raise ParameterError("CRT moduli must be coprime")
+    q_inv = mod_inverse(q, p)
+    h = (q_inv * (r_p - r_q)) % p
+    return (r_q + h * q) % (p * q)
+
+
+def is_quadratic_residue(a: int, p: int) -> bool:
+    """Euler criterion for an odd prime modulus ``p``."""
+    if p < 3 or p % 2 == 0:
+        raise ParameterError("Euler criterion needs an odd prime")
+    a %= p
+    if a == 0:
+        return True
+    return pow(a, (p - 1) // 2, p) == 1
+
+
+def product_mod(values: list[int], modulus: int) -> int:
+    """Product of ``values`` reduced mod ``modulus`` (streaming, no bignum blowup)."""
+    acc = 1
+    for v in values:
+        acc = (acc * v) % modulus
+    return acc
+
+
+def product(values: list[int]) -> int:
+    """Exact integer product via balanced multiplication (fast for many primes).
+
+    The RSA accumulator exponent ``x_p = prod(X)`` can involve tens of
+    thousands of 256-bit primes; a naive left fold is quadratic in the output
+    size, while this divide-and-conquer tree keeps operands balanced.
+    """
+    if not values:
+        return 1
+    layer = list(values)
+    while len(layer) > 1:
+        nxt = [layer[i] * layer[i + 1] for i in range(0, len(layer) - 1, 2)]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]

@@ -1,0 +1,119 @@
+"""MSet-Mu-Hash incremental multiset hash (Clarke et al., ASIACRYPT 2003).
+
+The paper verifies result *sets* by hashing them with a multiset hash
+``H(M) = prod_{b in M} H(b)^{M_b}`` over a finite field ``GF(q)``, which is
+multiset-collision-resistant under discrete log.  The two properties the
+protocol needs (paper Section III.B):
+
+* ``H(M) == H(M)``   — equality is plain field-element equality, and
+* ``H(M ∪ N) == H(M) (+_H) H(N)`` — the combine operator is field
+  multiplication, which makes the hash *incremental*: Algorithm 1 line 15
+  folds each new encrypted record into the running hash in O(1).
+
+Hash values are field elements; the empty multiset hashes to 1 (``H(φ)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..common.errors import ParameterError
+
+# A fixed 256-bit prime field modulus (2^256 - 189, the largest 256-bit prime).
+DEFAULT_FIELD_PRIME = 2**256 - 189
+
+
+class MultisetHash:
+    """Multiplicative multiset hash over ``GF(q)``.
+
+    Instances are *values*: immutable field elements supporting ``+`` as the
+    multiset-union combine, ``-`` as multiset difference (field division,
+    used by the dual-instance deletion extension) and ``==``.
+    """
+
+    __slots__ = ("value", "q")
+
+    def __init__(self, value: int = 1, q: int = DEFAULT_FIELD_PRIME) -> None:
+        if not 0 < value < q:
+            raise ParameterError("multiset hash value out of field range")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "q", q)
+
+    def __setattr__(self, *_: object) -> None:  # pragma: no cover
+        raise AttributeError("MultisetHash values are immutable")
+
+    @classmethod
+    def empty(cls, q: int = DEFAULT_FIELD_PRIME) -> "MultisetHash":
+        """``H(φ)`` — the hash of the empty multiset."""
+        return cls(1, q)
+
+    @classmethod
+    def _element_hash(cls, element: bytes, q: int) -> int:
+        """Poly-random map of one element into ``GF(q)* `` (never 0 or ...)."""
+        counter = 0
+        while True:
+            digest = hashlib.sha256(
+                b"MSetMuHash" + counter.to_bytes(4, "big") + element
+            ).digest()
+            wide = int.from_bytes(digest + hashlib.sha256(digest).digest(), "big")
+            h = wide % q
+            if h != 0:
+                return h
+            counter += 1  # pragma: no cover - probability ~2^-256
+
+    @classmethod
+    def of(cls, elements: list[bytes] | tuple[bytes, ...], q: int = DEFAULT_FIELD_PRIME) -> "MultisetHash":
+        """Hash a whole multiset of byte strings."""
+        acc = 1
+        for element in elements:
+            acc = (acc * cls._element_hash(element, q)) % q
+        return cls(acc, q)
+
+    @classmethod
+    def of_one(cls, element: bytes, q: int = DEFAULT_FIELD_PRIME) -> "MultisetHash":
+        """Hash the singleton multiset {element}."""
+        return cls(cls._element_hash(element, q), q)
+
+    def add(self, element: bytes) -> "MultisetHash":
+        """Return the hash of this multiset with ``element`` added once."""
+        return MultisetHash((self.value * self._element_hash(element, self.q)) % self.q, self.q)
+
+    def combine(self, other: "MultisetHash") -> "MultisetHash":
+        """``+_H``: hash of the multiset union."""
+        self._check_field(other)
+        return MultisetHash((self.value * other.value) % self.q, self.q)
+
+    def remove(self, other: "MultisetHash") -> "MultisetHash":
+        """Hash of the multiset difference (field division).
+
+        Only meaningful when ``other``'s multiset is contained in ours; the
+        deletion extension (paper Section V.F) relies on this.
+        """
+        self._check_field(other)
+        return MultisetHash((self.value * pow(other.value, -1, self.q)) % self.q, self.q)
+
+    def _check_field(self, other: "MultisetHash") -> None:
+        if self.q != other.q:
+            raise ParameterError("cannot combine hashes from different fields")
+
+    def __add__(self, other: "MultisetHash") -> "MultisetHash":
+        return self.combine(other)
+
+    def __sub__(self, other: "MultisetHash") -> "MultisetHash":
+        return self.remove(other)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MultisetHash) and self.q == other.q and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.q))
+
+    def to_bytes(self) -> bytes:
+        """Canonical fixed-width encoding (feeds ``H_prime`` and wire sizes)."""
+        width = (self.q.bit_length() + 7) // 8
+        return self.value.to_bytes(width, "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultisetHash(0x{self.value:x})"

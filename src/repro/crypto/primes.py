@@ -1,0 +1,124 @@
+"""Primality testing and prime generation.
+
+Implements Miller-Rabin (deterministic for 64-bit inputs, randomized above),
+random prime sampling, and safe-prime generation for the RSA accumulator
+setup (paper Section III.B requires ``n = p*q`` with ``p, q`` safe primes so
+that ``QR_n`` has large prime-order subgroups).
+"""
+
+from __future__ import annotations
+
+from ..common.rng import DeterministicRNG, default_rng
+from ..common.errors import ParameterError
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+    233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313,
+    317, 331, 337, 347, 349,
+]
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3.3 * 10^24
+# (Sorenson & Webster), which comfortably covers 64-bit inputs.
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; True means 'probably prime for witness a'."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+import math
+
+_PRIMORIAL = math.prod(_SMALL_PRIMES)
+_LARGEST_SMALL_PRIME = _SMALL_PRIMES[-1]
+
+
+def is_prime(n: int, rng: DeterministicRNG | None = None, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (proven) below 3.3e24; otherwise ``rounds`` random
+    witnesses give error probability <= 4**-rounds.  Small-factor rejection
+    uses one gcd against the small-prime primorial, which is much faster in
+    CPython than seventy trial divisions — ``H_prime`` calls this in a hot
+    loop during ADS construction.
+    """
+    if n < 2:
+        return False
+    if n <= _LARGEST_SMALL_PRIME:
+        return n in _SMALL_PRIMES
+    if math.gcd(n, _PRIMORIAL) != 1:
+        return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < 3_317_044_064_679_887_385_961_981:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    else:
+        rng = rng or default_rng()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_prime(bits: int, rng: DeterministicRNG | None = None) -> int:
+    """Sample a uniform ``bits``-bit prime (top bit set so the size is exact)."""
+    if bits < 2:
+        raise ParameterError("primes need at least 2 bits")
+    rng = rng or default_rng()
+    while True:
+        candidate = rng.randbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate, rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: DeterministicRNG | None = None) -> int:
+    """Sample a ``bits``-bit safe prime ``p`` (i.e. ``(p-1)/2`` also prime).
+
+    Uses the standard search over Sophie Germain candidates with trial
+    division pre-sieving; safe primes are sparse, so this dominates
+    accumulator setup time for large moduli (done once per deployment).
+    """
+    if bits < 4:
+        raise ParameterError("safe primes need at least 4 bits")
+    rng = rng or default_rng()
+    while True:
+        # Sample q candidate for p = 2q + 1 with exact bit length.
+        q = rng.randbits(bits - 1) | (1 << (bits - 2)) | 1
+        p = 2 * q + 1
+        if p.bit_length() != bits:
+            continue
+        # Cheap joint pre-sieve before the expensive tests.
+        composite = False
+        for sp in _SMALL_PRIMES:
+            if p != sp and p % sp == 0:
+                composite = True
+                break
+            if q != sp and q % sp == 0:
+                composite = True
+                break
+        if composite:
+            continue
+        if is_prime(q, rng) and is_prime(p, rng):
+            return p

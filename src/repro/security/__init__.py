@@ -1,0 +1,45 @@
+"""Executable security analysis: leakage functions, simulator, Real/Ideal games."""
+
+from .games import (
+    IdealGame,
+    RealGame,
+    StructuralView,
+    byte_histogram,
+    chi_square_uniform,
+    looks_uniform,
+    structural_view,
+)
+from .leakage_functions import (
+    BuildLeakage,
+    InsertLeakage,
+    OwnerHistory,
+    RepeatLeakage,
+    SearchLeakage,
+    TokenLeakage,
+    build_leakage,
+    insert_leakage,
+    search_leakage,
+)
+from .simulator import Simulator, Transcript, TranscriptToken
+
+__all__ = [
+    "BuildLeakage",
+    "IdealGame",
+    "InsertLeakage",
+    "OwnerHistory",
+    "RealGame",
+    "RepeatLeakage",
+    "SearchLeakage",
+    "Simulator",
+    "StructuralView",
+    "TokenLeakage",
+    "Transcript",
+    "TranscriptToken",
+    "build_leakage",
+    "byte_histogram",
+    "chi_square_uniform",
+    "insert_leakage",
+    "looks_uniform",
+    "search_leakage",
+    "structural_view",
+]

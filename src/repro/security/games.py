@@ -1,0 +1,180 @@
+"""The Real/Ideal experiment (Definition 1) as an executable harness.
+
+``RealGame`` drives the actual protocol and records the adversary's view as
+a :class:`~repro.security.simulator.Transcript`; ``IdealGame`` drives the
+:class:`~repro.security.simulator.Simulator` from leakage alone.  The
+distinguisher utilities compare the two transcripts:
+
+* **structural equality** — every size/count the leakage functions promise
+  must match *exactly* between Real and Ideal (if it did not, either the
+  scheme leaks more than claimed or the leakage functions are wrong);
+* **statistical closeness** — the actual byte strings in the real view are
+  PRF/cipher outputs, so simple empirical statistics (byte histograms,
+  duplicate counts) must not separate them from the simulator's random
+  strings.  This is an empirical smoke test of Theorem 2, not a proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.rng import DeterministicRNG, default_rng
+from ..core.cloud import CloudServer
+from ..core.owner import DataOwner
+from ..core.params import KeyBundle, SlicerParams
+from ..core.query import Query
+from ..core.records import Database
+from ..core.user import DataUser
+from .leakage_functions import (
+    OwnerHistory,
+    RepeatLeakage,
+    build_leakage,
+    insert_leakage,
+    search_leakage,
+)
+from .simulator import Simulator, Transcript, TranscriptToken
+
+
+class RealGame:
+    """Run the actual protocol; capture the adversary's (cloud's) view."""
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        keys: KeyBundle,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.params = params
+        self.rng = rng or default_rng()
+        self.owner = DataOwner(params, keys=keys, rng=self.rng.spawn())
+        self.cloud = CloudServer(params, keys.trapdoor.public)
+        self.user: DataUser | None = None
+        self.transcript = Transcript()
+
+    def build(self, database: Database) -> None:
+        out = self.owner.build(database)
+        self._absorb_package(out.cloud_package)
+        self.user = DataUser(self.params, out.user_package, self.rng.spawn())
+
+    def insert(self, additions: Database) -> None:
+        out = self.owner.insert(additions)
+        self._absorb_package(out.cloud_package)
+        assert self.user is not None
+        self.user.refresh(out.user_package)
+
+    def search(self, query: Query) -> None:
+        assert self.user is not None
+        tokens = self.user.make_tokens(query)
+        response = self.cloud.search(tokens)
+        group = [
+            TranscriptToken(
+                trapdoor=result.token.trapdoor,
+                epoch=result.token.epoch,
+                g1=result.token.g1,
+                g2=result.token.g2,
+                entries=tuple(result.entries),
+                result_hash=b"",  # recomputable from entries; not separate info
+                prime=0,
+                witness=result.witness.value,
+            )
+            for result in response.results
+        ]
+        self.transcript.token_groups.append(group)
+
+    def _absorb_package(self, package) -> None:
+        self.cloud.install(package)
+        for label, payload in package.index._entries.items():
+            self.transcript.index_entries.append((label, payload))
+        self.transcript.primes.extend(package.primes)
+        self.transcript.accumulation = package.accumulation
+
+
+class IdealGame:
+    """Run the simulator on the leakage of the same operation sequence."""
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        trapdoor_len: int,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.params = params
+        self.history = OwnerHistory(params)
+        self.repeat = RepeatLeakage()
+        self.simulator = Simulator(params, rng or default_rng())
+        self._trapdoor_len = trapdoor_len
+        self._built = False
+
+    def build(self, database: Database) -> None:
+        self.history.record_batch(list(database))
+        self.simulator.simulate_build(
+            build_leakage(database, self.params), self._trapdoor_len
+        )
+        self._built = True
+
+    def insert(self, additions: Database) -> None:
+        self.history.record_batch(list(additions))
+        self.simulator.simulate_insert(insert_leakage(additions, self.params))
+
+    def search(self, query: Query) -> None:
+        leakage = search_leakage(query, self.history, self.params)
+        self.simulator.simulate_search(leakage, self.repeat)
+
+    @property
+    def transcript(self) -> Transcript:
+        return self.simulator.transcript
+
+
+@dataclass(frozen=True)
+class StructuralView:
+    """The shape of a transcript — what the leakage says both games share."""
+
+    entry_count: int
+    label_lengths: tuple[int, ...]
+    payload_lengths: tuple[int, ...]
+    prime_count: int
+    prime_bit_lengths: tuple[int, ...]
+    #: per query: the sorted multiset of (epoch, result count) — order within
+    #: a query is shuffled by Algorithm 3, so only the multiset is structure.
+    per_query_tokens: tuple[tuple[tuple[int, int], ...], ...]
+
+
+def structural_view(transcript: Transcript) -> StructuralView:
+    return StructuralView(
+        entry_count=len(transcript.index_entries),
+        label_lengths=tuple(sorted(len(l) for l in transcript.labels)),
+        payload_lengths=tuple(sorted(len(d) for d in transcript.payloads)),
+        prime_count=len(transcript.primes),
+        prime_bit_lengths=tuple(sorted(p.bit_length() for p in transcript.primes)),
+        per_query_tokens=tuple(
+            tuple(sorted((t.epoch, len(t.entries)) for t in group))
+            for group in transcript.token_groups
+        ),
+    )
+
+
+def byte_histogram(blobs: list[bytes]) -> list[int]:
+    counts = [0] * 256
+    for blob in blobs:
+        for byte in blob:
+            counts[byte] += 1
+    return counts
+
+
+def chi_square_uniform(counts: list[int]) -> float:
+    """Chi-square statistic of a byte histogram against uniform."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    expected = total / 256
+    return sum((c - expected) ** 2 / expected for c in counts)
+
+
+def looks_uniform(blobs: list[bytes], threshold: float = 400.0) -> bool:
+    """Crude uniformity check: chi-square(255 dof) below ``threshold``.
+
+    255 degrees of freedom has mean 255, stddev ~22.6; 400 is ~6.4 sigma,
+    so PRF output and OS randomness both pass comfortably while anything
+    structured (ASCII, counters, prefixes) fails immediately.
+    """
+    return chi_square_uniform(byte_histogram(blobs)) < threshold

@@ -1,0 +1,222 @@
+"""The four leakage functions of Theorem 2 (paper Section VI.B), executable.
+
+Security of an SSE scheme is stated relative to what the adversary is
+*allowed* to learn.  The paper defines:
+
+* ``L_build(DB)``  = entry sizes ⟨|l|, |d|⟩, entry count p, prime bit length
+  |x| and prime count q — i.e. only **shapes**, nothing about the content.
+* ``L_search(v, mc)`` = the search tokens, the matched index entries per
+  epoch, the result multiset hash, the prime and the VO — i.e. the *access
+  pattern* of that one query.
+* ``L_insert(DB+)`` = the shapes of the newly added entries/primes.
+* ``L_repeat(Q)``  = which historical tokens repeat (a symmetric bit matrix).
+
+These are implemented as plain functions of the *plaintext* inputs (plus
+protocol parameters), because that is the whole point: everything in the
+adversary's view must be computable from these quantities alone.  The
+:mod:`repro.security.games` module checks that claim empirically by having a
+simulator rebuild an indistinguishable transcript from the leakage only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.keywords import (
+    equality_keyword,
+    keywords_for_record,
+    order_keywords_for_query,
+)
+from ..core.params import SlicerParams
+from ..core.query import Query
+from ..core.records import AttributedRecord, Database, Record
+from ..crypto.symmetric import NONCE_LEN
+
+
+@dataclass(frozen=True)
+class BuildLeakage:
+    """``L_build(DB) = (⟨|l|, |d|⟩_p, |x|_q)``."""
+
+    label_len: int
+    payload_len: int
+    entry_count: int  # p
+    prime_bits: int
+    prime_count: int  # q
+
+
+def _record_keywords(record, bits):
+    if isinstance(record, AttributedRecord):
+        out = []
+        for attribute, value in record.attributes:
+            out.extend(keywords_for_record(value, bits, attribute))
+        return out
+    return keywords_for_record(record.value, bits)
+
+
+def build_leakage(database: Database, params: SlicerParams) -> BuildLeakage:
+    """Compute ``L_build`` from the plaintext database and public parameters."""
+    keywords: set[bytes] = set()
+    entries = 0
+    for record in database:
+        kws = _record_keywords(record, params.value_bits)
+        entries += len(kws)
+        keywords.update(kws)
+    return BuildLeakage(
+        label_len=params.label_len,
+        payload_len=NONCE_LEN + params.record_id_len,
+        entry_count=entries,
+        prime_bits=params.prime_bits,
+        prime_count=len(keywords),
+    )
+
+
+@dataclass(frozen=True)
+class TokenLeakage:
+    """Per-token slice of ``L_search``: epoch + per-epoch match counts.
+
+    ``identity`` is an opaque pseudonym of the underlying keyword.  It
+    encodes the *repeat pattern* (the information ``L_repeat`` tracks) —
+    whether two tokens refer to the same keyword — without revealing the
+    keyword itself.
+    """
+
+    identity: bytes
+    epoch: int  # j
+    matches_per_epoch: tuple[int, ...]  # c_i for i = j .. 0
+
+    @property
+    def total_matches(self) -> int:
+        return sum(self.matches_per_epoch)
+
+
+@dataclass(frozen=True)
+class SearchLeakage:
+    """``L_search(v, mc)``: the access pattern of one query.
+
+    ``token_count`` is n (how many keywords of the query are live) and
+    ``tokens`` carries, per live keyword, its epoch and per-epoch result
+    counts — exactly the ⟨l, d, er⟩ shape information of the paper's
+    definition (the actual byte strings are PRF outputs the simulator draws
+    at random).
+    """
+
+    tokens: tuple[TokenLeakage, ...]
+
+    @property
+    def token_count(self) -> int:
+        return len(self.tokens)
+
+
+def search_leakage(
+    query: Query,
+    history: "OwnerHistory",
+    params: SlicerParams,
+) -> SearchLeakage:
+    """Compute ``L_search`` from the plaintext query + insertion history."""
+    bits = params.value_bits
+    if query.condition.is_order:
+        keywords = order_keywords_for_query(
+            query.value, query.condition.order_condition(), bits, query.attribute
+        )
+    else:
+        keywords = [equality_keyword(query.value, bits, query.attribute)]
+    import hashlib
+
+    tokens = []
+    for keyword in keywords:
+        epochs = history.epochs_of(keyword)
+        if epochs is None:
+            continue
+        pseudonym = hashlib.sha256(b"kw-pseudonym:" + keyword).digest()[:8]
+        tokens.append(
+            TokenLeakage(pseudonym, len(epochs) - 1, tuple(reversed(epochs)))
+        )
+    return SearchLeakage(tuple(tokens))
+
+
+@dataclass(frozen=True)
+class InsertLeakage:
+    """``L_insert(DB+) = (⟨|l+|, |d+|⟩_{p+}, |x+|_{q+})``."""
+
+    label_len: int
+    payload_len: int
+    entry_count: int  # p+
+    prime_bits: int
+    prime_count: int  # q+
+
+
+def insert_leakage(additions: Database, params: SlicerParams) -> InsertLeakage:
+    keywords: set[bytes] = set()
+    entries = 0
+    for record in additions:
+        kws = _record_keywords(record, params.value_bits)
+        entries += len(kws)
+        keywords.update(kws)
+    return InsertLeakage(
+        label_len=params.label_len,
+        payload_len=NONCE_LEN + params.record_id_len,
+        entry_count=entries,
+        prime_bits=params.prime_bits,
+        prime_count=len(keywords),
+    )
+
+
+@dataclass
+class RepeatLeakage:
+    """``L_repeat(Q)``: the symmetric repeat matrix over issued tokens.
+
+    Token identity is keyword identity *at the same epoch*: re-querying a
+    keyword whose trapdoor has not advanced re-issues the identical token.
+    """
+
+    matrix: list[list[int]] = field(default_factory=list)
+    _seen: list[tuple[bytes, int]] = field(default_factory=list)
+
+    def observe(self, keyword: bytes, epoch: int) -> int | None:
+        """Record one issued token; returns the index it repeats, if any."""
+        identity = (keyword, epoch)
+        repeat_of = None
+        for i, prior in enumerate(self._seen):
+            if prior == identity:
+                repeat_of = i
+                break
+        self._seen.append(identity)
+        n = len(self._seen)
+        for row in self.matrix:
+            row.append(0)
+        self.matrix.append([0] * n)
+        if repeat_of is not None:
+            self.matrix[-1][repeat_of] = 1
+            self.matrix[repeat_of][-1] = 1
+        return repeat_of
+
+    @property
+    def count(self) -> int:
+        return len(self._seen)
+
+
+class OwnerHistory:
+    """Plaintext mirror of the owner's epoch structure.
+
+    The leakage functions need to know, per keyword, how many entries landed
+    in each epoch.  That is a function of the *sequence of plaintext
+    operations* (build + inserts), not of any secret, so the history tracks
+    it outside the protocol.
+    """
+
+    def __init__(self, params: SlicerParams) -> None:
+        self.params = params
+        self._epochs: dict[bytes, list[int]] = {}
+
+    def record_batch(self, records: list[Record | AttributedRecord]) -> None:
+        """Register one Build/Insert batch (each batch = one epoch advance)."""
+        per_keyword: dict[bytes, int] = {}
+        for record in records:
+            for kw in _record_keywords(record, self.params.value_bits):
+                per_keyword[kw] = per_keyword.get(kw, 0) + 1
+        for keyword, count in per_keyword.items():
+            self._epochs.setdefault(keyword, []).append(count)
+
+    def epochs_of(self, keyword: bytes) -> list[int] | None:
+        """Entry counts per epoch (oldest first), or None if never indexed."""
+        return self._epochs.get(keyword)

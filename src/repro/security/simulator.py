@@ -1,0 +1,159 @@
+"""The simulator ``S`` from the proof of Theorem 2.
+
+Given ONLY the leakage functions' outputs — never the database, queries, or
+keys — ``S`` produces a transcript with the same structure as a real
+protocol execution: an index of ``p`` random (label, payload) pairs, ``q``
+random primes, random search tokens with consistent epoch walks, and
+repeated tokens replayed verbatim per ``L_repeat``.
+
+In the paper this is a proof device inside a hybrid argument (random
+oracles are *programmed* so the simulated view is consistent).  Here it is
+executable so the test suite can check, empirically, the property the proof
+asserts: nothing in the real adversary view is predictable beyond what the
+leakage functions describe (`repro.security.games`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.rng import DeterministicRNG, default_rng
+from ..core.params import SlicerParams
+from ..crypto.primes import next_prime
+from .leakage_functions import (
+    BuildLeakage,
+    InsertLeakage,
+    RepeatLeakage,
+    SearchLeakage,
+)
+
+
+@dataclass(frozen=True)
+class TranscriptToken:
+    """One simulated-or-real search token plus its result entries."""
+
+    trapdoor: bytes
+    epoch: int
+    g1: bytes
+    g2: bytes
+    entries: tuple[bytes, ...]
+    result_hash: bytes
+    prime: int
+    witness: int
+
+
+@dataclass
+class Transcript:
+    """Everything the adversarial cloud/observer sees across the game.
+
+    Tokens are grouped per query because Algorithm 3 *shuffles* the token
+    list before sending it — the order within one query carries no
+    information, so Real/Ideal comparison happens on per-query multisets.
+    """
+
+    index_entries: list[tuple[bytes, bytes]] = field(default_factory=list)
+    primes: list[int] = field(default_factory=list)
+    accumulation: int = 0
+    token_groups: list[list[TranscriptToken]] = field(default_factory=list)
+
+    @property
+    def tokens(self) -> list[TranscriptToken]:
+        return [token for group in self.token_groups for token in group]
+
+    @property
+    def labels(self) -> list[bytes]:
+        return [label for label, _ in self.index_entries]
+
+    @property
+    def payloads(self) -> list[bytes]:
+        return [payload for _, payload in self.index_entries]
+
+
+class Simulator:
+    """``S``: builds a fake-but-structurally-identical transcript from leakage."""
+
+    def __init__(self, params: SlicerParams, rng: DeterministicRNG | None = None) -> None:
+        self.params = params.public()
+        self.rng = rng or default_rng()
+        self.transcript = Transcript()
+        self._repeat_bank: list[TranscriptToken] = []
+        self._trapdoor_len = 0
+
+    # ------------------------------------------------------------- build
+
+    def simulate_build(self, leakage: BuildLeakage, trapdoor_len: int) -> None:
+        """Respond to ``L_build``: p random entries + q random primes."""
+        self._trapdoor_len = trapdoor_len
+        for _ in range(leakage.entry_count):
+            self.transcript.index_entries.append(
+                (
+                    self.rng.token_bytes(leakage.label_len),
+                    self.rng.token_bytes(leakage.payload_len),
+                )
+            )
+        for _ in range(leakage.prime_count):
+            self.transcript.primes.append(self._random_prime(leakage.prime_bits))
+        acc = self.params.accumulator
+        self.transcript.accumulation = self.rng.randrange(2, acc.modulus - 1)
+
+    # ------------------------------------------------------------ search
+
+    def simulate_search(
+        self, leakage: SearchLeakage, repeat: RepeatLeakage
+    ) -> list[TranscriptToken]:
+        """Respond to one query's ``L_search`` under ``L_repeat``.
+
+        Repeated tokens (same keyword, same epoch) must be replayed
+        *verbatim* — real PRFs are deterministic, so a distinguisher would
+        immediately notice a simulator that re-randomised them.
+        """
+        out: list[TranscriptToken] = []
+        for token_leak in leakage.tokens:
+            repeat_of = repeat.observe(token_leak.identity, token_leak.epoch)
+            if repeat_of is not None:
+                token = self._repeat_bank[repeat_of]
+            else:
+                token = self._fresh_token(token_leak)
+            self._repeat_bank.append(token)
+            out.append(token)
+        self.transcript.token_groups.append(out)
+        return out
+
+    def _fresh_token(self, token_leak) -> TranscriptToken:
+        entries = tuple(
+            self.rng.token_bytes(16 + self.params.record_id_len)
+            for _ in range(token_leak.total_matches)
+        )
+        acc = self.params.accumulator
+        return TranscriptToken(
+            trapdoor=self.rng.token_bytes(self._trapdoor_len),
+            epoch=token_leak.epoch,
+            g1=self.rng.token_bytes(16),
+            g2=self.rng.token_bytes(16),
+            entries=entries,
+            result_hash=self.rng.token_bytes(32),
+            prime=self._random_prime(self.params.prime_bits),
+            witness=self.rng.randrange(2, acc.modulus - 1),
+        )
+
+    # ------------------------------------------------------------ insert
+
+    def simulate_insert(self, leakage: InsertLeakage) -> None:
+        """Respond to ``L_insert``: p+ fresh random entries, q+ fresh primes."""
+        for _ in range(leakage.entry_count):
+            self.transcript.index_entries.append(
+                (
+                    self.rng.token_bytes(leakage.label_len),
+                    self.rng.token_bytes(leakage.payload_len),
+                )
+            )
+        for _ in range(leakage.prime_count):
+            self.transcript.primes.append(self._random_prime(leakage.prime_bits))
+        acc = self.params.accumulator
+        self.transcript.accumulation = self.rng.randrange(2, acc.modulus - 1)
+
+    # ------------------------------------------------------------ helpers
+
+    def _random_prime(self, bits: int) -> int:
+        candidate = self.rng.randbits(bits) | (1 << (bits - 1)) | 1
+        return next_prime(candidate - 2)

@@ -1,0 +1,35 @@
+"""SORE: Succinct Order-Revealing Encryption (the paper's core primitive)."""
+
+from .leakage import (
+    ciphertext_side_leakage,
+    matched_tuple,
+    predicted_leakage,
+    recovered_first_differing_bit,
+    token_side_leakage,
+)
+from .scheme import SoreCiphertext, SoreScheme, SoreToken
+from .tuples import (
+    OrderCondition,
+    SoreTuple,
+    ciphertext_tuples,
+    cmp_bits,
+    common_tuples,
+    token_tuples,
+)
+
+__all__ = [
+    "OrderCondition",
+    "SoreCiphertext",
+    "SoreScheme",
+    "SoreToken",
+    "SoreTuple",
+    "ciphertext_side_leakage",
+    "ciphertext_tuples",
+    "cmp_bits",
+    "common_tuples",
+    "matched_tuple",
+    "predicted_leakage",
+    "recovered_first_differing_bit",
+    "token_side_leakage",
+    "token_tuples",
+]

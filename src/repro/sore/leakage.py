@@ -1,0 +1,71 @@
+"""Leakage profiling for SORE (paper Section VI.A, "Leakage Discussion").
+
+Used SORE *alone* leaks, among a set of tokens (or among a set of
+ciphertexts), the index of the first differing bit between any two values:
+count the common plaintext tuples between two token lists and you recover
+how long their shared prefix is.  The full Slicer protocol erases the
+ciphertext-side leakage by storing slices behind a PRF-labelled,
+history-independent dictionary.
+
+This module makes the leakage *measurable*, so tests can assert that
+
+* the leakage is exactly the first-differing-bit index, never more, and
+* pairwise ``Compare`` between one token and one ciphertext reveals nothing
+  beyond the boolean outcome (image multisets of non-matching pairs are
+  disjoint).
+"""
+
+from __future__ import annotations
+
+from ..common.bitstring import first_differing_bit
+from .tuples import OrderCondition, SoreTuple, ciphertext_tuples, token_tuples
+
+
+def token_side_leakage(x: int, y: int, oc: OrderCondition, bits: int) -> int:
+    """Common-tuple count between the token lists of two queried values.
+
+    For ``x != y`` queried with the same condition, tuples agree exactly on
+    the shared prefix positions, so the count equals
+    ``first_differing_bit(x, y) - 1``; for ``x == y`` all ``bits`` agree.
+    """
+    tx = set(token_tuples(x, oc, bits))
+    ty = set(token_tuples(y, oc, bits))
+    return len(tx & ty)
+
+
+def ciphertext_side_leakage(x: int, y: int, bits: int) -> int:
+    """Common-tuple count between the ciphertext tuple lists of two values."""
+    cx = set(ciphertext_tuples(x, bits))
+    cy = set(ciphertext_tuples(y, bits))
+    return len(cx & cy)
+
+
+def predicted_leakage(x: int, y: int, bits: int) -> int:
+    """What the paper says the common-tuple count should be.
+
+    Both token-side and ciphertext-side comparisons agree on a tuple exactly
+    at prefix positions before the first differing bit.
+    """
+    fdb = first_differing_bit(x, y, bits)
+    if fdb is None:
+        return bits
+    return fdb - 1
+
+
+def recovered_first_differing_bit(common_count: int, bits: int, x_ne_y: bool) -> int | None:
+    """Invert the leakage: what an adversary learns from a common-tuple count."""
+    if not x_ne_y:
+        return None
+    if not 0 <= common_count < bits:
+        raise ValueError("impossible common-tuple count for distinct values")
+    return common_count + 1
+
+
+def matched_tuple(x: int, y: int, oc: OrderCondition, bits: int) -> SoreTuple | None:
+    """The single common tuple between Token(x, oc) and Encrypt(y), if any."""
+    tx = set(token_tuples(x, oc, bits))
+    cy = set(ciphertext_tuples(y, bits))
+    common = tx & cy
+    if len(common) > 1:
+        raise AssertionError("Theorem 1 violated: more than one common tuple")
+    return next(iter(common), None)

@@ -1,0 +1,96 @@
+"""The SORE scheme ``Pi = {Token, Encrypt, Compare}`` (paper Section V.B).
+
+Succinct Order-Revealing Encryption: each side of a comparison is a set of
+*b* PRF images of slices, and ``Compare`` outputs True iff the two sets share
+**exactly one** element.  The PRF hides the slice contents; shuffling hides
+which bit index matched within a single comparison.
+
+The scheme is deliberately *symmetric-key and non-interactive*: anyone
+holding the ciphertexts and a token can run ``Compare`` (that is what makes
+the result publicly checkable downstream), but producing tokens or
+ciphertexts requires the key ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG, default_rng
+from ..crypto.prf import PRF
+from .tuples import OrderCondition, SoreTuple, ciphertext_tuples, token_tuples
+
+
+@dataclass(frozen=True)
+class SoreCiphertext:
+    """The PRF images of a value's slices, in shuffled order."""
+
+    images: tuple[bytes, ...]
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+@dataclass(frozen=True)
+class SoreToken:
+    """The PRF images of a query's slices, in shuffled order."""
+
+    images: tuple[bytes, ...]
+    condition: OrderCondition
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+class SoreScheme:
+    """SORE over ``bits``-bit non-negative integers under PRF key ``key``."""
+
+    def __init__(
+        self,
+        key: bytes,
+        bits: int,
+        rng: DeterministicRNG | None = None,
+        attribute: str = "",
+    ) -> None:
+        if bits <= 0:
+            raise ParameterError("bit width must be positive")
+        self.bits = bits
+        self.attribute = attribute
+        self._prf = PRF(key)
+        self._rng = rng or default_rng()
+
+    # -- the paper's three algorithms ------------------------------------
+
+    def token(self, value: int, oc: OrderCondition) -> SoreToken:
+        """``SORE.Token(k, v, oc)``: match all ``a`` with ``value oc a``."""
+        images = [self._prf.eval(t.encode()) for t in token_tuples(value, oc, self.bits, self.attribute)]
+        self._rng.shuffle(images)
+        return SoreToken(tuple(images), oc)
+
+    def encrypt(self, value: int) -> SoreCiphertext:
+        """``SORE.Encrypt(k, v)``."""
+        images = [self._prf.eval(t.encode()) for t in ciphertext_tuples(value, self.bits, self.attribute)]
+        self._rng.shuffle(images)
+        return SoreCiphertext(tuple(images))
+
+    @staticmethod
+    def compare(ciphertext: SoreCiphertext, token: SoreToken) -> bool:
+        """``SORE.Compare(ct, tk)``: True iff exactly one common PRF image.
+
+        Key-free by construction — comparison only intersects the two image
+        sets, which is what a third party (or an index lookup) can do.
+        """
+        return len(set(ciphertext.images) & set(token.images)) == 1
+
+    # -- helpers used by tests and the leakage analysis -------------------
+
+    def common_image_count(self, ciphertext: SoreCiphertext, token: SoreToken) -> int:
+        """Number of shared PRF images (Theorem 1 says this is 0 or 1)."""
+        return len(set(ciphertext.images) & set(token.images))
+
+    def tuple_images(self, value: int) -> dict[bytes, SoreTuple]:
+        """Map PRF image -> plaintext ciphertext-side tuple (test introspection)."""
+        return {
+            self._prf.eval(t.encode()): t
+            for t in ciphertext_tuples(value, self.bits, self.attribute)
+        }

@@ -1,0 +1,110 @@
+"""SORE tuple construction (paper Section V.B).
+
+A *b*-bit value is sliced into *b* tuples.  For the *i*-th bit:
+
+* query side (``SORE.Token``):      ``tk_i = v_{|i-1} || v_i || oc``
+* ciphertext side (``SORE.Encrypt``): ``ct_i = v_{|i-1} || !v_i || cmp(!v_i, v_i)``
+
+Two tuples from opposite sides are *equal* exactly when the bit index is the
+first differing position and the order condition matches (Theorem 1), so
+order comparison reduces to exact tuple matching — which is what lets the
+SSE layer treat each tuple as an ordinary keyword.
+
+Tuples here are plaintext structures; :mod:`repro.sore.scheme` applies the
+PRF.  The optional ``attribute`` field implements the multi-attribute
+extension of Section V.F (``tk_i = a || v_{|i-1} || v_i || oc``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..common.bitstring import bit_at, check_value_fits, prefix_bits
+from ..common.encoding import encode_parts, encode_str
+from ..common.errors import ParameterError
+
+
+class OrderCondition(enum.Enum):
+    """The order conditions ``oc`` a query can carry."""
+
+    GREATER = ">"
+    LESS = "<"
+
+    @property
+    def symbol(self) -> str:
+        return self.value
+
+    def holds(self, x: int, y: int) -> bool:
+        """Evaluate ``x oc y`` on plaintexts (the ground truth for tests)."""
+        return x > y if self is OrderCondition.GREATER else x < y
+
+    def flipped(self) -> "OrderCondition":
+        return OrderCondition.LESS if self is OrderCondition.GREATER else OrderCondition.GREATER
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "OrderCondition":
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise ParameterError(f"unknown order condition {symbol!r}; expected '>' or '<'")
+
+
+def cmp_bits(a: int, b: int) -> OrderCondition:
+    """The paper's ``cmp(a, b)`` on two *differing* single bits."""
+    if a == b:
+        raise ParameterError("cmp is only defined on differing bits")
+    return OrderCondition.GREATER if a > b else OrderCondition.LESS
+
+
+@dataclass(frozen=True)
+class SoreTuple:
+    """One slice: ``(attribute, prefix bits, bit value, order flag)``."""
+
+    attribute: str
+    prefix: str
+    bit: int
+    flag: OrderCondition
+
+    @property
+    def index(self) -> int:
+        """The 1-based bit index this tuple belongs to (len(prefix) + 1)."""
+        return len(self.prefix) + 1
+
+    def encode(self) -> bytes:
+        """Canonical injective byte encoding — the SSE keyword for this slice."""
+        return encode_parts(
+            encode_str(self.attribute),
+            encode_str(self.prefix),
+            bytes([self.bit]),
+            encode_str(self.flag.symbol),
+        )
+
+
+def token_tuples(
+    value: int, oc: OrderCondition, bits: int, attribute: str = ""
+) -> list[SoreTuple]:
+    """``SORE.Token`` tuples for the query "find all a with ``value oc a``"."""
+    check_value_fits(value, bits)
+    return [
+        SoreTuple(attribute, prefix_bits(value, i, bits), bit_at(value, i, bits), oc)
+        for i in range(1, bits + 1)
+    ]
+
+
+def ciphertext_tuples(value: int, bits: int, attribute: str = "") -> list[SoreTuple]:
+    """``SORE.Encrypt`` tuples for a stored value."""
+    check_value_fits(value, bits)
+    out = []
+    for i in range(1, bits + 1):
+        v_i = bit_at(value, i, bits)
+        inv = 1 - v_i
+        out.append(
+            SoreTuple(attribute, prefix_bits(value, i, bits), inv, cmp_bits(inv, v_i))
+        )
+    return out
+
+
+def common_tuples(a: list[SoreTuple], b: list[SoreTuple]) -> list[SoreTuple]:
+    """Tuples present on both sides (the quantity Theorem 1 bounds by 1)."""
+    return [t for t in set(a) & set(b)]

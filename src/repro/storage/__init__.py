@@ -1,0 +1,27 @@
+"""Persistence for protocol state (binary, versioned)."""
+
+from .state_io import (
+    dump_index,
+    dump_primes,
+    dump_set_hash_state,
+    dump_trapdoor_state,
+    load,
+    load_index,
+    load_primes,
+    load_set_hash_state,
+    load_trapdoor_state,
+    save,
+)
+
+__all__ = [
+    "dump_index",
+    "dump_primes",
+    "dump_set_hash_state",
+    "dump_trapdoor_state",
+    "load",
+    "load_index",
+    "load_primes",
+    "load_set_hash_state",
+    "load_trapdoor_state",
+    "save",
+]

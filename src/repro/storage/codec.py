@@ -1,0 +1,68 @@
+"""Binary codec for protocol state (versioned, length-prefixed).
+
+Persistence uses the same injective ``encode_parts`` framing as the wire
+protocol, wrapped with a magic header and format version so stale files fail
+loudly instead of deserialising garbage.  JSON is deliberately avoided: the
+state is dominated by raw byte strings and big integers, which JSON inflates
+and corrupts (no bytes type).
+"""
+
+from __future__ import annotations
+
+from ..common.encoding import decode_parts, decode_uint, encode_parts, encode_uint
+from ..common.errors import ParameterError
+
+MAGIC = b"SLCR"
+VERSION = 1
+
+
+def pack(kind: bytes, *parts: bytes) -> bytes:
+    """Frame a record of ``kind`` with magic + version."""
+    return encode_parts(MAGIC, encode_uint(VERSION, 2), kind, encode_parts(*parts))
+
+
+def unpack(blob: bytes, expected_kind: bytes) -> list[bytes]:
+    """Inverse of :func:`pack`; validates magic, version and kind."""
+    try:
+        magic, version, kind, body = decode_parts(blob)
+    except (ParameterError, ValueError) as exc:
+        raise ParameterError(f"not a Slicer state blob: {exc}") from exc
+    if magic != MAGIC:
+        raise ParameterError("bad magic; not a Slicer state file")
+    if decode_uint(version) != VERSION:
+        raise ParameterError(
+            f"unsupported state version {decode_uint(version)} (expected {VERSION})"
+        )
+    if kind != expected_kind:
+        raise ParameterError(
+            f"state kind mismatch: file holds {kind!r}, expected {expected_kind!r}"
+        )
+    return decode_parts(body)
+
+
+def encode_int(value: int) -> bytes:
+    """Variable-length non-negative integer encoding."""
+    if value < 0:
+        raise ParameterError("cannot encode negative integers")
+    width = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(width, "big")
+
+
+def decode_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def encode_mapping(entries: dict[bytes, bytes]) -> bytes:
+    """Deterministic (sorted) encoding of a bytes->bytes mapping."""
+    parts: list[bytes] = []
+    for key in sorted(entries):
+        parts.append(key)
+        parts.append(entries[key])
+    return encode_parts(*parts)
+
+
+def decode_mapping(blob: bytes) -> dict[bytes, bytes]:
+    flat = decode_parts(blob)
+    if len(flat) % 2:
+        raise ParameterError("corrupt mapping: odd element count")
+    return {flat[i]: flat[i + 1] for i in range(0, len(flat), 2)}

@@ -1,0 +1,98 @@
+"""Serialization of protocol state: index, trapdoor state, ADS, user package.
+
+What gets persisted and by whom:
+
+* **cloud** — the encrypted index ``I`` and prime list ``X`` (its whole
+  working state; rebuilding them requires the owner).
+* **owner** — trapdoor state ``T`` and set-hash state ``S`` (losing S makes
+  future inserts impossible; losing T strands users).
+* **user** — the trapdoor-state snapshot plus the last seen ``Ac``.
+
+Secret keys are intentionally *not* serialized here — key management is a
+deployment concern; see :class:`repro.core.params.KeyBundle`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from ..common.encoding import encode_parts, decode_parts, encode_uint, decode_uint
+from ..core.state import EncryptedIndex, SetHashState, TrapdoorState
+from ..crypto.multiset_hash import MultisetHash
+from . import codec
+
+_KIND_INDEX = b"index"
+_KIND_TRAPDOORS = b"trapdoors"
+_KIND_SETHASH = b"sethash"
+_KIND_PRIMES = b"primes"
+
+
+# ----------------------------------------------------------------- index
+
+def dump_index(index: EncryptedIndex) -> bytes:
+    return codec.pack(_KIND_INDEX, codec.encode_mapping(index._entries))
+
+
+def load_index(blob: bytes) -> EncryptedIndex:
+    (mapping,) = codec.unpack(blob, _KIND_INDEX)
+    index = EncryptedIndex()
+    for label, payload in codec.decode_mapping(mapping).items():
+        index.put(label, payload)
+    return index
+
+
+# ------------------------------------------------------------- trapdoors
+
+def dump_trapdoor_state(state: TrapdoorState) -> bytes:
+    entries: dict[bytes, bytes] = {}
+    for keyword in state.keywords():
+        entry = state.get(keyword)
+        entries[keyword] = encode_parts(entry.trapdoor, encode_uint(entry.epoch))
+    return codec.pack(_KIND_TRAPDOORS, codec.encode_mapping(entries))
+
+
+def load_trapdoor_state(blob: bytes) -> TrapdoorState:
+    (mapping,) = codec.unpack(blob, _KIND_TRAPDOORS)
+    state = TrapdoorState()
+    for keyword, packed in codec.decode_mapping(mapping).items():
+        trapdoor, epoch = decode_parts(packed)
+        state.put(keyword, trapdoor, decode_uint(epoch))
+    return state
+
+
+# -------------------------------------------------------------- set hash
+
+def dump_set_hash_state(state: SetHashState, field: int) -> bytes:
+    entries = {key: value.to_bytes() for key, value in state.items()}
+    return codec.pack(
+        _KIND_SETHASH, codec.encode_int(field), codec.encode_mapping(entries)
+    )
+
+
+def load_set_hash_state(blob: bytes) -> SetHashState:
+    field_blob, mapping = codec.unpack(blob, _KIND_SETHASH)
+    field = codec.decode_int(field_blob)
+    state = SetHashState()
+    for key, value in codec.decode_mapping(mapping).items():
+        state.put(key, MultisetHash(int.from_bytes(value, "big"), field))
+    return state
+
+
+# ----------------------------------------------------------------- primes
+
+def dump_primes(primes: list[int]) -> bytes:
+    return codec.pack(_KIND_PRIMES, *[codec.encode_int(p) for p in primes])
+
+
+def load_primes(blob: bytes) -> list[int]:
+    return [codec.decode_int(p) for p in codec.unpack(blob, _KIND_PRIMES)]
+
+
+# ------------------------------------------------------------ file helpers
+
+def save(path: str | pathlib.Path, blob: bytes) -> None:
+    pathlib.Path(path).write_bytes(blob)
+
+
+def load(path: str | pathlib.Path) -> bytes:
+    return pathlib.Path(path).read_bytes()

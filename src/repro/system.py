@@ -1,0 +1,280 @@
+"""End-to-end Slicer deployment: the Fig. 1 workflow in one object.
+
+:class:`SlicerSystem` wires the four parties together:
+
+* **data owner** — builds/updates indexes and ADS, pushes ``Ac`` on chain,
+* **data user** — funds searches, generates tokens, decrypts results,
+* **cloud** — stores the index, executes searches, produces VOs,
+* **blockchain** — escrows payment and publicly verifies results.
+
+The search flow follows the paper exactly: user posts tokens + payment to
+the contract; the cloud reads them, searches, and submits results + VOs;
+the contract verifies and settles (payment to the cloud on success, refund
+on failure).  Inject a :class:`~repro.core.cloud.MaliciousCloud` to watch
+the refund path fire — that is the fairness property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .blockchain.chain import Blockchain
+from .blockchain.slicer_contract import (
+    SlicerContract,
+    response_to_chain_args,
+    tokens_digest_input,
+)
+from .blockchain.transaction import Receipt
+from .common.errors import StateError
+from .common.rng import DeterministicRNG, default_rng
+from .core.cloud import CloudServer, SearchResponse
+from .core.owner import DataOwner, OwnerOutput
+from .core.params import SlicerParams
+from .core.query import Query
+from .core.records import AttributedDatabase, Database
+from .core.user import DataUser, RangeQuery
+from .core.tokens import SearchToken
+
+DEFAULT_FUNDING = 10**9
+DEFAULT_PAYMENT = 10**6
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one on-chain search produced."""
+
+    query: Query
+    query_id: int
+    tokens: list[SearchToken]
+    response: SearchResponse
+    verified: bool
+    record_ids: set[bytes]
+    submit_receipt: Receipt
+    settle_receipt: Receipt
+
+    @property
+    def settle_gas(self) -> int:
+        return self.settle_receipt.gas_used
+
+
+@dataclass
+class RangeOutcome:
+    """A two-sided range search: one verified outcome per side."""
+
+    sides: list[SearchOutcome] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        return all(s.verified for s in self.sides)
+
+    @property
+    def record_ids(self) -> set[bytes]:
+        if not self.sides:
+            return set()
+        out = set(self.sides[0].record_ids)
+        for side in self.sides[1:]:
+            out &= side.record_ids
+        return out
+
+
+class SlicerSystem:
+    """A full deployment of the four-party framework."""
+
+    def __init__(
+        self,
+        params: SlicerParams | None = None,
+        chain: Blockchain | None = None,
+        cloud: CloudServer | None = None,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        self.params = params or SlicerParams()
+        self.rng = rng or default_rng()
+        self.chain = chain or Blockchain()
+        self.owner = DataOwner(self.params, rng=self.rng.spawn())
+        self.cloud = cloud or CloudServer(self.params, self.owner.keys.trapdoor.public)
+
+        self.owner_address = self.chain.create_account("data-owner", DEFAULT_FUNDING)
+        self.user_address = self.chain.create_account("data-user", DEFAULT_FUNDING)
+        self.cloud_address = self.chain.create_account("cloud", DEFAULT_FUNDING)
+
+        self.contract: SlicerContract | None = None
+        self.deploy_receipt: Receipt | None = None
+        self.user: DataUser | None = None
+        #: Additional authorised users: label -> (chain address, DataUser).
+        self.extra_users: dict[str, tuple[bytes, DataUser]] = {}
+        self._last_user_package = None
+
+    # ---------------------------------------------------------------- setup
+
+    def setup(self, database: Database | AttributedDatabase) -> OwnerOutput:
+        """Owner builds everything and deploys the contract (Fig. 1 step 1)."""
+        output = self.owner.build(database)
+        self.cloud.install(output.cloud_package)
+        self.contract, self.deploy_receipt = self.chain.deploy(
+            self.owner_address,
+            SlicerContract,
+            args=(self.owner_address, self.cloud_address, output.chain_ads),
+            config={"params": self.params.public()},
+        )
+        if not self.deploy_receipt.status:
+            raise StateError(f"contract deployment failed: {self.deploy_receipt.revert_reason}")
+        self.user = DataUser(self.params, output.user_package, self.rng.spawn())
+        self._last_user_package = output.user_package
+        self.chain.mine()
+        return output
+
+    def authorize_user(self, label: str, funding: int = DEFAULT_FUNDING) -> DataUser:
+        """Authorise another data user (the paper's multi-user setting).
+
+        The owner shares keys + current trapdoor state; the new user gets a
+        funded chain account and can search independently — freshness is
+        anchored by the on-chain digest, not by talking to the owner.
+        """
+        self._require_setup()
+        if label in self.extra_users:
+            raise StateError(f"user {label!r} already authorised")
+        address = self.chain.create_account(f"user-{label}", funding)
+        user = DataUser(self.params, self.owner.user_package(), self.rng.spawn())
+        self.extra_users[label] = (address, user)
+        return user
+
+    def insert(self, additions: Database | AttributedDatabase) -> Receipt:
+        """Owner inserts records and refreshes the on-chain ADS digest."""
+        contract = self._require_setup()
+        output = self.owner.insert(additions)
+        self.cloud.install(output.cloud_package)
+        assert self.user is not None
+        self.user.refresh(output.user_package)
+        for _, extra in self.extra_users.values():
+            extra.refresh(output.user_package)
+        self._last_user_package = output.user_package
+        receipt = self.chain.call(
+            self.owner_address, contract, "update_ads", (output.chain_ads,)
+        )
+        if not receipt.status:
+            raise StateError(f"ADS update reverted: {receipt.revert_reason}")
+        self.chain.mine()
+        return receipt
+
+    # --------------------------------------------------------------- search
+
+    def search(
+        self, query: Query, payment: int = DEFAULT_PAYMENT, as_user: str | None = None
+    ) -> SearchOutcome:
+        """The full paid, publicly-verified search flow (Fig. 1 steps 2-5).
+
+        ``as_user`` selects an extra authorised user (see
+        :meth:`authorize_user`); by default the primary user searches.
+        """
+        contract = self._require_setup()
+        assert self.user is not None
+        if as_user is None:
+            searcher, searcher_address = self.user, self.user_address
+        else:
+            searcher_address, searcher = self.extra_users[as_user]
+
+        tokens = searcher.make_tokens(query)
+        submit_receipt = self.chain.call(
+            searcher_address,
+            contract,
+            "submit_query",
+            (tokens_digest_input(tokens),),
+            value=payment,
+        )
+        if not submit_receipt.status:
+            raise StateError(f"query submission reverted: {submit_receipt.revert_reason}")
+        query_id = submit_receipt.return_value
+
+        response = self.cloud.search(tokens)
+        settle_receipt = self.chain.call(
+            self.cloud_address,
+            contract,
+            "verify_and_settle",
+            (query_id, self.cloud.ads_value, response_to_chain_args(response)),
+        )
+        verified = bool(settle_receipt.status and settle_receipt.return_value)
+        record_ids = searcher.decrypt_results(response) if verified else set()
+        self.chain.mine()
+        return SearchOutcome(
+            query=query,
+            query_id=query_id,
+            tokens=tokens,
+            response=response,
+            verified=verified,
+            record_ids=record_ids,
+            submit_receipt=submit_receipt,
+            settle_receipt=settle_receipt,
+        )
+
+    def range_search(self, range_query: RangeQuery, payment: int = DEFAULT_PAYMENT) -> RangeOutcome:
+        """Two-sided range = one verified search per side, intersected."""
+        queries = range_query.to_queries(self.params.value_bits)
+        return RangeOutcome([self.search(q, payment) for q in queries])
+
+    def batch_search(
+        self, queries: list[Query], payment: int = DEFAULT_PAYMENT
+    ) -> list[SearchOutcome]:
+        """Run several queries, settled by ONE batched contract call.
+
+        Gas-amortised extension: n queries share one settlement transaction
+        (see :meth:`SlicerContract.batch_verify_and_settle`).
+        """
+        contract = self._require_setup()
+        assert self.user is not None
+
+        staged = []
+        for query in queries:
+            tokens = self.user.make_tokens(query)
+            submit = self.chain.call(
+                self.user_address,
+                contract,
+                "submit_query",
+                (tokens_digest_input(tokens),),
+                value=payment,
+            )
+            if not submit.status:
+                raise StateError(f"query submission reverted: {submit.revert_reason}")
+            response = self.cloud.search(tokens)
+            staged.append((query, submit, tokens, response))
+
+        settle = self.chain.call(
+            self.cloud_address,
+            contract,
+            "batch_verify_and_settle",
+            (
+                [s.return_value for _, s, _, _ in staged],
+                self.cloud.ads_value,
+                [response_to_chain_args(r) for _, _, _, r in staged],
+            ),
+        )
+        verdicts = settle.return_value if settle.status else [False] * len(staged)
+        outcomes = []
+        for (query, submit, tokens, response), verified in zip(staged, verdicts):
+            outcomes.append(
+                SearchOutcome(
+                    query=query,
+                    query_id=submit.return_value,
+                    tokens=tokens,
+                    response=response,
+                    verified=bool(verified),
+                    record_ids=self.user.decrypt_results(response) if verified else set(),
+                    submit_receipt=submit,
+                    settle_receipt=settle,
+                )
+            )
+        self.chain.mine()
+        return outcomes
+
+    # -------------------------------------------------------------- helpers
+
+    def balances(self) -> dict[str, int]:
+        return {
+            "owner": self.chain.balance(self.owner_address),
+            "user": self.chain.balance(self.user_address),
+            "cloud": self.chain.balance(self.cloud_address),
+        }
+
+    def _require_setup(self) -> SlicerContract:
+        if self.contract is None:
+            raise StateError("call setup() before using the system")
+        return self.contract

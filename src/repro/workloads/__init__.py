@@ -1,0 +1,17 @@
+"""Workload generators, domain datasets and benchmark scaling presets."""
+
+from .datasets import medical_records, sensor_readings, transaction_ledger
+from .generator import ValueDistribution, WorkloadGenerator, WorkloadSpec
+from .scaling import ScalePreset, current_scale, get_scale
+
+__all__ = [
+    "ScalePreset",
+    "ValueDistribution",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "current_scale",
+    "get_scale",
+    "medical_records",
+    "sensor_readings",
+    "transaction_ledger",
+]

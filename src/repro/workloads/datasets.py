@@ -1,0 +1,76 @@
+"""Synthetic domain datasets for examples, tests and demos.
+
+The paper motivates numerical search with medical records and business
+transactions; these generators produce deterministic, realistically-shaped
+versions of both (no real data is available offline — see DESIGN.md's
+substitution table).  Values are discretised into the protocol's integer
+domain; the helpers return plain (id, attributes) structures so callers
+choose their own bit widths.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.rng import DeterministicRNG, default_rng
+from ..core.records import AttributedDatabase, Database
+
+
+def _bounded_gauss(rng: DeterministicRNG, mean: float, std: float, lo: int, hi: int) -> int:
+    u1 = max(rng.randbits(53) / (1 << 53), 1e-12)
+    u2 = rng.randbits(53) / (1 << 53)
+    gauss = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return min(max(int(mean + gauss * std), lo), hi)
+
+
+def medical_records(
+    n_patients: int, rng: DeterministicRNG | None = None, bits: int = 8
+) -> AttributedDatabase:
+    """Patient registry: age (bimodal adult/senior), systolic BP (age-linked),
+    heart rate.  All attributes fit ``bits`` (>= 8)."""
+    rng = rng or default_rng(0x3ED)
+    cap = (1 << bits) - 1
+    db = AttributedDatabase(bits)
+    for i in range(n_patients):
+        if rng.randint_below(100) < 65:
+            age = _bounded_gauss(rng, 42, 13, 18, min(90, cap))
+        else:
+            age = _bounded_gauss(rng, 74, 8, 60, min(100, cap))
+        systolic = _bounded_gauss(rng, 105 + age // 2, 12, 85, min(200, cap))
+        heart_rate = _bounded_gauss(rng, 72, 10, 45, min(180, cap))
+        db.add(f"p{i:05d}"[:8], {"age": age, "systolic": systolic, "heart_rate": heart_rate})
+    return db
+
+
+def transaction_ledger(
+    n_transactions: int, rng: DeterministicRNG | None = None, bits: int = 16
+) -> Database:
+    """Business transactions: log-normal-ish amounts (most small, rare large),
+    discretised to the ``bits`` domain."""
+    rng = rng or default_rng(0x7AB)
+    cap = (1 << bits) - 1
+    db = Database(bits)
+    for i in range(n_transactions):
+        u1 = max(rng.randbits(53) / (1 << 53), 1e-12)
+        u2 = rng.randbits(53) / (1 << 53)
+        gauss = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        amount = int(math.exp(4.0 + 1.1 * gauss))  # median ~55, heavy tail
+        db.add(f"tx{i:05d}"[:8], min(amount, cap))
+    return db
+
+
+def sensor_readings(
+    n_readings: int, rng: DeterministicRNG | None = None, bits: int = 16
+) -> Database:
+    """IoT-style time series: a daily sinusoid plus noise (clustered values)."""
+    rng = rng or default_rng(0x5E2)
+    cap = (1 << bits) - 1
+    mid = cap // 2
+    swing = cap // 4
+    db = Database(bits)
+    for i in range(n_readings):
+        phase = 2.0 * math.pi * (i % 288) / 288  # 5-minute samples per day
+        noise = rng.randint_below(max(cap // 50, 1)) - cap // 100
+        value = int(mid + swing * math.sin(phase)) + noise
+        db.add(f"s{i:06d}"[:8], min(max(value, 0), cap))
+    return db

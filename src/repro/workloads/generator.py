@@ -1,0 +1,131 @@
+"""Workload generation: the paper's "randomly simulated key-value records".
+
+The evaluation (Section VII) draws records with 8/16/24-bit values uniformly
+at random.  Besides the paper's uniform workload we provide Zipfian and
+clustered (discretised normal) value distributions, because the cost of
+Slicer's ADS is governed by the number of *distinct* keywords — a quantity
+that the value distribution controls directly (the 8-bit "plateau" in
+Figs. 3b/4b happens exactly because the uniform 8-bit space saturates).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG, default_rng
+from ..core.query import MatchCondition, Query
+from ..core.records import AttributedDatabase, Database
+
+
+class ValueDistribution(enum.Enum):
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+    CLUSTERED = "clustered"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a dataset to generate."""
+
+    n_records: int
+    value_bits: int
+    distribution: ValueDistribution = ValueDistribution.UNIFORM
+    zipf_s: float = 1.2
+    cluster_count: int = 4
+    cluster_spread: float = 0.03  # stddev as a fraction of the domain
+
+    def __post_init__(self) -> None:
+        if self.n_records < 0:
+            raise ParameterError("n_records must be non-negative")
+        if self.value_bits <= 0:
+            raise ParameterError("value_bits must be positive")
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of record databases and query mixes."""
+
+    def __init__(self, rng: DeterministicRNG | None = None) -> None:
+        self.rng = rng or default_rng()
+
+    # ------------------------------------------------------------ datasets
+
+    def database(self, spec: WorkloadSpec, id_offset: int = 0) -> Database:
+        """Generate ``spec.n_records`` records with unique sequential IDs."""
+        db = Database(spec.value_bits)
+        for i in range(spec.n_records):
+            db.add(id_offset + i, self._draw_value(spec))
+        return db
+
+    def attributed_database(
+        self, n_records: int, attributes: dict[str, WorkloadSpec], id_offset: int = 0
+    ) -> AttributedDatabase:
+        """Multi-attribute dataset; all attributes share one bit width."""
+        widths = {spec.value_bits for spec in attributes.values()}
+        if len(widths) != 1:
+            raise ParameterError("all attributes must share one bit width")
+        db = AttributedDatabase(widths.pop())
+        for i in range(n_records):
+            db.add(
+                id_offset + i,
+                {name: self._draw_value(spec) for name, spec in attributes.items()},
+            )
+        return db
+
+    def _draw_value(self, spec: WorkloadSpec) -> int:
+        domain = 1 << spec.value_bits
+        if spec.distribution is ValueDistribution.UNIFORM:
+            return self.rng.randint_below(domain)
+        if spec.distribution is ValueDistribution.ZIPF:
+            return self._zipf(domain, spec.zipf_s)
+        return self._clustered(domain, spec.cluster_count, spec.cluster_spread)
+
+    def _zipf(self, domain: int, s: float) -> int:
+        """Inverse-CDF sampling of a truncated zeta distribution.
+
+        Rank-1 mass maps to value 0, rank-2 to 1, ... so small values are
+        hot — a common shape for ages/amounts in practice.
+        """
+        # Rejection-free approximate inverse CDF using the continuous zeta.
+        u = self.rng.randbits(53) / (1 << 53)
+        # For s > 1 the harmonic tail behaves like x^(1-s); invert that.
+        rank = int((1.0 - u) ** (-1.0 / (s - 1.0))) if s > 1.0 else int(u * domain) + 1
+        return min(rank - 1, domain - 1)
+
+    def _clustered(self, domain: int, clusters: int, spread: float) -> int:
+        center = (self.rng.randint_below(clusters) + 0.5) * domain / clusters
+        # Box-Muller normal draw.
+        u1 = max(self.rng.randbits(53) / (1 << 53), 1e-12)
+        u2 = self.rng.randbits(53) / (1 << 53)
+        gauss = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        value = int(center + gauss * spread * domain)
+        return min(max(value, 0), domain - 1)
+
+    # ------------------------------------------------------------- queries
+
+    def equality_queries(self, count: int, value_bits: int, attribute: str = "") -> list[Query]:
+        domain = 1 << value_bits
+        return [
+            Query(self.rng.randint_below(domain), MatchCondition.EQUAL, attribute)
+            for _ in range(count)
+        ]
+
+    def order_queries(self, count: int, value_bits: int, attribute: str = "") -> list[Query]:
+        domain = 1 << value_bits
+        out = []
+        for _ in range(count):
+            condition = (
+                MatchCondition.GREATER if self.rng.randbits(1) else MatchCondition.LESS
+            )
+            out.append(Query(self.rng.randint_below(domain), condition, attribute))
+        return out
+
+    def mixed_queries(
+        self, count: int, value_bits: int, equality_fraction: float = 0.5
+    ) -> list[Query]:
+        cut = int(count * equality_fraction)
+        return self.equality_queries(cut, value_bits) + self.order_queries(
+            count - cut, value_bits
+        )

@@ -1,0 +1,66 @@
+"""Benchmark scale presets.
+
+The paper measures up to 160K records on an i9-9900K.  Our accumulator and
+chain are pure Python, so the default benchmark scale is reduced while
+keeping the *sweep shape* (five points doubling from the base, the same
+8/16/24 bit settings).  ``REPRO_SCALE`` selects a preset:
+
+* ``smoke``  — seconds; CI-sized sanity sweep
+* ``default`` — a few minutes; the committed EXPERIMENTS.md numbers
+* ``paper``  — the paper's 10K..160K points (hours in pure Python)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    name: str
+    record_counts: tuple[int, ...]
+    bit_settings: tuple[int, ...]
+    insert_counts: tuple[int, ...]
+    preload: int
+    query_trials: int
+
+
+_PRESETS = {
+    "smoke": ScalePreset(
+        name="smoke",
+        record_counts=(50, 100, 200),
+        bit_settings=(8, 16),
+        insert_counts=(25, 50),
+        preload=100,
+        query_trials=2,
+    ),
+    "default": ScalePreset(
+        name="default",
+        record_counts=(100, 200, 400, 800, 1600),
+        bit_settings=(8, 16, 24),
+        insert_counts=(100, 200, 400, 800),
+        preload=1600,
+        query_trials=3,
+    ),
+    "paper": ScalePreset(
+        name="paper",
+        record_counts=(10_000, 20_000, 40_000, 80_000, 160_000),
+        bit_settings=(8, 16, 24),
+        insert_counts=(10_000, 20_000, 40_000, 80_000, 160_000),
+        preload=160_000,
+        query_trials=5,
+    ),
+}
+
+
+def current_scale() -> ScalePreset:
+    """The preset selected by ``REPRO_SCALE`` (default: ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    if name not in _PRESETS:
+        raise KeyError(f"REPRO_SCALE must be one of {sorted(_PRESETS)}, got {name!r}")
+    return _PRESETS[name]
+
+
+def get_scale(name: str) -> ScalePreset:
+    return _PRESETS[name]

@@ -1,0 +1,123 @@
+"""The analytical cost model against actual protocol measurements."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    estimate_gas,
+    expected_ads_bytes,
+    expected_distinct_keywords,
+    expected_equality_matches,
+    expected_index_bytes,
+    expected_index_entries,
+    expected_order_tokens,
+)
+from repro.common.rng import default_rng
+from repro.core.query import MatchCondition, Query
+from repro.core.records import Database
+from repro.core.user import DataUser
+from repro.core.cloud import CloudServer
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+N = 300
+BITS = 8
+
+
+@pytest.fixture(scope="module")
+def measured(tparams, session_keys):
+    from repro.core.owner import DataOwner
+
+    owner = DataOwner(tparams, keys=session_keys, rng=default_rng(401))
+    db = WorkloadGenerator(default_rng(402)).database(WorkloadSpec(N, BITS))
+    out = owner.build(db)
+    cloud = CloudServer(tparams, session_keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(403))
+    return db, out, cloud, user
+
+
+class TestExactIdentities:
+    def test_index_entries_exact(self, measured, tparams):
+        _, out, _, _ = measured
+        assert len(out.cloud_package.index) == expected_index_entries(N, BITS)
+
+    def test_index_bytes_exact(self, measured, tparams):
+        _, out, _, _ = measured
+        assert out.cloud_package.index.size_bytes == expected_index_bytes(N, tparams)
+
+
+class TestStochasticPredictions:
+    def test_distinct_keywords_within_5pct(self, measured):
+        _, out, _, _ = measured
+        predicted = expected_distinct_keywords(N, BITS)
+        actual = len(out.cloud_package.primes)
+        assert abs(actual - predicted) / predicted < 0.05
+
+    def test_ads_bytes_within_5pct(self, measured, tparams):
+        _, out, _, _ = measured
+        predicted = expected_ads_bytes(N, tparams)
+        assert abs(out.cloud_package.prime_bytes - predicted) / predicted < 0.05
+
+    def test_order_tokens_within_tolerance(self, measured, tparams):
+        _, _, cloud, user = measured
+        rng = default_rng(404)
+        trials = 40
+        total = sum(
+            len(user.make_tokens(Query(rng.randint_below(256), MatchCondition.GREATER)))
+            for _ in range(trials)
+        )
+        predicted = expected_order_tokens(N, BITS)
+        assert abs(total / trials - predicted) / predicted < 0.25
+
+    def test_equality_matches_within_tolerance(self, measured):
+        db, _, cloud, user = measured
+        values = db.values()
+        rng = default_rng(405)
+        trials = 40
+        total = 0
+        for _ in range(trials):
+            v = values[rng.randint_below(len(values))]
+            tokens = user.make_tokens(Query(v, MatchCondition.EQUAL))
+            total += sum(len(r.entries) for r in cloud.search(tokens).results)
+        predicted = expected_equality_matches(N, BITS)
+        assert abs(total / trials - predicted) / predicted < 0.30
+
+
+class TestSaturationShape:
+    def test_8bit_keywords_saturate(self):
+        """The analytic form of the Fig. 3b/4b plateau."""
+        at_2x_domain = expected_distinct_keywords(512, 8)
+        at_8x_domain = expected_distinct_keywords(2048, 8)
+        assert at_8x_domain / at_2x_domain < 1.2
+
+    def test_24bit_keywords_keep_growing(self):
+        a = expected_distinct_keywords(512, 24)
+        b = expected_distinct_keywords(2048, 24)
+        assert b / a > 3.0
+
+    def test_order_tokens_bounded_by_bits(self):
+        assert expected_order_tokens(10**6, 8) <= 8
+        assert expected_order_tokens(10**6, 16) <= 16
+
+
+class TestGasPrediction:
+    def test_predicts_measured_gas_within_15pct(self):
+        """The gas estimator against an actual contract deployment."""
+        from repro.core.records import make_database
+        from repro.crypto.accumulator import AccumulatorParams
+        from repro.core.params import SlicerParams
+        from repro.system import SlicerSystem
+
+        params = SlicerParams(
+            value_bits=8, prime_bits=256, accumulator=AccumulatorParams.demo(1024)
+        )
+        system = SlicerSystem(params, rng=default_rng(406))
+        system.setup(make_database([("a", 7), ("b", 9)], bits=8))
+        add = Database(8)
+        add.add("c", 3)
+        insert_receipt = system.insert(add)
+        outcome = system.search(Query.parse(7, "="))
+
+        estimate = estimate_gas(params, result_entries=1, tokens=1)
+        assert abs(system.deploy_receipt.gas_used - estimate.deployment) < 0.15 * estimate.deployment
+        assert abs(insert_receipt.gas_used - estimate.insertion) < 0.15 * estimate.insertion
+        assert abs(outcome.settle_gas - estimate.verification) < 0.20 * estimate.verification

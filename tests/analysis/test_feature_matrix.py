@@ -1,0 +1,49 @@
+"""Table I data: structure plus behavioural backing of the 'Ours' row."""
+
+from repro.analysis.feature_matrix import COLUMNS, TABLE_I, Support, ours, render_table_i
+
+
+class TestTableShape:
+    def test_twelve_rows(self):
+        assert len(TABLE_I) == 12
+
+    def test_ours_is_last_and_all_yes(self):
+        row = ours()
+        assert row.name.startswith("Slicer")
+        assert all(
+            f is Support.YES
+            for f in (
+                row.dynamics,
+                row.numerical_comparison,
+                row.freshness,
+                row.forward_security,
+                row.public_verifiability,
+            )
+        )
+
+    def test_only_ours_has_all_features(self):
+        for scheme in TABLE_I[:-1]:
+            features = (
+                scheme.dynamics,
+                scheme.numerical_comparison,
+                scheme.freshness,
+                scheme.forward_security,
+                scheme.public_verifiability,
+            )
+            assert not all(f is Support.YES for f in features), scheme.name
+
+    def test_servedb_is_only_other_numeric(self):
+        numeric = [s for s in TABLE_I if s.numerical_comparison is Support.YES]
+        assert {s.name for s in numeric} == {"ServeDB", "Slicer (ours)"}
+
+    def test_render_contains_all_rows(self):
+        text = render_table_i()
+        for scheme in TABLE_I:
+            assert scheme.name in text
+        for column in COLUMNS:
+            assert column in text
+
+    def test_marks(self):
+        assert Support.YES.mark == "✓"
+        assert Support.NO.mark == "×"
+        assert Support.NOT_APPLICABLE.mark == "N/A"

@@ -1,0 +1,67 @@
+"""ASCII plot renderers."""
+
+from repro.analysis.plots import bar_chart, line_chart, sparkline
+from repro.analysis.reporting import FigureReport
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart("T", [("a", 1.0), ("bb", 2.0)])
+        assert "T" in text and "a" in text and "bb" in text
+        assert "2" in text
+
+    def test_peak_has_longest_bar(self):
+        text = bar_chart("T", [("small", 1.0), ("large", 10.0)], width=20)
+        lines = text.splitlines()[1:]
+        small_line = next(l for l in lines if "small" in l)
+        large_line = next(l for l in lines if "large" in l)
+        assert large_line.count("█") > small_line.count("█")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart("T", [])
+
+    def test_zero_values(self):
+        text = bar_chart("T", [("z", 0.0)])
+        assert "z" in text
+
+
+class TestLineChart:
+    def _figure(self):
+        fig = FigureReport("F", "x", "y")
+        a = fig.new_series("8-bit")
+        b = fig.new_series("16-bit")
+        for i in range(5):
+            a.add(i * 100, i * 1.0)
+            b.add(i * 100, i * 2.0)
+        return fig
+
+    def test_renders_legend_and_axes(self):
+        text = line_chart(self._figure())
+        assert "o=8-bit" in text and "x=16-bit" in text
+        assert "└" in text
+
+    def test_marks_present(self):
+        text = line_chart(self._figure())
+        assert "o" in text and "x" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart(FigureReport("F", "x", "y"))
+
+    def test_flat_series(self):
+        fig = FigureReport("F", "x", "y")
+        s = fig.new_series("flat")
+        s.add(1, 5.0)
+        s.add(2, 5.0)
+        assert "flat" in line_chart(fig)
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,38 @@
+"""Figure/table renderers."""
+
+from repro.analysis.reporting import FigureReport, Series, render_kv_table
+
+
+class TestSeries:
+    def test_add_and_ys(self):
+        s = Series("8-bit")
+        s.add(10, 1.5)
+        s.add(20, 3.0)
+        assert s.ys() == [1.5, 3.0]
+
+
+class TestFigureReport:
+    def test_render_aligns_series(self):
+        fig = FigureReport("Fig X", "records", "seconds")
+        a = fig.new_series("8-bit")
+        b = fig.new_series("16-bit")
+        a.add(10, 1.0)
+        a.add(20, 2.0)
+        b.add(20, 5.0)
+        text = fig.render()
+        assert "Fig X" in text and "records" in text
+        assert "8-bit" in text and "16-bit" in text
+        lines = text.splitlines()
+        row10 = next(l for l in lines if l.strip().startswith("10"))
+        assert "-" in row10  # missing 16-bit point rendered as dash
+
+    def test_y_format(self):
+        fig = FigureReport("F", "x", "y")
+        fig.new_series("s").add(1, 0.123456)
+        assert "0.123" in fig.render("{:.3f}")
+
+
+def test_render_kv_table():
+    text = render_kv_table("Table II", [("Deployment", "745,346 gas"), ("Insert", "29,144 gas")])
+    assert "Table II" in text
+    assert "745,346 gas" in text

@@ -1,0 +1,50 @@
+"""Byte accounting for the storage/overhead figures."""
+
+import pytest
+
+from repro.analysis.sizing import measure_package, measure_search
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=101)
+    db = make_database([(f"r{i}", (i * 29) % 256) for i in range(12)], bits=8)
+    out = owner.build(db)
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(11))
+    return out, cloud, user
+
+
+class TestBuildSizes:
+    def test_package_measurement(self, world, tparams):
+        out, _, _ = world
+        sizes = measure_package(out.cloud_package)
+        assert sizes.entries == len(out.cloud_package.index)
+        assert sizes.primes == len(out.cloud_package.primes)
+        assert sizes.index_bytes == out.cloud_package.index.size_bytes
+        # 64-bit primes in testing params -> 8 bytes each
+        assert sizes.ads_bytes == 8 * sizes.primes
+
+    def test_mb_conversion(self, world):
+        out, _, _ = world
+        sizes = measure_package(out.cloud_package)
+        assert sizes.index_mb == pytest.approx(sizes.index_bytes / 2**20)
+
+
+class TestSearchSizes:
+    def test_search_measurement(self, world):
+        _, cloud, user = world
+        tokens = user.make_tokens(Query.parse(128, ">"))
+        response = cloud.search(tokens)
+        sizes = measure_search(tokens, response)
+        assert sizes.token_count == len(tokens)
+        assert sizes.result_entries == len(response.all_entries())
+        assert sizes.result_bytes == response.encrypted_result_bytes
+        assert sizes.vo_bytes == response.witness_bytes
+        assert sizes.token_bytes > 0

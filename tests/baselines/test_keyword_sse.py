@@ -1,0 +1,50 @@
+"""Keyword SSE baseline: search correctness and range-by-enumeration cost."""
+
+import pytest
+
+from repro.baselines.keyword_sse import KeywordSse
+from repro.common.rng import default_rng
+
+
+@pytest.fixture()
+def sse():
+    return KeywordSse(default_rng(21), trapdoor_bits=512)
+
+
+class TestKeywordSearch:
+    def test_basic_search(self, sse):
+        sse.insert(b"kw1", [b"doc1" + b"\x00" * 4, b"doc2" + b"\x00" * 4])
+        assert sse.search(b"kw1") == {b"doc1" + b"\x00" * 4, b"doc2" + b"\x00" * 4}
+
+    def test_unknown_keyword_empty(self, sse):
+        assert sse.search(b"nope") == set()
+
+    def test_forward_secure_epochs(self, sse):
+        sse.insert(b"kw", [b"a" * 8])
+        old_token = sse.token(b"kw")
+        sse.insert(b"kw", [b"b" * 8])
+        # Old token reaches only the old epoch.
+        assert len(sse.server_search(old_token)) == 1
+        assert len(sse.server_search(sse.token(b"kw"))) == 2
+
+
+class TestRangeStrawman:
+    def test_result_correct(self, sse):
+        records = [(bytes([i]) * 8, v) for i, v in enumerate([5, 9, 5, 30, 17])]
+        sse.insert_values(records)
+        ids, tokens = sse.range_search_by_enumeration(5, 20)
+        assert ids == {rid for rid, v in records if 5 <= v <= 20}
+
+    def test_token_cost_scales_with_range_width(self, sse):
+        """The infeasibility argument: tokens ~ number of distinct values hit."""
+        records = [(bytes([i]) * 8, i) for i in range(64)]
+        sse.insert_values(records)
+        _, narrow = sse.range_search_by_enumeration(10, 19)
+        _, wide = sse.range_search_by_enumeration(0, 59)
+        assert narrow == 10
+        assert wide == 60
+        assert wide > narrow
+
+    def test_index_size_counts_entries(self, sse):
+        sse.insert_values([(bytes([i]) * 8, i % 4) for i in range(8)])
+        assert sse.index_size == 8

@@ -1,0 +1,44 @@
+"""Linear-scan baseline: the correct-but-expensive oracle."""
+
+from repro.baselines.linear_scan import LinearScanStore
+from repro.common.rng import default_rng
+from repro.core.query import Query
+
+
+def make_store():
+    store = LinearScanStore(default_rng(31))
+    store.insert_many([(bytes([i]) * 8, (i * 17) % 64) for i in range(20)])
+    return store
+
+
+class TestQueries:
+    def test_matches_predicate(self):
+        store = make_store()
+        for symbol, value in [(">", 30), ("<", 30), ("=", 17)]:
+            q = Query.parse(value, symbol)
+            expected = {
+                bytes([i]) * 8 for i in range(20) if q.predicate()((i * 17) % 64)
+            }
+            assert store.query(q) == expected
+
+    def test_empty_store(self):
+        store = LinearScanStore(default_rng(1))
+        assert store.query(Query.parse(5, "=")) == set()
+
+
+class TestCostModel:
+    def test_transfer_is_whole_store(self):
+        store = make_store()
+        assert store.transfer_bytes == sum(len(b) for b in store.download_all())
+
+    def test_transfer_grows_linearly(self):
+        store = make_store()
+        before = store.transfer_bytes
+        store.insert(b"x" * 8, 1)
+        assert store.transfer_bytes > before
+
+    def test_blob_reveals_nothing_structural(self):
+        """All blobs are same-size opaque ciphertexts (plus nonce)."""
+        store = make_store()
+        sizes = {len(b) for b in store.download_all()}
+        assert len(sizes) == 1

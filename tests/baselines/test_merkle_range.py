@@ -1,0 +1,74 @@
+"""Merkle range index: membership + completeness verification."""
+
+import pytest
+
+from repro.baselines.merkle_range import (
+    MerkleRangeIndex,
+    RangeProof,
+    verify_range_proof,
+)
+from repro.common.errors import ParameterError
+
+
+def records(n=20):
+    return [(bytes([i]) * 8, (i * 7) % 64) for i in range(n)]
+
+
+@pytest.fixture()
+def index():
+    return MerkleRangeIndex(records())
+
+
+class TestHonestProofs:
+    @pytest.mark.parametrize("lo,hi", [(0, 63), (10, 30), (0, 0), (63, 63), (31, 33)])
+    def test_verifies(self, index, lo, hi):
+        proof = index.query(lo, hi)
+        assert verify_range_proof(index.root, lo, hi, proof, len(index))
+
+    def test_matched_values_in_range(self, index):
+        proof = index.query(10, 30)
+        expected = {rid for rid, v in records() if 10 <= v <= 30}
+        assert len(proof.matched) == len(expected)
+
+    def test_empty_range_with_boundaries(self, index):
+        # A gap: stored values jump from 0 to 5, so 1..4 has no hits.
+        proof = index.query(1, 4)
+        assert proof.matched == ()
+        assert verify_range_proof(index.root, 1, 4, proof, len(index))
+
+
+class TestTamperedProofs:
+    def test_dropped_leaf_detected(self, index):
+        proof = index.query(10, 30)
+        tampered = RangeProof(proof.matched[1:], proof.left_boundary, proof.right_boundary)
+        assert not verify_range_proof(index.root, 10, 30, tampered, len(index))
+
+    def test_out_of_range_leaf_detected(self, index):
+        narrow = index.query(10, 20)
+        wide = index.query(10, 30)
+        forged = RangeProof(wide.matched, narrow.left_boundary, narrow.right_boundary)
+        assert not verify_range_proof(index.root, 10, 20, forged, len(index))
+
+    def test_missing_boundary_detected(self, index):
+        proof = index.query(10, 30)
+        assert proof.right_boundary is not None
+        forged = RangeProof(proof.matched, proof.left_boundary, None)
+        assert not verify_range_proof(index.root, 10, 30, forged, len(index))
+
+    def test_wrong_root_detected(self, index):
+        other = MerkleRangeIndex(records(21))
+        proof = index.query(10, 30)
+        assert not verify_range_proof(other.root, 10, 30, proof, len(other))
+
+
+class TestShapes:
+    def test_proof_size_grows_with_matches(self, index):
+        assert index.query(0, 63).size_bytes > index.query(0, 5).size_bytes
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ParameterError):
+            MerkleRangeIndex([])
+
+    def test_empty_range_rejected(self, index):
+        with pytest.raises(ParameterError):
+            index.query(5, 4)

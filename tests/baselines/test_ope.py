@@ -1,0 +1,58 @@
+"""OPE baseline: order preservation, determinism, leakage surface."""
+
+import pytest
+
+from repro.baselines.ope import OpeScheme
+from repro.common.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def ope():
+    return OpeScheme(b"k" * 16, bits=8)
+
+
+class TestOrderPreservation:
+    def test_exhaustive_monotone_8bit(self, ope):
+        cts = [ope.encrypt(v) for v in range(256)]
+        assert all(a < b for a, b in zip(cts, cts[1:]))
+
+    def test_deterministic(self, ope):
+        assert ope.encrypt(100) == ope.encrypt(100)
+
+    def test_key_changes_mapping(self):
+        a = OpeScheme(b"a" * 16, 8)
+        b = OpeScheme(b"b" * 16, 8)
+        assert [a.encrypt(v) for v in range(16)] != [b.encrypt(v) for v in range(16)]
+
+    def test_ciphertext_in_range(self, ope):
+        for v in [0, 128, 255]:
+            assert 0 <= ope.encrypt(v) < (1 << ope.range_bits)
+
+
+class TestCompare:
+    def test_compare_signs(self, ope):
+        lo, hi = ope.encrypt(3), ope.encrypt(200)
+        assert OpeScheme.compare(lo, hi) == -1
+        assert OpeScheme.compare(hi, lo) == 1
+        assert OpeScheme.compare(lo, lo) == 0
+
+
+class TestLeakage:
+    def test_full_order_leaked(self, ope):
+        values = [42, 7, 255, 0, 100]
+        cts = [ope.encrypt(v) for v in values]
+        leaked = ope.leaked_order(cts)
+        true_order = sorted(range(len(values)), key=lambda i: values[i])
+        assert leaked == true_order
+
+
+class TestParams:
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            OpeScheme(b"k" * 16, 0)
+        with pytest.raises(ParameterError):
+            OpeScheme(b"k" * 16, 8, expansion=0)
+
+    def test_out_of_domain(self, ope):
+        with pytest.raises(ParameterError):
+            ope.encrypt(256)

@@ -1,0 +1,38 @@
+"""CLWW ORE: comparison correctness and first-differing-bit leakage."""
+
+import pytest
+
+from repro.baselines.ore_clww import ClwwOre
+from repro.common.bitstring import first_differing_bit
+
+
+@pytest.fixture(scope="module")
+def ore():
+    return ClwwOre(b"k" * 16, bits=6)
+
+
+class TestCompare:
+    def test_exhaustive(self, ore):
+        cts = {v: ore.encrypt(v) for v in range(64)}
+        for x in range(64):
+            for y in range(64):
+                assert ClwwOre.compare(cts[x], cts[y]) == (x > y) - (x < y), (x, y)
+
+    def test_deterministic(self, ore):
+        assert ore.encrypt(33).symbols == ore.encrypt(33).symbols
+
+
+class TestLeakage:
+    def test_first_differing_bit_leaked(self, ore):
+        for x, y in [(0, 63), (32, 33), (40, 20)]:
+            leaked = ClwwOre.first_differing_bit(ore.encrypt(x), ore.encrypt(y))
+            assert leaked == first_differing_bit(x, y, 6)
+
+    def test_equal_values_leak_none(self, ore):
+        assert ClwwOre.first_differing_bit(ore.encrypt(5), ore.encrypt(5)) is None
+
+
+class TestSize:
+    def test_succinct_encoding(self, ore):
+        # 6 symbols at 2 bits = 12 bits -> 2 bytes
+        assert ore.encrypt(0).size_bytes == 2

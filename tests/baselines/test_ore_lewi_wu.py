@@ -1,0 +1,46 @@
+"""Lewi-Wu left/right ORE: correctness and the right-side security property."""
+
+import pytest
+
+from repro.baselines.ore_lewi_wu import LewiWuOre
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+
+
+@pytest.fixture(scope="module")
+def ore():
+    return LewiWuOre(b"k" * 16, bits=5, rng=default_rng(13))
+
+
+class TestCompare:
+    def test_exhaustive(self, ore):
+        rights = {y: ore.encrypt_right(y) for y in range(32)}
+        for x in range(32):
+            left = ore.encrypt_left(x)
+            for y in range(32):
+                assert LewiWuOre.compare(left, rights[y]) == (x > y) - (x < y), (x, y)
+
+    def test_right_randomised(self, ore):
+        a, b = ore.encrypt_right(7), ore.encrypt_right(7)
+        assert a.nonce != b.nonce
+        assert a.symbols != b.symbols  # fresh nonce re-masks every symbol
+
+    def test_left_deterministic(self, ore):
+        assert ore.encrypt_left(7) == ore.encrypt_left(7)
+
+
+class TestShapes:
+    def test_right_size_scales_with_domain(self):
+        small = LewiWuOre(b"k" * 16, 4, default_rng(1))
+        large = LewiWuOre(b"k" * 16, 8, default_rng(1))
+        assert large.encrypt_right(0).size_bytes > small.encrypt_right(0).size_bytes
+
+    def test_large_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            LewiWuOre(b"k" * 16, 16)
+
+    def test_out_of_domain(self, ore):
+        with pytest.raises(ParameterError):
+            ore.encrypt_left(32)
+        with pytest.raises(ParameterError):
+            ore.encrypt_right(-1)

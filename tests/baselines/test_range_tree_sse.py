@@ -1,0 +1,76 @@
+"""Dyadic range-covering SSE baseline."""
+
+import pytest
+
+from repro.baselines.range_tree_sse import (
+    DyadicInterval,
+    RangeTreeSse,
+    canonical_cover,
+    intervals_containing,
+)
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+
+
+class TestDyadicIntervals:
+    def test_interval_bounds(self):
+        assert (DyadicInterval(0, 5).lo, DyadicInterval(0, 5).hi) == (5, 5)
+        assert (DyadicInterval(3, 1).lo, DyadicInterval(3, 1).hi) == (8, 15)
+
+    def test_containing_chain(self):
+        chain = intervals_containing(5, 4)
+        assert len(chain) == 5  # levels 0..4
+        assert all(i.lo <= 5 <= i.hi for i in chain)
+        assert (chain[-1].lo, chain[-1].hi) == (0, 15)
+
+    def test_keywords_distinct(self):
+        kws = {i.keyword() for v in range(16) for i in intervals_containing(v, 4)}
+        distinct = {(i.level, i.prefix) for v in range(16) for i in intervals_containing(v, 4)}
+        assert len(kws) == len(distinct)
+
+
+class TestCanonicalCover:
+    @pytest.mark.parametrize("lo,hi", [(0, 15), (3, 11), (5, 5), (0, 0), (1, 14)])
+    def test_cover_is_exact_partition(self, lo, hi):
+        cover = canonical_cover(lo, hi, 4)
+        covered = sorted(v for i in cover for v in range(i.lo, i.hi + 1))
+        assert covered == list(range(lo, hi + 1))  # disjoint and complete
+
+    def test_cover_size_bounded(self):
+        for lo in range(0, 64, 7):
+            for hi in range(lo, 64, 5):
+                assert len(canonical_cover(lo, hi, 6)) <= 2 * 6
+
+    def test_whole_domain_is_one_node(self):
+        cover = canonical_cover(0, 15, 4)
+        assert len(cover) == 1 and cover[0].level == 4
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ParameterError):
+            canonical_cover(5, 4, 4)
+
+
+class TestRangeTreeSse:
+    @pytest.fixture()
+    def tree(self):
+        t = RangeTreeSse(bits=6, rng=default_rng(51))
+        t.insert_values([(bytes([i]) * 8, (i * 7) % 64) for i in range(20)])
+        return t
+
+    def test_range_search_correct(self, tree):
+        ids, _ = tree.range_search(10, 30)
+        expected = {bytes([i]) * 8 for i in range(20) if 10 <= (i * 7) % 64 <= 30}
+        assert ids == expected
+
+    def test_token_count_logarithmic(self, tree):
+        _, tokens_wide = tree.range_search(1, 62)
+        assert tokens_wide <= 2 * 6  # vs 62 under naive enumeration
+
+    def test_index_blowup_matches_tree_height(self, tree):
+        # every record indexed under b+1 dyadic keywords
+        assert tree.index_entries == 20 * 7
+
+    def test_point_query(self, tree):
+        ids, tokens = tree.range_search(7, 7)
+        assert ids == {bytes([1]) * 8}
+        assert tokens == 1

@@ -1,0 +1,48 @@
+"""Accounts and address derivation."""
+
+import pytest
+
+from repro.blockchain.accounts import (
+    Account,
+    address_from_label,
+    contract_address,
+    format_address,
+)
+from repro.common.errors import InsufficientFundsError
+
+
+class TestAddresses:
+    def test_deterministic(self):
+        assert address_from_label("alice") == address_from_label("alice")
+
+    def test_distinct_labels(self):
+        assert address_from_label("alice") != address_from_label("bob")
+
+    def test_length(self):
+        assert len(address_from_label("alice")) == 20
+
+    def test_contract_address_nonce_dependent(self):
+        creator = address_from_label("alice")
+        assert contract_address(creator, 0) != contract_address(creator, 1)
+
+    def test_format(self):
+        assert format_address(b"\x00" * 20) == "0x" + "00" * 20
+
+
+class TestAccount:
+    def test_credit_debit(self):
+        acct = Account(balance=100)
+        acct.debit(40)
+        acct.credit(10)
+        assert acct.balance == 70
+
+    def test_overdraft_rejected(self):
+        with pytest.raises(InsufficientFundsError):
+            Account(balance=10).debit(11)
+
+    def test_negative_amounts_rejected(self):
+        acct = Account(balance=10)
+        with pytest.raises(InsufficientFundsError):
+            acct.debit(-1)
+        with pytest.raises(InsufficientFundsError):
+            acct.credit(-1)

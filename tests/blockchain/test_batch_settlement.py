@@ -1,0 +1,84 @@
+"""Batched verification: n queries settle in one transaction, amortising gas."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.cloud import MaliciousCloud, Misbehavior
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.system import DEFAULT_FUNDING, SlicerSystem
+
+QUERIES = [Query.parse(7, "="), Query.parse(100, ">"), Query.parse(100, "<")]
+
+
+@pytest.fixture()
+def system(tparams):
+    s = SlicerSystem(tparams, rng=default_rng(151))
+    s.setup(make_database([(f"r{i}", (i * 21) % 256) for i in range(18)], bits=8))
+    return s
+
+
+class TestBatchSearch:
+    def test_all_verified_and_correct(self, system):
+        outcomes = system.batch_search(QUERIES)
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert outcome.verified
+        # Results match the individual-search path.
+        singles = [system.search(q) for q in QUERIES]
+        for batch, single in zip(outcomes, singles):
+            assert batch.record_ids == single.record_ids
+
+    def test_batch_amortises_gas(self, system):
+        outcomes = system.batch_search(QUERIES, payment=100)
+        batch_settle_gas = outcomes[0].settle_receipt.gas_used
+        singles = [system.search(q, payment=100) for q in QUERIES]
+        individual_total = sum(o.settle_gas for o in singles)
+        assert batch_settle_gas < individual_total
+        # Amortisation saves at least one intrinsic tx cost.
+        assert individual_total - batch_settle_gas > 21_000
+
+    def test_payments_settle_per_query(self, system):
+        cloud0 = system.chain.balance(system.cloud_address)
+        system.batch_search(QUERIES, payment=500)
+        assert system.chain.balance(system.cloud_address) == cloud0 + 3 * 500
+
+    def test_malicious_cloud_refunds_whole_batch(self, tparams):
+        s = SlicerSystem(tparams, rng=default_rng(152))
+        s.cloud = MaliciousCloud(
+            tparams, s.owner.keys.trapdoor.public, Misbehavior.TAMPER_ENTRY, default_rng(1)
+        )
+        s.setup(make_database([(f"r{i}", (i * 21) % 256) for i in range(18)], bits=8))
+        # All three queries have non-empty result sets, so tampering hits all
+        # of them (an empty-result query is answered honestly and would pay).
+        with_results = [Query.parse(100, ">"), Query.parse(100, "<"), Query.parse(200, ">")]
+        outcomes = s.batch_search(with_results, payment=500)
+        assert all(not o.verified for o in outcomes)
+        assert s.balances()["user"] == DEFAULT_FUNDING
+        assert s.balances()["cloud"] == DEFAULT_FUNDING
+
+    def test_batch_cannot_resettle(self, system):
+        from repro.blockchain.slicer_contract import response_to_chain_args
+
+        outcomes = system.batch_search(QUERIES[:1])
+        again = system.chain.call(
+            system.cloud_address,
+            system.contract,
+            "batch_verify_and_settle",
+            (
+                [outcomes[0].query_id],
+                system.cloud.ads_value,
+                [response_to_chain_args(outcomes[0].response)],
+            ),
+        )
+        assert not again.status
+
+    def test_length_mismatch_reverts(self, system):
+        receipt = system.chain.call(
+            system.cloud_address,
+            system.contract,
+            "batch_verify_and_settle",
+            ([0, 1], system.cloud.ads_value, [[]]),
+        )
+        assert not receipt.status
+        assert "mismatch" in receipt.revert_reason

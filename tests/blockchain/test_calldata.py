@@ -1,0 +1,75 @@
+"""Calldata encoding: determinism, type coverage, gas pricing interaction."""
+
+import pytest
+
+from repro.blockchain.gas import GasSchedule
+from repro.blockchain.transaction import Transaction, encode_calldata
+
+
+class TestEncodeCalldata:
+    def test_deterministic(self):
+        assert encode_calldata("m", (1, b"x")) == encode_calldata("m", (1, b"x"))
+
+    def test_method_name_matters(self):
+        assert encode_calldata("a", ()) != encode_calldata("b", ())
+
+    def test_int_encoding_minimal(self):
+        short = encode_calldata("m", (1,))
+        long = encode_calldata("m", (2**128,))
+        assert len(long) > len(short)
+
+    def test_bool_encoding(self):
+        assert encode_calldata("m", (True,)) != encode_calldata("m", (False,))
+
+    def test_nested_lists(self):
+        blob = encode_calldata("m", ([b"a", [1, 2]], b"tail"))
+        assert isinstance(blob, bytes) and len(blob) > 0
+
+    def test_nested_structures_distinct(self):
+        a = encode_calldata("m", ([b"a", b"b"],))
+        b = encode_calldata("m", ([b"ab"],))
+        assert a != b
+
+    def test_bytearray_accepted(self):
+        assert encode_calldata("m", (bytearray(b"xy"),)) == encode_calldata("m", (b"xy",))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_calldata("m", (3.14,))
+
+    def test_gas_priced_per_byte_content(self):
+        schedule = GasSchedule()
+        zeros = encode_calldata("m", (b"\x00" * 64,))
+        ones = encode_calldata("m", (b"\x01" * 64,))
+        assert schedule.calldata_gas(ones) > schedule.calldata_gas(zeros)
+
+
+class TestTransactionHash:
+    def _tx(self, **overrides):
+        fields = dict(
+            sender=b"\x01" * 20,
+            to=b"\x02" * 20,
+            value=5,
+            data=b"payload",
+            gas_limit=100_000,
+            nonce=0,
+        )
+        fields.update(overrides)
+        return Transaction(**fields)
+
+    def test_hash_stable(self):
+        assert self._tx().hash() == self._tx().hash()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("sender", b"\x09" * 20),
+            ("to", None),
+            ("value", 6),
+            ("data", b"other"),
+            ("gas_limit", 1),
+            ("nonce", 7),
+        ],
+    )
+    def test_every_field_hashes(self, field, value):
+        assert self._tx().hash() != self._tx(**{field: value}).hash()

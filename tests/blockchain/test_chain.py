@@ -1,0 +1,139 @@
+"""Chain mechanics: blocks, integrity, value transfer, PoA sealing."""
+
+import pytest
+
+from repro.blockchain.block import make_block
+from repro.blockchain.chain import Blockchain, ChainConfig
+from repro.blockchain.contract import Contract
+from repro.common.errors import BlockchainError, InsufficientFundsError
+
+
+class Counter(Contract):
+    """Minimal test contract."""
+
+    CODE_SIZE = 100
+
+    def init(self) -> None:
+        self._sstore_int("count", 0, 8)
+
+    def bump(self) -> int:
+        value = self._sload_int("count") + 1
+        self._sstore_int("count", value, 8)
+        return value
+
+    def pay_me(self) -> int:
+        return self.call_value
+
+
+@pytest.fixture()
+def chain():
+    c = Blockchain()
+    c.create_account("alice", 1_000_000)
+    c.create_account("bob", 0)
+    return c
+
+
+def alice():
+    from repro.blockchain.accounts import address_from_label
+
+    return address_from_label("alice")
+
+
+class TestAccountsOnChain:
+    def test_duplicate_account_rejected(self, chain):
+        with pytest.raises(BlockchainError):
+            chain.create_account("alice")
+
+    def test_unknown_account_rejected(self, chain):
+        with pytest.raises(BlockchainError):
+            chain.balance(b"\x00" * 20)
+
+
+class TestCalls:
+    def test_deploy_and_call(self, chain):
+        contract, receipt = chain.deploy(alice(), Counter)
+        assert receipt.status and receipt.contract_address == contract.address
+        r1 = chain.call(alice(), contract, "bump")
+        r2 = chain.call(alice(), contract, "bump")
+        assert (r1.return_value, r2.return_value) == (1, 2)
+
+    def test_gas_charged(self, chain):
+        contract, receipt = chain.deploy(alice(), Counter)
+        assert receipt.gas_used > 21_000 + 32_000
+        call_receipt = chain.call(alice(), contract, "bump")
+        assert call_receipt.gas_used > 21_000
+        assert "sstore" in call_receipt.gas_breakdown
+
+    def test_value_attached_to_call(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        receipt = chain.call(alice(), contract, "pay_me", value=500)
+        assert receipt.return_value == 500
+        assert chain.balance(contract.address) == 500
+        assert chain.balance(alice()) == 1_000_000 - 500
+
+    def test_insufficient_value_rejected(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        with pytest.raises(InsufficientFundsError):
+            chain.call(alice(), contract, "pay_me", value=10**9)
+
+    def test_unknown_method_rejected(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        with pytest.raises(BlockchainError):
+            chain.call(alice(), contract, "does_not_exist")
+
+    def test_private_method_rejected(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        with pytest.raises(BlockchainError):
+            chain.call(alice(), contract, "_sstore")
+
+    def test_call_by_address(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        receipt = chain.call(alice(), contract.address, "bump")
+        assert receipt.return_value == 1
+
+    def test_nonce_increments(self, chain):
+        chain.deploy(alice(), Counter)
+        contract, _ = chain.deploy(alice(), Counter)
+        assert chain.accounts[alice()].nonce == 2
+
+
+class TestSealing:
+    def test_mining_links_blocks(self, chain):
+        contract, _ = chain.deploy(alice(), Counter)
+        chain.mine()
+        chain.call(alice(), contract, "bump")
+        chain.mine()
+        assert chain.height == 2
+        assert chain.blocks[1].header.parent_hash == chain.blocks[0].hash()
+        assert chain.verify_integrity()
+
+    def test_round_robin_sealers(self):
+        config = ChainConfig(sealers=("s0", "s1"))
+        chain = Blockchain(config)
+        for _ in range(4):
+            chain.mine()
+        sealers = [b.header.sealer for b in chain.blocks]
+        assert sealers[0] == sealers[2] and sealers[1] == sealers[3]
+        assert sealers[0] != sealers[1]
+
+    def test_tamper_detected(self, chain):
+        chain.deploy(alice(), Counter)
+        chain.mine()
+        chain.mine()
+        # Replace a sealed block with a forged one carrying a different timestamp.
+        original = chain.blocks[0]
+        chain.blocks[0] = make_block(
+            original.number,
+            original.header.parent_hash,
+            original.transactions,
+            original.receipts,
+            original.header.sealer,
+            original.header.timestamp + 999,
+        )
+        assert not chain.verify_integrity()
+
+    def test_mine_clears_pending(self, chain):
+        chain.deploy(alice(), Counter)
+        block = chain.mine()
+        assert len(block.transactions) == 1
+        assert len(chain.mine().transactions) == 0

@@ -1,0 +1,69 @@
+"""EVM gas schedule: calldata, keccak, EIP-2565 modexp pricing."""
+
+from repro.blockchain.gas import GasSchedule
+
+
+SCHEDULE = GasSchedule()
+
+
+class TestCalldata:
+    def test_zero_bytes_cheap(self):
+        assert SCHEDULE.calldata_gas(b"\x00" * 10) == 40
+
+    def test_nonzero_bytes(self):
+        assert SCHEDULE.calldata_gas(b"\x01" * 10) == 160
+
+    def test_mixed(self):
+        assert SCHEDULE.calldata_gas(b"\x00\x01") == 4 + 16
+
+    def test_empty(self):
+        assert SCHEDULE.calldata_gas(b"") == 0
+
+
+class TestKeccak:
+    def test_base_cost(self):
+        assert SCHEDULE.keccak_gas(0) == 30
+
+    def test_word_rounding(self):
+        assert SCHEDULE.keccak_gas(1) == 36
+        assert SCHEDULE.keccak_gas(32) == 36
+        assert SCHEDULE.keccak_gas(33) == 42
+
+
+class TestModexp:
+    def test_minimum_floor(self):
+        assert SCHEDULE.modexp_gas(1, 3, 1) == 200
+
+    def test_eip2565_vector_rsa2048(self):
+        """2048-bit base/mod, 256-bit exponent: words=32, mult=1024,
+        iterations=255 -> 1024*255//3 = 87040."""
+        exponent = (1 << 255) | 1
+        assert SCHEDULE.modexp_gas(256, exponent, 256) == 87_040
+
+    def test_eip2565_vector_rsa1024(self):
+        exponent = (1 << 255) | 1
+        assert SCHEDULE.modexp_gas(128, exponent, 128) == 21_760
+
+    def test_grows_with_exponent_bits(self):
+        small = SCHEDULE.modexp_gas(128, 1 << 10, 128)
+        large = SCHEDULE.modexp_gas(128, 1 << 200, 128)
+        assert large > small
+
+    def test_long_exponent_head_term(self):
+        exponent = 1 << (8 * 40)  # 41-byte exponent
+        gas = SCHEDULE.modexp_gas(32, exponent, 32)
+        words = 4
+        iteration = 8 * (41 - 32) + max((exponent >> 72).bit_length() - 1, 0)
+        assert gas == max(200, words * words * iteration // 3)
+
+
+class TestStorageWords:
+    def test_rounding(self):
+        assert SCHEDULE.storage_words(0) == 1
+        assert SCHEDULE.storage_words(32) == 1
+        assert SCHEDULE.storage_words(33) == 2
+        assert SCHEDULE.storage_words(128) == 4
+
+
+def test_log_gas():
+    assert SCHEDULE.log_gas(1, 32) == 375 + 375 + 256

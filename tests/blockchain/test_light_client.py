@@ -1,0 +1,99 @@
+"""Light client: header tracking, sealer policing, inclusion checks."""
+
+import pytest
+
+from repro.blockchain.block import BlockHeader
+from repro.blockchain.chain import Blockchain, ChainConfig
+from repro.blockchain.contract import Contract
+from repro.blockchain.light_client import LightClient, follow
+from repro.blockchain.proofs import prove_inclusion
+from repro.common.errors import BlockchainError
+
+
+class Pinger(Contract):
+    CODE_SIZE = 64
+
+    def ping(self) -> int:
+        return 1
+
+
+@pytest.fixture()
+def chain():
+    c = Blockchain()
+    alice = c.create_account("alice", 10**6)
+    contract, _ = c.deploy(alice, Pinger)
+    c.mine()
+    for _ in range(3):
+        c.call(alice, contract, "ping")
+        c.mine()
+    return c
+
+
+class TestHeaderSync:
+    def test_follow_syncs_all_headers(self, chain):
+        client = follow(chain)
+        assert client.height == chain.height
+
+    def test_incremental_sync(self, chain):
+        client = follow(chain)
+        chain.mine()
+        assert client.sync(chain) == 1
+        assert client.height == chain.height
+
+    def test_gap_rejected(self, chain):
+        client = LightClient(chain.config.sealers)
+        with pytest.raises(BlockchainError):
+            client.accept_header(chain.blocks[1].header)
+
+    def test_wrong_parent_rejected(self, chain):
+        client = LightClient(chain.config.sealers)
+        client.accept_header(chain.blocks[0].header)
+        forged = BlockHeader(
+            number=1,
+            parent_hash=b"\x00" * 32,
+            tx_root=chain.blocks[1].header.tx_root,
+            receipt_root=chain.blocks[1].header.receipt_root,
+            sealer=chain.blocks[1].header.sealer,
+            timestamp=chain.blocks[1].header.timestamp,
+        )
+        with pytest.raises(BlockchainError):
+            client.accept_header(forged)
+
+    def test_unauthorised_sealer_rejected(self, chain):
+        client = LightClient(("nobody",))
+        with pytest.raises(BlockchainError):
+            client.accept_header(chain.blocks[0].header)
+
+
+class TestInclusionChecks:
+    def test_included_tx_accepted(self, chain):
+        client = follow(chain)
+        block = chain.blocks[1]
+        proof = prove_inclusion(block, block.transactions[0].hash())
+        assert client.check_inclusion(proof)
+
+    def test_unknown_block_rejected(self, chain):
+        client = follow(chain)
+        block = chain.blocks[1]
+        proof = prove_inclusion(block, block.transactions[0].hash())
+        forged = type(proof)(99, proof.tx_index, proof.tx_hash, proof.path)
+        assert not client.check_inclusion(forged)
+
+    def test_user_freshness_flow(self, tparams):
+        """End-to-end: a user light-client confirms the ADS update anchored."""
+        from repro.common.rng import default_rng
+        from repro.core.records import Database, make_database
+        from repro.system import SlicerSystem
+
+        system = SlicerSystem(tparams, rng=default_rng(161))
+        system.setup(make_database([("a", 1)], bits=8))
+        client = follow(system.chain)
+
+        add = Database(8)
+        add.add("b", 2)
+        receipt = system.insert(add)
+        client.sync(system.chain)
+
+        block = system.chain.blocks[-1]
+        proof = prove_inclusion(block, receipt.tx_hash)
+        assert client.check_inclusion(proof)

@@ -1,0 +1,93 @@
+"""Light-client transaction inclusion proofs."""
+
+import pytest
+
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.contract import Contract
+from repro.blockchain.proofs import prove_inclusion, verify_inclusion
+from repro.common.errors import BlockchainError
+
+
+class Noop(Contract):
+    CODE_SIZE = 64
+
+    def ping(self) -> int:
+        return 1
+
+
+@pytest.fixture()
+def chain_with_block():
+    chain = Blockchain()
+    alice = chain.create_account("alice", 10**6)
+    contract, _ = chain.deploy(alice, Noop)
+    receipts = [chain.call(alice, contract, "ping") for _ in range(5)]
+    block = chain.mine()
+    return chain, block, receipts
+
+
+class TestInclusion:
+    def test_every_tx_provable(self, chain_with_block):
+        _, block, _ = chain_with_block
+        for tx in block.transactions:
+            proof = prove_inclusion(block, tx.hash())
+            assert verify_inclusion(block.header.tx_root, proof)
+
+    def test_foreign_tx_rejected(self, chain_with_block):
+        _, block, _ = chain_with_block
+        with pytest.raises(BlockchainError):
+            prove_inclusion(block, b"\x00" * 32)
+
+    def test_wrong_root_fails(self, chain_with_block):
+        _, block, _ = chain_with_block
+        proof = prove_inclusion(block, block.transactions[0].hash())
+        assert not verify_inclusion(b"\xff" * 32, proof)
+
+    def test_tampered_path_fails(self, chain_with_block):
+        from repro.blockchain.proofs import InclusionProof
+
+        _, block, _ = chain_with_block
+        proof = prove_inclusion(block, block.transactions[2].hash())
+        bad = InclusionProof(
+            proof.block_number,
+            proof.tx_index,
+            proof.tx_hash,
+            ((b"\x00" * 32, True),) + proof.path[1:],
+        )
+        assert not verify_inclusion(block.header.tx_root, bad)
+
+    def test_proof_against_other_tx_hash_fails(self, chain_with_block):
+        from repro.blockchain.proofs import InclusionProof
+
+        _, block, _ = chain_with_block
+        proof = prove_inclusion(block, block.transactions[0].hash())
+        forged = InclusionProof(
+            proof.block_number,
+            proof.tx_index,
+            block.transactions[1].hash(),
+            proof.path,
+        )
+        assert not verify_inclusion(block.header.tx_root, forged)
+
+    def test_single_tx_block(self):
+        chain = Blockchain()
+        alice = chain.create_account("alice", 10**6)
+        contract, _ = chain.deploy(alice, Noop)
+        block = chain.mine()
+        proof = prove_inclusion(block, block.transactions[0].hash())
+        assert verify_inclusion(block.header.tx_root, proof)
+
+    def test_freshness_anchor_use_case(self, tparams):
+        """The flow the paper implies: prove the ADS-update tx is on chain."""
+        from repro.common.rng import default_rng
+        from repro.core.records import Database, make_database
+        from repro.system import SlicerSystem
+
+        system = SlicerSystem(tparams, rng=default_rng(171))
+        system.setup(make_database([("a", 5)], bits=8))
+        add = Database(8)
+        add.add("b", 9)
+        receipt = system.insert(add)
+        block = system.chain.blocks[-1]
+        proof = prove_inclusion(block, receipt.tx_hash)
+        assert verify_inclusion(block.header.tx_root, proof)
+        assert system.chain.verify_integrity()

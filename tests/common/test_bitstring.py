@@ -1,0 +1,124 @@
+"""Unit tests for the bit-indexing convention the SORE scheme relies on."""
+
+import pytest
+
+from repro.common.bitstring import (
+    bit_at,
+    bytes_to_int,
+    check_value_fits,
+    first_differing_bit,
+    from_bits,
+    int_to_bytes,
+    prefix_bits,
+    to_bits,
+    xor_bytes,
+)
+from repro.common.errors import ParameterError
+
+
+class TestBitAt:
+    def test_msb_is_index_one(self):
+        # 0b1000 -> bit 1 is the MSB
+        assert bit_at(0b1000, 1, 4) == 1
+        assert bit_at(0b1000, 2, 4) == 0
+
+    def test_lsb_is_index_b(self):
+        assert bit_at(0b0001, 4, 4) == 1
+        assert bit_at(0b0001, 3, 4) == 0
+
+    def test_paper_example_five(self):
+        # 5 = (0101) in the paper's Fig. 2
+        assert [bit_at(5, i, 4) for i in range(1, 5)] == [0, 1, 0, 1]
+
+    def test_paper_example_eight(self):
+        # 8 = (1000)
+        assert [bit_at(8, i, 4) for i in range(1, 5)] == [1, 0, 0, 0]
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ParameterError):
+            bit_at(5, 0, 4)
+        with pytest.raises(ParameterError):
+            bit_at(5, 5, 4)
+
+
+class TestPrefixBits:
+    def test_first_prefix_is_empty(self):
+        assert prefix_bits(0b1010, 1, 4) == ""
+
+    def test_full_prefix(self):
+        assert prefix_bits(0b1010, 4, 4) == "101"
+
+    def test_prefix_of_five(self):
+        assert prefix_bits(5, 3, 4) == "01"
+
+
+class TestRoundTrips:
+    def test_to_from_bits(self):
+        for v in [0, 1, 5, 8, 255]:
+            assert from_bits(to_bits(v, 8)) == v
+
+    def test_to_bits_width(self):
+        assert to_bits(5, 8) == "00000101"
+
+    def test_from_bits_empty_is_zero(self):
+        assert from_bits("") == 0
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ParameterError):
+            from_bits("10201")
+
+    def test_int_bytes_round_trip(self):
+        for v in [0, 1, 255, 256, 2**64 - 1]:
+            assert bytes_to_int(int_to_bytes(v)) == v
+
+    def test_int_to_bytes_fixed_length(self):
+        assert int_to_bytes(5, 4) == b"\x00\x00\x00\x05"
+
+    def test_int_to_bytes_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            int_to_bytes(-1)
+
+
+class TestFirstDifferingBit:
+    def test_equal_values_return_none(self):
+        assert first_differing_bit(42, 42, 8) is None
+
+    def test_msb_difference(self):
+        assert first_differing_bit(0b10000000, 0, 8) == 1
+
+    def test_lsb_difference(self):
+        assert first_differing_bit(0b1, 0, 8) == 8
+
+    def test_paper_pair(self):
+        # 5=(0101) vs 8=(1000): differ at bit 1
+        assert first_differing_bit(5, 8, 4) == 1
+        # 5=(0101) vs 4=(0100): differ at bit 4
+        assert first_differing_bit(5, 4, 4) == 4
+
+
+class TestCheckValueFits:
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_value_fits(-1, 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ParameterError):
+            check_value_fits(256, 8)
+
+    def test_accepts_bounds(self):
+        check_value_fits(0, 8)
+        check_value_fits(255, 8)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ParameterError):
+            check_value_fits(0, 0)
+
+
+class TestXorBytes:
+    def test_self_inverse(self):
+        a, b = b"\x01\x02\x03", b"\xff\x00\x10"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            xor_bytes(b"\x00", b"\x00\x00")

@@ -1,0 +1,62 @@
+"""Injectivity of the canonical encodings (the || operator must not collide)."""
+
+import pytest
+
+from repro.common.encoding import (
+    decode_parts,
+    decode_uint,
+    encode_parts,
+    encode_str,
+    encode_uint,
+    sizeof,
+)
+from repro.common.errors import ParameterError
+
+
+class TestEncodeParts:
+    def test_round_trip(self):
+        parts = [b"", b"a", b"hello world", b"\x00" * 5]
+        assert decode_parts(encode_parts(*parts)) == parts
+
+    def test_injective_against_concatenation_shift(self):
+        # Plain concatenation would collide ("ab"+"c" == "a"+"bc").
+        assert encode_parts(b"ab", b"c") != encode_parts(b"a", b"bc")
+
+    def test_empty_encoding(self):
+        assert decode_parts(encode_parts()) == []
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ParameterError):
+            encode_parts("text")  # type: ignore[arg-type]
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_parts(b"abcdef")
+        with pytest.raises(ParameterError):
+            decode_parts(blob[:-1])
+
+    def test_truncated_length_prefix_rejected(self):
+        with pytest.raises(ParameterError):
+            decode_parts(b"\x00\x00")
+
+
+class TestUintEncoding:
+    def test_round_trip(self):
+        for v in [0, 1, 255, 2**63]:
+            assert decode_uint(encode_uint(v, 16)) == v
+
+    def test_fixed_width(self):
+        assert len(encode_uint(1, 4)) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            encode_uint(-1)
+
+
+class TestSizeof:
+    def test_bytes_and_iterables(self):
+        assert sizeof(b"abc") == 3
+        assert sizeof([b"ab", b"c"], b"d") == 4
+
+
+def test_encode_str_utf8():
+    assert encode_str("age>") == b"age>"

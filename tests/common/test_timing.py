@@ -1,0 +1,31 @@
+"""Stopwatch accumulation semantics."""
+
+from repro.common.timing import Stopwatch, time_call
+
+
+def test_measure_accumulates():
+    watch = Stopwatch()
+    with watch.measure("phase"):
+        pass
+    first = watch.get("phase")
+    with watch.measure("phase"):
+        pass
+    assert watch.get("phase") >= first
+
+
+def test_unknown_label_is_zero():
+    assert Stopwatch().get("nope") == 0.0
+
+
+def test_reset():
+    watch = Stopwatch()
+    with watch.measure("x"):
+        pass
+    watch.reset()
+    assert watch.get("x") == 0.0
+
+
+def test_time_call_returns_result():
+    elapsed, result = time_call(lambda: 41 + 1)
+    assert result == 42
+    assert elapsed >= 0.0

@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Heavy cryptographic setup (RSA keygen, accumulator parameters) is done once
+per session and shared; protocol state is rebuilt per test from those keys.
+All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.records import Database, make_database
+
+
+TEST_TRAPDOOR_BITS = 512
+
+
+@pytest.fixture(scope="session")
+def tparams() -> SlicerParams:
+    """Small fast protocol parameters: 8-bit values, 512-bit accumulator."""
+    return SlicerParams.testing(value_bits=8)
+
+
+@pytest.fixture(scope="session")
+def tparams16() -> SlicerParams:
+    return SlicerParams.testing(value_bits=16)
+
+
+@pytest.fixture(scope="session")
+def session_keys() -> KeyBundle:
+    """One RSA trapdoor keypair for the whole session (keygen is the slow part)."""
+    return KeyBundle.generate(default_rng(1234), trapdoor_bits=TEST_TRAPDOOR_BITS)
+
+
+@pytest.fixture()
+def rng():
+    return default_rng(99)
+
+
+@pytest.fixture()
+def small_db() -> Database:
+    """A tiny 8-bit database with duplicate values and edge values."""
+    return make_database(
+        [
+            ("r0", 0),
+            ("r1", 7),
+            ("r2", 7),
+            ("r3", 41),
+            ("r4", 128),
+            ("r5", 255),
+            ("r6", 42),
+        ],
+        bits=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def owner_factory(session_keys):
+    """Factory for DataOwners reusing the session key bundle (fast setup)."""
+    from repro.core.owner import DataOwner
+
+    def make(params: SlicerParams, seed: int = 7) -> DataOwner:
+        return DataOwner(params, keys=session_keys, rng=default_rng(seed))
+
+    return make

@@ -1,0 +1,65 @@
+"""Third-party auditing: keyless re-verification matches the contract."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.audit import AuditRecord, ThirdPartyAuditor
+from repro.core.cloud import MaliciousCloud, Misbehavior
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.system import SlicerSystem
+
+
+@pytest.fixture()
+def system(tparams):
+    s = SlicerSystem(tparams, rng=default_rng(181))
+    s.setup(make_database([(f"r{i}", (i * 31) % 256) for i in range(16)], bits=8))
+    return s
+
+
+class TestAuditor:
+    def test_honest_search_audits_clean(self, system, tparams):
+        outcome = system.search(Query.parse(120, ">"))
+        auditor = ThirdPartyAuditor(tparams)
+        record = AuditRecord.from_response(outcome.response, system.cloud.ads_value)
+        assert auditor.audit(record).ok
+        assert auditor.audit_agrees_with_settlement(record, outcome.verified)
+
+    def test_auditor_holds_no_secrets(self, tparams):
+        auditor = ThirdPartyAuditor(tparams)
+        assert not auditor.params.accumulator.has_trapdoor
+
+    def test_tampered_search_audits_dirty(self, tparams):
+        s = SlicerSystem(tparams, rng=default_rng(182))
+        s.cloud = MaliciousCloud(
+            tparams, s.owner.keys.trapdoor.public, Misbehavior.DROP_ENTRY, default_rng(1)
+        )
+        s.setup(make_database([(f"r{i}", (i * 31) % 256) for i in range(16)], bits=8))
+        outcome = s.search(Query.parse(120, ">"))
+        auditor = ThirdPartyAuditor(tparams)
+        record = AuditRecord.from_response(outcome.response, s.cloud.ads_value)
+        assert not auditor.audit(record).ok
+        assert auditor.audit_agrees_with_settlement(record, outcome.verified)
+
+    def test_audit_from_raw_chain_args(self, system, tparams):
+        """The auditor can work from exactly what went over the wire."""
+        from repro.blockchain.slicer_contract import response_to_chain_args
+
+        outcome = system.search(Query.parse(31, "="))
+        args = response_to_chain_args(outcome.response)
+        record = AuditRecord.from_chain_args(args, system.cloud.ads_value)
+        assert ThirdPartyAuditor(tparams).audit(record).ok
+
+    def test_audit_against_stale_ads_fails(self, system, tparams):
+        from repro.core.records import Database
+
+        outcome = system.search(Query.parse(120, ">"))
+        record = AuditRecord.from_response(outcome.response, system.cloud.ads_value)
+        add = Database(8)
+        add.add("new", 3)
+        system.insert(add)
+        stale_ok = ThirdPartyAuditor(tparams).audit(record).ok
+        fresh_record = AuditRecord.from_response(outcome.response, system.cloud.ads_value)
+        fresh_ok = ThirdPartyAuditor(tparams).audit(fresh_record).ok
+        assert stale_ok  # the original Ac still validates the original search
+        assert not fresh_ok  # but the search does not validate against new Ac

@@ -1,0 +1,91 @@
+"""Build (Algorithm 1): index structure, ADS consistency, owner state."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.core.keywords import keywords_for_record
+from repro.core.owner import DataOwner
+from repro.core.records import Database, make_database
+from repro.crypto.accumulator import Accumulator
+
+
+@pytest.fixture()
+def owner(tparams, owner_factory):
+    return owner_factory(tparams)
+
+
+class TestBuildStructure:
+    def test_index_entry_count(self, owner, small_db):
+        """Each record yields one entry per keyword: (1 + b) per attribute value."""
+        out = owner.build(small_db)
+        expected = sum(len(keywords_for_record(r.value, 8)) for r in small_db)
+        assert len(out.cloud_package.index) == expected
+
+    def test_prime_per_keyword(self, owner, small_db):
+        out = owner.build(small_db)
+        distinct_keywords = {
+            kw for r in small_db for kw in keywords_for_record(r.value, 8)
+        }
+        assert len(out.cloud_package.primes) == len(distinct_keywords)
+        assert len(owner.trapdoor_state) == len(distinct_keywords)
+
+    def test_ads_matches_prime_list(self, owner, small_db, tparams):
+        out = owner.build(small_db)
+        recomputed = Accumulator(tparams.accumulator.public(), out.cloud_package.primes)
+        assert recomputed.value == out.chain_ads
+
+    def test_entries_have_uniform_shape(self, owner, small_db, tparams):
+        out = owner.build(small_db)
+        index = out.cloud_package.index
+        payload_len = 16 + tparams.record_id_len  # nonce + record id
+        for label in list(index._entries):
+            assert len(label) == tparams.label_len
+            assert len(index.find(label)) == payload_len
+
+    def test_empty_database(self, owner, tparams):
+        out = owner.build(Database(tparams.value_bits))
+        assert len(out.cloud_package.index) == 0
+        assert out.cloud_package.primes == []
+        assert out.chain_ads == tparams.accumulator.generator % tparams.accumulator.modulus
+
+    def test_user_package_contains_state(self, owner, small_db):
+        out = owner.build(small_db)
+        pkg = out.user_package
+        assert len(pkg.trapdoor_state) == len(owner.trapdoor_state)
+        assert pkg.ads_value == out.chain_ads
+        assert pkg.keys.record_key == owner.keys.record_key
+
+
+class TestBuildGuards:
+    def test_double_build_rejected(self, owner, small_db):
+        owner.build(small_db)
+        with pytest.raises(StateError):
+            owner.build(small_db)
+
+    def test_insert_before_build_rejected(self, owner, small_db):
+        with pytest.raises(StateError):
+            owner.insert(small_db)
+
+    def test_bit_width_mismatch_rejected(self, tparams, owner_factory):
+        owner = owner_factory(tparams)
+        with pytest.raises(StateError):
+            owner.build(make_database([("a", 1)], bits=16))
+
+
+class TestBuildDeterminismAndIsolation:
+    def test_same_seed_same_output(self, tparams, owner_factory, small_db):
+        a = owner_factory(tparams, seed=5).build(small_db)
+        b = owner_factory(tparams, seed=5).build(small_db)
+        assert a.chain_ads == b.chain_ads
+        assert a.cloud_package.primes == b.cloud_package.primes
+
+    def test_different_seeds_differ(self, tparams, owner_factory, small_db):
+        a = owner_factory(tparams, seed=5).build(small_db)
+        b = owner_factory(tparams, seed=6).build(small_db)
+        # Trapdoors are random, so the index labels (and ADS) differ.
+        assert a.chain_ads != b.chain_ads
+
+    def test_labels_unlinkable_across_keywords(self, owner, small_db, tparams):
+        """No two keywords produce overlapping labels (PRF keys differ)."""
+        out = owner.build(small_db)
+        assert len(out.cloud_package.index) == len(set(out.cloud_package.index._entries))

@@ -1,0 +1,146 @@
+"""Insert (Algorithm 2): trapdoor advance, delta packages, forward security."""
+
+import pytest
+
+from repro.common.encoding import encode_uint
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.keywords import equality_keyword
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.tokens import SearchToken, derive_g1_g2
+from repro.core.user import DataUser
+from repro.crypto.prf import PRF
+
+
+@pytest.fixture()
+def built(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=23)
+    out = owner.build(make_database([("a", 7), ("b", 20)], bits=8))
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    return owner, cloud, out
+
+
+class TestEpochAdvance:
+    def test_existing_keyword_epoch_increments(self, built, tparams):
+        owner, _, _ = built
+        kw = equality_keyword(7, 8)
+        assert owner.trapdoor_state.get(kw).epoch == 0
+        add = Database(8)
+        add.add("c", 7)
+        owner.insert(add)
+        assert owner.trapdoor_state.get(kw).epoch == 1
+
+    def test_new_keyword_starts_at_zero(self, built):
+        owner, _, _ = built
+        add = Database(8)
+        add.add("c", 99)
+        owner.insert(add)
+        assert owner.trapdoor_state.get(equality_keyword(99, 8)).epoch == 0
+
+    def test_trapdoor_chain_links_via_public_permutation(self, built):
+        """pi_pk(t_new) must equal t_old — the cloud's walk direction."""
+        owner, _, _ = built
+        kw = equality_keyword(7, 8)
+        t_old = owner.trapdoor_state.get(kw).trapdoor
+        add = Database(8)
+        add.add("c", 7)
+        owner.insert(add)
+        t_new = owner.trapdoor_state.get(kw).trapdoor
+        assert owner.keys.trapdoor.public.apply(t_new) == t_old
+
+    def test_delta_package_only_new_entries(self, built):
+        owner, _, _ = built
+        add = Database(8)
+        add.add("c", 7)
+        out = owner.insert(add)
+        # one record -> 1 + 8 keywords -> 9 new index entries
+        assert len(out.cloud_package.index) == 9
+        assert len(out.cloud_package.primes) == 9
+
+    def test_ads_grows_monotonically(self, built):
+        owner, _, out0 = built
+        before = len(owner.accumulator)
+        add = Database(8)
+        add.add("c", 7)
+        owner.insert(add)
+        # Old primes are never removed (Algorithm 2: X <- X ∪ X+).
+        assert len(owner.accumulator) == before + 9
+
+
+class TestForwardSecurity:
+    """Tokens released before an insert cannot reach entries added after it."""
+
+    def test_old_token_cannot_find_new_entries(self, built, tparams):
+        owner, cloud, out0 = built
+        kw = equality_keyword(7, 8)
+        old_entry = out0.user_package.trapdoor_state.get(kw)
+        g1, g2 = derive_g1_g2(owner.keys.prf_key, kw)
+        old_token = SearchToken(old_entry.trapdoor, old_entry.epoch, g1, g2)
+
+        add = Database(8)
+        add.add("c", 7)
+        out1 = owner.insert(add)
+        cloud.install(out1.cloud_package)
+
+        # Searching with the STALE token returns only the pre-insert records.
+        response = cloud.search([old_token])
+        assert len(response.results[0].entries) == 1  # just "a"
+
+        # The fresh token sees both.
+        fresh_entry = out1.user_package.trapdoor_state.get(kw)
+        fresh_token = SearchToken(fresh_entry.trapdoor, fresh_entry.epoch, g1, g2)
+        assert len(cloud.search([fresh_token]).results[0].entries) == 2
+
+    def test_new_labels_not_derivable_from_old_trapdoor(self, built, tparams):
+        """Structural check: the new epoch's labels use a trapdoor that is
+        not computable from the old one without sk (pi is one-way)."""
+        owner, cloud, out0 = built
+        kw = equality_keyword(7, 8)
+        old_t = out0.user_package.trapdoor_state.get(kw).trapdoor
+        g1, _ = derive_g1_g2(owner.keys.prf_key, kw)
+
+        add = Database(8)
+        add.add("c", 7)
+        out1 = owner.insert(add)
+
+        # Try to predict new labels with the old trapdoor: every counter misses.
+        label_prf = PRF(g1, tparams.label_len)
+        new_index = out1.cloud_package.index
+        for c in range(4):
+            assert new_index.find(label_prf.eval(old_t, encode_uint(c))) is None
+
+    def test_insert_leaks_only_sizes(self, built):
+        """L^insert: the delta package contains only fixed-shape strings."""
+        owner, _, _ = built
+        add = Database(8)
+        add.add("c", 7)  # an *existing* value
+        add.add("d", 123)  # a fresh value
+        out = owner.insert(add)
+        # Nothing in the package distinguishes the repeated value from the
+        # fresh one: labels and payloads are PRF-fresh in both cases.
+        lens = {(len(l), len(d)) for l, d in out.cloud_package.index._entries.items()}
+        assert len(lens) == 1
+
+
+class TestInsertSearchIntegration:
+    def test_search_after_multiple_inserts_matches_oracle(self, tparams, owner_factory):
+        owner = owner_factory(tparams, seed=31)
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+        all_pairs = [(f"r{i}", (i * 37) % 256) for i in range(30)]
+        out = owner.build(make_database(all_pairs[:10], bits=8))
+        cloud.install(out.cloud_package)
+        for i in range(10, 30, 5):
+            batch = Database(8)
+            for rid, v in all_pairs[i : i + 5]:
+                batch.add(rid, v)
+            out = owner.insert(batch)
+            cloud.install(out.cloud_package)
+
+        user = DataUser(tparams, out.user_package, default_rng(2))
+        oracle = make_database(all_pairs, bits=8)
+        for query in [Query.parse(100, ">"), Query.parse(100, "<"), Query.parse(37, "=")]:
+            tokens = user.make_tokens(query)
+            ids = user.decrypt_results(cloud.search(tokens))
+            assert ids == oracle.ids_matching(query.predicate()), query.describe()

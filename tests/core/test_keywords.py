@@ -1,0 +1,52 @@
+"""Keyword derivation: namespaces, the {v} ∪ {ct_i} indexing set."""
+
+from repro.core.keywords import (
+    equality_keyword,
+    keywords_for_record,
+    order_keywords_for_query,
+    order_keywords_for_value,
+)
+from repro.sore.tuples import OrderCondition
+
+GT, LT = OrderCondition.GREATER, OrderCondition.LESS
+
+
+class TestNamespaces:
+    def test_equality_vs_order_disjoint(self):
+        eq = {equality_keyword(v, 8) for v in range(256)}
+        ordw = {w for v in range(256) for w in order_keywords_for_value(v, 8)}
+        assert eq & ordw == set()
+
+    def test_attribute_separation(self):
+        assert equality_keyword(5, 8, "age") != equality_keyword(5, 8, "pay")
+        assert set(order_keywords_for_value(5, 8, "age")) != set(
+            order_keywords_for_value(5, 8, "pay")
+        )
+
+    def test_value_separation(self):
+        assert equality_keyword(5, 8) != equality_keyword(6, 8)
+
+
+class TestMatchingSemantics:
+    """A record matches an order query iff query and record keywords intersect
+    in exactly one keyword — the SSE-level restatement of Theorem 1."""
+
+    def test_order_match_iff_condition(self):
+        bits = 5
+        for x in range(0, 32, 3):
+            q = set(order_keywords_for_query(x, GT, bits))
+            for y in range(0, 32, 3):
+                stored = set(order_keywords_for_value(y, bits))
+                assert (len(q & stored) == 1) == (x > y)
+
+    def test_record_keyword_count(self):
+        # {v} ∪ {ct_i}: 1 + b keywords
+        assert len(keywords_for_record(7, 8)) == 9
+
+    def test_record_keywords_distinct(self):
+        kws = keywords_for_record(7, 8)
+        assert len(set(kws)) == len(kws)
+
+    def test_equality_keyword_is_first(self):
+        kws = keywords_for_record(7, 8)
+        assert kws[0] == equality_keyword(7, 8)

@@ -1,0 +1,112 @@
+"""Record/database containers and ID normalisation."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.records import (
+    AttributedDatabase,
+    AttributedRecord,
+    Database,
+    Record,
+    encode_record_id,
+    make_database,
+)
+
+
+class TestEncodeRecordId:
+    def test_int_fixed_width(self):
+        assert encode_record_id(5) == b"\x00" * 7 + b"\x05"
+
+    def test_str_padded(self):
+        assert encode_record_id("ab") == b"\x00" * 6 + b"ab"
+
+    def test_bytes_passthrough(self):
+        assert encode_record_id(b"12345678") == b"12345678"
+
+    def test_overflow_int(self):
+        with pytest.raises(ParameterError):
+            encode_record_id(2**64)
+
+    def test_overlong_str(self):
+        with pytest.raises(ParameterError):
+            encode_record_id("123456789")
+
+    def test_negative_int(self):
+        with pytest.raises(ParameterError):
+            encode_record_id(-1)
+
+
+class TestDatabase:
+    def test_add_and_len(self):
+        db = Database(8)
+        db.add("a", 1)
+        db.add("b", 2)
+        assert len(db) == 2
+
+    def test_duplicate_id_rejected(self):
+        db = Database(8)
+        db.add("a", 1)
+        with pytest.raises(ParameterError):
+            db.add("a", 2)
+
+    def test_value_domain_enforced(self):
+        db = Database(8)
+        with pytest.raises(ParameterError):
+            db.add("a", 256)
+
+    def test_ids_matching_oracle(self):
+        db = make_database([("a", 1), ("b", 200), ("c", 1)], bits=8)
+        assert db.ids_matching(lambda v: v == 1) == {
+            encode_record_id("a"),
+            encode_record_id("c"),
+        }
+
+    def test_values(self):
+        db = make_database([("a", 1), ("b", 2)], bits=8)
+        assert sorted(db.values()) == [1, 2]
+
+    def test_record_validation(self):
+        with pytest.raises(ParameterError):
+            Record("not-bytes", 1)  # type: ignore[arg-type]
+        with pytest.raises(ParameterError):
+            Record(b"x" * 8, -1)
+
+    def test_constructor_checks_duplicates(self):
+        r = Record(encode_record_id("a"), 1)
+        with pytest.raises(ParameterError):
+            Database(8, [r, r])
+
+
+class TestAttributedDatabase:
+    def test_add_dict(self):
+        db = AttributedDatabase(8)
+        rec = db.add("p1", {"age": 30, "score": 99})
+        assert rec.value_of("age") == 30
+        assert rec.value_of("score") == 99
+
+    def test_missing_attribute(self):
+        db = AttributedDatabase(8)
+        rec = db.add("p1", {"age": 30})
+        with pytest.raises(KeyError):
+            rec.value_of("salary")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ParameterError):
+            AttributedRecord(b"x" * 8, (("age", 1), ("age", 2)))
+
+    def test_oracle_per_attribute(self):
+        db = AttributedDatabase(8)
+        db.add("p1", {"age": 30, "score": 10})
+        db.add("p2", {"age": 60, "score": 20})
+        assert db.ids_matching("age", lambda v: v > 40) == {encode_record_id("p2")}
+
+    def test_oracle_skips_absent_attribute(self):
+        db = AttributedDatabase(8)
+        db.add("p1", {"age": 30})
+        db.add("p2", {"score": 5})
+        assert db.ids_matching("age", lambda v: True) == {encode_record_id("p1")}
+
+    def test_domain_enforced(self):
+        db = AttributedDatabase(8)
+        with pytest.raises(ParameterError):
+            db.add("p1", {"age": 300})

@@ -1,0 +1,104 @@
+"""Index/state containers: collision detection, snapshots, sizes."""
+
+import pytest
+
+from repro.common.errors import IndexCorruptionError, StateError
+from repro.core.state import (
+    CloudPackage,
+    EncryptedIndex,
+    SetHashState,
+    TrapdoorState,
+    set_hash_key,
+)
+from repro.crypto.multiset_hash import MultisetHash
+
+
+class TestEncryptedIndex:
+    def test_put_find(self):
+        idx = EncryptedIndex()
+        idx.put(b"l1", b"d1")
+        assert idx.find(b"l1") == b"d1"
+        assert idx.find(b"l2") is None
+
+    def test_label_collision_rejected(self):
+        idx = EncryptedIndex()
+        idx.put(b"l1", b"d1")
+        with pytest.raises(IndexCorruptionError):
+            idx.put(b"l1", b"d2")
+
+    def test_size_bytes(self):
+        idx = EncryptedIndex()
+        idx.put(b"ab", b"cdef")
+        assert idx.size_bytes == 6
+
+    def test_merge(self):
+        a, b = EncryptedIndex(), EncryptedIndex()
+        a.put(b"l1", b"d1")
+        b.put(b"l2", b"d2")
+        a.merge(b)
+        assert len(a) == 2 and a.find(b"l2") == b"d2"
+
+    def test_merge_collision_rejected(self):
+        a, b = EncryptedIndex(), EncryptedIndex()
+        a.put(b"l1", b"d1")
+        b.put(b"l1", b"d2")
+        with pytest.raises(IndexCorruptionError):
+            a.merge(b)
+
+    def test_contains(self):
+        idx = EncryptedIndex()
+        idx.put(b"l1", b"d1")
+        assert b"l1" in idx and b"x" not in idx
+
+
+class TestTrapdoorState:
+    def test_put_get(self):
+        t = TrapdoorState()
+        t.put(b"w", b"t0", 0)
+        assert t.get(b"w").trapdoor == b"t0"
+        assert t.get(b"w").epoch == 0
+
+    def test_find_missing_is_none(self):
+        assert TrapdoorState().find(b"w") is None
+
+    def test_get_missing_raises(self):
+        with pytest.raises(StateError):
+            TrapdoorState().get(b"w")
+
+    def test_snapshot_is_independent(self):
+        t = TrapdoorState()
+        t.put(b"w", b"t0", 0)
+        snap = t.snapshot()
+        t.put(b"w", b"t1", 1)
+        assert snap.get(b"w").epoch == 0
+        assert t.get(b"w").epoch == 1
+
+    def test_keywords_listing(self):
+        t = TrapdoorState()
+        t.put(b"a", b"t", 0)
+        t.put(b"b", b"t", 0)
+        assert sorted(t.keywords()) == [b"a", b"b"]
+
+
+class TestSetHashState:
+    def test_put_pop(self):
+        s = SetHashState()
+        h = MultisetHash.of([b"x"])
+        key = set_hash_key(b"t", 0, b"g1", b"g2")
+        s.put(key, h)
+        assert s.pop(key) == h
+        assert len(s) == 0
+
+    def test_pop_missing_raises(self):
+        with pytest.raises(StateError):
+            SetHashState().pop(b"nope")
+
+    def test_key_injective(self):
+        # t||j boundary shifts must not collide.
+        assert set_hash_key(b"t1", 0, b"g", b"g") != set_hash_key(b"t", 10, b"g", b"g")
+
+
+class TestCloudPackage:
+    def test_prime_bytes(self):
+        pkg = CloudPackage(EncryptedIndex(), primes=[(1 << 63) + 29, 3], accumulation=5)
+        assert pkg.prime_bytes == 8 + 1

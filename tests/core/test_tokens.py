@@ -1,0 +1,84 @@
+"""Search-token generation (Algorithm 3)."""
+
+from repro.common.rng import default_rng
+from repro.core.keywords import equality_keyword, order_keywords_for_query
+from repro.core.query import Query
+from repro.core.state import TrapdoorState
+from repro.core.tokens import (
+    SearchToken,
+    derive_g1_g2,
+    generate_search_tokens,
+    tokens_size_bytes,
+)
+from repro.sore.tuples import OrderCondition
+
+KEY = b"m" * 16
+
+
+def populated_state(bits: int, values: list[int]) -> TrapdoorState:
+    """Simulate the owner having indexed these values."""
+    from repro.core.keywords import keywords_for_record
+
+    t = TrapdoorState()
+    for v in values:
+        for kw in keywords_for_record(v, bits):
+            if t.find(kw) is None:
+                t.put(kw, bytes([v % 256]) * 8, 0)
+    return t
+
+
+class TestEqualityTokens:
+    def test_present_value_yields_one_token(self):
+        state = populated_state(8, [5, 9])
+        tokens = generate_search_tokens(KEY, state, Query.parse(5, "="), 8)
+        assert len(tokens) == 1
+        g1, g2 = derive_g1_g2(KEY, equality_keyword(5, 8))
+        assert tokens[0].g1 == g1 and tokens[0].g2 == g2
+
+    def test_absent_value_yields_no_tokens(self):
+        state = populated_state(8, [5])
+        assert generate_search_tokens(KEY, state, Query.parse(6, "="), 8) == []
+
+
+class TestOrderTokens:
+    def test_token_count_bounded_by_bits(self):
+        state = populated_state(8, list(range(0, 256, 3)))
+        tokens = generate_search_tokens(KEY, state, Query.parse(100, ">"), 8)
+        assert 1 <= len(tokens) <= 8
+
+    def test_tokens_only_for_live_slices(self):
+        state = populated_state(8, [0])  # only slices of value 0 exist
+        query = Query.parse(255, ">")
+        tokens = generate_search_tokens(KEY, state, query, 8)
+        # 255 > 0: exactly one slice of the query matches value 0's slices.
+        live = {
+            kw
+            for kw in order_keywords_for_query(255, OrderCondition.GREATER, 8)
+            if state.find(kw) is not None
+        }
+        assert len(tokens) == len(live) == 1
+
+    def test_shuffle_reorders_but_preserves_set(self):
+        state = populated_state(8, list(range(64)))
+        q = Query.parse(40, "<")
+        a = generate_search_tokens(KEY, state, q, 8, default_rng(1))
+        b = generate_search_tokens(KEY, state, q, 8, default_rng(2))
+        key = lambda t: (t.g1, t.g2)
+        assert sorted(map(key, a)) == sorted(map(key, b))
+        assert len(a) > 1
+
+
+class TestWireEncoding:
+    def test_token_encoding_round_trip_fields(self):
+        t = SearchToken(b"\x01" * 8, 3, b"g1" * 8, b"g2" * 8)
+        blob = t.encode()
+        from repro.common.encoding import decode_parts, decode_uint
+
+        trapdoor, epoch, g1, g2 = decode_parts(blob)
+        assert trapdoor == t.trapdoor and decode_uint(epoch) == 3
+        assert g1 == t.g1 and g2 == t.g2
+
+    def test_size_accounting(self):
+        t = SearchToken(b"\x01" * 8, 0, b"a" * 16, b"b" * 16)
+        assert tokens_size_bytes([t, t]) == 2 * t.size_bytes
+        assert t.size_bytes == len(t.encode())

@@ -1,0 +1,152 @@
+"""Result verification (Algorithm 5) and Theorem 3: every dishonest-cloud
+behaviour from the threat model must be caught; honest clouds always pass."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer, MaliciousCloud, Misbehavior, TokenResult
+from repro.core.owner import DataOwner
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response, verify_token_result
+from repro.crypto.accumulator import MembershipWitness
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=41)
+    db = make_database([(f"r{i}", (i * 13) % 256) for i in range(25)], bits=8)
+    out = owner.build(db)
+    user = DataUser(tparams, out.user_package, default_rng(3))
+    return owner, out, user, db
+
+
+def make_cloud(tparams, owner, out, misbehavior=None):
+    if misbehavior is None:
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    else:
+        cloud = MaliciousCloud(
+            tparams, owner.keys.trapdoor.public, misbehavior, default_rng(5)
+        )
+    cloud.install(out.cloud_package)
+    return cloud
+
+
+QUERIES = [Query.parse(100, ">"), Query.parse(100, "<"), Query.parse(13, "=")]
+
+
+class TestHonestCloudAlwaysPasses:
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.describe())
+    def test_verification_passes(self, tparams, world, query):
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(query)
+        report = verify_response(tparams, cloud.ads_value, cloud.search(tokens))
+        assert report.ok
+        assert report.failed_tokens == []
+
+    def test_empty_token_list_trivially_ok(self, tparams, world):
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        report = verify_response(tparams, cloud.ads_value, cloud.search([]))
+        assert report.ok
+
+
+TAMPERING = [
+    Misbehavior.DROP_ENTRY,
+    Misbehavior.INJECT_ENTRY,
+    Misbehavior.TAMPER_ENTRY,
+    Misbehavior.FORGE_WITNESS,
+    Misbehavior.EMPTY_RESULT,
+]
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("misbehavior", TAMPERING, ids=lambda m: m.value)
+    def test_tampering_always_detected(self, tparams, world, misbehavior):
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out, misbehavior)
+        tokens = user.make_tokens(Query.parse(150, ">"))
+        report = verify_response(tparams, cloud.ads_value, cloud.search(tokens))
+        assert not report.ok
+        assert report.failed_tokens != []
+
+    def test_omit_old_epochs_detected_after_insert(self, tparams, owner_factory):
+        """Incomplete results across epochs (freshness violation) must fail."""
+        owner = owner_factory(tparams, seed=43)
+        out = owner.build(make_database([("a", 7)], bits=8))
+        cloud = make_cloud(tparams, owner, out, Misbehavior.OMIT_OLD_EPOCHS)
+        add = Database(8)
+        add.add("b", 7)
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+
+        user = DataUser(tparams, out.user_package, default_rng(7))
+        tokens = user.make_tokens(Query.parse(7, "="))
+        assert tokens[0].epoch == 1
+        report = verify_response(tparams, cloud.ads_value, cloud.search(tokens))
+        assert not report.ok
+
+    def test_stale_ads_detected(self, tparams, world):
+        """Replaying results against an outdated Ac (freshness) must fail."""
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(13, "="))
+        response = cloud.search(tokens)
+        stale_ads = tparams.accumulator.generator  # pre-build accumulator
+        assert not verify_response(tparams, stale_ads, response).ok
+
+    def test_swapped_results_between_tokens_detected(self, tparams, world):
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(150, ">"))
+        response = cloud.search(tokens)
+        results = [r for r in response.results if r.entries]
+        if len(results) < 2:
+            pytest.skip("need two non-empty token results to swap")
+        a, b = results[0], results[1]
+        swapped = TokenResult(a.token, b.entries, a.witness)
+        assert not verify_token_result(tparams, cloud.ads_value, swapped)
+
+    def test_duplicated_entry_detected(self, tparams, world):
+        """Multiset semantics: returning a correct record twice is incorrect."""
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(13, "="))
+        response = cloud.search(tokens)
+        result = response.results[0]
+        forged = TokenResult(result.token, result.entries + result.entries[:1], result.witness)
+        assert not verify_token_result(tparams, cloud.ads_value, forged)
+
+    def test_zero_witness_rejected(self, tparams, world):
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(13, "="))
+        result = cloud.search(tokens).results[0]
+        for bad in (0, 1):
+            forged = TokenResult(result.token, result.entries, MembershipWitness(bad))
+            assert not verify_token_result(tparams, cloud.ads_value, forged)
+
+
+class TestVerificationIsPublic:
+    def test_no_secret_material_needed(self, tparams, world):
+        """verify_response runs with only public params + on-chain Ac."""
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(13, "="))
+        response = cloud.search(tokens)
+        public_params = tparams.public()
+        assert not public_params.accumulator.has_trapdoor
+        assert verify_response(public_params, cloud.ads_value, response).ok
+
+    def test_verification_sees_only_ciphertexts(self, tparams, world):
+        """The verifier input never contains a plaintext record ID."""
+        owner, out, user, db = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(13, "="))
+        response = cloud.search(tokens)
+        plaintext_ids = {r.record_id for r in db}
+        for entry in response.all_entries():
+            assert entry not in plaintext_ids
+            assert not any(rid in entry for rid in plaintext_ids)

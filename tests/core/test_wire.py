@@ -1,0 +1,82 @@
+"""Wire formats: responses survive a round trip and still verify."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.core.wire import dump_response, dump_tokens, load_response, load_tokens
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=251)
+    db = make_database([(f"r{i}", (i * 41) % 256) for i in range(15)], bits=8)
+    out = owner.build(db)
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(7))
+    return cloud, user, db
+
+
+class TestTokenWire:
+    def test_round_trip(self, world):
+        cloud, user, _ = world
+        tokens = user.make_tokens(Query.parse(120, ">"))
+        restored = load_tokens(dump_tokens(tokens))
+        assert restored == tokens
+
+    def test_empty_list(self):
+        assert load_tokens(dump_tokens([])) == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError):
+            load_tokens(b"nonsense")
+
+
+class TestResponseWire:
+    def test_round_trip_verifies(self, world, tparams):
+        cloud, user, db = world
+        query = Query.parse(120, ">")
+        tokens = user.make_tokens(query)
+        response = cloud.search(tokens)
+        restored = load_response(dump_response(response))
+        assert verify_response(tparams, cloud.ads_value, restored).ok
+        assert user.decrypt_results(restored) == db.ids_matching(query.predicate())
+
+    def test_round_trip_preserves_structure(self, world):
+        cloud, user, _ = world
+        response = cloud.search(user.make_tokens(Query.parse(41, "=")))
+        restored = load_response(dump_response(response))
+        assert len(restored.results) == len(response.results)
+        for a, b in zip(response.results, restored.results):
+            assert a.token == b.token
+            assert a.entries == b.entries
+            assert a.witness.value == b.witness.value
+
+    def test_audit_from_archived_bytes(self, world, tparams, tmp_path):
+        """The end-to-end archival story: cloud response -> file -> audit."""
+        from repro.core.audit import AuditRecord, ThirdPartyAuditor
+
+        cloud, user, _ = world
+        response = cloud.search(user.make_tokens(Query.parse(120, ">")))
+        path = tmp_path / "settled-query.bin"
+        path.write_bytes(dump_response(response))
+
+        restored = load_response(path.read_bytes())
+        record = AuditRecord.from_response(restored, cloud.ads_value)
+        assert ThirdPartyAuditor(tparams).audit(record).ok
+
+    def test_tampered_archive_fails_audit(self, world, tparams):
+        cloud, user, _ = world
+        response = cloud.search(user.make_tokens(Query.parse(120, ">")))
+        blob = bytearray(dump_response(response))
+        blob[-5] ^= 0xFF  # flip a witness byte
+        from repro.core.wire import load_response as lr
+
+        restored = lr(bytes(blob))
+        assert not verify_response(tparams, cloud.ads_value, restored).ok

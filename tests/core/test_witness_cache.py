@@ -1,0 +1,81 @@
+"""Precomputed witness cache: identical outputs, invalidation on update."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=211)
+    db = make_database([(f"r{i}", (i * 13) % 256) for i in range(20)], bits=8)
+    out = owner.build(db)
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(5))
+    return owner, cloud, user, db
+
+
+class TestCache:
+    def test_cached_witnesses_identical_to_live(self, world, tparams):
+        owner, cloud, user, _ = world
+        tokens = user.make_tokens(Query.parse(100, ">"))
+        live = cloud.search(tokens)
+        cached_count = cloud.precompute_witnesses()
+        assert cached_count == cloud.prime_count
+        cached = cloud.search(tokens)
+        for a, b in zip(live.results, cached.results):
+            assert a.witness.value == b.witness.value
+        assert verify_response(tparams, cloud.ads_value, cached).ok
+
+    def test_cached_vo_generation_is_faster(self, world):
+        from repro.common.timing import time_call
+
+        _, cloud, user, _ = world
+        tokens = user.make_tokens(Query.parse(100, ">"))
+        live_s = min(time_call(lambda: cloud.search(tokens))[0] for _ in range(3))
+        cloud.precompute_witnesses()
+        cached_s = min(time_call(lambda: cloud.search(tokens))[0] for _ in range(3))
+        assert cached_s < live_s
+
+    def test_install_invalidates_cache(self, world, tparams):
+        owner, cloud, user, _ = world
+        cloud.precompute_witnesses()
+        add = Database(8)
+        add.add("new", 13)
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+        assert cloud._witness_cache is None  # stale witnesses would not verify
+        user.refresh(out.user_package)
+        response = cloud.search(user.make_tokens(Query.parse(13, "=")))
+        assert verify_response(tparams, cloud.ads_value, response).ok
+
+    def test_recompute_after_update_verifies(self, world, tparams):
+        owner, cloud, user, _ = world
+        add = Database(8)
+        add.add("new", 13)
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+        cloud.precompute_witnesses()
+        user.refresh(out.user_package)
+        response = cloud.search(user.make_tokens(Query.parse(13, "=")))
+        assert verify_response(tparams, cloud.ads_value, response).ok
+
+    def test_cache_miss_produces_invalid_witness(self, world, tparams):
+        """A lazy cloud with a cache still cannot fake unknown primes."""
+        owner, cloud, user, _ = world
+        cloud.precompute_witnesses()
+        add = Database(8)
+        add.add("new", 13)
+        out = owner.insert(add)
+        # The cloud deliberately does NOT install the update, so its cache
+        # (and index) are stale relative to the fresh token below.
+        user.refresh(out.user_package)
+        response = cloud.search(user.make_tokens(Query.parse(13, "=")))
+        report = verify_response(tparams, owner.accumulator.value, response)
+        assert not report.ok

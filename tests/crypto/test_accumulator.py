@@ -1,0 +1,165 @@
+"""RSA accumulator: membership algebra, witnesses, forgery resistance."""
+
+import pytest
+
+from repro.common.errors import AccumulatorError, ParameterError
+from repro.common.rng import default_rng
+from repro.crypto.accumulator import (
+    Accumulator,
+    AccumulatorParams,
+    MembershipWitness,
+    verify_membership,
+    verify_nonmembership,
+)
+from repro.crypto.hash_to_prime import HashToPrime
+
+
+@pytest.fixture(scope="module")
+def params():
+    return AccumulatorParams.demo(512)
+
+
+@pytest.fixture(scope="module")
+def primes():
+    h = HashToPrime(64)
+    return [h(i.to_bytes(4, "big")) for i in range(12)]
+
+
+class TestSetup:
+    def test_demo_params_factor(self, params):
+        assert params.p * params.q == params.modulus
+        assert params.has_trapdoor
+
+    def test_public_strips_trapdoor(self, params):
+        pub = params.public()
+        assert not pub.has_trapdoor
+        with pytest.raises(AccumulatorError):
+            pub.phi()
+
+    def test_generator_is_quadratic_residue(self, params):
+        from repro.crypto.modmath import is_quadratic_residue
+
+        assert is_quadratic_residue(params.generator % params.p, params.p)
+        assert is_quadratic_residue(params.generator % params.q, params.q)
+
+    def test_generate_small(self):
+        fresh = AccumulatorParams.generate(64, default_rng(3))
+        assert fresh.modulus.bit_length() in (63, 64)
+        assert fresh.has_trapdoor
+
+    def test_demo_unknown_size(self):
+        with pytest.raises(ParameterError):
+            AccumulatorParams.demo(768)
+
+    @pytest.mark.parametrize("bits", [512, 1024, 2048])
+    def test_demo_primes_are_safe_primes(self, bits):
+        """The committed demo constants really are safe primes of the
+        advertised size (guards against typos in the hex literals)."""
+        from repro.crypto.primes import is_prime
+
+        demo = AccumulatorParams.demo(bits)
+        for p in (demo.p, demo.q):
+            assert p is not None
+            assert p.bit_length() == bits // 2
+            assert is_prime(p, default_rng(1), rounds=8)
+            assert is_prime((p - 1) // 2, default_rng(2), rounds=8)
+
+
+class TestAccumulation:
+    def test_add_order_independent(self, params, primes):
+        a = Accumulator(params)
+        a.add_many(primes)
+        b = Accumulator(params)
+        for p in reversed(primes):
+            b.add(p)
+        assert a.value == b.value
+
+    def test_add_idempotent(self, params, primes):
+        a = Accumulator(params, primes)
+        before = a.value
+        a.add(primes[0])
+        assert a.value == before
+
+    def test_rejects_composites(self, params):
+        with pytest.raises(AccumulatorError):
+            Accumulator(params).add(100)
+
+    def test_trapdoorless_matches_trapdoor(self, params, primes):
+        with_td = Accumulator(params, primes)
+        without = Accumulator(params.public(), primes)
+        assert with_td.value == without.value
+
+    def test_remove(self, params, primes):
+        acc = Accumulator(params, primes)
+        acc.remove(primes[3])
+        expected = Accumulator(params, [p for p in primes if p != primes[3]])
+        assert acc.value == expected.value
+
+    def test_remove_public_params(self, params, primes):
+        acc = Accumulator(params.public(), primes[:5])
+        acc.remove(primes[0])
+        assert acc.value == Accumulator(params.public(), primes[1:5]).value
+
+    def test_remove_absent_rejected(self, params, primes):
+        with pytest.raises(AccumulatorError):
+            Accumulator(params, primes[:3]).remove(primes[5])
+
+
+class TestMembershipWitness:
+    def test_witness_verifies(self, params, primes):
+        acc = Accumulator(params.public(), primes)
+        for x in primes[:4]:
+            assert verify_membership(params, acc.value, x, acc.witness(x))
+
+    def test_witness_for_absent_rejected(self, params, primes):
+        acc = Accumulator(params, primes[:4])
+        with pytest.raises(AccumulatorError):
+            acc.witness(primes[7])
+
+    def test_wrong_element_fails(self, params, primes):
+        acc = Accumulator(params, primes)
+        w = acc.witness(primes[0])
+        assert not verify_membership(params, acc.value, primes[1], w)
+
+    def test_forged_witness_fails(self, params, primes):
+        acc = Accumulator(params, primes)
+        forged = MembershipWitness(acc.witness(primes[0]).value + 1)
+        assert not verify_membership(params, acc.value, primes[0], forged)
+
+    def test_stale_accumulator_fails(self, params, primes):
+        acc = Accumulator(params, primes[:5])
+        w = acc.witness(primes[0])
+        acc.add(primes[9])  # accumulator moves on
+        assert not verify_membership(params, acc.value, primes[0], w)
+
+    def test_witness_all_matches_individual(self, params, primes):
+        acc = Accumulator(params.public(), primes[:7])
+        batch = acc.witness_all()
+        assert set(batch) == set(primes[:7])
+        for x, w in batch.items():
+            assert w.value == acc.witness(x).value
+
+    def test_witness_all_empty(self, params):
+        assert Accumulator(params).witness_all() == {}
+
+    def test_witness_bytes_constant_size(self, params, primes):
+        acc = Accumulator(params, primes)
+        width = (params.modulus.bit_length() + 7) // 8
+        assert len(acc.witness(primes[0]).to_bytes(params)) == width
+
+
+class TestNonMembership:
+    def test_nonmembership_verifies(self, params, primes):
+        acc = Accumulator(params, primes[:6])
+        w = acc.nonmembership_witness(primes[8])
+        assert verify_nonmembership(params, acc.value, primes[8], w)
+
+    def test_nonmembership_for_member_rejected(self, params, primes):
+        acc = Accumulator(params, primes[:6])
+        with pytest.raises(AccumulatorError):
+            acc.nonmembership_witness(primes[0])
+
+    def test_nonmembership_wrong_element_fails(self, params, primes):
+        acc = Accumulator(params, primes[:6])
+        w = acc.nonmembership_witness(primes[8])
+        assert not verify_nonmembership(params, acc.value, primes[9], w)

@@ -1,0 +1,60 @@
+"""H_prime: determinism, primality, fixed size, collision behaviour."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.primes import is_prime
+
+
+@pytest.fixture(scope="module")
+def h64():
+    return HashToPrime(prime_bits=64)
+
+
+class TestOutput:
+    def test_prime(self, h64):
+        for i in range(20):
+            assert is_prime(h64(i.to_bytes(4, "big")))
+
+    def test_exact_bit_length(self, h64):
+        for i in range(20):
+            assert h64(i.to_bytes(4, "big")).bit_length() == 64
+
+    def test_deterministic(self, h64):
+        assert h64(b"slicer") == h64(b"slicer")
+
+    def test_input_sensitivity(self, h64):
+        assert h64(b"a") != h64(b"b")
+
+    def test_counter_exposed(self, h64):
+        prime, count = h64.hash_to_prime_with_counter(b"slicer")
+        assert prime == h64(b"slicer")
+        assert count >= 1
+
+    def test_distinct_inputs_rarely_collide(self, h64):
+        outputs = {h64(i.to_bytes(4, "big")) for i in range(200)}
+        assert len(outputs) == 200
+
+
+class TestDomainSeparation:
+    def test_different_domains_differ(self):
+        a = HashToPrime(64, domain=b"A")
+        b = HashToPrime(64, domain=b"B")
+        assert a(b"x") != b(b"x")
+
+
+class TestParams:
+    def test_too_small(self):
+        with pytest.raises(ParameterError):
+            HashToPrime(prime_bits=8)
+
+    def test_too_large(self):
+        with pytest.raises(ParameterError):
+            HashToPrime(prime_bits=1024)
+
+    def test_256_bit_default(self):
+        h = HashToPrime()
+        p = h(b"x")
+        assert p.bit_length() == 256
+        assert is_prime(p)

@@ -1,0 +1,85 @@
+"""Merkle Hash Tree: proofs, tampering, odd-width trees."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.crypto.merkle import MerkleTree, verify_merkle
+
+
+def leaves(n: int) -> list[bytes]:
+    return [f"leaf-{i}".encode() for i in range(n)]
+
+
+class TestProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_all_leaves_verify(self, n):
+        data = leaves(n)
+        tree = MerkleTree(data)
+        for i, leaf in enumerate(data):
+            assert verify_merkle(tree.root, leaf, tree.prove(i))
+
+    def test_wrong_leaf_fails(self):
+        data = leaves(8)
+        tree = MerkleTree(data)
+        assert not verify_merkle(tree.root, b"evil", tree.prove(3))
+
+    def test_wrong_index_fails(self):
+        data = leaves(8)
+        tree = MerkleTree(data)
+        proof = tree.prove(3)
+        assert not verify_merkle(tree.root, data[4], proof)
+
+    def test_tampered_path_fails(self):
+        data = leaves(8)
+        tree = MerkleTree(data)
+        proof = tree.prove(2)
+        bad_path = ((b"\x00" * 32, proof.path[0][1]),) + proof.path[1:]
+        from repro.crypto.merkle import MerkleProof
+
+        assert not verify_merkle(tree.root, data[2], MerkleProof(2, bad_path))
+
+    def test_cross_tree_fails(self):
+        t1 = MerkleTree(leaves(8))
+        t2 = MerkleTree([b"x" + l for l in leaves(8)])
+        assert not verify_merkle(t2.root, leaves(8)[0], t1.prove(0))
+
+
+class TestStructure:
+    def test_root_deterministic(self):
+        assert MerkleTree(leaves(7)).root == MerkleTree(leaves(7)).root
+
+    def test_root_depends_on_order(self):
+        data = leaves(4)
+        assert MerkleTree(data).root != MerkleTree(list(reversed(data))).root
+
+    def test_single_leaf_tree(self):
+        tree = MerkleTree([b"only"])
+        proof = tree.prove(0)
+        assert proof.path == ()
+        assert verify_merkle(tree.root, b"only", proof)
+
+    def test_proof_size_logarithmic(self):
+        big = MerkleTree(leaves(1024))
+        assert len(big.prove(0).path) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            MerkleTree([])
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ParameterError):
+            MerkleTree(leaves(4)).prove(4)
+
+    def test_second_preimage_guard(self):
+        """Leaf and node hashing are domain-separated (no CVE-2012-2459 style
+        reinterpretation of an inner node as a leaf)."""
+        import hashlib
+
+        data = leaves(2)
+        tree = MerkleTree(data)
+        inner = hashlib.sha256(b"\x00" + data[0]).digest() + hashlib.sha256(
+            b"\x00" + data[1]
+        ).digest()
+        # Treating the concatenated children as a leaf must not reproduce the root.
+        fake = MerkleTree([inner])
+        assert fake.root != tree.root

@@ -1,0 +1,78 @@
+"""Modular arithmetic helpers."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.crypto.modmath import (
+    crt_pair,
+    is_quadratic_residue,
+    mod_inverse,
+    product,
+    product_mod,
+)
+
+
+class TestModInverse:
+    def test_basic(self):
+        assert (3 * mod_inverse(3, 7)) % 7 == 1
+
+    def test_large(self):
+        n = 2**127 - 1
+        a = 123456789
+        assert (a * mod_inverse(a, n)) % n == 1
+
+    def test_non_invertible(self):
+        with pytest.raises(ParameterError):
+            mod_inverse(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            mod_inverse(3, 0)
+
+
+class TestCrt:
+    def test_reconstruction(self):
+        p, q = 11, 13
+        x = 100
+        assert crt_pair(x % p, p, x % q, q) == x
+
+    def test_rsa_style(self):
+        p, q = 10007, 10009
+        x = 12345678
+        assert crt_pair(x % p, p, x % q, q) == x % (p * q)
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ParameterError):
+            crt_pair(1, 6, 1, 9)
+
+
+class TestQuadraticResidue:
+    def test_squares_are_residues(self):
+        p = 23
+        for a in range(1, p):
+            assert is_quadratic_residue((a * a) % p, p)
+
+    def test_known_non_residue(self):
+        # 5 is not a QR mod 7 (QRs mod 7: 1, 2, 4)
+        assert not is_quadratic_residue(5, 7)
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            is_quadratic_residue(3, 8)
+
+
+class TestProducts:
+    def test_product_empty(self):
+        assert product([]) == 1
+
+    def test_product_matches_math_prod(self):
+        import math
+
+        values = [3, 5, 7, 11, 13, 17]
+        assert product(values) == math.prod(values)
+
+    def test_product_odd_count(self):
+        assert product([2, 3, 5]) == 30
+
+    def test_product_mod(self):
+        assert product_mod([10, 20, 30], 7) == (10 * 20 * 30) % 7

@@ -1,0 +1,78 @@
+"""MSet-Mu-Hash: the two defining properties plus incremental/removal algebra."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.crypto.multiset_hash import DEFAULT_FIELD_PRIME, MultisetHash
+
+
+class TestDefiningProperties:
+    def test_equality_on_same_multiset(self):
+        m = [b"a", b"b", b"a"]
+        assert MultisetHash.of(m) == MultisetHash.of(m)
+
+    def test_union_homomorphism(self):
+        m, n = [b"a", b"b"], [b"c", b"a"]
+        assert MultisetHash.of(m) + MultisetHash.of(n) == MultisetHash.of(m + n)
+
+    def test_order_independence(self):
+        assert MultisetHash.of([b"a", b"b", b"c"]) == MultisetHash.of([b"c", b"a", b"b"])
+
+    def test_multiplicity_matters(self):
+        assert MultisetHash.of([b"a"]) != MultisetHash.of([b"a", b"a"])
+
+    def test_distinct_multisets_differ(self):
+        assert MultisetHash.of([b"a"]) != MultisetHash.of([b"b"])
+
+
+class TestIncremental:
+    def test_add_matches_batch(self):
+        h = MultisetHash.empty()
+        for element in [b"x", b"y", b"x"]:
+            h = h.add(element)
+        assert h == MultisetHash.of([b"x", b"y", b"x"])
+
+    def test_empty_hash_is_identity(self):
+        h = MultisetHash.of([b"a"])
+        assert h + MultisetHash.empty() == h
+
+    def test_of_one(self):
+        assert MultisetHash.of_one(b"a") == MultisetHash.of([b"a"])
+
+    def test_remove_inverts_add(self):
+        base = MultisetHash.of([b"a", b"b"])
+        assert (base + MultisetHash.of_one(b"c")) - MultisetHash.of_one(b"c") == base
+
+    def test_dual_instance_difference(self):
+        # The deletion extension: hash(all) - hash(deleted) == hash(kept).
+        all_h = MultisetHash.of([b"a", b"b", b"c"])
+        deleted = MultisetHash.of([b"b"])
+        kept = MultisetHash.of([b"a", b"c"])
+        assert all_h - deleted == kept
+
+
+class TestValueSemantics:
+    def test_immutable(self):
+        h = MultisetHash.empty()
+        with pytest.raises(AttributeError):
+            h.value = 2  # type: ignore[misc]
+
+    def test_field_mismatch_rejected(self):
+        a = MultisetHash.empty()
+        b = MultisetHash.empty(q=2**127 - 1)
+        with pytest.raises(ParameterError):
+            a + b
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ParameterError):
+            MultisetHash(0)
+        with pytest.raises(ParameterError):
+            MultisetHash(DEFAULT_FIELD_PRIME)
+
+    def test_to_bytes_fixed_width(self):
+        width = (DEFAULT_FIELD_PRIME.bit_length() + 7) // 8
+        assert len(MultisetHash.empty().to_bytes()) == width
+        assert len(MultisetHash.of([b"a"]).to_bytes()) == width
+
+    def test_hashable(self):
+        assert len({MultisetHash.of([b"a"]), MultisetHash.of([b"a"])}) == 1

@@ -1,0 +1,74 @@
+"""PRF determinism, domain separation, and keystream expansion."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.crypto.prf import PRF, derive_key, prf
+
+
+class TestPrfBasics:
+    def test_deterministic(self):
+        f = PRF(b"k" * 16)
+        assert f.eval(b"x") == f.eval(b"x")
+
+    def test_key_separation(self):
+        assert PRF(b"a" * 16).eval(b"x") != PRF(b"b" * 16).eval(b"x")
+
+    def test_input_separation(self):
+        f = PRF(b"k" * 16)
+        assert f.eval(b"x") != f.eval(b"y")
+
+    def test_multi_part_injective(self):
+        f = PRF(b"k" * 16)
+        assert f.eval(b"ab", b"c") != f.eval(b"a", b"bc")
+
+    def test_output_length(self):
+        assert len(PRF(b"k" * 16, output_len=16).eval(b"x")) == 16
+        assert len(PRF(b"k" * 16, output_len=32).eval(b"x")) == 32
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            PRF(b"")
+
+    def test_output_len_bounds(self):
+        with pytest.raises(ParameterError):
+            PRF(b"k" * 16, output_len=0)
+        with pytest.raises(ParameterError):
+            PRF(b"k" * 16, output_len=33)
+
+    def test_eval_int_matches_eval(self):
+        f = PRF(b"k" * 16)
+        assert f.eval_int(b"x") == int.from_bytes(f.eval(b"x"), "big")
+
+
+class TestKeystream:
+    def test_arbitrary_lengths(self):
+        f = PRF(b"k" * 16)
+        for n in [0, 1, 31, 32, 33, 100]:
+            assert len(f.eval_stream(n, b"ctx")) == n
+
+    def test_prefix_consistency(self):
+        # The first bytes of a longer stream equal the shorter stream.
+        f = PRF(b"k" * 16)
+        assert f.eval_stream(64, b"ctx")[:16] == f.eval_stream(16, b"ctx")
+
+    def test_context_separation(self):
+        f = PRF(b"k" * 16)
+        assert f.eval_stream(16, b"a") != f.eval_stream(16, b"b")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            PRF(b"k" * 16).eval_stream(-1, b"x")
+
+
+class TestDeriveKey:
+    def test_label_separation(self):
+        master = b"m" * 16
+        assert derive_key(master, b"w", b"1") != derive_key(master, b"w", b"2")
+
+    def test_keyword_separation(self):
+        master = b"m" * 16
+        assert derive_key(master, b"w1", b"1") != derive_key(master, b"w2", b"1")
+
+    def test_one_shot_prf_helper(self):
+        assert prf(b"k" * 16, b"x") == PRF(b"k" * 16).eval(b"x")

@@ -1,0 +1,67 @@
+"""Miller-Rabin and prime generation."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.crypto.primes import is_prime, next_prime, random_prime, random_safe_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 7917, 2**61 + 1, 561, 41041, 825265]  # incl. Carmichael
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_prime(c)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime, above the deterministic threshold? No,
+        # but it exercises the randomized path when passed with a large rng.
+        assert is_prime(2**127 - 1, default_rng(4))
+
+    def test_large_composite(self):
+        assert not is_prime((2**127 - 1) * (2**89 - 1), default_rng(4))
+
+
+class TestNextPrime:
+    def test_small_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(7919) == 7927
+
+    def test_output_is_strictly_greater(self):
+        assert next_prime(13) == 17
+
+
+class TestRandomPrime:
+    def test_bit_length_exact(self):
+        rng = default_rng(8)
+        for bits in [8, 16, 64]:
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_too_few_bits(self):
+        with pytest.raises(ParameterError):
+            random_prime(1)
+
+
+class TestSafePrime:
+    def test_structure(self):
+        rng = default_rng(8)
+        p = random_safe_prime(16, rng)
+        assert is_prime(p)
+        assert is_prime((p - 1) // 2)
+        assert p.bit_length() == 16
+
+    def test_too_few_bits(self):
+        with pytest.raises(ParameterError):
+            random_safe_prime(2)

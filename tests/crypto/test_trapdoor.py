@@ -1,0 +1,83 @@
+"""RSA trapdoor permutation: inversion, chain walking, one-wayness structure."""
+
+import pytest
+
+from repro.common.errors import KeyError_, ParameterError
+from repro.common.rng import default_rng
+from repro.crypto.trapdoor import TrapdoorKeyPair
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return TrapdoorKeyPair.generate(512, default_rng(11))
+
+
+class TestPermutation:
+    def test_round_trip(self, keys):
+        t = keys.sample_trapdoor(default_rng(1))
+        assert keys.public.apply(keys.invert(t)) == t
+
+    def test_reverse_round_trip(self, keys):
+        t = keys.sample_trapdoor(default_rng(2))
+        assert keys.invert(keys.public.apply(t)) == t
+
+    def test_chain_walk(self, keys):
+        """The owner pulls backwards j times; pi_pk walks forward to t0."""
+        t0 = keys.sample_trapdoor(default_rng(3))
+        chain = [t0]
+        for _ in range(5):
+            chain.append(keys.invert(chain[-1]))
+        # Cloud side: from t5, apply pi_pk repeatedly to reach t0.
+        cursor = chain[-1]
+        for expected in reversed(chain[:-1]):
+            cursor = keys.public.apply(cursor)
+            assert cursor == expected
+
+    def test_fixed_width_encoding(self, keys):
+        t = keys.sample_trapdoor(default_rng(4))
+        assert len(t) == keys.public.byte_len
+        assert len(keys.invert(t)) == keys.public.byte_len
+
+    def test_distinct_trapdoors(self, keys):
+        rng = default_rng(5)
+        assert keys.sample_trapdoor(rng) != keys.sample_trapdoor(rng)
+
+    def test_permutation_is_injective_on_samples(self, keys):
+        rng = default_rng(6)
+        samples = [keys.sample_trapdoor(rng) for _ in range(10)]
+        images = {keys.public.apply(t) for t in samples}
+        assert len(images) == len(samples)
+
+
+class TestErrors:
+    def test_wrong_length_rejected(self, keys):
+        with pytest.raises(KeyError_):
+            keys.public.apply(b"\x01" * 5)
+
+    def test_zero_rejected(self, keys):
+        with pytest.raises(KeyError_):
+            keys.public.apply(b"\x00" * keys.public.byte_len)
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            TrapdoorKeyPair.generate(513)
+
+    def test_tiny_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            TrapdoorKeyPair.generate(16)
+
+
+class TestKeygen:
+    def test_modulus_size(self, keys):
+        assert keys.public.modulus.bit_length() == 512
+
+    def test_d_inverts_e(self, keys):
+        lam_multiple = (keys.p - 1) * (keys.q - 1)
+        assert (keys.d * keys.public.exponent) % _lcm(keys.p - 1, keys.q - 1) == 1
+        assert lam_multiple % (keys.p - 1) == 0
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a // gcd(a, b) * b

@@ -1,0 +1,79 @@
+"""On-chain dual-instance deployment: deletion with paid verified search."""
+
+import pytest
+
+from repro.common.errors import ParameterError, StateError
+from repro.common.rng import default_rng
+from repro.core.query import Query
+from repro.core.records import encode_record_id, make_database
+from repro.dual_system import DualSlicerSystem
+
+
+@pytest.fixture()
+def dual(tparams):
+    system = DualSlicerSystem(tparams, default_rng(191))
+    system.setup(make_database([("a", 10), ("b", 20), ("c", 30), ("d", 20)], bits=8))
+    return system
+
+
+class TestLifecycle:
+    def test_search_matches_oracle(self, dual):
+        q = Query.parse(25, ">")
+        outcome = dual.search(q)
+        assert outcome.verified
+        assert outcome.record_ids == dual.expected_ids(q)
+
+    def test_delete_then_search(self, dual):
+        dual.delete(encode_record_id("b"))
+        q = Query.parse(25, ">")
+        outcome = dual.search(q)
+        assert outcome.verified
+        assert encode_record_id("b") not in outcome.record_ids
+        assert outcome.record_ids == dual.expected_ids(q)
+
+    def test_update_then_search(self, dual):
+        dual.update(encode_record_id("a"), 200)
+        low = dual.search(Query.parse(15, ">"))
+        assert low.verified
+        assert encode_record_id("a") not in low.record_ids
+        high = dual.search(Query.parse(150, "<"))
+        assert high.verified and len(high.record_ids) == 1
+
+    def test_insert_after_delete_of_other(self, dual):
+        dual.delete(encode_record_id("c"))
+        dual.insert(encode_record_id("e"), 30)
+        q = Query.parse(25, "<")
+        outcome = dual.search(q)
+        assert outcome.verified
+        assert outcome.record_ids == dual.expected_ids(q)
+
+
+class TestGuards:
+    def test_duplicate_insert_rejected(self, dual):
+        with pytest.raises(ParameterError):
+            dual.insert(encode_record_id("a"), 1)
+
+    def test_reuse_after_delete_rejected(self, dual):
+        dual.delete(encode_record_id("a"))
+        with pytest.raises(ParameterError):
+            dual.insert(encode_record_id("a"), 5)
+
+    def test_delete_unknown_rejected(self, dual):
+        with pytest.raises(StateError):
+            dual.delete(encode_record_id("zzz"))
+
+
+class TestPayments:
+    def test_both_instances_get_paid(self, dual):
+        dual.delete(encode_record_id("b"))
+        before = dual.balances()
+        outcome = dual.search(Query.parse(25, ">"), payment=700)
+        after = dual.balances()
+        assert outcome.verified
+        assert after["insert"]["cloud"] - before["insert"]["cloud"] == 700
+        assert after["delete"]["cloud"] - before["delete"]["cloud"] == 700
+
+    def test_chain_shared_and_consistent(self, dual):
+        dual.search(Query.parse(25, ">"))
+        assert dual.chain.verify_integrity()
+        assert dual.insert_system.chain is dual.delete_system.chain

@@ -1,0 +1,73 @@
+"""Fairness: the escrow settles for exactly one party, decided by public
+verification — the paper's answer to result-repudiating users and cheating
+clouds."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.cloud import MaliciousCloud, Misbehavior
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.system import DEFAULT_FUNDING, SlicerSystem
+
+TAMPERING = [
+    Misbehavior.DROP_ENTRY,
+    Misbehavior.INJECT_ENTRY,
+    Misbehavior.TAMPER_ENTRY,
+    Misbehavior.FORGE_WITNESS,
+    Misbehavior.EMPTY_RESULT,
+]
+
+
+def build_system(tparams, misbehavior=None, seed=120):
+    s = SlicerSystem(tparams, rng=default_rng(seed))
+    if misbehavior is not None:
+        s.cloud = MaliciousCloud(
+            tparams, s.owner.keys.trapdoor.public, misbehavior, default_rng(seed + 1)
+        )
+    s.setup(make_database([(f"r{i}", (i * 19) % 256) for i in range(20)], bits=8))
+    return s
+
+
+class TestCheatingCloudNeverPaid:
+    @pytest.mark.parametrize("misbehavior", TAMPERING, ids=lambda m: m.value)
+    def test_refund(self, tparams, misbehavior):
+        s = build_system(tparams, misbehavior)
+        outcome = s.search(Query.parse(130, ">"), payment=5000)
+        assert not outcome.verified
+        assert s.balances()["user"] == DEFAULT_FUNDING
+        assert s.balances()["cloud"] == DEFAULT_FUNDING
+
+    def test_no_results_released_to_user_on_failure(self, tparams):
+        s = build_system(tparams, Misbehavior.TAMPER_ENTRY)
+        outcome = s.search(Query.parse(130, ">"))
+        assert outcome.record_ids == set()
+
+
+class TestUserCannotRepudiate:
+    def test_payment_locked_before_results(self, tparams):
+        """The user pays into escrow *before* the cloud answers; once the
+        contract verifies, the transfer happens without user consent."""
+        s = build_system(tparams)
+        outcome = s.search(Query.parse(130, ">"), payment=5000)
+        assert outcome.verified
+        # The user never signs a release: settlement already moved the funds.
+        assert s.balances()["user"] == DEFAULT_FUNDING - 5000
+        assert s.balances()["cloud"] == DEFAULT_FUNDING + 5000
+
+    def test_settlement_is_on_chain(self, tparams):
+        s = build_system(tparams)
+        outcome = s.search(Query.parse(7, "="))
+        settled_events = [
+            log for log in outcome.settle_receipt.logs if log.name == "QuerySettled"
+        ]
+        assert len(settled_events) == 1
+        assert settled_events[0].get("verified") == b"\x01"
+
+
+class TestRepeatedQueries:
+    def test_multiple_settlements_accumulate(self, tparams):
+        s = build_system(tparams)
+        for _ in range(3):
+            assert s.search(Query.parse(130, ">"), payment=100).verified
+        assert s.balances()["cloud"] == DEFAULT_FUNDING + 300

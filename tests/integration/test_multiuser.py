@@ -1,0 +1,69 @@
+"""Multi-user setting: several authorised users search independently;
+freshness holds without the owner being online per search."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.common.rng import default_rng
+from repro.core.query import Query
+from repro.core.records import Database, encode_record_id, make_database
+from repro.system import DEFAULT_FUNDING, SlicerSystem
+
+
+@pytest.fixture()
+def system(tparams):
+    s = SlicerSystem(tparams, rng=default_rng(141))
+    s.setup(make_database([("a", 7), ("b", 50), ("c", 7)], bits=8))
+    return s
+
+
+class TestAuthorization:
+    def test_second_user_searches(self, system):
+        system.authorize_user("carol")
+        outcome = system.search(Query.parse(7, "="), as_user="carol")
+        assert outcome.verified
+        assert outcome.record_ids == {encode_record_id("a"), encode_record_id("c")}
+
+    def test_second_user_pays_own_fee(self, system):
+        system.authorize_user("carol", funding=5000)
+        carol_addr = system.extra_users["carol"][0]
+        system.search(Query.parse(7, "="), payment=100, as_user="carol")
+        assert system.chain.balance(carol_addr) == 4900
+        assert system.chain.balance(system.user_address) == DEFAULT_FUNDING
+
+    def test_duplicate_label_rejected(self, system):
+        system.authorize_user("carol")
+        with pytest.raises(StateError):
+            system.authorize_user("carol")
+
+    def test_authorize_before_setup_rejected(self, tparams):
+        s = SlicerSystem(tparams, rng=default_rng(142))
+        with pytest.raises(StateError):
+            s.authorize_user("carol")
+
+    def test_unknown_user_rejected(self, system):
+        with pytest.raises(KeyError):
+            system.search(Query.parse(7, "="), as_user="mallory")
+
+
+class TestMultiUserFreshness:
+    def test_all_users_see_inserts(self, system):
+        system.authorize_user("carol")
+        system.authorize_user("dan")
+        add = Database(8)
+        add.add("d", 7)
+        system.insert(add)
+
+        for label in (None, "carol", "dan"):
+            outcome = system.search(Query.parse(7, "="), as_user=label)
+            assert outcome.verified, label
+            assert encode_record_id("d") in outcome.record_ids, label
+
+    def test_late_authorized_user_gets_current_state(self, system):
+        add = Database(8)
+        add.add("d", 7)
+        system.insert(add)
+        system.authorize_user("late")  # authorised AFTER the insert
+        outcome = system.search(Query.parse(7, "="), as_user="late")
+        assert outcome.verified
+        assert encode_record_id("d") in outcome.record_ids

@@ -1,0 +1,79 @@
+"""Property-based tests for the RSA accumulator and trapdoor permutation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import default_rng
+from repro.crypto.accumulator import Accumulator, AccumulatorParams, verify_membership
+from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.trapdoor import TrapdoorKeyPair
+
+PARAMS = AccumulatorParams.demo(512)
+H = HashToPrime(64)
+PRIME_POOL = [H(i.to_bytes(4, "big")) for i in range(40)]
+
+subsets = st.lists(st.sampled_from(PRIME_POOL), min_size=1, max_size=12, unique=True)
+
+
+class TestAccumulatorProperties:
+    @given(xs=subsets)
+    @settings(max_examples=40, deadline=None)
+    def test_every_member_has_valid_witness(self, xs):
+        acc = Accumulator(PARAMS, xs)
+        for x in xs:
+            assert verify_membership(PARAMS, acc.value, x, acc.witness(x))
+
+    @given(xs=subsets)
+    @settings(max_examples=30, deadline=None)
+    def test_order_independence(self, xs):
+        assert Accumulator(PARAMS, xs).value == Accumulator(PARAMS, list(reversed(xs))).value
+
+    @given(xs=subsets, extra=st.sampled_from(PRIME_POOL))
+    @settings(max_examples=30, deadline=None)
+    def test_witness_never_validates_nonmember(self, xs, extra):
+        if extra in xs:
+            return
+        acc = Accumulator(PARAMS, xs)
+        for x in xs[:3]:
+            assert not verify_membership(PARAMS, acc.value, extra, acc.witness(x))
+
+    @given(xs=subsets)
+    @settings(max_examples=20, deadline=None)
+    def test_batch_witnesses_agree(self, xs):
+        acc = Accumulator(PARAMS.public(), xs)
+        batch = acc.witness_all()
+        for x in xs:
+            assert batch[x].value == acc.witness(x).value
+
+    @given(xs=subsets, removed=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_add_remove_round_trip(self, xs, removed):
+        x = removed.draw(st.sampled_from(xs))
+        acc = Accumulator(PARAMS, xs)
+        before = acc.value
+        acc.remove(x)
+        acc.add(x)
+        assert acc.value == before
+
+
+KEYS = TrapdoorKeyPair.generate(512, default_rng(17))
+
+
+class TestTrapdoorProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_invert_apply_identity(self, seed):
+        t = KEYS.sample_trapdoor(default_rng(seed))
+        assert KEYS.public.apply(KEYS.invert(t)) == t
+        assert KEYS.invert(KEYS.public.apply(t)) == t
+
+    @given(seed=st.integers(min_value=0, max_value=2**32), depth=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_depth_round_trip(self, seed, depth):
+        t = KEYS.sample_trapdoor(default_rng(seed))
+        cursor = t
+        for _ in range(depth):
+            cursor = KEYS.invert(cursor)
+        for _ in range(depth):
+            cursor = KEYS.public.apply(cursor)
+        assert cursor == t

@@ -1,0 +1,58 @@
+"""Property-based tests for the baseline schemes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.ope import OpeScheme
+from repro.baselines.ore_clww import ClwwOre
+from repro.baselines.merkle_range import MerkleRangeIndex, verify_range_proof
+from repro.common.bitstring import first_differing_bit
+
+BITS = 12
+values = st.integers(0, (1 << BITS) - 1)
+
+OPE = OpeScheme(b"prop-ope-key-abc", BITS)
+CLWW = ClwwOre(b"prop-clww-key-ab", BITS)
+
+
+class TestOpeProperties:
+    @given(x=values, y=values)
+    @settings(max_examples=150, deadline=None)
+    def test_order_preserved(self, x, y):
+        cx, cy = OPE.encrypt(x), OPE.encrypt(y)
+        if x < y:
+            assert cx < cy
+        elif x > y:
+            assert cx > cy
+        else:
+            assert cx == cy
+
+
+class TestClwwProperties:
+    @given(x=values, y=values)
+    @settings(max_examples=150, deadline=None)
+    def test_compare_correct(self, x, y):
+        assert ClwwOre.compare(CLWW.encrypt(x), CLWW.encrypt(y)) == (x > y) - (x < y)
+
+    @given(x=values, y=values)
+    @settings(max_examples=100, deadline=None)
+    def test_leakage_is_first_differing_bit(self, x, y):
+        leaked = ClwwOre.first_differing_bit(CLWW.encrypt(x), CLWW.encrypt(y))
+        assert leaked == first_differing_bit(x, y, BITS)
+
+
+class TestMerkleRangeProperties:
+    @given(
+        values_list=st.lists(st.integers(0, 63), min_size=1, max_size=30),
+        lo=st.integers(0, 63),
+        hi=st.integers(0, 63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_honest_proofs_verify_and_match_oracle(self, values_list, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        records = [(i.to_bytes(8, "big"), v) for i, v in enumerate(values_list)]
+        index = MerkleRangeIndex(records)
+        proof = index.query(lo, hi)
+        assert verify_range_proof(index.root, lo, hi, proof, len(index))
+        expected = [v for _, v in records if lo <= v <= hi]
+        assert len(proof.matched) == len(expected)

@@ -1,0 +1,53 @@
+"""Property-based tests for the multiset hash (homomorphism, commutativity)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.multiset_hash import MultisetHash
+
+elements = st.binary(min_size=0, max_size=40)
+multisets = st.lists(elements, max_size=20)
+
+
+class TestHomomorphism:
+    @given(m=multisets, n=multisets)
+    @settings(max_examples=150, deadline=None)
+    def test_union(self, m, n):
+        assert MultisetHash.of(m) + MultisetHash.of(n) == MultisetHash.of(m + n)
+
+    @given(m=multisets)
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariance(self, m):
+        assert MultisetHash.of(m) == MultisetHash.of(list(reversed(m)))
+
+    @given(m=multisets, n=multisets)
+    @settings(max_examples=100, deadline=None)
+    def test_commutativity(self, m, n):
+        a, b = MultisetHash.of(m), MultisetHash.of(n)
+        assert a + b == b + a
+
+    @given(m=multisets, n=multisets)
+    @settings(max_examples=100, deadline=None)
+    def test_difference_inverts_union(self, m, n):
+        assert (MultisetHash.of(m) + MultisetHash.of(n)) - MultisetHash.of(n) == MultisetHash.of(m)
+
+
+class TestIncrementalAgreement:
+    @given(m=multisets)
+    @settings(max_examples=100, deadline=None)
+    def test_fold_equals_batch(self, m):
+        h = MultisetHash.empty()
+        for element in m:
+            h = h.add(element)
+        assert h == MultisetHash.of(m)
+
+
+class TestCollisionSurface:
+    @given(m=multisets, n=multisets)
+    @settings(max_examples=150, deadline=None)
+    def test_distinct_multisets_distinct_hashes(self, m, n):
+        """Collision resistance can't be proven by testing, but random
+        multisets must never collide in practice."""
+        from collections import Counter
+
+        if Counter(m) != Counter(n):
+            assert MultisetHash.of(m) != MultisetHash.of(n)

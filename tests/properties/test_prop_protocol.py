@@ -1,0 +1,82 @@
+"""Property-based end-to-end protocol tests: random databases, random query
+sequences, random insert batches — results must always match the plaintext
+oracle and always verify."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import MatchCondition, Query
+from repro.core.records import Database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+
+PARAMS = SlicerParams.testing(value_bits=8)
+KEYS = KeyBundle.generate(default_rng(777), trapdoor_bits=512)
+
+value_lists = st.lists(st.integers(0, 255), min_size=1, max_size=25)
+queries = st.tuples(
+    st.integers(0, 255),
+    st.sampled_from([MatchCondition.EQUAL, MatchCondition.GREATER, MatchCondition.LESS]),
+)
+
+
+def deploy(values: list[int]):
+    owner = DataOwner(PARAMS, keys=KEYS, rng=default_rng(hash(tuple(values)) & 0xFFFF))
+    db = Database(8)
+    for i, v in enumerate(values):
+        db.add(i, v)
+    out = owner.build(db)
+    cloud = CloudServer(PARAMS, KEYS.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(PARAMS, out.user_package, default_rng(3))
+    return owner, cloud, user, db
+
+
+class TestSearchOracle:
+    @given(values=value_lists, q=queries)
+    @settings(max_examples=40, deadline=None)
+    def test_search_matches_oracle_and_verifies(self, values, q):
+        owner, cloud, user, db = deploy(values)
+        query = Query(q[0], q[1])
+        tokens = user.make_tokens(query)
+        response = cloud.search(tokens)
+        assert verify_response(PARAMS, cloud.ads_value, response).ok
+        assert user.decrypt_results(response) == db.ids_matching(query.predicate())
+
+
+class TestInsertOracle:
+    @given(
+        initial=value_lists,
+        batches=st.lists(st.lists(st.integers(0, 255), min_size=1, max_size=6), max_size=3),
+        q=queries,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_search_after_inserts(self, initial, batches, q):
+        owner, cloud, user, db = deploy(initial)
+        next_id = len(initial)
+        all_values = dict(enumerate(initial))
+        out = None
+        for batch in batches:
+            add = Database(8)
+            for v in batch:
+                add.add(next_id, v)
+                all_values[next_id] = v
+                next_id += 1
+            out = owner.insert(add)
+            cloud.install(out.cloud_package)
+        if out is not None:
+            user.refresh(out.user_package)
+
+        query = Query(q[0], q[1])
+        tokens = user.make_tokens(query)
+        response = cloud.search(tokens)
+        assert verify_response(PARAMS, cloud.ads_value, response).ok
+
+        from repro.core.records import encode_record_id
+
+        predicate = query.predicate()
+        expected = {encode_record_id(i) for i, v in all_values.items() if predicate(v)}
+        assert user.decrypt_results(response) == expected

@@ -1,0 +1,83 @@
+"""Property tests for the dyadic-cover machinery and ServeDB baseline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.range_tree_sse import canonical_cover, intervals_containing
+from repro.baselines.servedb import ServeDbIndex, ServeDbVerifier
+from repro.common.rng import default_rng
+
+BITS = 7
+DOMAIN = 1 << BITS
+values = st.integers(0, DOMAIN - 1)
+
+
+class TestCanonicalCoverProperties:
+    @given(lo=values, hi=values)
+    @settings(max_examples=200, deadline=None)
+    def test_partition(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        cover = canonical_cover(lo, hi, BITS)
+        covered = sorted(v for i in cover for v in range(i.lo, i.hi + 1))
+        assert covered == list(range(lo, hi + 1))
+
+    @given(lo=values, hi=values)
+    @settings(max_examples=200, deadline=None)
+    def test_size_bound(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        assert len(canonical_cover(lo, hi, BITS)) <= 2 * BITS
+
+    @given(v=values, lo=values, hi=values)
+    @settings(max_examples=200, deadline=None)
+    def test_membership_via_intervals(self, v, lo, hi):
+        """v in [lo, hi] iff one of v's containing intervals is in the cover."""
+        if lo > hi:
+            lo, hi = hi, lo
+        cover = {(i.level, i.prefix) for i in canonical_cover(lo, hi, BITS)}
+        containing = {(i.level, i.prefix) for i in intervals_containing(v, BITS)}
+        assert bool(cover & containing) == (lo <= v <= hi)
+        assert len(cover & containing) <= 1  # covers are disjoint
+
+
+class TestServeDbProperties:
+    @given(
+        vals=st.lists(values, min_size=1, max_size=15),
+        lo=values,
+        hi=values,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_honest_proofs_verify_and_match_oracle(self, vals, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        records = [(i.to_bytes(8, "big"), v) for i, v in enumerate(vals)]
+        index = ServeDbIndex(records, BITS, default_rng(1))
+        verifier = ServeDbVerifier(index.root, BITS)
+        response = index.query(lo, hi)
+        assert verifier.verify(lo, hi, response)
+        got = {index.cipher.decrypt(c) for n in response.nodes for c in n.ciphertexts}
+        assert got == {rid for rid, v in records if lo <= v <= hi}
+
+    @given(vals=st.lists(values, min_size=2, max_size=10), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_dropping_any_leaf_is_detected(self, vals, data):
+        from repro.baselines.servedb import NodeProof, ServeDbResponse
+
+        records = [(i.to_bytes(8, "big"), v) for i, v in enumerate(vals)]
+        index = ServeDbIndex(records, BITS, default_rng(2))
+        verifier = ServeDbVerifier(index.root, BITS)
+        response = index.query(0, DOMAIN - 1)
+        node = response.nodes[0]
+        if not node.leaves:
+            return
+        drop = data.draw(st.integers(0, len(node.leaves) - 1))
+        tampered = ServeDbResponse(
+            (
+                NodeProof(
+                    node.interval,
+                    node.leaves[:drop] + node.leaves[drop + 1 :],
+                    node.path,
+                ),
+            )
+        )
+        assert not verifier.verify(0, DOMAIN - 1, tampered)

@@ -1,0 +1,70 @@
+"""Property-based tests for SORE (Theorem 1 and the leakage bound)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitstring import first_differing_bit
+from repro.common.rng import default_rng
+from repro.sore.leakage import (
+    ciphertext_side_leakage,
+    predicted_leakage,
+    token_side_leakage,
+)
+from repro.sore.scheme import SoreScheme
+from repro.sore.tuples import OrderCondition, ciphertext_tuples, common_tuples, token_tuples
+
+BITS = 16
+values = st.integers(min_value=0, max_value=(1 << BITS) - 1)
+conditions = st.sampled_from([OrderCondition.GREATER, OrderCondition.LESS])
+
+
+def scheme() -> SoreScheme:
+    return SoreScheme(b"prop-key-0123456", BITS, rng=default_rng(1))
+
+
+class TestTheorem1:
+    @given(x=values, y=values, oc=conditions)
+    @settings(max_examples=300, deadline=None)
+    def test_compare_iff_order(self, x, y, oc):
+        s = scheme()
+        token = s.token(x, oc)
+        ct = s.encrypt(y)
+        assert SoreScheme.compare(ct, token) == oc.holds(x, y)
+
+    @given(x=values, y=values, oc=conditions)
+    @settings(max_examples=300, deadline=None)
+    def test_at_most_one_common_tuple(self, x, y, oc):
+        common = common_tuples(token_tuples(x, oc, BITS), ciphertext_tuples(y, BITS))
+        assert len(common) <= 1
+
+    @given(x=values, y=values, oc=conditions)
+    @settings(max_examples=200, deadline=None)
+    def test_match_position_is_first_differing_bit(self, x, y, oc):
+        common = common_tuples(token_tuples(x, oc, BITS), ciphertext_tuples(y, BITS))
+        if common:
+            assert common[0].index == first_differing_bit(x, y, BITS)
+
+
+class TestLeakageBound:
+    @given(x=values, y=values, oc=conditions)
+    @settings(max_examples=200, deadline=None)
+    def test_token_side_leakage_formula(self, x, y, oc):
+        assert token_side_leakage(x, y, oc, BITS) == predicted_leakage(x, y, BITS)
+
+    @given(x=values, y=values)
+    @settings(max_examples=200, deadline=None)
+    def test_ciphertext_side_leakage_formula(self, x, y):
+        assert ciphertext_side_leakage(x, y, BITS) == predicted_leakage(x, y, BITS)
+
+
+class TestTransitivityConsequences:
+    @given(x=values, y=values, z=values)
+    @settings(max_examples=150, deadline=None)
+    def test_comparisons_are_consistent_with_a_total_order(self, x, y, z):
+        """Compare answers derived from SORE never contradict transitivity."""
+        s = scheme()
+        gt = OrderCondition.GREATER
+        cxy = SoreScheme.compare(s.encrypt(y), s.token(x, gt))  # x > y?
+        cyz = SoreScheme.compare(s.encrypt(z), s.token(y, gt))  # y > z?
+        cxz = SoreScheme.compare(s.encrypt(z), s.token(x, gt))  # x > z?
+        if cxy and cyz:
+            assert cxz

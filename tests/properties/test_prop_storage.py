@@ -1,0 +1,72 @@
+"""Property tests for the persistence codec (round trips never lose data)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import codec
+
+blobs = st.binary(max_size=60)
+
+
+class TestCodecProperties:
+    @given(parts=st.lists(blobs, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_pack_unpack_round_trip(self, parts):
+        packed = codec.pack(b"kind", *parts)
+        assert codec.unpack(packed, b"kind") == parts
+
+    @given(value=st.integers(min_value=0, max_value=2**512))
+    @settings(max_examples=150, deadline=None)
+    def test_int_round_trip(self, value):
+        assert codec.decode_int(codec.encode_int(value)) == value
+
+    @given(mapping=st.dictionaries(blobs, blobs, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_mapping_round_trip(self, mapping):
+        assert codec.decode_mapping(codec.encode_mapping(mapping)) == mapping
+
+    @given(a=st.dictionaries(blobs, blobs, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_encoding_canonical(self, a):
+        """Encoding is a pure function of the mapping, not insertion order."""
+        reordered = dict(sorted(a.items(), reverse=True))
+        assert codec.encode_mapping(a) == codec.encode_mapping(reordered)
+
+
+class TestStateRoundTripProperties:
+    @given(
+        entries=st.dictionaries(
+            st.binary(min_size=16, max_size=16),
+            st.binary(min_size=24, max_size=24),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_index_round_trip(self, entries):
+        from repro.core.state import EncryptedIndex
+        from repro.storage import dump_index, load_index
+
+        index = EncryptedIndex()
+        for label, payload in entries.items():
+            index.put(label, payload)
+        restored = load_index(dump_index(index))
+        assert {l: restored.find(l) for l in entries} == entries
+
+    @given(
+        entries=st.dictionaries(
+            st.binary(min_size=4, max_size=30),
+            st.tuples(st.binary(min_size=8, max_size=64), st.integers(0, 50)),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_trapdoor_state_round_trip(self, entries):
+        from repro.core.state import TrapdoorState
+        from repro.storage import dump_trapdoor_state, load_trapdoor_state
+
+        state = TrapdoorState()
+        for keyword, (trapdoor, epoch) in entries.items():
+            state.put(keyword, trapdoor, epoch)
+        restored = load_trapdoor_state(dump_trapdoor_state(state))
+        for keyword, (trapdoor, epoch) in entries.items():
+            assert restored.get(keyword).trapdoor == trapdoor
+            assert restored.get(keyword).epoch == epoch

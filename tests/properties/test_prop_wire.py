@@ -1,0 +1,48 @@
+"""Property tests for the wire codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cloud import SearchResponse, TokenResult
+from repro.core.tokens import SearchToken
+from repro.core.wire import dump_response, dump_tokens, load_response, load_tokens
+from repro.crypto.accumulator import MembershipWitness
+
+tokens_st = st.builds(
+    SearchToken,
+    trapdoor=st.binary(min_size=8, max_size=64),
+    epoch=st.integers(0, 1000),
+    g1=st.binary(min_size=16, max_size=16),
+    g2=st.binary(min_size=16, max_size=16),
+)
+
+results_st = st.builds(
+    TokenResult,
+    token=tokens_st,
+    entries=st.lists(st.binary(min_size=0, max_size=48), max_size=6),
+    witness=st.builds(MembershipWitness, st.integers(1, 2**512)),
+)
+
+
+class TestWireProperties:
+    @given(tokens=st.lists(tokens_st, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_token_round_trip(self, tokens):
+        assert load_tokens(dump_tokens(tokens)) == tokens
+
+    @given(results=st.lists(results_st, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_response_round_trip(self, results):
+        response = SearchResponse(results)
+        restored = load_response(dump_response(response))
+        assert len(restored.results) == len(results)
+        for a, b in zip(results, restored.results):
+            assert a.token == b.token
+            assert list(a.entries) == list(b.entries)
+            assert a.witness.value == b.witness.value
+
+    @given(results=st.lists(results_st, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_preserved(self, results):
+        response = SearchResponse(results)
+        restored = load_response(dump_response(response))
+        assert restored.encrypted_result_bytes == response.encrypted_result_bytes

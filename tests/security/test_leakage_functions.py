@@ -1,0 +1,132 @@
+"""The leakage functions compute exactly what the real protocol exposes."""
+
+import pytest
+
+from repro.core.cloud import CloudServer
+from repro.core.params import SlicerParams
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+from repro.common.rng import default_rng
+from repro.security.leakage_functions import (
+    OwnerHistory,
+    RepeatLeakage,
+    build_leakage,
+    insert_leakage,
+    search_leakage,
+)
+
+
+@pytest.fixture()
+def db():
+    return make_database([("a", 7), ("b", 7), ("c", 200)], bits=8)
+
+
+class TestBuildLeakage:
+    def test_counts_match_real_build(self, tparams, owner_factory, db):
+        leak = build_leakage(db, tparams)
+        owner = owner_factory(tparams, seed=301)
+        out = owner.build(db)
+        assert leak.entry_count == len(out.cloud_package.index)
+        assert leak.prime_count == len(out.cloud_package.primes)
+
+    def test_sizes_match_real_entries(self, tparams, owner_factory, db):
+        leak = build_leakage(db, tparams)
+        owner = owner_factory(tparams, seed=302)
+        out = owner.build(db)
+        for label, payload in out.cloud_package.index._entries.items():
+            assert len(label) == leak.label_len
+            assert len(payload) == leak.payload_len
+
+    def test_identity_independent(self, tparams):
+        """Permuting which record holds which value leaves the leakage
+        unchanged: L_build sees only shapes, never record identities."""
+        a = make_database([("a", 10), ("b", 10), ("c", 30)], bits=8)
+        b = make_database([("x", 30), ("y", 10), ("z", 10)], bits=8)
+        assert build_leakage(a, tparams) == build_leakage(b, tparams)
+
+    def test_value_structure_is_the_only_content_leak(self, tparams):
+        """Different value sets may change the distinct-keyword count q —
+        that is the quantity the paper's L_build legitimately reveals."""
+        a = make_database([("a", 10), ("b", 10), ("c", 30)], bits=8)
+        b = make_database([("a", 99), ("b", 99), ("c", 1)], bits=8)
+        la, lb = build_leakage(a, tparams), build_leakage(b, tparams)
+        assert la.entry_count == lb.entry_count  # p depends only on record count
+        assert la.label_len == lb.label_len and la.payload_len == lb.payload_len
+
+
+class TestSearchLeakage:
+    def test_matches_real_access_pattern(self, tparams, owner_factory, db):
+        owner = owner_factory(tparams, seed=303)
+        out = owner.build(db)
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+        cloud.install(out.cloud_package)
+        user = DataUser(tparams, out.user_package, default_rng(1))
+
+        history = OwnerHistory(tparams)
+        history.record_batch(list(db))
+
+        for query in [Query.parse(7, "="), Query.parse(100, ">"), Query.parse(100, "<")]:
+            leak = search_leakage(query, history, tparams)
+            tokens = user.make_tokens(query)
+            response = cloud.search(tokens)
+            assert leak.token_count == len(tokens), query.describe()
+            real_counts = sorted(len(r.entries) for r in response.results)
+            leaked_counts = sorted(t.total_matches for t in leak.tokens)
+            assert real_counts == leaked_counts, query.describe()
+
+    def test_epochs_tracked_across_inserts(self, tparams, owner_factory, db):
+        owner = owner_factory(tparams, seed=304)
+        out = owner.build(db)
+        history = OwnerHistory(tparams)
+        history.record_batch(list(db))
+
+        add = Database(8)
+        add.add("d", 7)
+        owner.insert(add)
+        history.record_batch(list(add))
+
+        leak = search_leakage(Query.parse(7, "="), history, tparams)
+        assert leak.tokens[0].epoch == 1
+        assert leak.tokens[0].matches_per_epoch == (1, 2)  # newest epoch first
+
+    def test_absent_value_leaks_nothing(self, tparams, db):
+        history = OwnerHistory(tparams)
+        history.record_batch(list(db))
+        leak = search_leakage(Query.parse(123, "="), history, tparams)
+        assert leak.token_count == 0
+
+
+class TestInsertLeakage:
+    def test_counts_match_real_insert(self, tparams, owner_factory, db):
+        owner = owner_factory(tparams, seed=305)
+        owner.build(db)
+        add = Database(8)
+        add.add("d", 7)
+        add.add("e", 55)
+        leak = insert_leakage(add, tparams)
+        out = owner.insert(add)
+        assert leak.entry_count == len(out.cloud_package.index)
+        assert leak.prime_count == len(out.cloud_package.primes)
+
+
+class TestRepeatLeakage:
+    def test_matrix_symmetric_and_marks_repeats(self):
+        repeat = RepeatLeakage()
+        assert repeat.observe(b"kw1", 0) is None
+        assert repeat.observe(b"kw2", 0) is None
+        assert repeat.observe(b"kw1", 0) == 0  # same keyword, same epoch
+        assert repeat.matrix[2][0] == 1 and repeat.matrix[0][2] == 1
+        assert repeat.matrix[1][0] == 0
+
+    def test_epoch_advance_breaks_repeat(self):
+        repeat = RepeatLeakage()
+        repeat.observe(b"kw1", 0)
+        assert repeat.observe(b"kw1", 1) is None  # trapdoor advanced
+
+    def test_count(self):
+        repeat = RepeatLeakage()
+        for i in range(4):
+            repeat.observe(b"kw", i)
+        assert repeat.count == 4
+        assert len(repeat.matrix) == 4

@@ -1,0 +1,70 @@
+"""Leakage profile: SORE leaks the first differing bit, and nothing more."""
+
+import pytest
+
+from repro.common.bitstring import first_differing_bit
+from repro.sore.leakage import (
+    ciphertext_side_leakage,
+    matched_tuple,
+    predicted_leakage,
+    recovered_first_differing_bit,
+    token_side_leakage,
+)
+from repro.sore.tuples import OrderCondition
+
+GT, LT = OrderCondition.GREATER, OrderCondition.LESS
+BITS = 6
+
+
+class TestLeakageEqualsPrediction:
+    def test_token_side_exhaustive(self):
+        for x in range(0, 64, 3):
+            for y in range(0, 64, 5):
+                assert token_side_leakage(x, y, GT, BITS) == predicted_leakage(x, y, BITS)
+
+    def test_ciphertext_side_exhaustive(self):
+        for x in range(0, 64, 3):
+            for y in range(0, 64, 5):
+                assert ciphertext_side_leakage(x, y, BITS) == predicted_leakage(x, y, BITS)
+
+    def test_equal_values_leak_full_agreement(self):
+        assert token_side_leakage(42, 42, GT, BITS) == BITS
+        assert ciphertext_side_leakage(42, 42, BITS) == BITS
+
+    def test_opposite_conditions_share_no_tuples(self):
+        # Same value, different oc: flags differ on every tuple.
+        assert token_side_leakage(42, 42, GT, BITS) == BITS
+        from repro.sore.tuples import token_tuples
+
+        gt = set(token_tuples(42, GT, BITS))
+        lt = set(token_tuples(42, LT, BITS))
+        assert gt & lt == set()
+
+
+class TestAdversaryRecovery:
+    def test_recover_first_differing_bit(self):
+        for x, y in [(0, 63), (32, 33), (5, 4)]:
+            count = token_side_leakage(x, y, GT, BITS)
+            assert recovered_first_differing_bit(count, BITS, True) == first_differing_bit(
+                x, y, BITS
+            )
+
+    def test_equal_values_recover_none(self):
+        assert recovered_first_differing_bit(BITS, BITS, False) is None
+
+    def test_impossible_count_rejected(self):
+        with pytest.raises(ValueError):
+            recovered_first_differing_bit(BITS, BITS, True)
+
+
+class TestMatchedTuple:
+    def test_match_position_is_first_differing_bit(self):
+        for x, y in [(40, 10), (63, 0), (33, 32)]:
+            t = matched_tuple(x, y, GT, BITS)
+            assert t is not None
+            assert t.index == first_differing_bit(x, y, BITS)
+
+    def test_no_match_when_condition_fails(self):
+        assert matched_tuple(10, 40, GT, BITS) is None
+        assert matched_tuple(40, 10, LT, BITS) is None
+        assert matched_tuple(7, 7, GT, BITS) is None

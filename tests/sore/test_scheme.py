@@ -1,0 +1,90 @@
+"""SORE Token/Encrypt/Compare — exhaustive Theorem 1 check on a small domain."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.sore.scheme import SoreScheme
+from repro.sore.tuples import OrderCondition
+
+GT, LT = OrderCondition.GREATER, OrderCondition.LESS
+
+
+@pytest.fixture()
+def scheme():
+    return SoreScheme(b"k" * 16, bits=4, rng=default_rng(1))
+
+
+class TestTheorem1Exhaustive:
+    """x oc y  <=>  Compare(Encrypt(y), Token(x, oc)), over the whole 4-bit domain."""
+
+    def test_greater_exhaustive(self, scheme):
+        for x in range(16):
+            token = scheme.token(x, GT)
+            for y in range(16):
+                ct = scheme.encrypt(y)
+                assert SoreScheme.compare(ct, token) == (x > y), (x, y)
+
+    def test_less_exhaustive(self, scheme):
+        for x in range(16):
+            token = scheme.token(x, LT)
+            for y in range(16):
+                ct = scheme.encrypt(y)
+                assert SoreScheme.compare(ct, token) == (x < y), (x, y)
+
+    def test_common_count_never_exceeds_one(self, scheme):
+        for x in range(16):
+            for oc in (GT, LT):
+                token = scheme.token(x, oc)
+                for y in range(16):
+                    assert scheme.common_image_count(scheme.encrypt(y), token) <= 1
+
+
+class TestCiphertextShape:
+    def test_sizes(self, scheme):
+        assert len(scheme.encrypt(5)) == 4
+        assert len(scheme.token(5, GT)) == 4
+
+    def test_shuffle_hides_position_but_not_content(self):
+        # Same value, two scheme instances with different shuffle RNGs:
+        # the image *sets* agree, the orders may differ.
+        a = SoreScheme(b"k" * 16, 8, rng=default_rng(1))
+        b = SoreScheme(b"k" * 16, 8, rng=default_rng(2))
+        ct_a, ct_b = a.encrypt(77), b.encrypt(77)
+        assert set(ct_a.images) == set(ct_b.images)
+
+    def test_key_separation(self):
+        a = SoreScheme(b"a" * 16, 4, rng=default_rng(1))
+        b = SoreScheme(b"b" * 16, 4, rng=default_rng(1))
+        assert set(a.encrypt(5).images) != set(b.encrypt(5).images)
+
+    def test_attribute_separation(self):
+        base = SoreScheme(b"k" * 16, 4, rng=default_rng(1))
+        attr = SoreScheme(b"k" * 16, 4, rng=default_rng(1), attribute="age")
+        assert set(base.encrypt(5).images) != set(attr.encrypt(5).images)
+
+    def test_cross_attribute_never_compares(self):
+        age = SoreScheme(b"k" * 16, 4, rng=default_rng(1), attribute="age")
+        pay = SoreScheme(b"k" * 16, 4, rng=default_rng(2), attribute="pay")
+        token = age.token(15, GT)
+        for y in range(16):
+            assert not SoreScheme.compare(pay.encrypt(y), token)
+
+
+class TestEdgeValues:
+    def test_zero_greater_matches_nothing(self, scheme):
+        token = scheme.token(0, GT)
+        assert all(not SoreScheme.compare(scheme.encrypt(y), token) for y in range(16))
+
+    def test_max_less_matches_nothing(self, scheme):
+        token = scheme.token(15, LT)
+        assert all(not SoreScheme.compare(scheme.encrypt(y), token) for y in range(16))
+
+    def test_max_greater_matches_all_but_self(self, scheme):
+        token = scheme.token(15, GT)
+        matches = [y for y in range(16) if SoreScheme.compare(scheme.encrypt(y), token)]
+        assert matches == list(range(15))
+
+    def test_tuple_images_introspection(self, scheme):
+        images = scheme.tuple_images(5)
+        assert len(images) == 4
+        assert set(images) == set(scheme.encrypt(5).images)

@@ -1,0 +1,124 @@
+"""SORE tuple construction, including the paper's Fig. 2 worked example."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.sore.tuples import (
+    OrderCondition,
+    SoreTuple,
+    ciphertext_tuples,
+    cmp_bits,
+    common_tuples,
+    token_tuples,
+)
+
+GT, LT = OrderCondition.GREATER, OrderCondition.LESS
+
+
+class TestOrderCondition:
+    def test_holds(self):
+        assert GT.holds(6, 5)
+        assert not GT.holds(5, 6)
+        assert LT.holds(5, 6)
+        assert not LT.holds(6, 6)
+
+    def test_flipped(self):
+        assert GT.flipped() is LT
+        assert LT.flipped() is GT
+
+    def test_from_symbol(self):
+        assert OrderCondition.from_symbol(">") is GT
+        assert OrderCondition.from_symbol("<") is LT
+        with pytest.raises(ParameterError):
+            OrderCondition.from_symbol("=")
+
+
+class TestCmpBits:
+    def test_values(self):
+        assert cmp_bits(1, 0) is GT
+        assert cmp_bits(0, 1) is LT
+
+    def test_equal_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            cmp_bits(1, 1)
+
+
+class TestTupleShapes:
+    def test_count_equals_bits(self):
+        assert len(token_tuples(5, GT, 4)) == 4
+        assert len(ciphertext_tuples(5, 4)) == 4
+
+    def test_prefix_lengths_increase(self):
+        tuples = token_tuples(5, GT, 4)
+        assert [len(t.prefix) for t in tuples] == [0, 1, 2, 3]
+        assert [t.index for t in tuples] == [1, 2, 3, 4]
+
+    def test_token_carries_value_bits(self):
+        # 5 = 0101
+        tuples = token_tuples(5, GT, 4)
+        assert [t.bit for t in tuples] == [0, 1, 0, 1]
+        assert all(t.flag is GT for t in tuples)
+
+    def test_ciphertext_inverts_bits(self):
+        # ct carries !v_i with cmp(!v_i, v_i)
+        tuples = ciphertext_tuples(5, 4)
+        assert [t.bit for t in tuples] == [1, 0, 1, 0]
+        assert [t.flag for t in tuples] == [GT, LT, GT, LT]
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            token_tuples(16, GT, 4)
+        with pytest.raises(ParameterError):
+            ciphertext_tuples(-1, 4)
+
+
+class TestFig2Example:
+    """The paper's illustrative example: plaintexts 5=(0101), 8=(1000);
+    queries 6=(0110) and 4=(0100)."""
+
+    def test_query6_gt_matches_5(self):
+        # 6 > 5 holds: exactly one common tuple.
+        common = common_tuples(token_tuples(6, GT, 4), ciphertext_tuples(5, 4))
+        assert len(common) == 1
+        # The match is at bit index 3 (first differing bit of 6 and 5).
+        assert common[0].index == 3
+
+    def test_query6_gt_not_match_8(self):
+        # 6 > 8 is false: no common tuple.
+        assert common_tuples(token_tuples(6, GT, 4), ciphertext_tuples(8, 4)) == []
+
+    def test_query4_lt_matches_8(self):
+        # 4 < 8 holds: common tuple at the first bit.
+        common = common_tuples(token_tuples(4, LT, 4), ciphertext_tuples(8, 4))
+        assert len(common) == 1
+        assert common[0].index == 1
+
+    def test_query4_lt_not_match_5(self):
+        # 4 < 5 holds! (paper queries 4<a; 5 qualifies)
+        common = common_tuples(token_tuples(4, LT, 4), ciphertext_tuples(5, 4))
+        assert len(common) == 1
+
+    def test_equal_values_never_match_order(self):
+        assert common_tuples(token_tuples(5, GT, 4), ciphertext_tuples(5, 4)) == []
+        assert common_tuples(token_tuples(5, LT, 4), ciphertext_tuples(5, 4)) == []
+
+
+class TestEncoding:
+    def test_injective(self):
+        seen = set()
+        for v in range(16):
+            for t in ciphertext_tuples(v, 4):
+                seen.add(t.encode())
+        # distinct tuples encode distinctly
+        distinct = {t for v in range(16) for t in ciphertext_tuples(v, 4)}
+        assert len(seen) == len(distinct)
+
+    def test_attribute_separates_namespaces(self):
+        a = token_tuples(5, GT, 4, attribute="age")[0]
+        b = token_tuples(5, GT, 4, attribute="salary")[0]
+        assert a.encode() != b.encode()
+
+    def test_flag_in_encoding(self):
+        a = SoreTuple("", "01", 1, GT)
+        b = SoreTuple("", "01", 1, LT)
+        assert a.encode() != b.encode()

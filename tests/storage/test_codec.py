@@ -1,0 +1,62 @@
+"""Binary codec: framing, versioning, mapping round trips."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.storage import codec
+
+
+class TestFraming:
+    def test_pack_unpack_round_trip(self):
+        blob = codec.pack(b"kind", b"a", b"bb")
+        assert codec.unpack(blob, b"kind") == [b"a", b"bb"]
+
+    def test_kind_mismatch_rejected(self):
+        blob = codec.pack(b"kind", b"a")
+        with pytest.raises(ParameterError):
+            codec.unpack(blob, b"other")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError):
+            codec.unpack(b"not a state file", b"kind")
+
+    def test_bad_magic_rejected(self):
+        from repro.common.encoding import encode_parts, encode_uint
+
+        blob = encode_parts(b"XXXX", encode_uint(1, 2), b"kind", encode_parts())
+        with pytest.raises(ParameterError):
+            codec.unpack(blob, b"kind")
+
+    def test_future_version_rejected(self):
+        from repro.common.encoding import encode_parts, encode_uint
+
+        blob = encode_parts(codec.MAGIC, encode_uint(99, 2), b"kind", encode_parts())
+        with pytest.raises(ParameterError):
+            codec.unpack(blob, b"kind")
+
+
+class TestIntCodec:
+    def test_round_trip(self):
+        for v in [0, 1, 255, 2**64, 2**2048 - 7]:
+            assert codec.decode_int(codec.encode_int(v)) == v
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            codec.encode_int(-5)
+
+
+class TestMappingCodec:
+    def test_round_trip(self):
+        mapping = {b"b": b"2", b"a": b"1", b"": b""}
+        assert codec.decode_mapping(codec.encode_mapping(mapping)) == mapping
+
+    def test_deterministic_regardless_of_insertion_order(self):
+        a = codec.encode_mapping({b"x": b"1", b"y": b"2"})
+        b = codec.encode_mapping({b"y": b"2", b"x": b"1"})
+        assert a == b
+
+    def test_odd_element_count_rejected(self):
+        from repro.common.encoding import encode_parts
+
+        with pytest.raises(ParameterError):
+            codec.decode_mapping(encode_parts(b"key-without-value"))

@@ -1,0 +1,116 @@
+"""State persistence: a cloud/owner/user can be stopped and resumed."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.storage import (
+    dump_index,
+    dump_primes,
+    dump_set_hash_state,
+    dump_trapdoor_state,
+    load_index,
+    load_primes,
+    load_set_hash_state,
+    load_trapdoor_state,
+)
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=201)
+    db = make_database([(f"r{i}", (i * 23) % 256) for i in range(15)], bits=8)
+    out = owner.build(db)
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    return owner, cloud, out, db
+
+
+class TestIndexRoundTrip:
+    def test_identical_entries(self, world):
+        _, cloud, _, _ = world
+        restored = load_index(dump_index(cloud.index))
+        assert len(restored) == len(cloud.index)
+        assert restored.size_bytes == cloud.index.size_bytes
+        for label, payload in cloud.index._entries.items():
+            assert restored.find(label) == payload
+
+    def test_file_round_trip(self, world, tmp_path):
+        from repro.storage import load, save
+
+        _, cloud, _, _ = world
+        path = tmp_path / "index.slcr"
+        save(path, dump_index(cloud.index))
+        assert len(load_index(load(path))) == len(cloud.index)
+
+
+class TestTrapdoorStateRoundTrip:
+    def test_identical(self, world):
+        owner, _, _, _ = world
+        restored = load_trapdoor_state(dump_trapdoor_state(owner.trapdoor_state))
+        assert len(restored) == len(owner.trapdoor_state)
+        for kw in owner.trapdoor_state.keywords():
+            assert restored.get(kw) == owner.trapdoor_state.get(kw)
+
+
+class TestSetHashRoundTrip:
+    def test_identical(self, world, tparams):
+        owner, _, _, _ = world
+        blob = dump_set_hash_state(owner.set_hash_state, tparams.multiset_field)
+        restored = load_set_hash_state(blob)
+        assert dict(restored.items()) == dict(owner.set_hash_state.items())
+
+
+class TestPrimesRoundTrip:
+    def test_identical(self, world):
+        owner, _, _, _ = world
+        primes = owner.accumulator.primes
+        assert load_primes(dump_primes(primes)) == primes
+
+    def test_empty(self):
+        assert load_primes(dump_primes([])) == []
+
+
+class TestResumedCloudServesSearches:
+    def test_search_after_reload(self, world, tparams):
+        """A cloud rebuilt from persisted state answers and verifies searches."""
+        owner, cloud, out, db = world
+        resumed = CloudServer(tparams, owner.keys.trapdoor.public)
+        resumed.index = load_index(dump_index(cloud.index))
+        for prime in load_primes(dump_primes(sorted(cloud._primes))):
+            resumed._primes.add(prime)
+            resumed._prime_product *= prime
+        resumed.ads_value = cloud.ads_value
+
+        user = DataUser(tparams, out.user_package, default_rng(9))
+        query = Query.parse(100, ">")
+        tokens = user.make_tokens(query)
+        response = resumed.search(tokens)
+        assert verify_response(tparams, resumed.ads_value, response).ok
+        assert user.decrypt_results(response) == db.ids_matching(query.predicate())
+
+    def test_resumed_owner_can_insert(self, world, tparams, owner_factory):
+        """Owner state survives a reload: inserts continue the epoch chain."""
+        owner, cloud, out, _ = world
+        # Simulate restart: round-trip T and S through the codec.
+        owner.trapdoor_state = load_trapdoor_state(
+            dump_trapdoor_state(owner.trapdoor_state)
+        )
+        owner.set_hash_state = load_set_hash_state(
+            dump_set_hash_state(owner.set_hash_state, tparams.multiset_field)
+        )
+        add = Database(8)
+        add.add("fresh", 23)
+        out2 = owner.insert(add)
+        cloud.install(out2.cloud_package)
+        user = DataUser(tparams, out2.user_package, default_rng(10))
+        tokens = user.make_tokens(Query.parse(23, "="))
+        response = cloud.search(tokens)
+        assert verify_response(tparams, cloud.ads_value, response).ok
+        from repro.core.records import encode_record_id
+
+        assert encode_record_id("fresh") in user.decrypt_results(response)

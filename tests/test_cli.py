@@ -1,0 +1,82 @@
+"""CLI commands exercised end to end (each returns 0 and prints sanely)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_order_query(self, capsys):
+        assert main(["demo", "--records", "20", "--query", "100>"]) == 0
+        out = capsys.readouterr().out
+        assert "contract deployed" in out
+        assert "verified=True" in out
+
+    def test_equality_query(self, capsys):
+        assert main(["demo", "--records", "20", "--query", "42="]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_less_query(self, capsys):
+        assert main(["demo", "--records", "15", "--query", "7<"]) == 0
+
+
+class TestFeatures:
+    def test_prints_table(self, capsys):
+        assert main(["features"]) == 0
+        out = capsys.readouterr().out
+        assert "Slicer (ours)" in out
+        assert "Public verifiability" in out
+
+
+class TestGas:
+    def test_measures_costs(self, capsys):
+        assert main(["gas", "--modulus-bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "Deployment" in out
+        assert "gas" in out
+        assert "relative cost" in out
+
+
+class TestLeakage:
+    def test_differing_values(self, capsys):
+        assert main(["leakage", "5", "8", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "first differing bit: 1" in out
+
+    def test_equal_values(self, capsys):
+        assert main(["leakage", "9", "9"]) == 0
+        assert "values are equal" in capsys.readouterr().out
+
+
+class TestBenchReport:
+    def test_reads_report(self, capsys, tmp_path):
+        path = tmp_path / "fig.txt"
+        path.write_text("records  8-bit\nx 1 2 3\n100 1.0 2.0 4.0\n")
+        assert main(["bench-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "trend" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["bench-report", "/nonexistent/report.txt"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSoreDemo:
+    def test_fig2_example(self, capsys):
+        assert main(["sore-demo"]) == 0
+        out = capsys.readouterr().out
+        # The paper's Fig. 2 outcomes:
+        assert "vs 5: MATCH at bit 3" in out  # 6 > 5 at first differing bit 3
+        assert "vs 8: no match" in out  # 6 > 8 false
+        assert "vs 8: MATCH at bit 1" in out  # 4 < 8 at bit 1
+
+    def test_custom_values(self, capsys):
+        assert main(["sore-demo", "--bits", "6", "--values", "10,50", "--queries", "30>"]) == 0
+        out = capsys.readouterr().out
+        assert "vs 10: MATCH" in out
+        assert "vs 50: no match" in out

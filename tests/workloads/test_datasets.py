@@ -1,0 +1,68 @@
+"""Domain dataset generators: shapes, domains, determinism, protocol use."""
+
+import pytest
+
+from repro.common.rng import default_rng
+from repro.workloads.datasets import medical_records, sensor_readings, transaction_ledger
+
+
+class TestMedicalRecords:
+    def test_count_and_attributes(self):
+        db = medical_records(50, default_rng(1))
+        assert len(db) == 50
+        for record in db:
+            for attr in ("age", "systolic", "heart_rate"):
+                assert 0 <= record.value_of(attr) <= 255
+
+    def test_age_systolic_correlation(self):
+        db = medical_records(400, default_rng(2))
+        young = [r.value_of("systolic") for r in db if r.value_of("age") < 40]
+        old = [r.value_of("systolic") for r in db if r.value_of("age") > 65]
+        assert sum(old) / len(old) > sum(young) / len(young)
+
+    def test_deterministic(self):
+        a = medical_records(20, default_rng(3))
+        b = medical_records(20, default_rng(3))
+        assert [r.attributes for r in a] == [r.attributes for r in b]
+
+    def test_usable_in_protocol(self, tparams, owner_factory):
+        from repro.core.cloud import CloudServer
+        from repro.core.query import Query
+        from repro.core.user import DataUser
+        from repro.core.verify import verify_response
+
+        owner = owner_factory(tparams, seed=241)
+        db = medical_records(25, default_rng(4))
+        out = owner.build(db)
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+        cloud.install(out.cloud_package)
+        user = DataUser(tparams, out.user_package, default_rng(5))
+        query = Query.parse(64, "<", attribute="age")
+        response = cloud.search(user.make_tokens(query))
+        assert verify_response(tparams, cloud.ads_value, response).ok
+        assert user.decrypt_results(response) == db.ids_matching("age", query.predicate())
+
+
+class TestTransactionLedger:
+    def test_heavy_tail(self):
+        db = transaction_ledger(800, default_rng(6))
+        values = sorted(db.values())
+        median = values[len(values) // 2]
+        assert values[-1] > 10 * max(median, 1)  # rare large transactions
+
+    def test_domain(self):
+        db = transaction_ledger(100, default_rng(7), bits=16)
+        assert all(0 <= v < 65536 for v in db.values())
+
+
+class TestSensorReadings:
+    def test_clustered_around_sinusoid(self):
+        db = sensor_readings(576, default_rng(8))
+        values = db.values()
+        assert all(0 <= v < 65536 for v in values)
+        # Values span the sinusoid's swing, not the full domain.
+        assert max(values) - min(values) > 65536 // 4
+
+    def test_unique_ids(self):
+        db = sensor_readings(300, default_rng(9))
+        assert len({r.record_id for r in db}) == 300

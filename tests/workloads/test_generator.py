@@ -1,0 +1,98 @@
+"""Workload generation: shapes, domains, determinism."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.core.query import MatchCondition
+from repro.workloads.generator import ValueDistribution, WorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture()
+def gen():
+    return WorkloadGenerator(default_rng(91))
+
+
+class TestDatabaseGeneration:
+    def test_count_and_domain(self, gen):
+        db = gen.database(WorkloadSpec(100, 8))
+        assert len(db) == 100
+        assert all(0 <= v < 256 for v in db.values())
+
+    def test_unique_ids(self, gen):
+        db = gen.database(WorkloadSpec(50, 8))
+        assert len({r.record_id for r in db}) == 50
+
+    def test_id_offset_for_disjoint_batches(self, gen):
+        a = gen.database(WorkloadSpec(10, 8))
+        b = gen.database(WorkloadSpec(10, 8), id_offset=10)
+        assert {r.record_id for r in a} & {r.record_id for r in b} == set()
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(default_rng(5)).database(WorkloadSpec(30, 16))
+        b = WorkloadGenerator(default_rng(5)).database(WorkloadSpec(30, 16))
+        assert a.values() == b.values()
+
+    def test_zipf_skews_small(self, gen):
+        db = gen.database(WorkloadSpec(2000, 16, ValueDistribution.ZIPF))
+        values = db.values()
+        small_fraction = sum(1 for v in values if v < 16) / len(values)
+        # Under uniform sampling P(v < 16) = 16/65536 ≈ 0.00024; the zipf
+        # head must be orders of magnitude heavier.
+        assert small_fraction > 0.25
+
+    def test_zipf_steeper_s_is_heavier(self):
+        heavy = WorkloadGenerator(default_rng(5)).database(
+            WorkloadSpec(2000, 16, ValueDistribution.ZIPF, zipf_s=2.0)
+        )
+        light = WorkloadGenerator(default_rng(5)).database(
+            WorkloadSpec(2000, 16, ValueDistribution.ZIPF, zipf_s=1.2)
+        )
+        head = lambda db: sum(1 for v in db.values() if v < 16)
+        assert head(heavy) > head(light)
+
+    def test_clustered_in_domain(self, gen):
+        db = gen.database(WorkloadSpec(500, 8, ValueDistribution.CLUSTERED))
+        assert all(0 <= v < 256 for v in db.values())
+
+    def test_invalid_spec(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(-1, 8)
+        with pytest.raises(ParameterError):
+            WorkloadSpec(10, 0)
+
+
+class TestAttributedGeneration:
+    def test_all_attributes_present(self, gen):
+        db = gen.attributed_database(
+            20, {"age": WorkloadSpec(0, 8), "score": WorkloadSpec(0, 8)}
+        )
+        assert len(db) == 20
+        for record in db:
+            record.value_of("age")
+            record.value_of("score")
+
+    def test_mixed_widths_rejected(self, gen):
+        with pytest.raises(ParameterError):
+            gen.attributed_database(
+                5, {"a": WorkloadSpec(0, 8), "b": WorkloadSpec(0, 16)}
+            )
+
+
+class TestQueryGeneration:
+    def test_equality_queries(self, gen):
+        qs = gen.equality_queries(20, 8)
+        assert len(qs) == 20
+        assert all(q.condition is MatchCondition.EQUAL for q in qs)
+        assert all(0 <= q.value < 256 for q in qs)
+
+    def test_order_queries(self, gen):
+        qs = gen.order_queries(50, 8)
+        assert all(q.condition.is_order for q in qs)
+        symbols = {q.condition for q in qs}
+        assert len(symbols) == 2  # both directions appear at 50 draws
+
+    def test_mixed_fraction(self, gen):
+        qs = gen.mixed_queries(10, 8, equality_fraction=0.3)
+        eq = sum(1 for q in qs if q.condition is MatchCondition.EQUAL)
+        assert eq == 3

@@ -1,0 +1,38 @@
+"""Scale presets and the REPRO_SCALE switch."""
+
+import pytest
+
+from repro.workloads.scaling import current_scale, get_scale
+
+
+class TestPresets:
+    def test_known_presets(self):
+        for name in ["smoke", "default", "paper"]:
+            preset = get_scale(name)
+            assert preset.name == name
+            assert len(preset.record_counts) >= 3
+
+    def test_paper_scale_matches_paper(self):
+        paper = get_scale("paper")
+        assert paper.record_counts == (10_000, 20_000, 40_000, 80_000, 160_000)
+        assert paper.bit_settings == (8, 16, 24)
+
+    def test_doubling_shape_preserved(self):
+        default = get_scale("default")
+        counts = default.record_counts
+        assert all(b == 2 * a for a, b in zip(counts, counts[1:]))
+
+
+class TestEnvSwitch:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "default"
+
+    def test_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(KeyError):
+            current_scale()
