@@ -15,6 +15,7 @@ numbers.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from dataclasses import dataclass
@@ -31,16 +32,36 @@ from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 REPORT_DIR = pathlib.Path(__file__).resolve().parent / "reports"
 
 
+def bench_workers() -> int:
+    """Worker count for the sweep: the ``REPRO_BENCH_WORKERS`` dimension.
+
+    ``0`` (the default) defers to the engine's own resolution (the
+    ``REPRO_WORKERS`` env / serial); any positive value pins the fan-out.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "0")
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_WORKERS must be an integer, got {raw!r}") from exc
+    if workers < 0:
+        raise ValueError("REPRO_BENCH_WORKERS must be >= 0")
+    return workers
+
+
 def bench_params(bits: int) -> SlicerParams:
     """Protocol parameters for benchmarking (see module docstring)."""
     if os.environ.get("REPRO_BENCH_PARAMS", "").lower() == "paper":
         return SlicerParams(
-            value_bits=bits, prime_bits=256, accumulator=AccumulatorParams.demo(2048)
+            value_bits=bits,
+            prime_bits=256,
+            accumulator=AccumulatorParams.demo(2048),
+            workers=bench_workers(),
         )
     return SlicerParams(
         value_bits=bits,
         prime_bits=64,
         accumulator=AccumulatorParams.demo(512, default_rng(7)),
+        workers=bench_workers(),
     )
 
 
@@ -122,9 +143,27 @@ def touch_benchmark(benchmark) -> None:
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def write_report(name: str, text: str) -> None:
-    """Persist a rendered figure/table and echo it to stdout."""
+def write_report(name: str, text: str, data: dict | None = None) -> None:
+    """Persist a rendered figure/table and echo it to stdout.
+
+    When ``data`` is given, a machine-readable twin is written next to the
+    text report as ``BENCH_<name>.json`` (with the environment knobs that
+    produced it stamped in), so downstream tooling never scrapes tables.
+    """
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        payload = {
+            "name": name,
+            "env": {
+                "bench_params": os.environ.get("REPRO_BENCH_PARAMS", "default"),
+                "bench_workers": bench_workers(),
+                "scale": os.environ.get("REPRO_SCALE", "default"),
+                "cpu_count": os.cpu_count(),
+            },
+            **data,
+        }
+        json_path = REPORT_DIR / f"BENCH_{name}.json"
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n{text}\n[report written to {path}]")

@@ -59,7 +59,11 @@ def test_ablation_verify_cost(benchmark, n):
 
 def test_ablation_ads_report(benchmark):
     touch_benchmark(benchmark)
-    write_report("ablation_ads", _PROOF_SIZES.render("{:.0f}"))
+    write_report(
+        "ablation_ads",
+        _PROOF_SIZES.render("{:.0f}"),
+        data={"figures": [_PROOF_SIZES.as_dict()]},
+    )
     acc_sizes = _ACC_SERIES.ys()
     mht_sizes = _MHT_SERIES.ys()
     if acc_sizes and mht_sizes:

@@ -89,4 +89,8 @@ def test_ablation_epoch_depth_scaling(benchmark):
 def test_ablation_forward_report(benchmark):
     touch_benchmark(benchmark)
     rows = [("Metric", "value")] + [(k, f"{v:.5f}" if isinstance(v, float) else str(v)) for k, v in _RESULTS.items()]
-    write_report("ablation_forward", render_kv_table("Ablation: forward security costs", rows))
+    write_report(
+        "ablation_forward",
+        render_kv_table("Ablation: forward security costs", rows),
+        data={"metrics": dict(_RESULTS)},
+    )

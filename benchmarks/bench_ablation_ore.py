@@ -95,6 +95,7 @@ def test_ablation_report(benchmark):
     write_report(
         "ablation_ore",
         render_kv_table("Ablation: ORE family ciphertext sizes (bytes) and range tokens", rows),
+        data={"sizes": dict(sorted(_SIZES.items()))},
     )
     # Shapes: CLWW is the most compact (2 bits/symbol); SORE pays b PRF
     # images (linear in b); Lewi-Wu right ciphertexts grow EXPONENTIALLY in

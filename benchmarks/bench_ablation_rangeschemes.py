@@ -115,6 +115,7 @@ def test_ablation_rangeschemes_report(benchmark):
     write_report(
         "ablation_rangeschemes",
         render_kv_table("Ablation: range-search design space", rows),
+        data={"metrics": dict(sorted(_ROWS.items()))},
     )
     # The qualitative claims of the comparison table:
     if "keyword-SSE enumeration tokens" in _ROWS and "Slicer tokens (two-sided)" in _ROWS:

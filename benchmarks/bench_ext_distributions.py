@@ -57,7 +57,16 @@ def test_ext_distribution_report(benchmark):
         _TIMES.add(i, ads_s * 1000)
     lines = [f"{name}: {primes} keywords, ADS build {ads_s:.3f}s"
              for name, (primes, ads_s) in sorted(_RESULTS.items())]
-    write_report("ext_distributions", "\n".join(lines))
+    write_report(
+        "ext_distributions",
+        "\n".join(lines),
+        data={
+            "distributions": {
+                name: {"primes": primes, "ads_seconds": ads_s}
+                for name, (primes, ads_s) in sorted(_RESULTS.items())
+            }
+        },
+    )
     if {"uniform", "zipf"} <= _RESULTS.keys():
         # Skew collapses the keyword space: fewer primes, cheaper ADS.
         assert _RESULTS["zipf"][0] < _RESULTS["uniform"][0]

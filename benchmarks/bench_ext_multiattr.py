@@ -64,7 +64,7 @@ def test_ext_multiattr_sweep(benchmark, attributes):
 
 def test_ext_multiattr_report(benchmark):
     touch_benchmark(benchmark)
-    write_report("ext_multiattr", _FIG.render("{:.0f}"))
+    write_report("ext_multiattr", _FIG.render("{:.0f}"), data={"figures": [_FIG.as_dict()]})
     entries = _ENTRIES.ys()
     if len(entries) >= 2:
         # Linear scaling: entries per attribute constant.

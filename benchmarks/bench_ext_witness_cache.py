@@ -82,6 +82,10 @@ def test_ext_witness_cache_report(benchmark):
     rows = [("Metric", "value")] + [
         (k, f"{v:.4f}") for k, v in sorted(_ROWS.items())
     ]
-    write_report("ext_witness_cache", render_kv_table("Extension: witness precomputation", rows))
+    write_report(
+        "ext_witness_cache",
+        render_kv_table("Extension: witness precomputation", rows),
+        data={"metrics": dict(sorted(_ROWS.items()))},
+    )
     if {"live VO: 5 queries (s)", "cached VO: 5 queries (s)"} <= _ROWS.keys():
         assert _ROWS["cached VO: 5 queries (s)"] < _ROWS["live VO: 5 queries (s)"]

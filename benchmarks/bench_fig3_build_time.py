@@ -57,5 +57,9 @@ def test_fig3_build_sweep(benchmark, cache, scale, bits):
 def test_fig3_report(benchmark, cache, scale):
     touch_benchmark(benchmark)
     """Render the figure after the sweeps above populated it."""
-    write_report("fig3_build_time", _FIG3A.render() + "\n\n" + _FIG3B.render())
+    write_report(
+        "fig3_build_time",
+        _FIG3A.render() + "\n\n" + _FIG3B.render(),
+        data={"figures": [_FIG3A.as_dict(), _FIG3B.as_dict()]},
+    )
     assert _FIG3A.series and _FIG3B.series

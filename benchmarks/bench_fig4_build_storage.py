@@ -53,5 +53,9 @@ def test_fig4_storage_sweep(benchmark, cache, scale, bits):
 
 def test_fig4_report(benchmark, cache, scale):
     touch_benchmark(benchmark)
-    write_report("fig4_build_storage", _FIG4A.render() + "\n\n" + _FIG4B.render())
+    write_report(
+        "fig4_build_storage",
+        _FIG4A.render() + "\n\n" + _FIG4B.render(),
+        data={"figures": [_FIG4A.as_dict(), _FIG4B.as_dict()]},
+    )
     assert _FIG4A.series and _FIG4B.series

@@ -80,5 +80,9 @@ def test_fig5_search_sweep(benchmark, cache, scale, bits, query_kind):
 def test_fig5_report(benchmark, cache, scale):
     touch_benchmark(benchmark)
     rendered = "\n\n".join(fig.render("{:.5f}") for fig in _FIGS.values())
-    write_report("fig5_search_time", rendered)
+    write_report(
+        "fig5_search_time",
+        rendered,
+        data={"figures": [fig.as_dict() for fig in _FIGS.values()]},
+    )
     assert all(fig.series for fig in _FIGS.values())

@@ -81,5 +81,9 @@ def test_fig7_ads_dominates_at_24bit(benchmark, scale):
 
 def test_fig7_report(benchmark, scale):
     touch_benchmark(benchmark)
-    write_report("fig7_insert_time", _FIG7A.render() + "\n\n" + _FIG7B.render())
+    write_report(
+        "fig7_insert_time",
+        _FIG7A.render() + "\n\n" + _FIG7B.render(),
+        data={"figures": [_FIG7A.as_dict(), _FIG7B.as_dict()]},
+    )
     assert _FIG7A.series

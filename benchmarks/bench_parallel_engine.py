@@ -1,0 +1,131 @@
+"""Parallel engine sweep: Build / witness precompute across worker counts.
+
+Sweeps ``workers`` ∈ {1, 2, 4} (or the single value pinned by
+``REPRO_BENCH_WORKERS``) over the same database and records wall-clock
+per phase plus the speedup over serial into ``BENCH_parallel.json``.
+
+Equality of outputs is asserted *inside the sweep*: every parallel run
+must reproduce the serial run's index entries, prime list, accumulation
+value and witness cache byte-for-byte before its timing is recorded —
+a fast run that diverges is a bug, not a result.
+
+Honest-numbers note: fork+process fan-out only pays off with real cores;
+the JSON records ``cpu_count`` so a 1-core CI box reporting speedup ≈ 1
+(or slightly below, from fork overhead) is interpretable, not alarming.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _harness import bench_params, bench_workers, touch_benchmark, write_report
+from repro.analysis.reporting import FigureReport
+from repro.common.rng import default_rng
+from repro.common.timing import time_call
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle
+from repro.core.user import DataUser
+from repro.core.query import Query
+from repro.core.verify import verify_response
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scaling import current_scale
+
+BITS = 16
+
+_pinned = bench_workers()
+WORKER_SWEEP = (1, _pinned) if _pinned > 1 else (1, 2, 4)
+
+_KEYS = KeyBundle.generate(default_rng(2027), 1024)
+
+_FIG = FigureReport(
+    "Parallel engine: wall-clock by worker count",
+    "workers",
+    "seconds",
+)
+_BUILD = _FIG.new_series("build")
+_PRECOMPUTE = _FIG.new_series("precompute-witnesses")
+_SEARCH = _FIG.new_series("search")
+
+#: Reference (serial) outputs each parallel run must reproduce exactly.
+_BASELINE: dict = {}
+_TIMINGS: dict[int, dict[str, float]] = {}
+
+
+def _records(scale) -> int:
+    return max(scale.record_counts)
+
+
+def _deploy(workers: int, scale):
+    params = bench_params(BITS).with_workers(workers)
+    generator = WorkloadGenerator(default_rng(4242))
+    database = generator.database(WorkloadSpec(_records(scale), BITS))
+    owner = DataOwner(params, keys=_KEYS, rng=default_rng(99))
+    build_s, out = time_call(lambda: owner.build(database))
+    cloud = CloudServer(params, _KEYS.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(params, out.user_package, default_rng(5))
+    return owner, cloud, user, out, build_s
+
+
+def test_parallel_engine_sweep(benchmark, scale):
+    def sweep():
+        for workers in WORKER_SWEEP:
+            _, cloud, user, out, build_s = _deploy(workers, scale)
+            precompute_s, count = time_call(cloud.precompute_witnesses)
+            assert count == cloud.prime_count
+            tokens = user.make_tokens(Query.parse(1 << (BITS - 1), ">"))
+            search_s, response = time_call(lambda: cloud.search(tokens))
+            assert verify_response(cloud.params, cloud.ads_value, response).ok
+
+            outputs = {
+                "entries": dict(out.cloud_package.index.entries),
+                "primes": list(out.cloud_package.primes),
+                "ads": out.chain_ads,
+                "witnesses": dict(cloud._witness_cache),
+            }
+            if workers == 1:
+                _BASELINE.update(outputs)
+            else:
+                # Parallel ≡ serial, byte for byte, or the timing is void.
+                assert outputs == _BASELINE
+
+            _TIMINGS[workers] = {
+                "build_s": build_s,
+                "precompute_s": precompute_s,
+                "search_s": search_s,
+            }
+            _BUILD.add(workers, build_s)
+            _PRECOMPUTE.add(workers, precompute_s)
+            _SEARCH.add(workers, search_s)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert set(_TIMINGS) == set(WORKER_SWEEP)
+
+
+def test_parallel_report(benchmark, scale):
+    touch_benchmark(benchmark)
+    serial = _TIMINGS[1]
+    speedups = {
+        str(w): {
+            phase.removesuffix("_s"): serial[phase] / t[phase] if t[phase] else 0.0
+            for phase in ("build_s", "precompute_s", "search_s")
+        }
+        for w, t in _TIMINGS.items()
+        if w != 1
+    }
+    write_report(
+        "parallel",
+        _FIG.render("{:.4f}"),
+        data={
+            "figures": [_FIG.as_dict()],
+            "records": _records(scale),
+            "value_bits": BITS,
+            "worker_sweep": list(WORKER_SWEEP),
+            "timings_s": {str(w): t for w, t in _TIMINGS.items()},
+            "speedup_vs_serial": speedups,
+            "outputs_identical": True,  # asserted during the sweep
+            "fork_available": os.name == "posix",
+        },
+    )
+    assert _BUILD.ys() and _PRECOMPUTE.ys()

@@ -28,7 +28,8 @@ def live_system():
 
 
 def test_table1_report(benchmark):
-    write_report("table1_features", render_table_i())
+    text = render_table_i()
+    write_report("table1_features", text, data={"table_text": text})
     benchmark.pedantic(render_table_i, rounds=3, iterations=1)
 
 

@@ -77,7 +77,11 @@ def test_table2_report(benchmark, measured):
             f"{measured['verification']:,} | {PAPER_GAS['verification']:,}",
         ),
     ]
-    write_report("table2_gas", render_kv_table("Table II: gas cost of smart contract", rows))
+    write_report(
+        "table2_gas",
+        render_kv_table("Table II: gas cost of smart contract", rows),
+        data={"gas": measured, "paper_gas": PAPER_GAS},
+    )
     benchmark.extra_info.update({k: v for k, v in measured.items() if isinstance(v, int)})
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: one small end-to-end deployment, timed and verified.
+
+Runs Build -> Search -> precompute-witnesses -> Insert -> Search on a
+smoke-scale database and writes ``reports/BENCH_smoke.json`` (plus the
+text twin) via the shared harness.  Honors ``REPRO_BENCH_WORKERS`` so CI
+exercises both the serial path and the process fan-out.
+
+Usage:  PYTHONPATH=src python benchmarks/run_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from _harness import bench_params, bench_workers, write_report  # noqa: E402
+from repro.analysis.reporting import render_kv_table  # noqa: E402
+from repro.common.rng import default_rng  # noqa: E402
+from repro.common.timing import time_call  # noqa: E402
+from repro.core.cloud import CloudServer  # noqa: E402
+from repro.core.owner import DataOwner  # noqa: E402
+from repro.core.params import KeyBundle  # noqa: E402
+from repro.core.query import Query  # noqa: E402
+from repro.core.user import DataUser  # noqa: E402
+from repro.core.verify import verify_response  # noqa: E402
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec  # noqa: E402
+
+N_RECORDS = 120
+N_INSERT = 30
+BITS = 8
+
+
+def main() -> int:
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(31337), 1024)
+    generator = WorkloadGenerator(default_rng(404))
+    database = generator.database(WorkloadSpec(N_RECORDS, BITS))
+
+    owner = DataOwner(params, keys=keys, rng=default_rng(12))
+    build_s, out = time_call(lambda: owner.build(database))
+    cloud = CloudServer(params, keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(params, out.user_package, default_rng(5))
+
+    tokens = user.make_tokens(Query.parse(64, ">"))
+    search_s, response = time_call(lambda: cloud.search(tokens))
+    assert verify_response(params, cloud.ads_value, response).ok, "smoke search failed"
+
+    precompute_s, count = time_call(cloud.precompute_witnesses)
+    assert count == cloud.prime_count
+
+    add = generator.database(WorkloadSpec(N_INSERT, BITS))
+    insert_s, out2 = time_call(lambda: owner.insert(add))
+    cloud.install(out2.cloud_package)
+    user.refresh(out2.user_package)
+
+    tokens2 = user.make_tokens(Query.parse(64, "<"))
+    search2_s, response2 = time_call(lambda: cloud.search(tokens2))
+    assert verify_response(params, cloud.ads_value, response2).ok, "post-insert smoke search failed"
+
+    metrics = {
+        "build_s": build_s,
+        "search_s": search_s,
+        "precompute_s": precompute_s,
+        "insert_s": insert_s,
+        "search_after_insert_s": search2_s,
+        "records": N_RECORDS,
+        "inserted": N_INSERT,
+        "value_bits": BITS,
+        "primes": cloud.prime_count,
+        "workers": bench_workers(),
+        "all_verified": True,
+    }
+    rows = [("Metric", "value")] + [
+        (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
+    ]
+    write_report(
+        "smoke",
+        render_kv_table("CI smoke benchmark", rows),
+        data={"metrics": metrics},
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

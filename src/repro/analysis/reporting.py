@@ -24,6 +24,10 @@ class Series:
     def ys(self) -> list[float]:
         return [y for _, y in self.points]
 
+    def as_dict(self) -> dict:
+        """JSON-ready form: {"label": ..., "points": [[x, y], ...]}."""
+        return {"label": self.label, "points": [[x, y] for x, y in self.points]}
+
 
 @dataclass
 class FigureReport:
@@ -38,6 +42,15 @@ class FigureReport:
         s = Series(label)
         self.series.append(s)
         return s
+
+    def as_dict(self) -> dict:
+        """JSON-ready form mirroring :meth:`render` (machine-readable twin)."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [s.as_dict() for s in self.series],
+        }
 
     def render(self, y_format: str = "{:.4g}") -> str:
         xs = sorted({x for s in self.series for x, _ in s.points})

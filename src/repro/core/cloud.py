@@ -22,10 +22,19 @@ from ..common.bitstring import xor_bytes
 from ..common.encoding import encode_parts, encode_uint, sizeof
 from ..common.rng import DeterministicRNG, default_rng
 from ..common.timing import Stopwatch
-from ..crypto.accumulator import Accumulator, MembershipWitness
+from ..crypto.accumulator import MembershipWitness
+from ..crypto.modmath import ProductTree, product
 from ..crypto.multiset_hash import MultisetHash
 from ..crypto.prf import PRF
 from ..crypto.trapdoor import TrapdoorPublicKey
+from ..parallel import ParallelExecutor
+from ..parallel.tasks import (
+    CollectShared,
+    TokenWork,
+    collect_entries_chunk,
+    pow_chunk,
+    witness_map,
+)
 from .params import SlicerParams
 from .state import CloudPackage, EncryptedIndex, set_hash_key
 from .tokens import SearchToken
@@ -75,39 +84,76 @@ class CloudServer:
         self.params = params.public()
         self.trapdoor_public = trapdoor_public
         self.index = EncryptedIndex()
-        self._primes: set[int] = set()
-        self._prime_product = 1
+        #: Accumulated primes in installation order (dict used as an ordered set).
+        self._primes: dict[int, None] = {}
+        #: Cached balanced product over ``_primes`` — witness generation
+        #: reads ``prod(X)`` per query; the tree keeps it incremental.
+        self._product_tree = ProductTree()
         self.ads_value = 0
         self._hash_to_prime = params.hash_to_prime()
         self._witness_cache: dict[int, int] | None = None
+        self._executor = ParallelExecutor(params.workers)
         #: Phase timings ("results" / "vo") for the Fig. 5 benches.
         self.stopwatch = Stopwatch()
 
     # ---------------------------------------------------------------- setup
 
     def install(self, package: CloudPackage) -> None:
-        """Receive ``(I, X, Ac)`` from the owner (Build or Insert delta)."""
+        """Receive ``(I, X, Ac)`` from the owner (Build or Insert delta).
+
+        If a witness cache exists it is *updated incrementally* rather than
+        nuked: every cached witness is raised to the product of the delta
+        primes and witnesses for the new primes are batch-derived from the
+        pre-update ``Ac`` — ``O(|X|)`` exponentiations with a small exponent
+        on the delta instead of an ``O(|X| log |X|)`` full rebuild.
+        """
+        previous_ads = self.ads_value
+        had_primes = bool(self._primes)
         self.index.merge(package.index)
-        for prime in package.primes:
-            if prime not in self._primes:
-                self._primes.add(prime)
-                self._prime_product *= prime
+        fresh = [p for p in package.primes if p not in self._primes]
+        for prime in fresh:
+            self._primes[prime] = None
+        self._product_tree.extend(fresh)
         self.ads_value = package.accumulation
-        # Any update changes every witness; drop the precomputed cache.
-        self._witness_cache = None
+        if self._witness_cache is not None and fresh:
+            base = previous_ads if had_primes else (
+                self.params.accumulator.generator % self.params.accumulator.modulus
+            )
+            self._refresh_witness_cache(base, fresh)
+
+    def _refresh_witness_cache(self, previous_ads: int, fresh: list[int]) -> None:
+        """Incremental cache maintenance for an insert delta.
+
+        For a cached prime ``p``: ``w' = w^{prod(Δ)}`` (the old witness
+        raised to the delta product).  For a new prime ``p ∈ Δ``:
+        ``w = Ac_old^{prod(Δ \\ p)}``, derived for the whole delta at once by
+        root-factor recursion from the pre-update accumulation value.
+        """
+        assert self._witness_cache is not None
+        n = self.params.accumulator.modulus
+        delta = product(fresh)
+        cached = list(self._witness_cache.items())
+        raised = self._executor.map_chunks(
+            pow_chunk, [w for _, w in cached], shared=(delta, n)
+        )
+        cache = {p: w for (p, _), w in zip(cached, raised)}
+        cache.update(witness_map(previous_ads, fresh, n, self._executor))
+        self._witness_cache = cache
 
     def precompute_witnesses(self) -> int:
         """Precompute the witness for every accumulated prime.
 
         Trades install-time work (root-factor batch, ``O(|X| log |X|)``
-        exponentiations) for near-zero VO-generation latency per query —
-        the trade a production cloud serving many queries per update cycle
-        would take.  The cache is invalidated by the next :meth:`install`.
+        exponentiations, split across workers when ``params.workers > 1``)
+        for near-zero VO-generation latency per query — the trade a
+        production cloud serving many queries per update cycle would take.
+        Later :meth:`install` calls keep the cache fresh incrementally.
         Returns the number of cached witnesses.
         """
         acc = self.params.accumulator
-        temp = Accumulator(acc, sorted(self._primes))
-        self._witness_cache = {p: w.value for p, w in temp.witness_all().items()}
+        self._witness_cache = witness_map(
+            acc.generator % acc.modulus, list(self._primes), acc.modulus, self._executor
+        )
         return len(self._witness_cache)
 
     @property
@@ -126,7 +172,7 @@ class CloudServer:
         what keeps order-search VO generation (paper Fig. 5d) tractable.
         """
         with self.stopwatch.measure("results"):
-            partials = [(token, self._collect_entries(token)) for token in tokens]
+            partials = list(zip(tokens, self._collect_all(tokens)))
         with self.stopwatch.measure("vo"):
             witnesses = self._batch_witnesses(partials)
         return SearchResponse(
@@ -138,13 +184,38 @@ class CloudServer:
         witness = self._batch_witnesses([(token, entries)])[0]
         return TokenResult(token, entries, witness)
 
-    def _collect_entries(self, token: SearchToken) -> list[bytes]:
-        """Walk epochs j..0 via π_pk, scanning counters inside each epoch."""
+    def _collect_all(self, tokens: list[SearchToken]) -> list[list[bytes]]:
+        """Entry collection for every token, fanned out across workers.
+
+        The index dictionary reaches workers by fork inheritance (zero
+        copy); each worker runs the same epoch walk as
+        :meth:`_collect_entries`, so output is order- and byte-identical to
+        the serial loop.
+        """
+        if not self._executor.parallel_available or len(tokens) < max(
+            2, self._executor.min_items
+        ):
+            return [self._collect_entries(token) for token in tokens]
+        shared = CollectShared(
+            self.index.entries, self.params.label_len, self.trapdoor_public
+        )
+        work = [TokenWork(t.trapdoor, t.epoch, t.g1, t.g2) for t in tokens]
+        return self._executor.map_chunks(collect_entries_chunk, work, shared=shared)
+
+    def _collect_entries(self, token: SearchToken, max_epochs: int | None = None) -> list[bytes]:
+        """Walk epochs j..0 via π_pk, scanning counters inside each epoch.
+
+        ``max_epochs`` truncates the walk to the newest epochs (used by the
+        ``OMIT_OLD_EPOCHS`` misbehaviour); ``None`` walks the full chain.
+        """
         label_prf = PRF(token.g1, self.params.label_len)
         pad_prf = PRF(token.g2)
         entries: list[bytes] = []
         trapdoor = token.trapdoor
-        for _ in range(token.epoch, -1, -1):
+        epochs = token.epoch + 1
+        if max_epochs is not None:
+            epochs = min(epochs, max_epochs)
+        for _ in range(epochs):
             counter = 0
             while True:
                 label = label_prf.eval(trapdoor, encode_uint(counter))
@@ -179,41 +250,15 @@ class CloudServer:
         n, g = acc.modulus, acc.generator
         primes = [self._token_prime(token, entries) for token, entries in partials]
         if self._witness_cache is not None:
-            out = []
-            fallback: int | None = None
-            for prime in primes:
-                if prime in self._witness_cache:
-                    out.append(MembershipWitness(self._witness_cache[prime]))
-                else:
-                    if fallback is None:
-                        fallback = pow(g, self._prime_product, n)
-                    out.append(MembershipWitness(fallback))
-            return out
-        subset = sorted({p for p in primes if p in self._primes})
-
-        witness_by_prime: dict[int, int] = {}
-        if subset:
-            subset_product = 1
-            for p in subset:
-                subset_product *= p
-            base = pow(g, self._prime_product // subset_product, n)
-
-            def recurse(current: int, xs: list[int]) -> None:
-                if len(xs) == 1:
-                    witness_by_prime[xs[0]] = current
-                    return
-                mid = len(xs) // 2
-                left, right = xs[:mid], xs[mid:]
-                prod_left = 1
-                for p in left:
-                    prod_left *= p
-                prod_right = 1
-                for p in right:
-                    prod_right *= p
-                recurse(pow(current, prod_right, n), left)
-                recurse(pow(current, prod_left, n), right)
-
-            recurse(base, subset)
+            witness_by_prime = self._witness_cache
+        else:
+            subset = sorted({p for p in primes if p in self._primes})
+            witness_by_prime = {}
+            if subset:
+                # prod(X) comes from the incrementally maintained product
+                # tree; only the (small) subset product is computed fresh.
+                base = pow(g, self._product_tree.root // product(subset), n)
+                witness_by_prime = witness_map(base, subset, n, self._executor)
 
         fallback: int | None = None
         out: list[MembershipWitness] = []
@@ -222,7 +267,7 @@ class CloudServer:
                 out.append(MembershipWitness(witness_by_prime[prime]))
             else:
                 if fallback is None:
-                    fallback = pow(g, self._prime_product, n)
+                    fallback = pow(g, self._product_tree.root, n)
                 out.append(MembershipWitness(fallback))
         return out
 
@@ -279,7 +324,7 @@ class MaliciousCloud(CloudServer):
             blob[self.rng.randint_below(len(blob))] ^= 0xFF
             entries[victim] = bytes(blob)
         elif kind is Misbehavior.OMIT_OLD_EPOCHS and result.token.epoch > 0:
-            entries = self._newest_epoch_only(result.token)
+            entries = self._collect_entries(result.token, max_epochs=1)
         elif kind is Misbehavior.FORGE_WITNESS:
             witness = MembershipWitness(
                 self.rng.randrange(2, self.params.accumulator.modulus - 1)
@@ -290,18 +335,3 @@ class MaliciousCloud(CloudServer):
         # tampering applied; combined with any entry change above it is the
         # default because we never recompute the witness over tampered data.
         return TokenResult(result.token, entries, witness)
-
-    def _newest_epoch_only(self, token: SearchToken) -> list[bytes]:
-        label_prf = PRF(token.g1, self.params.label_len)
-        pad_prf = PRF(token.g2)
-        entries: list[bytes] = []
-        counter = 0
-        while True:
-            label = label_prf.eval(token.trapdoor, encode_uint(counter))
-            payload = self.index.find(label)
-            if payload is None:
-                break
-            pad = pad_prf.eval_stream(len(payload), token.trapdoor, encode_uint(counter))
-            entries.append(xor_bytes(pad, payload))
-            counter += 1
-        return entries

@@ -20,15 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..common.bitstring import xor_bytes
-from ..common.encoding import encode_parts, encode_uint
+from ..common.encoding import encode_parts
 from ..common.errors import StateError
 from ..common.rng import DeterministicRNG, default_rng
 from ..common.timing import Stopwatch
 from ..crypto.accumulator import Accumulator
 from ..crypto.multiset_hash import MultisetHash
-from ..crypto.prf import PRF
-from ..crypto.symmetric import SymmetricCipher
+from ..crypto.symmetric import NONCE_LEN, SymmetricCipher
+from ..parallel import ParallelExecutor
+from ..parallel.tasks import (
+    IndexShared,
+    KeywordJob,
+    hash_to_prime_chunk,
+    index_keyword_chunk,
+)
 from .keywords import keywords_for_record
 from .params import KeyBundle, SlicerParams, UserKeys
 from .records import AttributedDatabase, AttributedRecord, Database, Record
@@ -79,6 +84,7 @@ class DataOwner:
         self.accumulator = Accumulator(params.accumulator)
         self._cipher = SymmetricCipher(self.keys.record_key, self.rng)
         self._hash_to_prime = params.hash_to_prime()
+        self._executor = ParallelExecutor(params.workers)
         self._built = False
         #: Phase timings ("index" / "ads") for the Fig. 3 and Fig. 7 benches.
         self.stopwatch = Stopwatch()
@@ -132,47 +138,67 @@ class DataOwner:
                     postings.setdefault(keyword, []).append(record.record_id)
         return postings
 
+    def _stage_keywords(self, records: list[Record | AttributedRecord]) -> list[KeywordJob]:
+        """The *serial* half of Build/Insert: every state transition that
+        consumes the owner's RNG or mutates ``T``/``S``.
+
+        Trapdoor sampling, the π_sk^{-1} advance and the per-record nonce
+        draws happen here, in postings order, so the RNG stream is identical
+        whether the heavy half below runs on one worker or many.
+        """
+        field = self.params.multiset_field
+        jobs: list[KeywordJob] = []
+        for keyword, record_ids in self._postings(records).items():
+            g1, g2 = derive_g1_g2(self.keys.prf_key, keyword)
+            entry = self.trapdoor_state.find(keyword)
+            if entry is None:
+                # First sighting: fresh trapdoor, epoch 0, empty hash H(φ).
+                trapdoor = self.keys.trapdoor.sample_trapdoor(self.rng)
+                epoch = 0
+                running = MultisetHash.empty(field)
+            else:
+                # Known keyword: pop its running hash and advance the
+                # trapdoor via π_sk^{-1} (the forward-security step).
+                trapdoor, epoch = entry.trapdoor, entry.epoch
+                running = self.set_hash_state.pop(set_hash_key(trapdoor, epoch, g1, g2))
+                trapdoor = self.keys.trapdoor.invert(trapdoor)
+                epoch += 1
+            self.trapdoor_state.put(keyword, trapdoor, epoch)
+            postings = tuple(
+                (record_id, self.rng.token_bytes(NONCE_LEN)) for record_id in record_ids
+            )
+            jobs.append(KeywordJob(trapdoor, epoch, g1, g2, running.value, postings))
+        return jobs
+
     def _index_batch(self, records: list[Record | AttributedRecord]) -> CloudPackage:
-        """The shared core of Build and Insert: one epoch per touched keyword."""
+        """The shared core of Build and Insert: one epoch per touched keyword.
+
+        Phase 1 ("index"): serial staging (see :meth:`_stage_keywords`), then
+        the pure PRF/encrypt/multiset-fold work fanned out per keyword chunk.
+        Phase 2 ("ads"): ``H_prime`` derivation fanned out, then the single
+        accumulator fold.  Output is byte-identical for any worker count.
+        """
         new_index = EncryptedIndex()
-        new_primes: list[int] = []
         field = self.params.multiset_field
 
-        for keyword, record_ids in self._postings(records).items():
-            with self.stopwatch.measure("index"):
-                g1, g2 = derive_g1_g2(self.keys.prf_key, keyword)
-                entry = self.trapdoor_state.find(keyword)
-                if entry is None:
-                    # First sighting: fresh trapdoor, epoch 0, empty hash H(φ).
-                    trapdoor = self.keys.trapdoor.sample_trapdoor(self.rng)
-                    epoch = 0
-                    running = MultisetHash.empty(field)
-                else:
-                    # Known keyword: pop its running hash and advance the
-                    # trapdoor via π_sk^{-1} (the forward-security step).
-                    trapdoor, epoch = entry.trapdoor, entry.epoch
-                    running = self.set_hash_state.pop(set_hash_key(trapdoor, epoch, g1, g2))
-                    trapdoor = self.keys.trapdoor.invert(trapdoor)
-                    epoch += 1
-                self.trapdoor_state.put(keyword, trapdoor, epoch)
-
-                label_prf = PRF(g1, self.params.label_len)
-                pad_prf = PRF(g2)
-                for counter, record_id in enumerate(record_ids):
-                    record_ct = self._cipher.encrypt(record_id)
-                    label = label_prf.eval(trapdoor, encode_uint(counter))
-                    pad = pad_prf.eval_stream(len(record_ct), trapdoor, encode_uint(counter))
-                    new_index.put(label, xor_bytes(pad, record_ct))
-                    running = running.add(record_ct)
-
-            with self.stopwatch.measure("ads"):
-                state_key = set_hash_key(trapdoor, epoch, g1, g2)
-                self.set_hash_state.put(state_key, running)
-                new_primes.append(
-                    self._hash_to_prime(encode_parts(state_key, running.to_bytes()))
-                )
+        with self.stopwatch.measure("index"):
+            jobs = self._stage_keywords(records)
+            shared = IndexShared(self.keys.record_key, self.params.label_len, field)
+            folded = self._executor.map_chunks(index_keyword_chunk, jobs, shared=shared)
+            for entries, _ in folded:
+                for label, payload in entries:
+                    new_index.put(label, payload)
 
         with self.stopwatch.measure("ads"):
+            payloads: list[bytes] = []
+            for job, (_, running_value) in zip(jobs, folded):
+                state_key = set_hash_key(job.trapdoor, job.epoch, job.g1, job.g2)
+                running = MultisetHash(running_value, field)
+                self.set_hash_state.put(state_key, running)
+                payloads.append(encode_parts(state_key, running.to_bytes()))
+            new_primes = self._executor.map_chunks(
+                hash_to_prime_chunk, payloads, shared=(self.params.prime_bits,)
+            )
             self.accumulator.add_many(new_primes)
         return CloudPackage(new_index, new_primes, self.accumulator.value)
 

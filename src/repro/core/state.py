@@ -33,6 +33,15 @@ class EncryptedIndex:
         """``I.find``/``I.get`` fused: payload or None (the paper's ⊥)."""
         return self._entries.get(label)
 
+    @property
+    def entries(self) -> dict[bytes, bytes]:
+        """Read-only view of the label->payload map.
+
+        Exposed so the parallel search engine can hand the dictionary to
+        forked workers without a copy; callers must not mutate it.
+        """
+        return self._entries
+
     def __len__(self) -> int:
         return len(self._entries)
 

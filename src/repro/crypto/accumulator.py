@@ -32,7 +32,7 @@ from math import gcd
 
 from ..common.errors import AccumulatorError, ParameterError
 from ..common.rng import DeterministicRNG, default_rng
-from .modmath import mod_inverse
+from .modmath import mod_inverse, product
 from .primes import is_prime, random_safe_prime
 
 # Precomputed safe primes for demo/test parameter sets (generated once with
@@ -200,7 +200,7 @@ class Accumulator:
                 self._primes[x] = None
                 fresh.append(x)
         if fresh:
-            exponent = _product(fresh)
+            exponent = product(fresh)
             if self.params.has_trapdoor:
                 exponent %= self.params.phi()
             self._value = pow(self._value, exponent, self.params.modulus)
@@ -222,7 +222,7 @@ class Accumulator:
             inv = mod_inverse(x, self.params.phi())
             self._value = pow(self._value, inv, n)
         else:
-            self._value = pow(self.params.generator, _product(list(self._primes)), n)
+            self._value = pow(self.params.generator, product(list(self._primes)), n)
         return self._value
 
     def witness(self, x: int) -> MembershipWitness:
@@ -230,39 +230,30 @@ class Accumulator:
         if x not in self._primes:
             raise AccumulatorError(f"cannot produce membership witness for absent {x}")
         others = [p for p in self._primes if p != x]
-        exponent = _product(others)
+        exponent = product(others)
         if self.params.has_trapdoor:
             exponent %= self.params.phi()
         return MembershipWitness(pow(self.params.generator, exponent, self.params.modulus))
 
-    def witness_all(self) -> dict[int, MembershipWitness]:
-        """Witnesses for every accumulated prime via root-factor recursion."""
-        primes = list(self._primes)
-        out: dict[int, MembershipWitness] = {}
-        if not primes:
-            return out
+    def witness_all(self, executor=None) -> dict[int, MembershipWitness]:
+        """Witnesses for every accumulated prime via root-factor recursion.
+
+        Pass a :class:`~repro.parallel.ParallelExecutor` to split the
+        recursion tree across workers (subtrees are independent); the
+        witness values are identical either way.
+        """
+        from ..parallel.tasks import witness_map
+
         n = self.params.modulus
-
-        def recurse(base: int, subset: list[int]) -> None:
-            if len(subset) == 1:
-                out[subset[0]] = MembershipWitness(base)
-                return
-            mid = len(subset) // 2
-            left, right = subset[:mid], subset[mid:]
-            base_right = pow(base, _product(left), n)
-            base_left = pow(base, _product(right), n)
-            recurse(base_left, left)
-            recurse(base_right, right)
-
-        recurse(self.params.generator % n, primes)
-        return out
+        raw = witness_map(self.params.generator % n, list(self._primes), n, executor)
+        return {p: MembershipWitness(w) for p, w in raw.items()}
 
     def nonmembership_witness(self, x: int) -> NonMembershipWitness:
         """Universal-accumulator proof that prime ``x`` is NOT in the set."""
         self._check_prime(x)
         if x in self._primes:
             raise AccumulatorError(f"{x} is accumulated; no non-membership witness")
-        x_p = _product(list(self._primes))
+        x_p = product(list(self._primes))
         g, a, b = _ext_gcd(x_p, x)
         if g != 1:
             raise AccumulatorError("element shares a factor with the set product")
@@ -297,18 +288,6 @@ def verify_nonmembership(
     rhs = (params.generator * pow(witness.d, x, n)) % n
     return lhs == rhs
 
-
-def _product(values: list[int]) -> int:
-    """Balanced product (kept local to avoid import cycles in hot paths)."""
-    if not values:
-        return 1
-    layer = list(values)
-    while len(layer) > 1:
-        nxt = [layer[i] * layer[i + 1] for i in range(0, len(layer) - 1, 2)]
-        if len(layer) % 2:
-            nxt.append(layer[-1])
-        layer = nxt
-    return layer[0]
 
 
 def _ext_gcd(a: int, b: int) -> tuple[int, int, int]:

@@ -54,6 +54,10 @@ def product(values: list[int]) -> int:
     The RSA accumulator exponent ``x_p = prod(X)`` can involve tens of
     thousands of 256-bit primes; a naive left fold is quadratic in the output
     size, while this divide-and-conquer tree keeps operands balanced.
+
+    This is the *one* shared balanced-product helper; the accumulator's
+    root-factor recursion and the cloud's batched witness generation all
+    route through it (or :class:`ProductTree` for incremental sets).
     """
     if not values:
         return 1
@@ -64,3 +68,55 @@ def product(values: list[int]) -> int:
             nxt.append(layer[-1])
         layer = nxt
     return layer[0]
+
+
+class ProductTree:
+    """Incrementally maintained balanced product over a growing value list.
+
+    The cloud's witness generation needs ``prod(X)`` for the *current* prime
+    list on every query; recomputing it is ``O(|X|^2)`` bit work over a
+    session, and the seed code's running product (multiply one prime at a
+    time) is no better asymptotically.  This structure keeps a binary-counter
+    forest of subtree products (one per set bit of ``len(values)``), so
+
+    * appending ``k`` values costs ``O(k log k)`` amortised bit operations
+      (equal-size subtrees merge like a carry chain), and
+    * the full product is one cached ``O(log n)``-operand balanced multiply,
+      invalidated only when values are appended.
+
+    Values are never removed — matching the accumulator's append-only prime
+    list (Slicer deletes via a second instance, not removal).
+    """
+
+    __slots__ = ("_forest", "_count", "_root")
+
+    def __init__(self, values: list[int] | None = None) -> None:
+        self._forest: list[tuple[int, int]] = []  # (leaf count, subtree product)
+        self._count = 0
+        self._root: int | None = None
+        if values:
+            self.extend(values)
+
+    def append(self, value: int) -> None:
+        """Absorb one value (amortised ``O(log n)`` subtree merges)."""
+        self._forest.append((1, value))
+        self._count += 1
+        self._root = None
+        while len(self._forest) >= 2 and self._forest[-1][0] == self._forest[-2][0]:
+            size_b, prod_b = self._forest.pop()
+            size_a, prod_a = self._forest.pop()
+            self._forest.append((size_a + size_b, prod_a * prod_b))
+
+    def extend(self, values: list[int]) -> None:
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def root(self) -> int:
+        """The exact product of every appended value (1 when empty), cached."""
+        if self._root is None:
+            self._root = product([prod for _, prod in self._forest])
+        return self._root

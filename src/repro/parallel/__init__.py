@@ -1,0 +1,27 @@
+"""Parallel execution engine for the protocol hot paths.
+
+The paper's headline costs — Build/Insert index construction (Figs. 3, 7)
+and search-side VO generation (Fig. 5d) — are embarrassingly parallel once
+the sequential state transitions (trapdoor sampling/advance, RNG draws) are
+peeled off into a cheap serial staging pass.  This package provides:
+
+* :class:`ParallelExecutor` — a deterministic chunking executor over
+  ``concurrent.futures``.  Items are split into contiguous chunks, each
+  chunk is processed by a module-level task function in a forked worker
+  process, and results are merged back **in item order**, so parallel and
+  serial runs produce byte-identical output.  Falls back to in-process
+  execution when ``workers <= 1``, when the platform cannot fork, or when
+  the input is too small to amortise the fan-out cost.
+* :mod:`repro.parallel.tasks` — the picklable task functions the protocol
+  fans out: per-keyword index construction, ``H_prime`` derivation, epoch
+  walks, root-factor witness subtrees and witness-cache exponentiations.
+
+The worker count is a :class:`~repro.core.params.SlicerParams` knob
+(``workers``), resolved through the ``REPRO_WORKERS`` environment variable
+when left at its ``0`` ("auto") default.  See DESIGN.md §7 for the
+determinism contract.
+"""
+
+from .executor import WORKERS_ENV, ParallelExecutor, resolve_workers
+
+__all__ = ["ParallelExecutor", "resolve_workers", "WORKERS_ENV"]

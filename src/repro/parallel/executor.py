@@ -1,0 +1,175 @@
+"""Deterministic chunking executor over ``concurrent.futures``.
+
+Design constraints (see ISSUE 1 / DESIGN.md §7):
+
+* **Determinism** — chunk boundaries never influence results: task
+  functions are pure per item, chunks are contiguous slices, and results
+  are merged back in item order.  ``workers=1`` and ``workers=N`` therefore
+  produce byte-identical protocol output; property tests enforce this.
+* **Zero-copy shared state** — the cloud's encrypted index can be hundreds
+  of megabytes; pickling it per task would erase any speedup.  Workers are
+  forked, so the shared payload is published in a module global right
+  before pool creation and inherited by the children for free.  On
+  platforms without ``fork`` (or inside processes where forking is unsafe)
+  the executor silently degrades to the serial path — correctness never
+  depends on parallelism.
+* **Serial fallback** — pools cost a few forks per call, so small inputs
+  (fewer than :attr:`ParallelExecutor.min_items`) run in-process.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Any, Callable, Sequence, TypeVar
+
+from ..common.errors import ParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knob consulted when ``workers=0`` ("auto") is requested.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below ``min_items`` (default: this multiple of the worker count) the
+#: fan-out overhead dominates and the executor stays serial.
+_MIN_ITEMS_PER_WORKER = 2
+
+#: Payload inherited by forked workers (set immediately before pool
+#: creation, cleared after).  Never read in the parent between calls.
+_SHARED: Any = None
+
+
+def resolve_workers(requested: int | None = 0) -> int:
+    """Resolve a worker count: explicit value > ``REPRO_WORKERS`` env > 1.
+
+    ``0``/``None`` means "auto" (consult the environment), a negative value
+    or the env string ``"auto"`` means "all CPU cores".
+    """
+    if requested is None:
+        requested = 0
+    if requested < 0:
+        return max(1, os.cpu_count() or 1)
+    if requested > 0:
+        return requested
+    raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+    if not raw:
+        return 1
+    if raw == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ParameterError(f"{WORKERS_ENV} must be an integer or 'auto', got {raw!r}") from exc
+    return max(1, os.cpu_count() or 1) if value < 0 else max(1, value)
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    """The fork start method, or None where unavailable (Windows, some macOS)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _run_chunk(fn: Callable[[Any, list], list], chunk: list) -> list:
+    """Worker-side trampoline: re-attach the fork-inherited shared payload."""
+    return fn(_SHARED, chunk)
+
+
+def split_chunks(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into at most ``parts`` contiguous, near-equal chunks."""
+    n = len(items)
+    parts = max(1, min(parts, n))
+    size, extra = divmod(n, parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + size + (1 if i < extra else 0)
+        chunks.append(list(items[start:stop]))
+        start = stop
+    return chunks
+
+
+class ParallelExecutor:
+    """Fan work out across processes; merge results deterministically.
+
+    Task functions must be module-level (picklable by reference) with the
+    signature ``fn(shared, chunk) -> list`` returning exactly one result per
+    chunk item.  ``shared`` is an arbitrary read-only payload reaching the
+    workers through fork inheritance, i.e. without serialization.
+    """
+
+    def __init__(self, workers: int | None = 0, min_items: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        #: Inputs smaller than this run serially; tests lower it to force
+        #: real fan-out on tiny fixtures.
+        self.min_items = (
+            min_items if min_items is not None else _MIN_ITEMS_PER_WORKER * self.workers
+        )
+
+    @property
+    def parallel_available(self) -> bool:
+        return self.workers > 1 and _fork_context() is not None
+
+    def map_chunks(
+        self,
+        fn: Callable[[Any, list[T]], list[R]],
+        items: Sequence[T],
+        shared: Any = None,
+    ) -> list[R]:
+        """Apply ``fn`` over chunks of ``items``; results in item order.
+
+        Serial and parallel execution are interchangeable: the serial path
+        is literally ``fn(shared, list(items))``, and the parallel path
+        concatenates the per-chunk outputs of the same function.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self.parallel_available or len(items) < max(2, self.min_items):
+            return list(fn(shared, items))
+        out = self._dispatch(fn, split_chunks(items, self.workers), shared)
+        if len(out) != len(items):
+            raise ParameterError(
+                f"task function returned {len(out)} results for {len(items)} items"
+            )
+        return out
+
+    def run_jobs(
+        self,
+        fn: Callable[[Any, list[T]], list[R]],
+        jobs: Sequence[T],
+        shared: Any = None,
+    ) -> list[R]:
+        """Run a *small* list of *large* jobs, one worker per job.
+
+        Unlike :meth:`map_chunks` there is no small-input fallback: callers
+        use this when each job already carries enough work (e.g. a witness
+        subtree) to amortise a fork.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if not self.parallel_available or len(jobs) < 2:
+            return list(fn(shared, jobs))
+        return self._dispatch(fn, [[job] for job in jobs], shared)
+
+    def _dispatch(
+        self, fn: Callable[[Any, list[T]], list[R]], chunks: list[list[T]], shared: Any
+    ) -> list[R]:
+        """Fork a pool, run one task per chunk, merge results in chunk order."""
+        ctx = _fork_context()
+        global _SHARED
+        _SHARED = shared
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)), mp_context=ctx
+            ) as pool:
+                parts = list(pool.map(_run_chunk, [fn] * len(chunks), chunks))
+        finally:
+            _SHARED = None
+        out: list[R] = []
+        for part in parts:
+            out.extend(part)
+        return out

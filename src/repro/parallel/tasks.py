@@ -1,0 +1,219 @@
+"""Picklable task functions the protocol hot paths fan out.
+
+Every function here follows the executor contract ``fn(shared, chunk) ->
+results`` with one result per chunk item, is pure (no process state leaks
+back), and operates on plain data — bytes, ints, tuples — so the only
+objects crossing the process boundary are small.  Large read-only state
+(the cloud's index dictionary, key material) travels through the executor's
+fork-inherited ``shared`` payload instead of pickle.
+
+The functions mirror the serial hot loops exactly (same primitive calls in
+the same order), which is what makes ``workers=N`` output byte-identical to
+``workers=1``; `tests/properties/test_prop_parallel.py` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..common.bitstring import xor_bytes
+from ..common.encoding import encode_uint
+from ..crypto.hash_to_prime import HashToPrime
+from ..crypto.modmath import product
+from ..crypto.multiset_hash import MultisetHash
+from ..crypto.prf import PRF
+from ..crypto.symmetric import SymmetricCipher
+from .executor import ParallelExecutor
+
+
+# --------------------------------------------------------- owner Build/Insert
+
+
+class KeywordJob(NamedTuple):
+    """One keyword's share of Build/Insert after the serial staging pass.
+
+    The staging pass (owner process) performs every state transition that
+    must stay sequential for :class:`~repro.common.rng.DeterministicRNG`
+    reproducibility — trapdoor sampling/advance and nonce draws — and
+    freezes the results here.  What remains is pure PRF/encrypt/fold work.
+    """
+
+    trapdoor: bytes
+    epoch: int
+    g1: bytes
+    g2: bytes
+    running_value: int  # multiset-hash value carried over from prior epochs
+    postings: tuple[tuple[bytes, bytes], ...]  # (record_id, nonce) per counter
+
+
+class IndexShared(NamedTuple):
+    """Read-only inputs for :func:`index_keyword_chunk`."""
+
+    record_key: bytes
+    label_len: int
+    field: int  # multiset-hash field modulus q
+
+
+def index_keyword_chunk(
+    shared: IndexShared, jobs: list[KeywordJob]
+) -> list[tuple[list[tuple[bytes, bytes]], int]]:
+    """Algorithm 1/2 lines 10-16 for a chunk of keywords.
+
+    Per keyword: encrypt each posting's record ID (with its pre-drawn
+    nonce), derive the PRF label and pad, and fold the ciphertext into the
+    running multiset hash.  Returns ``(entries, folded_hash_value)`` per
+    job, entries in counter order.
+    """
+    cipher = SymmetricCipher(shared.record_key)
+    out: list[tuple[list[tuple[bytes, bytes]], int]] = []
+    for job in jobs:
+        label_prf = PRF(job.g1, shared.label_len)
+        pad_prf = PRF(job.g2)
+        running = MultisetHash(job.running_value, shared.field)
+        entries: list[tuple[bytes, bytes]] = []
+        for counter, (record_id, nonce) in enumerate(job.postings):
+            record_ct = cipher.encrypt(record_id, nonce)
+            label = label_prf.eval(job.trapdoor, encode_uint(counter))
+            pad = pad_prf.eval_stream(len(record_ct), job.trapdoor, encode_uint(counter))
+            entries.append((label, xor_bytes(pad, record_ct)))
+            running = running.add(record_ct)
+        out.append((entries, running.value))
+    return out
+
+
+def hash_to_prime_chunk(shared: tuple[int], payloads: list[bytes]) -> list[int]:
+    """``H_prime`` over a chunk of (state key || multiset hash) payloads."""
+    (prime_bits,) = shared
+    h_prime = HashToPrime(prime_bits)
+    return [h_prime(payload) for payload in payloads]
+
+
+# ---------------------------------------------------------------- cloud search
+
+
+class CollectShared(NamedTuple):
+    """Read-only inputs for :func:`collect_entries_chunk`.
+
+    ``index_entries`` is the cloud's label->payload dictionary; it reaches
+    workers by fork inheritance, never by pickle.
+    """
+
+    index_entries: dict[bytes, bytes]
+    label_len: int
+    trapdoor_public: object  # TrapdoorPublicKey (duck-typed: .apply)
+
+
+class TokenWork(NamedTuple):
+    """The fields of one search token a worker needs for the epoch walk."""
+
+    trapdoor: bytes
+    epoch: int
+    g1: bytes
+    g2: bytes
+
+
+def collect_entries_chunk(
+    shared: CollectShared, tokens: list[TokenWork]
+) -> list[list[bytes]]:
+    """Algorithm 4's epoch walk for a chunk of tokens (one entry list each)."""
+    find = shared.index_entries.get
+    out: list[list[bytes]] = []
+    for token in tokens:
+        label_prf = PRF(token.g1, shared.label_len)
+        pad_prf = PRF(token.g2)
+        entries: list[bytes] = []
+        trapdoor = token.trapdoor
+        for _ in range(token.epoch + 1):
+            counter = 0
+            while True:
+                label = label_prf.eval(trapdoor, encode_uint(counter))
+                payload = find(label)
+                if payload is None:
+                    break
+                pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
+                entries.append(xor_bytes(pad, payload))
+                counter += 1
+            trapdoor = shared.trapdoor_public.apply(trapdoor)
+        out.append(entries)
+    return out
+
+
+# ---------------------------------------------------- witness generation / cache
+
+
+def root_factor(base: int, primes: list[int], modulus: int) -> dict[int, int]:
+    """Sander-Ta-Shma root-factor recursion: ``{p: base^(prod(primes)/p)}``.
+
+    ``O(k log k)`` exponentiations for ``k`` primes instead of ``O(k^2)``.
+    The recursion shape does not influence the outputs, only the work
+    schedule, so subtrees can be evaluated independently.
+    """
+    out: dict[int, int] = {}
+    if not primes:
+        return out
+    stack: list[tuple[int, list[int]]] = [(base, list(primes))]
+    while stack:
+        current, subset = stack.pop()
+        if len(subset) == 1:
+            out[subset[0]] = current
+            continue
+        mid = len(subset) // 2
+        left, right = subset[:mid], subset[mid:]
+        stack.append((pow(current, product(right), modulus), left))
+        stack.append((pow(current, product(left), modulus), right))
+    return out
+
+
+def witness_subtree_chunk(
+    shared: tuple[int], jobs: list[tuple[int, list[int]]]
+) -> list[dict[int, int]]:
+    """Root-factor recursion over a chunk of ``(base, primes)`` subtrees."""
+    (modulus,) = shared
+    return [root_factor(base, primes, modulus) for base, primes in jobs]
+
+
+def witness_map(
+    base: int,
+    primes: list[int],
+    modulus: int,
+    executor: ParallelExecutor | None = None,
+) -> dict[int, int]:
+    """``{p: base^(prod(primes)/p) mod modulus}`` — parallel when it pays.
+
+    The recursion tree is split at depth ``~log2(workers)``: the parent
+    computes the subtree bases serially (a handful of full-width
+    exponentiations), then farms each subtree's recursion out.  The split
+    depth changes the schedule, never the values, so any worker count
+    yields identical witnesses.
+    """
+    primes = list(primes)
+    if not primes:
+        return {}
+    if executor is None or not executor.parallel_available or len(primes) < max(
+        2, executor.min_items
+    ):
+        return root_factor(base, primes, modulus)
+    # Serially expand the top of the recursion tree (exactly the steps the
+    # serial recursion would take) until one subtree per worker exists.
+    jobs: list[tuple[int, list[int]]] = [(base, primes)]
+    while len(jobs) < executor.workers:
+        jobs.sort(key=lambda job: len(job[1]))
+        current, subset = jobs.pop()
+        if len(subset) == 1:
+            jobs.append((current, subset))
+            break
+        mid = len(subset) // 2
+        left, right = subset[:mid], subset[mid:]
+        jobs.append((pow(current, product(right), modulus), left))
+        jobs.append((pow(current, product(left), modulus), right))
+    results = executor.run_jobs(witness_subtree_chunk, jobs, shared=(modulus,))
+    merged: dict[int, int] = {}
+    for part in results:
+        merged.update(part)
+    return merged
+
+
+def pow_chunk(shared: tuple[int, int], values: list[int]) -> list[int]:
+    """Raise a chunk of group elements to a fixed exponent (cache refresh)."""
+    exponent, modulus = shared
+    return [pow(value, exponent, modulus) for value in values]

@@ -1,0 +1,127 @@
+"""The parallel execution engine: chunking, fallback, worker resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.parallel import WORKERS_ENV, ParallelExecutor, resolve_workers
+from repro.parallel.executor import split_chunks
+from repro.parallel.tasks import root_factor, witness_map
+
+
+def _double_chunk(shared, chunk):
+    offset = shared or 0
+    return [offset + 2 * item for item in chunk]
+
+
+def _bad_arity_chunk(shared, chunk):
+    return [0]  # wrong: not one result per item
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_auto_reads_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(0) == 5
+        assert resolve_workers(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == 1
+
+    def test_negative_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(-1) >= 1
+
+    def test_env_auto_keyword(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers(0) >= 1
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ParameterError):
+            resolve_workers(0)
+
+
+class TestSplitChunks:
+    def test_roundtrip_order(self):
+        items = list(range(17))
+        for parts in (1, 2, 3, 5, 16, 17, 40):
+            chunks = split_chunks(items, parts)
+            assert [x for c in chunks for x in c] == items
+            assert len(chunks) == min(parts, len(items))
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_empty(self):
+        assert split_chunks([], 4) == [[]]
+
+
+class TestMapChunks:
+    def test_serial_executor(self):
+        ex = ParallelExecutor(workers=1)
+        assert ex.map_chunks(_double_chunk, [1, 2, 3], shared=10) == [12, 14, 16]
+
+    def test_parallel_matches_serial(self):
+        serial = ParallelExecutor(workers=1)
+        parallel = ParallelExecutor(workers=3, min_items=1)
+        items = list(range(23))
+        assert parallel.map_chunks(_double_chunk, items, shared=1) == serial.map_chunks(
+            _double_chunk, items, shared=1
+        )
+
+    def test_small_input_stays_serial(self):
+        # Below min_items the pool is never spun up; results are identical.
+        ex = ParallelExecutor(workers=4)  # min_items defaults to 8
+        assert ex.map_chunks(_double_chunk, [1, 2], shared=0) == [2, 4]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(workers=2).map_chunks(_double_chunk, []) == []
+
+    @pytest.mark.skipif(
+        not ParallelExecutor(workers=2).parallel_available,
+        reason="platform cannot fork",
+    )
+    def test_arity_mismatch_rejected(self):
+        ex = ParallelExecutor(workers=2, min_items=1)
+        with pytest.raises(ParameterError):
+            ex.map_chunks(_bad_arity_chunk, list(range(8)))
+
+    def test_run_jobs_matches_serial(self):
+        serial = ParallelExecutor(workers=1)
+        parallel = ParallelExecutor(workers=2)
+        jobs = [1, 2, 3]
+        assert parallel.run_jobs(_double_chunk, jobs, shared=5) == serial.run_jobs(
+            _double_chunk, jobs, shared=5
+        )
+
+
+class TestWitnessMap:
+    MOD = 0x8F2D5D0E3A7C1F4B66ADF6E52C07E109  # any odd modulus works here
+
+    def test_matches_naive(self):
+        primes = [3, 5, 7, 11, 13]
+        base = 4
+        naive = {
+            p: pow(base, 3 * 5 * 7 * 11 * 13 // p, self.MOD) for p in primes
+        }
+        assert root_factor(base, primes, self.MOD) == naive
+        assert witness_map(base, primes, self.MOD) == naive
+
+    def test_parallel_split_identical(self):
+        primes = [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+        base = 9
+        serial = witness_map(base, primes, self.MOD, None)
+        for workers in (2, 3, 4):
+            ex = ParallelExecutor(workers=workers, min_items=1)
+            assert witness_map(base, primes, self.MOD, ex) == serial
+
+    def test_empty(self):
+        assert witness_map(5, [], self.MOD, None) == {}
+
+    def test_singleton(self):
+        assert witness_map(5, [13], self.MOD, None) == {13: 5}

@@ -1,4 +1,4 @@
-"""Precomputed witness cache: identical outputs, invalidation on update."""
+"""Precomputed witness cache: identical outputs, incremental maintenance."""
 
 import pytest
 
@@ -8,6 +8,7 @@ from repro.core.query import Query
 from repro.core.records import Database, make_database
 from repro.core.user import DataUser
 from repro.core.verify import verify_response
+from repro.crypto.accumulator import MembershipWitness, verify_membership
 
 
 @pytest.fixture()
@@ -43,14 +44,42 @@ class TestCache:
         cached_s = min(time_call(lambda: cloud.search(tokens))[0] for _ in range(3))
         assert cached_s < live_s
 
-    def test_install_invalidates_cache(self, world, tparams):
+    def test_cold_path_and_hit_path_identical(self, world, tparams):
+        """Same witnesses whether the cache is cold (live root-factor per
+        query) or warm (precomputed): the VO is a deterministic function of
+        the prime set."""
+        owner, cloud, user, _ = world
+        tokens = user.make_tokens(Query.parse(60, "<"))
+        cold = cloud.search(tokens)
+        cloud.precompute_witnesses()
+        warm = cloud.search(tokens)
+        assert [r.witness.value for r in cold.results] == [
+            r.witness.value for r in warm.results
+        ]
+        assert verify_response(tparams, cloud.ads_value, warm).ok
+
+    def test_install_updates_cache_incrementally(self, world, tparams):
+        """An insert no longer nukes the cache: every cached witness is
+        raised to the delta product and the new primes get batch-derived
+        witnesses, identical to a full rebuild."""
         owner, cloud, user, _ = world
         cloud.precompute_witnesses()
         add = Database(8)
         add.add("new", 13)
         out = owner.insert(add)
         cloud.install(out.cloud_package)
-        assert cloud._witness_cache is None  # stale witnesses would not verify
+        incremental = dict(cloud._witness_cache)
+        assert len(incremental) == cloud.prime_count  # survived, covers delta
+        rebuilt_count = cloud.precompute_witnesses()
+        assert rebuilt_count == len(incremental)
+        assert cloud._witness_cache == incremental
+        # Every incrementally maintained witness verifies against the
+        # on-chain accumulation value.
+        acc = tparams.accumulator
+        for prime, witness_value in incremental.items():
+            assert verify_membership(
+                acc, cloud.ads_value, prime, MembershipWitness(witness_value)
+            )
         user.refresh(out.user_package)
         response = cloud.search(user.make_tokens(Query.parse(13, "=")))
         assert verify_response(tparams, cloud.ads_value, response).ok

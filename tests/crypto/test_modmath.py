@@ -4,6 +4,7 @@ import pytest
 
 from repro.common.errors import ParameterError
 from repro.crypto.modmath import (
+    ProductTree,
     crt_pair,
     is_quadratic_residue,
     mod_inverse,
@@ -76,3 +77,40 @@ class TestProducts:
 
     def test_product_mod(self):
         assert product_mod([10, 20, 30], 7) == (10 * 20 * 30) % 7
+
+
+class TestProductTree:
+    def test_empty_root_is_one(self):
+        assert ProductTree().root == 1
+        assert len(ProductTree()) == 0
+
+    def test_root_matches_math_prod(self):
+        import math
+
+        values = [3, 5, 7, 11, 13, 17, 19]
+        tree = ProductTree()
+        tree.extend(values)
+        assert tree.root == math.prod(values)
+        assert len(tree) == len(values)
+
+    def test_incremental_append_tracks_product(self):
+        import math
+
+        tree = ProductTree()
+        values = []
+        for v in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29):
+            values.append(v)
+            tree.append(v)
+            assert tree.root == math.prod(values)
+
+    def test_append_order_irrelevant_for_root(self):
+        a, b = ProductTree(), ProductTree()
+        a.extend([3, 5, 7, 11])
+        b.extend([11, 7, 5, 3])
+        assert a.root == b.root
+
+    def test_forest_stays_logarithmic(self):
+        tree = ProductTree()
+        tree.extend(range(1, 1001))
+        # Binary-counter forest: at most ceil(log2(n)) + 1 subtree roots.
+        assert len(tree._forest) <= 11

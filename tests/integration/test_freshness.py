@@ -7,6 +7,7 @@ from repro.common.rng import default_rng
 from repro.core.cloud import CloudServer
 from repro.core.query import Query
 from repro.core.records import Database, encode_record_id, make_database
+from repro.core.state import CloudPackage
 from repro.core.verify import verify_response
 from repro.system import SlicerSystem
 
@@ -31,12 +32,14 @@ class TestFreshness:
         """A cloud that skipped installing the latest update package cannot
         settle: its results hash to a prime that matches only the *old* Ac,
         while the contract pins the new digest."""
-        # Clone the cloud state before the insert.
+        # Clone the cloud state before the insert (same package replay an
+        # out-of-date replica would install).
         lazy = CloudServer(tparams, system.owner.keys.trapdoor.public)
-        lazy.index.merge(system.cloud.index)
-        lazy._primes = set(system.cloud._primes)
-        lazy._prime_product = system.cloud._prime_product
-        lazy.ads_value = system.cloud.ads_value
+        lazy.install(
+            CloudPackage(
+                system.cloud.index, list(system.cloud._primes), system.cloud.ads_value
+            )
+        )
 
         add = Database(8)
         add.add("c", 7)

@@ -1,0 +1,106 @@
+"""Parallel ≡ serial: the worker count is an execution knob, never a
+protocol input.  For any database and any insert sequence, a deployment
+running with ``workers=N`` must produce byte-identical indexes, prime
+lists, accumulation values and witnesses to a ``workers=1`` deployment
+fed the same RNG seed."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import MatchCondition, Query
+from repro.core.records import Database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+
+PARAMS = SlicerParams.testing(value_bits=8)
+KEYS = KeyBundle.generate(default_rng(777), trapdoor_bits=512)
+WORKERS = 3
+
+value_lists = st.lists(st.integers(0, 255), min_size=1, max_size=12)
+queries = st.tuples(
+    st.integers(0, 255),
+    st.sampled_from([MatchCondition.EQUAL, MatchCondition.GREATER, MatchCondition.LESS]),
+)
+
+
+def deploy(values: list[int], workers: int, seed: int):
+    params = PARAMS.with_workers(workers)
+    owner = DataOwner(params, keys=KEYS, rng=default_rng(seed))
+    owner._executor.min_items = 1  # fan out even on tiny fixtures
+    db = Database(8)
+    for i, v in enumerate(values):
+        db.add(i, v)
+    out = owner.build(db)
+    cloud = CloudServer(params, KEYS.trapdoor.public)
+    cloud._executor.min_items = 1
+    cloud.install(out.cloud_package)
+    return owner, cloud, out
+
+
+def assert_same_package(a, b) -> None:
+    assert a.cloud_package.index.entries == b.cloud_package.index.entries
+    assert a.cloud_package.primes == b.cloud_package.primes
+    assert a.cloud_package.accumulation == b.cloud_package.accumulation
+    assert a.chain_ads == b.chain_ads
+
+
+class TestBuildEquivalence:
+    @given(values=value_lists)
+    @settings(max_examples=12, deadline=None)
+    def test_build_byte_identical(self, values):
+        seed = hash(tuple(values)) & 0xFFFF
+        _, _, serial = deploy(values, 1, seed)
+        _, _, parallel = deploy(values, WORKERS, seed)
+        assert_same_package(serial, parallel)
+
+
+class TestInsertEquivalence:
+    @given(values=value_lists, extra=st.lists(st.integers(0, 255), min_size=1, max_size=6))
+    @settings(max_examples=8, deadline=None)
+    def test_insert_byte_identical(self, values, extra):
+        seed = (hash(tuple(values)) ^ hash(tuple(extra))) & 0xFFFF
+        owner_s, cloud_s, _ = deploy(values, 1, seed)
+        owner_p, cloud_p, _ = deploy(values, WORKERS, seed)
+        add = Database(8)
+        for i, v in enumerate(extra):
+            add.add(f"x{i}", v)
+        out_s = owner_s.insert(add)
+        out_p = owner_p.insert(add)
+        assert_same_package(out_s, out_p)
+        cloud_s.install(out_s.cloud_package)
+        cloud_p.install(out_p.cloud_package)
+        assert cloud_s.ads_value == cloud_p.ads_value
+        assert sorted(cloud_s._primes) == sorted(cloud_p._primes)
+
+
+class TestSearchEquivalence:
+    @given(values=value_lists, q=queries)
+    @settings(max_examples=10, deadline=None)
+    def test_search_and_witnesses_byte_identical(self, values, q):
+        seed = hash(tuple(values)) & 0xFFFF
+        _, cloud_s, out_s = deploy(values, 1, seed)
+        _, cloud_p, out_p = deploy(values, WORKERS, seed)
+        user = DataUser(PARAMS, out_s.user_package, default_rng(3))
+        # The same token stream goes to both clouds (tokens are user state,
+        # orthogonal to cloud-side parallelism).
+        tokens = user.make_tokens(Query(*q))
+        resp_s = cloud_s.search(tokens)
+        resp_p = cloud_p.search(tokens)
+        assert len(resp_s.results) == len(resp_p.results)
+        for a, b in zip(resp_s.results, resp_p.results):
+            assert a.entries == b.entries
+            assert a.witness.value == b.witness.value
+        report = verify_response(PARAMS, cloud_p.ads_value, resp_p)
+        assert report.ok
+
+    @given(values=value_lists)
+    @settings(max_examples=6, deadline=None)
+    def test_precomputed_caches_identical(self, values):
+        seed = hash(tuple(values)) & 0xFFFF
+        _, cloud_s, _ = deploy(values, 1, seed)
+        _, cloud_p, _ = deploy(values, WORKERS, seed)
+        assert cloud_s.precompute_witnesses() == cloud_p.precompute_witnesses()
+        assert cloud_s._witness_cache == cloud_p._witness_cache

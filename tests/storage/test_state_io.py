@@ -6,6 +6,7 @@ from repro.common.rng import default_rng
 from repro.core.cloud import CloudServer
 from repro.core.query import Query
 from repro.core.records import Database, make_database
+from repro.core.state import CloudPackage
 from repro.core.user import DataUser
 from repro.core.verify import verify_response
 from repro.storage import (
@@ -80,11 +81,13 @@ class TestResumedCloudServesSearches:
         """A cloud rebuilt from persisted state answers and verifies searches."""
         owner, cloud, out, db = world
         resumed = CloudServer(tparams, owner.keys.trapdoor.public)
-        resumed.index = load_index(dump_index(cloud.index))
-        for prime in load_primes(dump_primes(sorted(cloud._primes))):
-            resumed._primes.add(prime)
-            resumed._prime_product *= prime
-        resumed.ads_value = cloud.ads_value
+        resumed.install(
+            CloudPackage(
+                load_index(dump_index(cloud.index)),
+                load_primes(dump_primes(sorted(cloud._primes))),
+                cloud.ads_value,
+            )
+        )
 
         user = DataUser(tparams, out.user_package, default_rng(9))
         query = Query.parse(100, ">")
