@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Guard against performance regressions: fresh smoke run vs committed baseline.
+
+Reads the committed ``reports/BENCH_smoke.json``, re-runs ``run_smoke.py``
+(unless ``--no-run`` compares an already-fresh report), and fails when any
+timed phase slowed down by more than ``--ratio`` (default 2x).  The
+tolerance is deliberately generous: CI boxes are noisy and the smoke scale
+is small, so only genuine order-of-magnitude mistakes — an accidentally
+quadratic loop, a cache that stopped hitting — should trip it.  Timings
+under an absolute floor (default 100 ms) are never flagged, whatever the
+ratio, because at that size the noise *is* the measurement.
+
+Writes ``reports/regression_check.txt`` / ``.json`` (the CI artifact) with
+the per-metric comparison either way.
+
+Usage:  PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPORTS = HERE / "reports"
+
+RATIO_LIMIT = 2.0
+ABS_FLOOR_S = 0.10
+
+
+def load_metrics(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text())
+    return data["metrics"]
+
+
+def compare(baseline: dict, fresh: dict, ratio_limit: float, floor_s: float) -> list[dict]:
+    """One comparison row per timed metric present in both reports."""
+    rows = []
+    for name in sorted(baseline):
+        if not name.endswith("_s") or name not in fresh:
+            continue
+        base, now = float(baseline[name]), float(fresh[name])
+        ratio = now / base if base else 0.0
+        regressed = (
+            base > 0
+            and now > floor_s
+            and ratio > ratio_limit
+        )
+        rows.append(
+            {
+                "metric": name,
+                "baseline_s": base,
+                "fresh_s": now,
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+        )
+    return rows
+
+
+def render(rows: list[dict], ratio_limit: float) -> str:
+    lines = [
+        f"Smoke benchmark regression check (limit {ratio_limit:.1f}x, "
+        f"floor {ABS_FLOOR_S * 1000:.0f} ms)",
+        f"{'metric':<24} {'baseline':>10} {'fresh':>10} {'ratio':>7}  verdict",
+    ]
+    for row in rows:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"{row['metric']:<24} {row['baseline_s']:>9.4f}s {row['fresh_s']:>9.4f}s "
+            f"{row['ratio']:>6.2f}x  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=REPORTS / "BENCH_smoke.json",
+        help="committed baseline report (default: reports/BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--ratio",
+        type=float,
+        default=RATIO_LIMIT,
+        help=f"slowdown factor that fails the check (default {RATIO_LIMIT})",
+    )
+    parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="skip re-running run_smoke.py; compare the report already on disk",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run run_smoke.py and commit the report")
+        return 2
+    baseline = load_metrics(args.baseline)  # read BEFORE the run overwrites it
+
+    if not args.no_run:
+        subprocess.run([sys.executable, str(HERE / "run_smoke.py")], check=True)
+    fresh = load_metrics(REPORTS / "BENCH_smoke.json")
+
+    rows = compare(baseline, fresh, args.ratio, ABS_FLOOR_S)
+    text = render(rows, args.ratio)
+    print(text)
+
+    regressions = [r for r in rows if r["regressed"]]
+    REPORTS.mkdir(exist_ok=True)
+    (REPORTS / "regression_check.txt").write_text(text + "\n")
+    (REPORTS / "regression_check.json").write_text(
+        json.dumps(
+            {
+                "ratio_limit": args.ratio,
+                "abs_floor_s": ABS_FLOOR_S,
+                "rows": rows,
+                "regressed": [r["metric"] for r in regressions],
+                "ok": not regressions,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    if regressions:
+        names = ", ".join(r["metric"] for r in regressions)
+        print(f"\nFAIL: {names} slowed down more than {args.ratio:.1f}x vs baseline")
+        return 1
+    print("\nOK: no metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,13 @@ class SlicerContract(Contract):
         width = (self.params.accumulator.modulus.bit_length() + 7) // 8
         return ac_value.to_bytes(width, "big")
 
+    def _h_prime(self):
+        """One ``H_prime`` instance per contract (pure compute, no storage)."""
+        cached = getattr(self, "_h_prime_instance", None)
+        if cached is None:
+            cached = self._h_prime_instance = self.params.hash_to_prime()
+        return cached
+
     # --------------------------------------------------------- ADS update
 
     def update_ads(self, new_ac: int) -> None:
@@ -228,9 +235,13 @@ class SlicerContract(Contract):
         # x <- H_prime(t_j || j || G1 || G2 || h): one digest per candidate in
         # the deterministic counter walk, plus fixed Miller-Rabin rounds on
         # the accepted candidate (each priced as a small MODEXP call).
+        # The walk may be served by the process-local kernel memo — a *local
+        # simulation* shortcut that must never change the bill: the memo
+        # returns the exact candidate count of the cold walk, so charged gas
+        # is identical warm and cold (tests/crypto/test_hash_to_prime.py).
         state_key = set_hash_key(result.trapdoor, result.epoch, result.g1, result.g2)
         material = encode_parts(state_key, running.to_bytes())
-        prime, candidates = params.hash_to_prime().hash_to_prime_with_counter(material)
+        prime, candidates = self._h_prime().hash_to_prime_with_counter(material)
         self.meter.charge(
             candidates * self.meter.schedule.keccak_gas(len(material)), "keccak"
         )

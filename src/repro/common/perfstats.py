@@ -1,0 +1,99 @@
+"""Process-local performance counters for the crypto kernel layer.
+
+The kernels in :mod:`repro.crypto.kernels` memoize expensive primitives
+(``H_prime`` walks, trapdoor-chain steps, fixed-base exponentiations).  A
+cache that silently changes behaviour is a bug, and a cache whose hit rate
+nobody can see is a guess — so every kernel reports hits, misses and raw
+operation counts here, and the benchmarks print the rates next to their
+timings.
+
+Counters are *advisory instrumentation only*: no protocol logic may read
+them, they carry no security meaning, and they are process-local — work done
+inside forked benchmark workers counts in the worker's copy and vanishes
+with it.  The overhead per increment is one dict operation, cheap enough for
+the hot loops it instruments.
+
+Naming convention: dotted ``area.event`` labels, with cache counters paired
+as ``<cache>.hit`` / ``<cache>.miss`` so :func:`hit_rate` can derive rates
+generically.
+"""
+
+from __future__ import annotations
+
+
+class PerfStats:
+    """A flat registry of named monotonic counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self, prefix: str = "") -> dict[str, int]:
+        """Copy of all counters (optionally only those under ``prefix``)."""
+        if not prefix:
+            return dict(self._counts)
+        return {k: v for k, v in self._counts.items() if k.startswith(prefix)}
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every counter (or only those under ``prefix``)."""
+        if not prefix:
+            self._counts.clear()
+            return
+        for key in [k for k in self._counts if k.startswith(prefix)]:
+            del self._counts[key]
+
+    def hit_rate(self, cache: str) -> float:
+        """``hit / (hit + miss)`` for a ``<cache>.hit``/``.miss`` pair.
+
+        Returns 0.0 when the cache was never consulted, so reports can
+        print the rate unconditionally.
+        """
+        hits = self.get(f"{cache}.hit")
+        misses = self.get(f"{cache}.miss")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def rates(self) -> dict[str, float]:
+        """Hit rate for every cache that recorded at least one lookup."""
+        caches = {
+            name.rsplit(".", 1)[0]
+            for name in self._counts
+            if name.endswith(".hit") or name.endswith(".miss")
+        }
+        return {cache: self.hit_rate(cache) for cache in sorted(caches)}
+
+
+#: The process-wide registry every kernel reports to.
+STATS = PerfStats()
+
+
+def incr(name: str, amount: int = 1) -> None:
+    STATS.incr(name, amount)
+
+
+def get(name: str) -> int:
+    return STATS.get(name)
+
+
+def snapshot(prefix: str = "") -> dict[str, int]:
+    return STATS.snapshot(prefix)
+
+
+def reset(prefix: str = "") -> None:
+    STATS.reset(prefix)
+
+
+def hit_rate(cache: str) -> float:
+    return STATS.hit_rate(cache)
+
+
+def rates() -> dict[str, float]:
+    return STATS.rates()

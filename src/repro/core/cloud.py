@@ -21,7 +21,9 @@ from dataclasses import dataclass, field
 from ..common.bitstring import xor_bytes
 from ..common.encoding import encode_parts, encode_uint, sizeof
 from ..common.rng import DeterministicRNG, default_rng
+from ..common import perfstats
 from ..common.timing import Stopwatch
+from ..crypto import kernels
 from ..crypto.accumulator import MembershipWitness
 from ..crypto.modmath import ProductTree, product
 from ..crypto.multiset_hash import MultisetHash
@@ -92,6 +94,9 @@ class CloudServer:
         self.ads_value = 0
         self._hash_to_prime = params.hash_to_prime()
         self._witness_cache: dict[int, int] | None = None
+        #: Repeat-search witness memo: token-subset tuple -> witness map.
+        #: Valid only for the current prime set, so :meth:`install` clears it.
+        self._repeat_witness_cache: dict[tuple[int, ...], dict[int, int]] = {}
         self._executor = ParallelExecutor(params.workers)
         #: Phase timings ("results" / "vo") for the Fig. 5 benches.
         self.stopwatch = Stopwatch()
@@ -115,6 +120,9 @@ class CloudServer:
             self._primes[prime] = None
         self._product_tree.extend(fresh)
         self.ads_value = package.accumulation
+        if fresh:
+            # The prime set changed; per-query witness maps are stale.
+            self._repeat_witness_cache.clear()
         if self._witness_cache is not None and fresh:
             base = previous_ads if had_primes else (
                 self.params.accumulator.generator % self.params.accumulator.modulus
@@ -165,6 +173,13 @@ class CloudServer:
     def search(self, tokens: list[SearchToken]) -> SearchResponse:
         """Algorithm 4 (Cloud.Search) over a token list.
 
+        Identical tokens are probed once: the *b* boundary tokens of a range
+        query can repeat (shared slice prefixes), and duplicate tokens walk
+        the same epochs to the same entries, so the index walk runs per
+        *unique* token and the results fan back out — the response still
+        carries one ``TokenResult`` per submitted token, byte-identical to
+        the undeduplicated walk.
+
         Witness generation is batched: all tokens of one query share the
         ``g^{prod(X \\ subset)}`` base and the per-token witnesses are filled
         in by root-factor recursion over the (small) subset.  One query costs
@@ -172,7 +187,11 @@ class CloudServer:
         what keeps order-search VO generation (paper Fig. 5d) tractable.
         """
         with self.stopwatch.measure("results"):
-            partials = list(zip(tokens, self._collect_all(tokens)))
+            unique: dict[SearchToken, int] = {}
+            slots = [unique.setdefault(token, len(unique)) for token in tokens]
+            perfstats.incr("cloud.token_dedup.saved", len(tokens) - len(unique))
+            collected = self._collect_all(list(unique))
+            partials = [(token, collected[slot]) for token, slot in zip(tokens, slots)]
         with self.stopwatch.measure("vo"):
             witnesses = self._batch_witnesses(partials)
         return SearchResponse(
@@ -207,15 +226,21 @@ class CloudServer:
 
         ``max_epochs`` truncates the walk to the newest epochs (used by the
         ``OMIT_OLD_EPOCHS`` misbehaviour); ``None`` walks the full chain.
+
+        Older trapdoors are derived through the kernel chain cache — every
+        ``π_pk`` step is a full RSA modexp, deterministic in its input, so
+        repeat searches walk the chain on dict hits.  The step *after* the
+        oldest epoch is never taken (its result is unused).
         """
         label_prf = PRF(token.g1, self.params.label_len)
         pad_prf = PRF(token.g2)
+        chain = kernels.trapdoor_chain(self.trapdoor_public) if kernels.kernels_enabled() else None
         entries: list[bytes] = []
         trapdoor = token.trapdoor
         epochs = token.epoch + 1
         if max_epochs is not None:
             epochs = min(epochs, max_epochs)
-        for _ in range(epochs):
+        for epoch in range(epochs):
             counter = 0
             while True:
                 label = label_prf.eval(trapdoor, encode_uint(counter))
@@ -225,7 +250,12 @@ class CloudServer:
                 pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
                 entries.append(xor_bytes(pad, payload))
                 counter += 1
-            trapdoor = self.trapdoor_public.apply(trapdoor)
+            if epoch + 1 < epochs:
+                trapdoor = (
+                    chain.step(trapdoor)
+                    if chain is not None
+                    else self.trapdoor_public.apply(trapdoor)
+                )
         return entries
 
     def _token_prime(self, token: SearchToken, entries: list[bytes]) -> int:
@@ -253,12 +283,7 @@ class CloudServer:
             witness_by_prime = self._witness_cache
         else:
             subset = sorted({p for p in primes if p in self._primes})
-            witness_by_prime = {}
-            if subset:
-                # prod(X) comes from the incrementally maintained product
-                # tree; only the (small) subset product is computed fresh.
-                base = pow(g, self._product_tree.root // product(subset), n)
-                witness_by_prime = witness_map(base, subset, n, self._executor)
+            witness_by_prime = self._subset_witnesses(tuple(subset))
 
         fallback: int | None = None
         out: list[MembershipWitness] = []
@@ -267,9 +292,37 @@ class CloudServer:
                 out.append(MembershipWitness(witness_by_prime[prime]))
             else:
                 if fallback is None:
-                    fallback = pow(g, self._product_tree.root, n)
+                    fallback = kernels.fixed_base_pow(g, n, self._product_tree.root)
                 out.append(MembershipWitness(fallback))
         return out
+
+    def _subset_witnesses(self, subset: tuple[int, ...]) -> dict[int, int]:
+        """Witness map for one query's prime subset, memoized per prime set.
+
+        A repeat search derives the same primes, hence the same subset, so
+        its (dominant) full-product base exponentiation and root-factor
+        recursion are served from the memo; :meth:`install` clears it when
+        the prime set changes.  Cold entries use the fixed-base kernel for
+        the ``g^{prod(X)/prod(subset)}`` base.
+        """
+        if not subset:
+            return {}
+        cached = self._repeat_witness_cache.get(subset)
+        if cached is not None:
+            perfstats.incr("cloud.repeat_witness.hit")
+            return cached
+        perfstats.incr("cloud.repeat_witness.miss")
+        acc = self.params.accumulator
+        n, g = acc.modulus, acc.generator
+        # prod(X) comes from the incrementally maintained product tree;
+        # only the (small) subset product is computed fresh.
+        base = kernels.fixed_base_pow(g, n, self._product_tree.root // product(list(subset)))
+        witnesses = witness_map(base, list(subset), n, self._executor)
+        if kernels.kernels_enabled():
+            if len(self._repeat_witness_cache) >= 256:
+                del self._repeat_witness_cache[next(iter(self._repeat_witness_cache))]
+            self._repeat_witness_cache[subset] = witnesses
+        return witnesses
 
 
 class Misbehavior(enum.Enum):

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import ParameterError
 from ..common.rng import DeterministicRNG, default_rng
+from ..crypto import kernels
 from ..crypto.accumulator import AccumulatorParams
 from ..crypto.hash_to_prime import DEFAULT_PRIME_BITS, HashToPrime
 from ..crypto.multiset_hash import DEFAULT_FIELD_PRIME
@@ -48,7 +49,17 @@ class SlicerParams:
             raise ParameterError("workers must be >= 0 (0 = auto via REPRO_WORKERS)")
 
     def hash_to_prime(self) -> HashToPrime:
-        """The shared ``H_prime`` instance (domain-separated per parameters)."""
+        """The shared ``H_prime`` instance (domain-separated per parameters).
+
+        With the kernel layer enabled (default) this is the memoized variant
+        backed by one process-wide memo per prime size, so owner, cloud,
+        verifier and the gas-metering contract share hits; outputs —
+        including the candidate counter the contract charges gas for — are
+        identical to the cold walk.  ``REPRO_KERNELS=0`` restores the
+        uncached instance.
+        """
+        if kernels.kernels_enabled():
+            return kernels.memoized_hash_to_prime(self.prime_bits)
         return HashToPrime(self.prime_bits)
 
     def public(self) -> "SlicerParams":

@@ -61,6 +61,10 @@ def generate_search_tokens(
         keywords = order_keywords_for_query(
             query.value, query.condition.order_condition(), bits, query.attribute
         )
+        # Identical keywords would yield identical tokens the cloud probes
+        # twice for the same entries; emit each slice keyword once (first
+        # occurrence wins, preserving order so the shuffle stream matches).
+        keywords = list(dict.fromkeys(keywords))
         rng.shuffle(keywords)
     else:
         keywords = [equality_keyword(query.value, bits, query.attribute)]

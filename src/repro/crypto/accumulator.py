@@ -32,6 +32,7 @@ from math import gcd
 
 from ..common.errors import AccumulatorError, ParameterError
 from ..common.rng import DeterministicRNG, default_rng
+from . import kernels
 from .modmath import mod_inverse, product
 from .primes import is_prime, random_safe_prime
 
@@ -203,7 +204,13 @@ class Accumulator:
             exponent = product(fresh)
             if self.params.has_trapdoor:
                 exponent %= self.params.phi()
-            self._value = pow(self._value, exponent, self.params.modulus)
+            n = self.params.modulus
+            if self._value == self.params.generator % n:
+                # Fresh accumulator (Build's one big fold): the base is the
+                # fixed generator, so the windowed table kernel applies.
+                self._value = kernels.fixed_base_pow(self.params.generator, n, exponent)
+            else:
+                self._value = pow(self._value, exponent, n)
         return self._value
 
     def remove(self, x: int) -> int:
@@ -222,7 +229,9 @@ class Accumulator:
             inv = mod_inverse(x, self.params.phi())
             self._value = pow(self._value, inv, n)
         else:
-            self._value = pow(self.params.generator, product(list(self._primes)), n)
+            self._value = kernels.fixed_base_pow(
+                self.params.generator, n, product(list(self._primes))
+            )
         return self._value
 
     def witness(self, x: int) -> MembershipWitness:
@@ -233,7 +242,9 @@ class Accumulator:
         exponent = product(others)
         if self.params.has_trapdoor:
             exponent %= self.params.phi()
-        return MembershipWitness(pow(self.params.generator, exponent, self.params.modulus))
+        return MembershipWitness(
+            kernels.fixed_base_pow(self.params.generator, self.params.modulus, exponent)
+        )
 
     def witness_all(self, executor=None) -> dict[int, MembershipWitness]:
         """Witnesses for every accumulated prime via root-factor recursion.
@@ -260,9 +271,9 @@ class Accumulator:
         n = self.params.modulus
         # a*x_p + b*x = 1  =>  Ac^a = g * (g^{-b})^x
         if b <= 0:
-            d = pow(self.params.generator, -b, n)
+            d = kernels.fixed_base_pow(self.params.generator, n, -b)
         else:
-            d = mod_inverse(pow(self.params.generator, b, n), n)
+            d = mod_inverse(kernels.fixed_base_pow(self.params.generator, n, b), n)
         return NonMembershipWitness(a, d)
 
 
@@ -273,6 +284,28 @@ def verify_membership(
     if x < 2:
         return False
     return pow(witness.value, x, params.modulus) == accumulated % params.modulus
+
+
+def verify_membership_batch(
+    params: AccumulatorParams,
+    accumulated: int,
+    items: list[tuple[int, MembershipWitness]],
+) -> list[bool]:
+    """``VerifyMem`` over many ``(prime, witness)`` pairs in one pass.
+
+    Fast path: one interleaved multi-exponentiation checks the whole batch
+    (kernel :func:`~repro.crypto.kernels.batch_verify_membership`); when it
+    accepts, every item is valid.  When it rejects — at least one bad
+    witness — fall back to per-item checks so callers get the same per-item
+    verdict vector :func:`verify_membership` would produce.
+    """
+    if not items:
+        return []
+    if kernels.kernels_enabled() and kernels.batch_verify_membership(
+        params.modulus, accumulated, [(p, w.value) for p, w in items]
+    ):
+        return [True] * len(items)
+    return [verify_membership(params, accumulated, p, w) for p, w in items]
 
 
 def verify_nonmembership(

@@ -7,6 +7,13 @@ matching HMAC-128's security level) and expose:
 * :class:`PRF` — the keyed function itself.
 * :func:`derive_key` — KDF-style subkey derivation so one master key ``K``
   can yield the per-keyword keys ``G1 = G(K, w||1)`` and ``G2 = G(K, w||2)``.
+
+One key, one key schedule: HMAC's inner/outer key-pad blocks depend only on
+the key, so each :class:`PRF` hashes them once at construction and every
+evaluation works on a ``copy()`` of that pre-keyed state.  For the short
+messages the index uses (labels, pads, SORE slices) this removes two of the
+~five SHA-256 compressions per call — the batched-PRF kernel the hot paths
+lean on (one key schedule, *b* evaluations per SORE slice set).
 """
 
 from __future__ import annotations
@@ -30,13 +37,33 @@ class PRF:
         if not 1 <= output_len <= hashlib.sha256().digest_size:
             raise ParameterError(f"output_len must be in [1, 32], got {output_len}")
         self._key = key
+        #: Pre-keyed HMAC state; every eval copies it instead of re-running
+        #: the key schedule.  ``hmac.new(k, m).digest()`` and
+        #: ``hmac.new(k).copy(); update(m)`` are the same function.
+        self._proto = hmac.new(key, digestmod=hashlib.sha256)
         self.output_len = output_len
 
     def eval(self, *parts: bytes) -> bytes:
         """Evaluate the PRF on the injective encoding of ``parts``."""
-        message = encode_parts(*parts)
-        digest = hmac.new(self._key, message, hashlib.sha256).digest()
-        return digest[: self.output_len]
+        mac = self._proto.copy()
+        mac.update(encode_parts(*parts))
+        return mac.digest()[: self.output_len]
+
+    def eval_many(self, messages: list[bytes]) -> list[bytes]:
+        """Batch evaluation over pre-encoded single-part messages.
+
+        One key schedule (already amortised in ``__init__``), ``len(messages)``
+        evaluations — the SORE layer feeds all *b* slice encodings of a value
+        through this in one call.
+        """
+        proto = self._proto
+        out_len = self.output_len
+        out: list[bytes] = []
+        for message in messages:
+            mac = proto.copy()
+            mac.update(encode_parts(message))
+            out.append(mac.digest()[:out_len])
+        return out
 
     def eval_int(self, *parts: bytes) -> int:
         """PRF output interpreted as a big-endian integer (for index labels)."""
@@ -53,13 +80,14 @@ class PRF:
             raise ParameterError("keystream length must be non-negative")
         message = encode_parts(*parts)
         blocks = []
+        produced = 0
         counter = 0
-        while sum(len(b) for b in blocks) < length:
-            blocks.append(
-                hmac.new(
-                    self._key, counter.to_bytes(8, "big") + message, hashlib.sha256
-                ).digest()
-            )
+        while produced < length:
+            mac = self._proto.copy()
+            mac.update(counter.to_bytes(8, "big") + message)
+            block = mac.digest()
+            blocks.append(block)
+            produced += len(block)
             counter += 1
         return b"".join(blocks)[:length]
 

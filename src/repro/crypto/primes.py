@@ -8,8 +8,10 @@ that ``QR_n`` has large prime-order subgroups).
 
 from __future__ import annotations
 
-from ..common.rng import DeterministicRNG, default_rng
+import math
+
 from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG, default_rng
 
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -35,8 +37,6 @@ def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
             return True
     return False
 
-
-import math
 
 _PRIMORIAL = math.prod(_SMALL_PRIMES)
 _LARGEST_SMALL_PRIME = _SMALL_PRIMES[-1]

@@ -18,6 +18,7 @@ from typing import NamedTuple
 
 from ..common.bitstring import xor_bytes
 from ..common.encoding import encode_uint
+from ..crypto import kernels
 from ..crypto.hash_to_prime import HashToPrime
 from ..crypto.modmath import product
 from ..crypto.multiset_hash import MultisetHash
@@ -82,9 +83,17 @@ def index_keyword_chunk(
 
 
 def hash_to_prime_chunk(shared: tuple[int], payloads: list[bytes]) -> list[int]:
-    """``H_prime`` over a chunk of (state key || multiset hash) payloads."""
+    """``H_prime`` over a chunk of (state key || multiset hash) payloads.
+
+    Routed through the per-process kernel memo: a forked worker inherits the
+    parent's warm entries at fork time and keeps its own process-local state
+    afterwards (kernel caches never cross back — outputs are pure values).
+    """
     (prime_bits,) = shared
-    h_prime = HashToPrime(prime_bits)
+    if kernels.kernels_enabled():
+        h_prime: HashToPrime = kernels.memoized_hash_to_prime(prime_bits)
+    else:
+        h_prime = HashToPrime(prime_bits)
     return [h_prime(payload) for payload in payloads]
 
 
@@ -115,15 +124,24 @@ class TokenWork(NamedTuple):
 def collect_entries_chunk(
     shared: CollectShared, tokens: list[TokenWork]
 ) -> list[list[bytes]]:
-    """Algorithm 4's epoch walk for a chunk of tokens (one entry list each)."""
+    """Algorithm 4's epoch walk for a chunk of tokens (one entry list each).
+
+    Mirrors ``CloudServer._collect_entries`` exactly, including the kernel
+    trapdoor-chain cache (per worker process, warm-at-fork) and skipping the
+    unused ``π_pk`` step after the oldest epoch.
+    """
     find = shared.index_entries.get
+    chain = (
+        kernels.trapdoor_chain(shared.trapdoor_public) if kernels.kernels_enabled() else None
+    )
     out: list[list[bytes]] = []
     for token in tokens:
         label_prf = PRF(token.g1, shared.label_len)
         pad_prf = PRF(token.g2)
         entries: list[bytes] = []
         trapdoor = token.trapdoor
-        for _ in range(token.epoch + 1):
+        epochs = token.epoch + 1
+        for epoch in range(epochs):
             counter = 0
             while True:
                 label = label_prf.eval(trapdoor, encode_uint(counter))
@@ -133,7 +151,12 @@ def collect_entries_chunk(
                 pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
                 entries.append(xor_bytes(pad, payload))
                 counter += 1
-            trapdoor = shared.trapdoor_public.apply(trapdoor)
+            if epoch + 1 < epochs:
+                trapdoor = (
+                    chain.step(trapdoor)
+                    if chain is not None
+                    else shared.trapdoor_public.apply(trapdoor)
+                )
         out.append(entries)
     return out
 

@@ -62,14 +62,22 @@ class SoreScheme:
     # -- the paper's three algorithms ------------------------------------
 
     def token(self, value: int, oc: OrderCondition) -> SoreToken:
-        """``SORE.Token(k, v, oc)``: match all ``a`` with ``value oc a``."""
-        images = [self._prf.eval(t.encode()) for t in token_tuples(value, oc, self.bits, self.attribute)]
+        """``SORE.Token(k, v, oc)``: match all ``a`` with ``value oc a``.
+
+        All *b* slice encodings go through one batched PRF pass (one key
+        schedule, *b* evaluations — see :meth:`repro.crypto.prf.PRF.eval_many`).
+        """
+        images = self._prf.eval_many(
+            [t.encode() for t in token_tuples(value, oc, self.bits, self.attribute)]
+        )
         self._rng.shuffle(images)
         return SoreToken(tuple(images), oc)
 
     def encrypt(self, value: int) -> SoreCiphertext:
-        """``SORE.Encrypt(k, v)``."""
-        images = [self._prf.eval(t.encode()) for t in ciphertext_tuples(value, self.bits, self.attribute)]
+        """``SORE.Encrypt(k, v)``: one batched PRF pass over the *b* slices."""
+        images = self._prf.eval_many(
+            [t.encode() for t in ciphertext_tuples(value, self.bits, self.attribute)]
+        )
         self._rng.shuffle(images)
         return SoreCiphertext(tuple(images))
 

@@ -159,6 +159,25 @@ class TestGasShape:
         outcome = system.search(Query.parse(7, "="))
         assert system.deploy_receipt.gas_used > outcome.settle_gas > insert_gas
 
+    def test_gas_identical_with_memo_cold_or_warm(self, tparams):
+        """The kernel H_prime memo must never change the bill: a settlement
+        whose prime walks are served from a warm memo charges exactly the
+        gas of a cold one (the memo stores the candidate count the contract
+        meters keccak gas by)."""
+        from repro.crypto import kernels
+
+        def run_flow():
+            s = SlicerSystem(tparams, rng=default_rng(84))
+            s.setup(make_database([(f"r{i}", (i * 7) % 256) for i in range(10)], bits=8))
+            return s.search(Query.parse(40, ">"), payment=500)
+
+        kernels.clear_caches()
+        cold = run_flow()  # every H_prime walk is a memo miss
+        warm = run_flow()  # identical rng => identical bytes => memo hits
+        assert cold.verified and warm.verified
+        assert warm.settle_gas == cold.settle_gas
+        assert warm.settle_receipt.gas_breakdown == cold.settle_receipt.gas_breakdown
+
     def test_modexp_dominates_verification_at_paper_scale(self):
         """With the paper's 2048-bit modulus the MODEXP precompile is the
         dominant verification cost (the O(λ) term the paper highlights)."""

@@ -77,6 +77,38 @@ class TestMultiEpochSearch:
         assert ids == {encode_record_id(x) for x in ["a", "n0", "n1", "n2"]}
         assert response.results[0].token.epoch == 3
 
+    def test_epoch_walk_uses_chain_cache(self, tparams, owner_factory, monkeypatch):
+        """The multi-epoch walk must actually consult the kernel trapdoor
+        chain (an *empty* cache is still a cache — regression: truthiness of
+        the cache object once made the cold path skip it silently), and a
+        repeat search must walk entirely on hits."""
+        from repro.common import perfstats
+        from repro.crypto import kernels
+
+        monkeypatch.setenv(kernels.KERNELS_ENV, "1")
+        owner = owner_factory(tparams, seed=19)
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+        out = owner.build(make_database([("a", 7)], bits=8))
+        cloud.install(out.cloud_package)
+        for i in range(3):
+            add = Database(8)
+            add.add(f"n{i}", 7)
+            out = owner.insert(add)
+            cloud.install(out.cloud_package)
+        user = DataUser(tparams, out.user_package, default_rng(1))
+        tokens = user.make_tokens(Query.parse(7, "="))
+        assert tokens[0].epoch == 3
+
+        kernels.clear_caches()
+        perfstats.reset("trapdoor_chain.")
+        first = cloud.search(tokens)
+        assert perfstats.get("trapdoor_chain.miss") == 3  # one modexp per step
+        assert perfstats.get("trapdoor_chain.hit") == 0
+        again = cloud.search(tokens)
+        assert perfstats.get("trapdoor_chain.miss") == 3  # no new modexps
+        assert perfstats.get("trapdoor_chain.hit") == 3
+        assert [r.entries for r in again.results] == [r.entries for r in first.results]
+
     def test_epoch_counters_reset(self, tparams, owner_factory):
         """Counters restart at 0 in each epoch; all entries must still be found."""
         owner = owner_factory(tparams, seed=18)

@@ -1,0 +1,98 @@
+"""Duplicate search tokens: probed once, answered per-token, bytes unchanged.
+
+The *b* boundary tokens of a range query can repeat when slice keywords
+collide; the cloud dedupes identical tokens before walking the index, and
+the user-side token generator drops duplicate keywords before shuffling.
+Neither layer may change the response: one ``TokenResult`` per submitted
+token, byte-identical to the undeduplicated walk."""
+
+import pytest
+
+from repro.common import perfstats
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import Query
+from repro.core.records import Database
+from repro.core.tokens import generate_search_tokens
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+
+
+@pytest.fixture(scope="module")
+def deployment(tparams):
+    keys = KeyBundle.generate(default_rng(55), trapdoor_bits=512)
+    owner = DataOwner(tparams, keys=keys, rng=default_rng(56))
+    db = Database(8)
+    for i in range(12):
+        db.add(f"r{i}", (i * 11) % 256)
+    out = owner.build(db)
+    cloud = CloudServer(tparams, keys.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(57))
+    return cloud, user
+
+
+class TestCloudDedup:
+    def test_duplicated_list_answers_each_copy(self, tparams, deployment):
+        cloud, user = deployment
+        tokens = user.make_tokens(Query.parse(99, "<"))
+        assert tokens  # the fixture database must make this query non-trivial
+        single = cloud.search(tokens)
+        doubled = cloud.search(tokens + tokens)
+        assert len(doubled.results) == 2 * len(tokens)
+        for offset in (0, len(tokens)):
+            for a, b in zip(single.results, doubled.results[offset:]):
+                assert a.token == b.token
+                assert a.entries == b.entries
+                assert a.witness.value == b.witness.value
+        report = verify_response(tparams, cloud.ads_value, doubled)
+        assert report.ok
+
+    def test_result_set_unchanged(self, deployment):
+        cloud, user = deployment
+        tokens = user.make_tokens(Query.parse(99, "<"))
+        ids = user.decrypt_results(cloud.search(tokens))
+        assert ids  # fixture holds values up to 121, so "99 < a" matches some
+        assert user.decrypt_results(cloud.search(tokens + tokens)) == ids
+
+    def test_dedup_counter_reports_savings(self, deployment):
+        cloud, user = deployment
+        tokens = user.make_tokens(Query.parse(99, "<"))
+        perfstats.reset("cloud.token_dedup.")
+        cloud.search(tokens + tokens)
+        assert perfstats.get("cloud.token_dedup.saved") == len(tokens)
+
+    def test_unique_tokens_save_nothing(self, deployment):
+        cloud, user = deployment
+        tokens = user.make_tokens(Query.parse(99, "<"))
+        perfstats.reset("cloud.token_dedup.")
+        cloud.search(tokens)
+        assert perfstats.get("cloud.token_dedup.saved") == 0
+
+
+class TestTokenGeneratorDedup:
+    def test_no_duplicate_tokens_emitted(self, tparams, deployment):
+        _, user = deployment
+        for value in (0, 50, 255):
+            for op in ("<", ">"):
+                tokens = user.make_tokens(Query.parse(value, op))
+                assert len(tokens) == len(set(tokens))
+
+    def test_dedup_does_not_change_token_set(self, tparams, deployment):
+        """Dropping duplicate keywords before the shuffle must not change
+        *which* tokens come out, only how many times."""
+        _, user = deployment
+        query = Query.parse(50, ">")
+        a = set(user.make_tokens(query))
+        b = set(
+            generate_search_tokens(
+                user._keys.prf_key,
+                user._trapdoor_state,
+                query,
+                tparams.value_bits,
+                default_rng(123),
+            )
+        )
+        assert a == b

@@ -39,7 +39,14 @@ class TestCache:
 
         _, cloud, user, _ = world
         tokens = user.make_tokens(Query.parse(100, ">"))
-        live_s = min(time_call(lambda: cloud.search(tokens))[0] for _ in range(3))
+
+        def live_once():
+            # The kernel repeat-query memo would serve runs 2-3 from cache;
+            # clear it so "live" means deriving the witnesses per query.
+            cloud._repeat_witness_cache.clear()
+            return cloud.search(tokens)
+
+        live_s = min(time_call(live_once)[0] for _ in range(3))
         cloud.precompute_witnesses()
         cached_s = min(time_call(lambda: cloud.search(tokens))[0] for _ in range(3))
         assert cached_s < live_s

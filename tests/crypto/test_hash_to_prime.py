@@ -4,7 +4,10 @@ import pytest
 
 from repro.common.errors import ParameterError
 from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.kernels import MemoizedHashToPrime
 from repro.crypto.primes import is_prime
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.tasks import hash_to_prime_chunk
 
 
 @pytest.fixture(scope="module")
@@ -58,3 +61,59 @@ class TestParams:
         p = h(b"x")
         assert p.bit_length() == 256
         assert is_prime(p)
+
+    @pytest.mark.parametrize("bits", [16, 512])
+    def test_boundary_widths_accepted(self, bits):
+        """The smallest and largest supported widths produce exact-size
+        primes — and the memoized kernel agrees at both extremes."""
+        cold = HashToPrime(bits)
+        warm = MemoizedHashToPrime(bits)
+        for i in range(5):
+            data = i.to_bytes(2, "big")
+            p = cold(data)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+            assert warm.hash_to_prime_with_counter(data) == cold.hash_to_prime_with_counter(data)
+
+
+class TestMemoizedParity:
+    """The kernel memo must be observationally invisible: same prime AND
+    same candidate counter warm as cold, so the simulated contract charges
+    identical gas either way."""
+
+    def test_counter_parity_warm_vs_cold(self, h64):
+        warm = MemoizedHashToPrime(64)
+        inputs = [i.to_bytes(4, "big") for i in range(40)]
+        cold_pairs = [h64.hash_to_prime_with_counter(d) for d in inputs]
+        first = [warm.hash_to_prime_with_counter(d) for d in inputs]  # misses
+        second = [warm.hash_to_prime_with_counter(d) for d in inputs]  # hits
+        assert first == cold_pairs
+        assert second == cold_pairs
+
+    def test_multibyte_counter_walks_are_cached_exactly(self, h64):
+        """Find an input whose walk needs several candidates and check the
+        memo reproduces that exact count on a hit."""
+        warm = MemoizedHashToPrime(64)
+        for i in range(200):
+            data = b"walk" + i.to_bytes(2, "big")
+            _, counter = h64.hash_to_prime_with_counter(data)
+            if counter >= 3:
+                assert warm.hash_to_prime_with_counter(data) == (
+                    warm.hash_to_prime_with_counter(data)
+                ) == h64.hash_to_prime_with_counter(data)
+                return
+        pytest.fail("no input with a multi-candidate walk in 200 tries")
+
+
+class TestCrossProcessDeterminism:
+    def test_forked_workers_agree_with_parent(self):
+        """The memoized walk is pure: forked worker processes (which inherit
+        a warm memo and then diverge) return the same primes the parent
+        derives serially."""
+        executor = ParallelExecutor(workers=2, min_items=1)
+        if not executor.parallel_available:
+            pytest.skip("fork start method unavailable")
+        payloads = [b"proc" + i.to_bytes(4, "big") for i in range(8)]
+        serial = hash_to_prime_chunk((64,), payloads)
+        parallel = executor.map_chunks(hash_to_prime_chunk, payloads, shared=(64,))
+        assert parallel == serial

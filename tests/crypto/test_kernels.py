@@ -1,0 +1,272 @@
+"""Crypto kernels: every memoized/precomputed path is byte-identical to the
+primitive it replaces, caches report hits honestly, and the env knob works."""
+
+import pytest
+
+from repro.common import perfstats
+from repro.common.rng import default_rng
+from repro.crypto import kernels
+from repro.crypto.accumulator import AccumulatorParams
+from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.kernels import (
+    FIXED_BASE_MIN_EXP_BITS,
+    FixedBaseExp,
+    MemoizedHashToPrime,
+    TrapdoorChainCache,
+    batch_verify_membership,
+    fixed_base_pow,
+    memoized_hash_to_prime,
+    multi_exp,
+)
+from repro.crypto.modmath import product
+from repro.crypto.trapdoor import TrapdoorKeyPair
+
+
+@pytest.fixture(scope="module")
+def acc_params():
+    return AccumulatorParams.demo(512)
+
+
+@pytest.fixture(scope="module")
+def primes():
+    h = HashToPrime(64)
+    return [h(i.to_bytes(4, "big")) for i in range(10)]
+
+
+class TestMemoizedHashToPrime:
+    def test_matches_cold_walk(self):
+        cold = HashToPrime(64)
+        warm = MemoizedHashToPrime(64)
+        for i in range(30):
+            data = i.to_bytes(4, "big")
+            assert warm.hash_to_prime_with_counter(data) == cold.hash_to_prime_with_counter(data)
+
+    def test_hit_returns_same_pair(self):
+        warm = MemoizedHashToPrime(64)
+        first = warm.hash_to_prime_with_counter(b"repeat")
+        perfstats.reset("hash_to_prime.")
+        assert warm.hash_to_prime_with_counter(b"repeat") == first
+        assert perfstats.get("hash_to_prime.hit") == 1
+        assert perfstats.get("hash_to_prime.miss") == 0
+
+    def test_miss_counts_candidates(self):
+        warm = MemoizedHashToPrime(64)
+        perfstats.reset("hash_to_prime.")
+        _, counter = warm.hash_to_prime_with_counter(b"cold input")
+        assert perfstats.get("hash_to_prime.miss") == 1
+        assert perfstats.get("hash_to_prime.candidates") == counter
+
+    def test_shared_memo_across_instances(self):
+        memo: dict = {}
+        a = MemoizedHashToPrime(64, memo=memo)
+        b = MemoizedHashToPrime(64, memo=memo)
+        a(b"shared")
+        perfstats.reset("hash_to_prime.")
+        b(b"shared")
+        assert perfstats.get("hash_to_prime.hit") == 1
+
+    def test_factory_shares_per_bits_and_domain(self):
+        kernels.clear_caches()
+        memoized_hash_to_prime(64)(b"payload")
+        perfstats.reset("hash_to_prime.")
+        memoized_hash_to_prime(64)(b"payload")  # fresh instance, same memo
+        assert perfstats.get("hash_to_prime.hit") == 1
+        memoized_hash_to_prime(64, domain=b"other")(b"payload")  # separate memo
+        assert perfstats.get("hash_to_prime.miss") == 1
+
+    def test_eviction_keeps_results_correct(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HASH_MEMO_MAX", 4)
+        warm = MemoizedHashToPrime(64)
+        cold = HashToPrime(64)
+        inputs = [i.to_bytes(4, "big") for i in range(12)]
+        for data in inputs + inputs:  # second pass re-derives evicted entries
+            assert warm(data) == cold(data)
+        assert len(warm._memo) <= 4
+
+
+class TestFixedBaseExp:
+    def test_small_exponents_match_pow(self, acc_params):
+        kernel = FixedBaseExp(acc_params.generator, acc_params.modulus)
+        for exp in [0, 1, 2, 3, 17, 1 << 64, (1 << 512) - 1]:
+            assert kernel.pow(exp) == pow(acc_params.generator, exp, acc_params.modulus)
+
+    @pytest.mark.parametrize(
+        "bits",
+        [
+            FIXED_BASE_MIN_EXP_BITS - 1,  # last builtin-pow exponent
+            FIXED_BASE_MIN_EXP_BITS,  # first table exponent (window 4)
+            8192,  # window-8 regime
+        ],
+    )
+    def test_table_path_matches_pow_across_threshold(self, acc_params, bits):
+        rng = default_rng(bits)
+        kernel = FixedBaseExp(acc_params.generator, acc_params.modulus)
+        for _ in range(3):
+            exp = (1 << (bits - 1)) | rng.randbits(bits - 1)
+            assert exp.bit_length() == bits
+            assert kernel.pow(exp) == pow(acc_params.generator, exp, acc_params.modulus)
+
+    def test_table_reused_and_extended(self, acc_params):
+        kernel = FixedBaseExp(acc_params.generator, acc_params.modulus)
+        perfstats.reset("fixed_base.")
+        kernel.pow(1 << FIXED_BASE_MIN_EXP_BITS)
+        first_extensions = perfstats.get("fixed_base.table_extensions")
+        assert first_extensions > 0
+        kernel.pow(1 << FIXED_BASE_MIN_EXP_BITS)  # same size: table fully reused
+        assert perfstats.get("fixed_base.table_extensions") == first_extensions
+        kernel.pow(1 << (2 * FIXED_BASE_MIN_EXP_BITS))  # larger: extend, don't rebuild
+        assert perfstats.get("fixed_base.table_extensions") > first_extensions
+        assert perfstats.get("fixed_base.table_pow") == 3
+
+    def test_negative_exponent_rejected(self, acc_params):
+        kernel = FixedBaseExp(acc_params.generator, acc_params.modulus)
+        with pytest.raises(ValueError):
+            kernel.pow(-1)
+
+    def test_module_cache_and_disable_knob(self, acc_params, monkeypatch):
+        g, n = acc_params.generator, acc_params.modulus
+        exp = 3 << FIXED_BASE_MIN_EXP_BITS
+        expected = pow(g, exp, n)
+        monkeypatch.setenv(kernels.KERNELS_ENV, "1")
+        kernels.clear_caches()
+        assert fixed_base_pow(g, n, exp) == expected
+        assert kernels.cache_sizes()["fixed_base_tables"] > 0
+        monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+        kernels.clear_caches()
+        assert fixed_base_pow(g, n, exp) == expected  # plain pow fallback
+        assert kernels.cache_sizes()["fixed_base_tables"] == 0
+
+
+class TestMultiExp:
+    def test_matches_product_of_pows(self, acc_params):
+        n = acc_params.modulus
+        rng = default_rng(99)
+        pairs = [
+            (rng.randrange(2, n), rng.randbits(256))
+            for _ in range(6)
+        ]
+        expected = 1
+        for base, exp in pairs:
+            expected = expected * pow(base, exp, n) % n
+        assert multi_exp(pairs, n) == expected
+
+    def test_empty_and_zero_exponents(self, acc_params):
+        n = acc_params.modulus
+        assert multi_exp([], n) == 1 % n
+        assert multi_exp([(12345, 0)], n) == 1 % n
+        assert multi_exp([(7, 0), (11, 3)], n) == pow(11, 3, n)
+
+    def test_mixed_exponent_lengths(self, acc_params):
+        n = acc_params.modulus
+        pairs = [(3, 5), (5, 1 << 300), (7, (1 << 600) + 1)]
+        expected = 1
+        for base, exp in pairs:
+            expected = expected * pow(base, exp, n) % n
+        assert multi_exp(pairs, n) == expected
+
+
+class TestBatchVerifyMembership:
+    def _accumulate(self, acc_params, primes):
+        n, g = acc_params.modulus, acc_params.generator
+        total = product(primes)
+        ac = pow(g, total, n)
+        witnesses = [(p, pow(g, total // p, n)) for p in primes]
+        return ac, witnesses
+
+    def test_accepts_all_valid(self, acc_params, primes):
+        ac, items = self._accumulate(acc_params, primes)
+        assert batch_verify_membership(acc_params.modulus, ac, items)
+
+    def test_rejects_one_bad_witness(self, acc_params, primes):
+        ac, items = self._accumulate(acc_params, primes)
+        prime, witness = items[3]
+        items[3] = (prime, witness * acc_params.generator % acc_params.modulus)
+        assert not batch_verify_membership(acc_params.modulus, ac, items)
+
+    def test_rejects_wrong_prime(self, acc_params, primes):
+        ac, items = self._accumulate(acc_params, primes)
+        items[0] = (items[0][0] + 2, items[0][1])
+        assert not batch_verify_membership(acc_params.modulus, ac, items)
+
+    def test_rejects_degenerate_prime(self, acc_params, primes):
+        ac, items = self._accumulate(acc_params, primes)
+        items[0] = (1, items[0][1])
+        assert not batch_verify_membership(acc_params.modulus, ac, items)
+
+    def test_empty_batch_is_vacuously_true(self, acc_params):
+        assert batch_verify_membership(acc_params.modulus, 1, [])
+
+    def test_deterministic(self, acc_params, primes):
+        ac, items = self._accumulate(acc_params, primes)
+        runs = {batch_verify_membership(acc_params.modulus, ac, items) for _ in range(3)}
+        assert runs == {True}
+
+
+class TestTrapdoorChainCache:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return TrapdoorKeyPair.generate(512, default_rng(41))
+
+    def test_step_matches_apply(self, keys):
+        cache = TrapdoorChainCache(keys.public)
+        trapdoor = b"\x01" * keys.public.byte_len
+        assert cache.step(trapdoor) == keys.public.apply(trapdoor)
+
+    def test_repeat_walk_hits(self, keys):
+        cache = TrapdoorChainCache(keys.public)
+        trapdoor = b"\x02" * keys.public.byte_len
+        chain = [trapdoor]
+        for _ in range(4):
+            chain.append(cache.step(chain[-1]))
+        perfstats.reset("trapdoor_chain.")
+        replay = [trapdoor]
+        for _ in range(4):
+            replay.append(cache.step(replay[-1]))
+        assert replay == chain
+        assert perfstats.get("trapdoor_chain.hit") == 4
+        assert perfstats.get("trapdoor_chain.miss") == 0
+        assert len(cache) == 4
+
+    def test_new_head_misses_once_then_resumes(self, keys):
+        """A forward-secure Insert's new trapdoor costs one miss; its image
+        lands on the already-cached chain — the no-invalidation argument."""
+        cache = TrapdoorChainCache(keys.public)
+        old_head = b"\x03" * keys.public.byte_len
+        cache.step(old_head)
+        new_head = keys.invert(old_head)  # owner's pull-back: π_pk(new) == old
+        perfstats.reset("trapdoor_chain.")
+        assert cache.step(new_head) == old_head
+        assert cache.step(old_head) == keys.public.apply(old_head)
+        assert perfstats.get("trapdoor_chain.miss") == 1
+        assert perfstats.get("trapdoor_chain.hit") == 1
+
+    def test_module_cache_keyed_by_public_key(self, keys):
+        kernels.clear_caches()
+        assert kernels.trapdoor_chain(keys.public) is kernels.trapdoor_chain(keys.public)
+        other = TrapdoorKeyPair.generate(512, default_rng(42))
+        assert kernels.trapdoor_chain(other.public) is not kernels.trapdoor_chain(keys.public)
+
+
+class TestLifecycle:
+    def test_clear_caches_empties_everything(self, acc_params):
+        memoized_hash_to_prime(64)(b"fill")
+        fixed_base_pow(acc_params.generator, acc_params.modulus, 1 << FIXED_BASE_MIN_EXP_BITS)
+        assert any(kernels.cache_sizes().values())
+        kernels.clear_caches()
+        assert kernels.cache_sizes() == {
+            "hash_to_prime": 0,
+            "fixed_base_tables": 0,
+            "trapdoor_chain": 0,
+        }
+
+    @pytest.mark.parametrize("value,expected", [
+        ("0", False), ("false", False), ("OFF", False), ("no", False),
+        ("1", True), ("on", True), ("", True),
+    ])
+    def test_env_knob(self, monkeypatch, value, expected):
+        monkeypatch.setenv(kernels.KERNELS_ENV, value)
+        assert kernels.kernels_enabled() is expected
+
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        assert kernels.kernels_enabled()
