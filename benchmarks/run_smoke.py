@@ -18,6 +18,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from _harness import bench_params, bench_workers, write_report  # noqa: E402
 from repro.analysis.reporting import render_kv_table  # noqa: E402
+from repro.common import perfstats  # noqa: E402
 from repro.common.rng import default_rng  # noqa: E402
 from repro.common.timing import time_call  # noqa: E402
 from repro.core.cloud import CloudServer  # noqa: E402
@@ -34,6 +35,7 @@ BITS = 8
 
 
 def main() -> int:
+    perfstats.reset()  # clean counter snapshot for the regression gate
     params = bench_params(BITS)
     keys = KeyBundle.generate(default_rng(31337), 1024)
     generator = WorkloadGenerator(default_rng(404))
@@ -80,7 +82,14 @@ def main() -> int:
     write_report(
         "smoke",
         render_kv_table("CI smoke benchmark", rows),
-        data={"metrics": metrics},
+        data={
+            "metrics": metrics,
+            # Machine-independent kernel counters: the regression gate
+            # compares these (deterministic for a given seed + worker
+            # config), with wall-clock ratios demoted to warnings.
+            "counters": perfstats.snapshot(),
+            "hit_rates": perfstats.rates(),
+        },
     )
     return 0
 

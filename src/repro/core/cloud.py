@@ -23,8 +23,9 @@ from ..common.encoding import encode_parts, encode_uint, sizeof
 from ..common.rng import DeterministicRNG, default_rng
 from ..common import perfstats
 from ..common.timing import Stopwatch
+from ..common.errors import AccumulatorError
 from ..crypto import kernels
-from ..crypto.accumulator import MembershipWitness
+from ..crypto.accumulator import MembershipWitness, verify_membership_batch
 from ..crypto.modmath import ProductTree, product
 from ..crypto.multiset_hash import MultisetHash
 from ..crypto.prf import PRF
@@ -147,6 +148,7 @@ class CloudServer:
         cache = {p: w for (p, _), w in zip(cached, raised)}
         cache.update(witness_map(previous_ads, fresh, n, self._executor))
         self._witness_cache = cache
+        self._check_witness_cache()
 
     def precompute_witnesses(self) -> int:
         """Precompute the witness for every accumulated prime.
@@ -162,7 +164,27 @@ class CloudServer:
         self._witness_cache = witness_map(
             acc.generator % acc.modulus, list(self._primes), acc.modulus, self._executor
         )
+        self._check_witness_cache()
         return len(self._witness_cache)
+
+    def _check_witness_cache(self) -> None:
+        """Batch self-check of the locally computed witness cache.
+
+        One trusted-batch multi-exponentiation asserts ``w_p^p == Ac`` over
+        the whole cache.  The witnesses are the cloud's own output, so the
+        batch kernel's trusted-input precondition holds (there is no
+        adversary choosing them); a reject means an implementation bug —
+        e.g. a stale incremental refresh — and is raised, never served.
+        """
+        if self._witness_cache is None or not kernels.kernels_enabled():
+            return
+        items = [(p, MembershipWitness(w)) for p, w in self._witness_cache.items()]
+        verdicts = verify_membership_batch(
+            self.params.accumulator, self.ads_value, items, trusted=True
+        )
+        if not all(verdicts):
+            raise AccumulatorError("witness cache failed accumulator self-check")
+        perfstats.incr("cloud.witness_cache.selfcheck")
 
     @property
     def prime_count(self) -> int:

@@ -62,10 +62,13 @@ def generate_search_tokens(
             query.value, query.condition.order_condition(), bits, query.attribute
         )
         # Identical keywords would yield identical tokens the cloud probes
-        # twice for the same entries; emit each slice keyword once (first
-        # occurrence wins, preserving order so the shuffle stream matches).
-        keywords = list(dict.fromkeys(keywords))
+        # twice for the same entries; emit each slice keyword once.  The
+        # dedup happens AFTER the shuffle: shuffling the full list consumes
+        # exactly the rng stream the pre-dedup code did, so token order and
+        # every later draw from a shared rng stay reproducible across the
+        # change (first occurrence in shuffled order wins).
         rng.shuffle(keywords)
+        keywords = list(dict.fromkeys(keywords))
     else:
         keywords = [equality_keyword(query.value, bits, query.attribute)]
 

@@ -64,10 +64,13 @@ def verify_response(
 ) -> VerificationReport:
     """Algorithm 5 over the full response; vr = AND of per-token checks.
 
-    All witnesses of one response are checked in a single batched
-    multi-exponentiation (falling back to per-token ``VerifyMem`` only when
-    the batch rejects), so the verdict vector is identical to the per-token
-    loop at a fraction of the modexp work.
+    Every witness is checked individually.  This path faces the
+    dishonest-cloud threat model, and the batched multi-exponentiation
+    shortcut is unsound there: in ``Z_n*`` a malicious cloud can negate an
+    even number of witnesses (``w → n−w``) and pass any random-linear-
+    combination aggregate while every per-token ``VerifyMem`` rejects
+    (order-2 subgroup ``{±1}``).  The batch kernel is reserved for trusted
+    self-checks — see ``verify_membership_batch(trusted=True)``.
     """
     items = [
         (_result_prime(params, result), result.witness) for result in response.results

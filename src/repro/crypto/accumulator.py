@@ -290,19 +290,34 @@ def verify_membership_batch(
     params: AccumulatorParams,
     accumulated: int,
     items: list[tuple[int, MembershipWitness]],
+    *,
+    trusted: bool = False,
 ) -> list[bool]:
-    """``VerifyMem`` over many ``(prime, witness)`` pairs in one pass.
+    """``VerifyMem`` over many ``(prime, witness)`` pairs.
 
-    Fast path: one interleaved multi-exponentiation checks the whole batch
-    (kernel :func:`~repro.crypto.kernels.batch_verify_membership`); when it
-    accepts, every item is valid.  When it rejects — at least one bad
-    witness — fall back to per-item checks so callers get the same per-item
-    verdict vector :func:`verify_membership` would produce.
+    By default every item is checked individually — exactly the contract's
+    per-witness ``VerifyMem``.  Random-linear-combination batching in
+    ``Z_n*`` is *malleable* under the order-2 subgroup ``{±1}``: a prover
+    that negates an even number of witnesses (``w → n−w``) cancels the sign
+    factors pairwise and passes the aggregate while each per-item check
+    rejects (see :func:`~repro.crypto.kernels.batch_verify_membership`), so
+    the shortcut must never face adversarial witnesses.
+
+    ``trusted=True`` enables the fast path for inputs from a party that
+    cannot gain by cheating itself — self-checks over locally computed
+    witnesses, e.g. the cloud validating its own witness cache: one
+    interleaved multi-exponentiation instead of one full ``pow`` per item,
+    falling back to per-item checks when the batch rejects so the verdict
+    vector is identical either way.
     """
     if not items:
         return []
-    if kernels.kernels_enabled() and kernels.batch_verify_membership(
-        params.modulus, accumulated, [(p, w.value) for p, w in items]
+    if (
+        trusted
+        and kernels.kernels_enabled()
+        and kernels.batch_verify_membership(
+            params.modulus, accumulated, [(p, w.value) for p, w in items]
+        )
     ):
         return [True] * len(items)
     return [verify_membership(params, accumulated, p, w) for p, w in items]

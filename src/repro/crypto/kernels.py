@@ -24,8 +24,11 @@ process cheaper.  Four kernels, each byte-identical to the code it replaces
   (a miss), it never changes the image of an old one.
 * **Batched multi-exponentiation** — ``VerifyMem`` over many witnesses in
   one pass: a shared squaring chain over all bases instead of one full
-  ``pow`` per witness (used by the local verifier; the simulated contract
-  keeps per-witness MODEXP calls because that is what it meters gas for).
+  ``pow`` per witness.  **Trusted inputs only**: random-linear-combination
+  batching in ``Z_n*`` is malleable under the order-2 subgroup ``{±1}``
+  (see :func:`batch_verify_membership`), so adversarial-facing verification
+  (Algorithm 5 / the contract) stays per-witness and the batch serves
+  self-checks over locally computed witnesses.
 
 Every cache is **process-local** and keyed only on deterministic inputs, so
 forked parallel workers inherit a warm cache at fork time and populate their
@@ -40,6 +43,7 @@ import hashlib
 import os
 
 from ..common import perfstats
+from ..common.encoding import encode_parts
 from .hash_to_prime import HashToPrime
 
 #: Environment knob: any of ``0/false/off/no`` disables the kernel layer.
@@ -267,6 +271,8 @@ def multi_exp(pairs: list[tuple[int, int]], modulus: int, window: int = 4) -> in
     per-base digit multiplications, instead of a full square-and-multiply
     per base — the classic interleaved ``2^w``-ary method.
     """
+    if any(exp < 0 for _, exp in pairs):
+        raise ValueError("multi_exp exponents must be non-negative")
     live = [(base % modulus, exp) for base, exp in pairs if exp > 0]
     if not live:
         return 1 % modulus
@@ -295,10 +301,19 @@ def multi_exp(pairs: list[tuple[int, int]], modulus: int, window: int = 4) -> in
 
 
 def _batch_coefficient(accumulated: int, index: int, prime: int, witness: int) -> int:
-    """Deterministic 64-bit Fiat-Shamir coefficient for one batch item."""
-    material = b"batch-vermem" + b"|".join(
-        value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
-        for value in (accumulated, index, prime, witness)
+    """Deterministic 64-bit Fiat-Shamir coefficient for one batch item.
+
+    The hashed material uses the repo's length-prefixed framing so the
+    encoding of the ``(accumulated, index, prime, witness)`` tuple is
+    injective — raw big-endian integers joined by a separator byte are not,
+    since integer bytes can contain the separator themselves.
+    """
+    material = encode_parts(
+        b"batch-vermem",
+        *(
+            value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+            for value in (accumulated, index, prime, witness)
+        ),
     )
     return int.from_bytes(hashlib.sha256(material).digest()[:8], "big") | 1
 
@@ -307,15 +322,27 @@ def batch_verify_membership(
     modulus: int, accumulated: int, items: list[tuple[int, int]]
 ) -> bool:
     """One-pass check that every ``witness^prime == Ac`` (``items`` =
-    ``(prime, witness_value)`` pairs).
+    ``(prime, witness_value)`` pairs).  **Trusted inputs only.**
 
-    Uses the standard small-coefficient batching argument: with random
-    ``r_i``, ``prod_i (w_i^{x_i})^{r_i} == Ac^{sum r_i}`` holds iff every
-    individual equation holds, except with probability ~2^-64 per forged
-    item.  Coefficients are derived by Fiat-Shamir from the batch itself so
-    the check is deterministic and reproducible.  Callers treat ``False`` as
-    "at least one bad witness — fall back to per-item checks", so a batch
-    failure never mislabels an honest witness.
+    Uses the small-coefficient batching argument: with coefficients
+    ``r_i``, ``prod_i (w_i^{x_i})^{r_i} == Ac^{sum r_i}``.  Completeness is
+    exact (correct witnesses always pass), and a ``False`` means at least
+    one equation genuinely fails — callers fall back to per-item checks, so
+    a batch reject never mislabels an honest witness.
+
+    Soundness against an *adversarial* prover, however, does not hold in
+    ``Z_n*``: the group has the order-2 subgroup ``{±1}``, and a prover
+    that negates an even number of witnesses (``w → n−w``) contributes
+    ``(-1)^{x_i·r_i}`` factors that cancel pairwise (primes and the forced
+    odd coefficients are odd), so the aggregate accepts while every
+    per-item ``VerifyMem`` rejects.  Deriving the coefficients by
+    Fiat-Shamir does not close the gap — the prover can grind flip subsets
+    offline until the parities cancel — and neither does squaring into
+    ``QR_n`` (it erases exactly the sign being forged).  The check is
+    therefore only used where witnesses come from a party that cannot gain
+    by fooling itself: self-checks over locally computed witness caches
+    (see ``CloudServer``) and benchmark equivalence harnesses.  The
+    adversarial-facing verifier (``repro.core.verify``) stays per-item.
     """
     if not items:
         return True

@@ -15,7 +15,8 @@ from repro.core.owner import DataOwner
 from repro.core.params import KeyBundle, SlicerParams
 from repro.core.query import Query
 from repro.core.records import Database
-from repro.core.tokens import generate_search_tokens
+from repro.core.keywords import order_keywords_for_query
+from repro.core.tokens import SearchToken, derive_g1_g2, generate_search_tokens
 from repro.core.user import DataUser
 from repro.core.verify import verify_response
 
@@ -79,6 +80,36 @@ class TestTokenGeneratorDedup:
             for op in ("<", ">"):
                 tokens = user.make_tokens(Query.parse(value, op))
                 assert len(tokens) == len(set(tokens))
+
+    def test_dedup_preserves_rng_stream_and_order(self, tparams, deployment):
+        """Dedup runs AFTER the shuffle: the shared rng consumes exactly the
+        stream the pre-dedup code did (one shuffle of the full keyword
+        list), so kill-switch runs (``REPRO_KERNELS=0``) reproduce the
+        pre-kernel token order and any later draws from the same rng."""
+        _, user = deployment
+        query = Query.parse(50, ">")
+        rng = default_rng(777)
+        tokens = generate_search_tokens(
+            user._keys.prf_key, user._trapdoor_state, query, tparams.value_bits, rng
+        )
+        # Control: what the pre-dedup code consumed — a shuffle of the full
+        # (possibly duplicated) keyword list.
+        control = default_rng(777)
+        keywords = order_keywords_for_query(
+            query.value, query.condition.order_condition(), tparams.value_bits, query.attribute
+        )
+        control.shuffle(keywords)
+        # Same stream position afterwards: the next draws agree.
+        assert rng.randbits(64) == control.randbits(64)
+        # And the emitted tokens follow shuffled order, first occurrence wins.
+        expected = []
+        for keyword in dict.fromkeys(keywords):
+            entry = user._trapdoor_state.find(keyword)
+            if entry is None:
+                continue
+            g1, g2 = derive_g1_g2(user._keys.prf_key, keyword)
+            expected.append(SearchToken(entry.trapdoor, entry.epoch, g1, g2))
+        assert tokens == expected
 
     def test_dedup_does_not_change_token_set(self, tparams, deployment):
         """Dropping duplicate keywords before the shuffle must not change

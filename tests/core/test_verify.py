@@ -119,6 +119,29 @@ class TestTheorem3:
         forged = TokenResult(result.token, result.entries + result.entries[:1], result.witness)
         assert not verify_token_result(tparams, cloud.ads_value, forged)
 
+    def test_negated_witness_pair_detected(self, tparams, world):
+        """The ±1 batch-malleability attack: a cloud that returns ``n−w``
+        instead of ``w`` for an *even* number of tokens passes any
+        random-linear-combination aggregate check in ``Z_n*``, so
+        ``verify_response`` must check per token — and flag exactly the
+        flipped entries, matching the contract's per-witness verdicts."""
+        owner, out, user, _ = world
+        cloud = make_cloud(tparams, owner, out)
+        tokens = user.make_tokens(Query.parse(150, ">"))
+        response = cloud.search(tokens)
+        if len(response.results) < 2:
+            pytest.skip("need at least two token results to flip a pair")
+        n = tparams.accumulator.modulus
+        flipped = [0, len(response.results) - 1]
+        for i in flipped:
+            r = response.results[i]
+            response.results[i] = TokenResult(
+                r.token, r.entries, MembershipWitness(n - r.witness.value)
+            )
+        report = verify_response(tparams, cloud.ads_value, response)
+        assert not report.ok
+        assert report.failed_tokens == flipped
+
     def test_zero_witness_rejected(self, tparams, world):
         owner, out, user, _ = world
         cloud = make_cloud(tparams, owner, out)

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.common import perfstats
+from repro.common.errors import AccumulatorError
 from repro.common.rng import default_rng
+from repro.crypto import kernels
 from repro.core.cloud import CloudServer
 from repro.core.query import Query
 from repro.core.records import Database, make_database
@@ -101,6 +104,33 @@ class TestCache:
         user.refresh(out.user_package)
         response = cloud.search(user.make_tokens(Query.parse(13, "=")))
         assert verify_response(tparams, cloud.ads_value, response).ok
+
+    @pytest.mark.skipif(
+        not kernels.kernels_enabled(), reason="self-check rides the kernel layer"
+    )
+    def test_selfcheck_runs_on_precompute_and_refresh(self, world):
+        """The trusted-batch self-check covers both cache-creation paths —
+        its inputs are the cloud's own witnesses, the one place the batch
+        kernel's trusted-input precondition holds."""
+        owner, cloud, _, _ = world
+        perfstats.reset("cloud.witness_cache.")
+        cloud.precompute_witnesses()
+        assert perfstats.get("cloud.witness_cache.selfcheck") == 1
+        add = Database(8)
+        add.add("new", 13)
+        cloud.install(owner.insert(add).cloud_package)
+        assert perfstats.get("cloud.witness_cache.selfcheck") == 2
+
+    @pytest.mark.skipif(
+        not kernels.kernels_enabled(), reason="self-check rides the kernel layer"
+    )
+    def test_selfcheck_catches_corrupt_cache(self, world):
+        _, cloud, _, _ = world
+        cloud.precompute_witnesses()
+        prime = next(iter(cloud._witness_cache))
+        cloud._witness_cache[prime] = 4  # not a witness for anything here
+        with pytest.raises(AccumulatorError):
+            cloud._check_witness_cache()
 
     def test_cache_miss_produces_invalid_witness(self, world, tparams):
         """A lazy cloud with a cache still cannot fake unknown primes."""

@@ -164,6 +164,12 @@ class TestMultiExp:
             expected = expected * pow(base, exp, n) % n
         assert multi_exp(pairs, n) == expected
 
+    def test_negative_exponent_rejected(self, acc_params):
+        """A negative exponent raises (like FixedBaseExp.pow) instead of
+        being silently treated as zero."""
+        with pytest.raises(ValueError):
+            multi_exp([(3, 5), (5, -1)], acc_params.modulus)
+
 
 class TestBatchVerifyMembership:
     def _accumulate(self, acc_params, primes):
@@ -192,6 +198,28 @@ class TestBatchVerifyMembership:
         ac, items = self._accumulate(acc_params, primes)
         items[0] = (1, items[0][1])
         assert not batch_verify_membership(acc_params.modulus, ac, items)
+
+    def test_even_sign_flips_fool_the_batch(self, acc_params, primes):
+        """Documents WHY the kernel is trusted-input-only: negating an even
+        number of witnesses (w → n−w) cancels the ``(-1)^(x·r)`` factors
+        pairwise (primes and forced-odd coefficients are odd), so the
+        aggregate accepts while per-item ``VerifyMem`` rejects every flip.
+        The adversarial-facing verifier therefore never calls this kernel —
+        ``verify_membership_batch`` defaults to per-item checks."""
+        n = acc_params.modulus
+        ac, items = self._accumulate(acc_params, primes)
+        for i in (2, 5):
+            prime, witness = items[i]
+            items[i] = (prime, n - witness)
+            assert pow(n - witness, prime, n) != ac % n  # per-item rejects
+        assert batch_verify_membership(n, ac, items)  # the batch is fooled
+
+    def test_odd_sign_flip_rejected(self, acc_params, primes):
+        n = acc_params.modulus
+        ac, items = self._accumulate(acc_params, primes)
+        prime, witness = items[4]
+        items[4] = (prime, n - witness)
+        assert not batch_verify_membership(n, ac, items)
 
     def test_empty_batch_is_vacuously_true(self, acc_params):
         assert batch_verify_membership(acc_params.modulus, 1, [])
