@@ -159,8 +159,92 @@ def render(
     return "\n".join(lines)
 
 
+def chaos_check(baseline_path: pathlib.Path, run: bool) -> int:
+    """Exact-equality gate on the chaos smoke counters.
+
+    The fault schedule is a pure function of (profile, seed), and the
+    ``chaos.*`` / ``retry.*`` counters are a pure function of the schedule —
+    no hardware noise, no tolerance bands.  A fresh run with the baseline's
+    recorded seed must reproduce the committed counters bit-for-bit; any
+    drift means the transport, retry policy or fault plan changed behaviour
+    and the baseline must be regenerated *deliberately*.
+    """
+    if not baseline_path.exists():
+        print(f"no chaos baseline at {baseline_path}; "
+              "run run_smoke.py --chaos-seed <seed> and commit the report")
+        return 2
+    baseline = load_report(baseline_path)
+    chaos = baseline.get("chaos", {})
+    seed, profile = chaos.get("seed"), chaos.get("profile")
+    if seed is None or profile is None:
+        print(f"{baseline_path} records no chaos seed/profile; regenerate it")
+        return 2
+
+    if run:
+        subprocess.run(
+            [
+                sys.executable,
+                str(HERE / "run_smoke.py"),
+                "--chaos-seed",
+                str(seed),
+                "--chaos-profile",
+                str(profile),
+            ],
+            check=True,
+        )
+    fresh = load_report(REPORTS / "BENCH_chaos.json")
+
+    base_counters = baseline.get("counters", {})
+    fresh_counters = fresh.get("counters", {})
+    drifted = sorted(
+        name
+        for name in set(base_counters) | set(fresh_counters)
+        if base_counters.get(name) != fresh_counters.get(name)
+    )
+    lines = [
+        f"Chaos smoke determinism check (profile {profile!r}, seed {seed})",
+        "",
+        f"{'counter':<28} {'baseline':>10} {'fresh':>10}  verdict",
+    ]
+    for name in sorted(set(base_counters) | set(fresh_counters)):
+        verdict = "DRIFTED" if name in drifted else "ok"
+        lines.append(
+            f"{name:<28} {base_counters.get(name, '-'):>10} "
+            f"{fresh_counters.get(name, '-'):>10}  {verdict}"
+        )
+    text = "\n".join(lines)
+    print(text)
+    REPORTS.mkdir(exist_ok=True)
+    (REPORTS / "chaos_check.txt").write_text(text + "\n")
+    (REPORTS / "chaos_check.json").write_text(
+        json.dumps(
+            {
+                "seed": seed,
+                "profile": profile,
+                "baseline_counters": base_counters,
+                "fresh_counters": fresh_counters,
+                "drifted": drifted,
+                "ok": not drifted,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if drifted:
+        print(f"\nFAIL: chaos counters drifted from the committed schedule: "
+              f"{', '.join(drifted)}")
+        return 1
+    print("\nOK: chaos fault schedule and retry behaviour reproduced exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="gate on exact chaos-counter equality vs reports/BENCH_chaos.json",
+    )
     parser.add_argument(
         "--baseline",
         type=pathlib.Path,
@@ -190,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip re-running run_smoke.py; compare the report already on disk",
     )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        baseline = args.baseline
+        if baseline == REPORTS / "BENCH_smoke.json":  # the non-chaos default
+            baseline = REPORTS / "BENCH_chaos.json"
+        return chaos_check(baseline, run=not args.no_run)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run run_smoke.py and commit the report")

@@ -6,11 +6,20 @@ smoke-scale database and writes ``reports/BENCH_smoke.json`` (plus the
 text twin) via the shared harness.  Honors ``REPRO_BENCH_WORKERS`` so CI
 exercises both the serial path and the process fan-out.
 
-Usage:  PYTHONPATH=src python benchmarks/run_smoke.py
+With ``--chaos-seed`` the smoke run instead goes through the full
+four-party :class:`~repro.system.SlicerSystem` behind a fault-injecting
+:class:`~repro.chaos.ChaosTransport`: every search must still settle paid
+(``retry.gave_up == 0``) while faults are demonstrably injected, and the
+run writes ``reports/BENCH_chaos.json`` whose ``chaos.*`` / ``retry.*``
+counters are exactly reproducible from the recorded seed — the invariant
+``check_regression.py --chaos`` gates on.
+
+Usage:  PYTHONPATH=src python benchmarks/run_smoke.py [--chaos-seed N]
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import pathlib
 
@@ -18,6 +27,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from _harness import bench_params, bench_workers, write_report  # noqa: E402
 from repro.analysis.reporting import render_kv_table  # noqa: E402
+from repro.chaos import ChaosTransport, FaultPlan, profile_named  # noqa: E402
 from repro.common import perfstats  # noqa: E402
 from repro.common.rng import default_rng  # noqa: E402
 from repro.common.timing import time_call  # noqa: E402
@@ -27,6 +37,7 @@ from repro.core.params import KeyBundle  # noqa: E402
 from repro.core.query import Query  # noqa: E402
 from repro.core.user import DataUser  # noqa: E402
 from repro.core.verify import verify_response  # noqa: E402
+from repro.system import SlicerSystem  # noqa: E402
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec  # noqa: E402
 
 N_RECORDS = 120
@@ -34,7 +45,86 @@ N_INSERT = 30
 BITS = 8
 
 
-def main() -> int:
+def run_chaos(seed: int, profile_name: str) -> int:
+    """End-to-end chaos smoke: everything settles despite injected faults."""
+    perfstats.reset()
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(31337), 1024)
+    owner = DataOwner(params, keys=keys, rng=default_rng(12))
+    transport = ChaosTransport(FaultPlan(profile_named(profile_name), seed))
+    system = SlicerSystem(params, rng=default_rng(5), owner=owner, transport=transport)
+
+    generator = WorkloadGenerator(default_rng(404))
+    setup_s, _ = time_call(
+        lambda: system.setup(generator.database(WorkloadSpec(N_RECORDS, BITS)))
+    )
+    queries = [Query.parse(64, ">"), Query.parse(64, "<"), Query.parse(200, ">")]
+    outcomes = [system.search(q) for q in queries]
+    insert_s, _ = time_call(
+        lambda: system.insert(generator.database(WorkloadSpec(N_INSERT, BITS)))
+    )
+    outcomes += [system.search(q) for q in queries]
+
+    for outcome in outcomes:
+        assert outcome.error is None, f"chaos search degraded: {outcome.error}"
+        assert outcome.verified, "honest chaos search must settle paid"
+    counters = {
+        k: v
+        for k, v in perfstats.snapshot().items()
+        if k.startswith(("chaos.", "retry."))
+    }
+    injected = sum(v for k, v in counters.items() if k.startswith("chaos.injected."))
+    assert injected > 0, f"profile {profile_name!r} seed {seed} injected no faults"
+    assert counters.get("retry.gave_up", 0) == 0, "retry budget must suffice"
+
+    metrics = {
+        "setup_s": setup_s,
+        "insert_s": insert_s,
+        "searches": len(outcomes),
+        "records": N_RECORDS,
+        "inserted": N_INSERT,
+        "value_bits": BITS,
+        "virtual_time_s": transport.clock,
+        "faults_injected": injected,
+        "all_verified": True,
+    }
+    rows = [("Metric", "value")] + [
+        (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
+    ] + [(k, str(v)) for k, v in sorted(counters.items())]
+    write_report(
+        "chaos",
+        render_kv_table(f"Chaos smoke ({profile_name}, seed {seed})", rows),
+        data={
+            # Seed + profile pin the whole fault schedule: a re-run with
+            # these values must reproduce `counters` exactly.
+            "chaos": {"seed": seed, "profile": profile_name},
+            "metrics": metrics,
+            "counters": counters,
+        },
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos-seed",
+        type=lambda s: int(s, 0),
+        default=None,
+        help="run the chaos smoke with this fault-schedule seed instead",
+    )
+    parser.add_argument(
+        "--chaos-profile",
+        default="lossy",
+        help="fault profile for --chaos-seed runs (default: lossy)",
+    )
+    args = parser.parse_args(argv)
+    if args.chaos_seed is not None:
+        return run_chaos(args.chaos_seed, args.chaos_profile)
+    return run_plain()
+
+
+def run_plain() -> int:
     perfstats.reset()  # clean counter snapshot for the regression gate
     params = bench_params(BITS)
     keys = KeyBundle.generate(default_rng(31337), 1024)

@@ -1,0 +1,218 @@
+"""Deterministic fault model: what can go wrong on a party boundary.
+
+The Slicer threat model (Section IV.B) lets the *cloud* misbehave; the
+network between the four parties is usually assumed reliable.  Production
+deployments get neither — messages drop, duplicate, reorder, rot in flight,
+and clouds crash mid-update — and the fairness claims only matter if they
+survive that.  This module defines the fault vocabulary and a replayable
+schedule generator:
+
+* :class:`FaultKind` — the six injectable faults,
+* :class:`FaultProfile` — per-fault weights (a named chaos "climate"),
+* :class:`FaultPlan` — draws a fault decision per delivery from its own
+  :class:`~repro.common.rng.DeterministicRNG`; the same seed replays the
+  identical schedule, which is what makes chaos runs debuggable and lets CI
+  gate on exact counter equality.
+
+Fairness under faults needs liveness: a plan that drops *every* delivery
+proves nothing.  ``force_clean_after`` bounds consecutive faults per
+channel, so any retry policy with enough attempts is *guaranteed* to land
+the message — honest outcomes can be asserted, not hoped for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError
+from ..common.rng import DeterministicRNG
+
+#: Denominator for the per-mille fault weights in :class:`FaultProfile`.
+WEIGHT_SCALE = 1000
+
+
+class FaultKind(enum.Enum):
+    """One injectable delivery fault."""
+
+    DROP = "drop"  # message lost in flight; sender times out
+    STALL = "stall"  # delivered too late; sender already timed out
+    CORRUPT = "corrupt"  # bit flipped in the framed wire bytes
+    REORDER = "reorder"  # held back, delivered after a newer message
+    CRASH = "crash"  # receiving endpoint dies before processing
+    DUPLICATE = "duplicate"  # delivered twice (at-least-once delivery)
+
+
+#: Request-leg faults, drawn as at most one per delivery, in this order.
+REQUEST_FAULTS = (
+    FaultKind.DROP,
+    FaultKind.STALL,
+    FaultKind.CORRUPT,
+    FaultKind.REORDER,
+    FaultKind.CRASH,
+)
+
+#: Reply-leg faults: the handler already ran, only its answer is at risk.
+REPLY_FAULTS = (FaultKind.DROP, FaultKind.STALL)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-fault weights (per mille) plus the liveness bound.
+
+    ``force_clean_after`` is the maximum run of consecutive faulty draws on
+    one channel leg before a clean delivery is forced.  With the bound at
+    ``k``, a retry policy with more than ``2 * (k + 1)`` attempts (request
+    and reply legs alternate worst-case) always gets one message through.
+    """
+
+    name: str
+    drop: int = 0
+    stall: int = 0
+    corrupt: int = 0
+    reorder: int = 0
+    crash: int = 0
+    duplicate: int = 0
+    reply_drop: int = 0
+    reply_stall: int = 0
+    force_clean_after: int = 2
+
+    def __post_init__(self) -> None:
+        total = self.drop + self.stall + self.corrupt + self.reorder + self.crash
+        if total > WEIGHT_SCALE:
+            raise ParameterError("request fault weights exceed the scale")
+        if self.reply_drop + self.reply_stall > WEIGHT_SCALE:
+            raise ParameterError("reply fault weights exceed the scale")
+        if self.duplicate > WEIGHT_SCALE:
+            raise ParameterError("duplicate weight exceeds the scale")
+        if self.force_clean_after < 1:
+            raise ParameterError("force_clean_after must be >= 1")
+
+    def request_weights(self) -> list[tuple[FaultKind, int]]:
+        return [
+            (FaultKind.DROP, self.drop),
+            (FaultKind.STALL, self.stall),
+            (FaultKind.CORRUPT, self.corrupt),
+            (FaultKind.REORDER, self.reorder),
+            (FaultKind.CRASH, self.crash),
+        ]
+
+    def reply_weights(self) -> list[tuple[FaultKind, int]]:
+        return [
+            (FaultKind.DROP, self.reply_drop),
+            (FaultKind.STALL, self.reply_stall),
+        ]
+
+    # ------------------------------------------------------------ profiles
+
+    @classmethod
+    def clean(cls) -> "FaultProfile":
+        """The reliable network every existing test implicitly assumed."""
+        return cls(name="clean")
+
+    @classmethod
+    def lossy(cls) -> "FaultProfile":
+        """A flaky WAN: drops, stalls, bit rot, duplicates, reordering."""
+        return cls(
+            name="lossy",
+            drop=80,
+            stall=50,
+            corrupt=50,
+            reorder=40,
+            duplicate=100,
+            reply_drop=50,
+            reply_stall=30,
+        )
+
+    @classmethod
+    def crash_restart(cls) -> "FaultProfile":
+        """A cloud that keeps dying: crash-dominated with some packet loss."""
+        return cls(
+            name="crash_restart",
+            drop=50,
+            crash=120,
+            duplicate=50,
+            reply_drop=40,
+        )
+
+
+#: The named profiles the conformance matrix and the CLI knobs accept.
+PROFILES: dict[str, FaultProfile] = {
+    "clean": FaultProfile.clean(),
+    "lossy": FaultProfile.lossy(),
+    "crash_restart": FaultProfile.crash_restart(),
+}
+
+
+def profile_named(name: str) -> FaultProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown fault profile {name!r} (have: {', '.join(sorted(PROFILES))})"
+        ) from None
+
+
+class FaultPlan:
+    """A replayable fault schedule: (profile, seed) fixes every decision.
+
+    Draw order is defined by the delivery sequence — each delivery consumes
+    exactly the draws its faults require, so two runs making the same
+    deliveries see the same schedule.  ``history`` records every decision
+    (step, channel-leg, outcome) for schedule-identity assertions.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.rng = DeterministicRNG(seed)
+        self._consecutive: dict[str, int] = {}
+        self.history: list[tuple[int, str, str]] = []
+        self._step = 0
+
+    # ------------------------------------------------------------- drawing
+
+    def _record(self, leg: str, outcome: str) -> None:
+        self.history.append((self._step, leg, outcome))
+        self._step += 1
+
+    def _draw_weighted(
+        self, leg: str, weights: list[tuple[FaultKind, int]]
+    ) -> FaultKind | None:
+        """At most one fault per leg; ``force_clean_after`` bounds streaks."""
+        if self._consecutive.get(leg, 0) >= self.profile.force_clean_after:
+            self._consecutive[leg] = 0
+            self._record(leg, "forced-clean")
+            return None
+        roll = self.rng.randint_below(WEIGHT_SCALE)
+        threshold = 0
+        for kind, weight in weights:
+            threshold += weight
+            if roll < threshold:
+                self._consecutive[leg] = self._consecutive.get(leg, 0) + 1
+                self._record(leg, kind.value)
+                return kind
+        self._consecutive[leg] = 0
+        self._record(leg, "clean")
+        return None
+
+    def draw_request(self, channel: str) -> FaultKind | None:
+        """The fault (if any) hitting the request leg of one delivery."""
+        return self._draw_weighted(channel, self.profile.request_weights())
+
+    def draw_reply(self, channel: str) -> FaultKind | None:
+        """The fault (if any) hitting the reply leg, after the handler ran."""
+        return self._draw_weighted(f"{channel}:reply", self.profile.reply_weights())
+
+    def draw_duplicate(self, channel: str) -> bool:
+        """Whether a successfully delivered message also arrives a second time."""
+        if not self.profile.duplicate:
+            return False
+        dup = self.rng.randint_below(WEIGHT_SCALE) < self.profile.duplicate
+        if dup:
+            self._record(channel, "duplicate")
+        return dup
+
+    def corruption_bit(self, frame_len: int) -> int:
+        """Which bit of a ``frame_len``-byte frame the corruption flips."""
+        return self.rng.randint_below(frame_len * 8)

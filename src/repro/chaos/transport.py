@@ -1,0 +1,223 @@
+"""The chaos transport: fault-injected delivery on the party boundaries.
+
+:class:`ChaosTransport` carries one serialized message (real wire bytes —
+callers serialize through :mod:`repro.core.wire` / :mod:`repro.storage`
+codecs) from a sender to a receiving ``handler`` and returns the handler's
+reply.  Before, during and after delivery it consults a
+:class:`~repro.chaos.faults.FaultPlan` and injects:
+
+* **drop / stall** — the request never arrives (or arrives too late):
+  the virtual clock advances past the delivery window and
+  :class:`~repro.common.errors.TransportTimeout` is raised,
+* **corrupt** — a bit of the framed wire bytes flips; the frame's content
+  digest catches it at the receiver (the TCP/TLS integrity layer every
+  real deployment has) and the message is discarded —
+  :class:`~repro.common.errors.TransportCorruption`,
+* **reorder** — the message is held and delivered *after* the next message
+  on the same channel (stale at-least-once delivery),
+* **crash** — the receiving endpoint dies before processing; the caller's
+  ``on_crash`` hook restarts it (the cloud reloads its
+  :mod:`~repro.storage.state_io` snapshot) and the request is lost,
+* **duplicate** — the handler sees the message twice; receiver-side
+  idempotency (``idempotency_key``) deduplicates state-changing calls,
+* **reply drop / stall** — the handler ran but its answer is lost, which
+  is exactly the case idempotent re-submission exists for.
+
+Every injected fault increments a ``chaos.injected.<kind>`` perfstats
+counter, so CI can gate on *behaviour* (how many faults were survived)
+instead of wall-clock.  Time is virtual (``clock`` advances, nothing
+sleeps): chaos runs are as fast as clean ones and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ..common import perfstats
+from ..common.encoding import decode_parts, encode_parts
+from ..common.errors import ParameterError, TransportCorruption, TransportTimeout
+from .faults import FaultKind, FaultPlan, FaultProfile, profile_named
+
+# Channel names for the Fig. 1 party boundaries.
+USER_TO_CONTRACT = "user->contract"
+CONTRACT_TO_CLOUD = "contract->cloud"
+CLOUD_TO_CONTRACT = "cloud->contract"
+OWNER_TO_CLOUD = "owner->cloud"
+OWNER_TO_CONTRACT = "owner->contract"
+
+_DEFAULT_SEED = 0xC4A05  # "chaos"
+
+
+def chaos_enabled() -> bool:
+    """``REPRO_CHAOS=1`` opts benchmarks/systems into a default chaos transport.
+
+    The default (``0``/unset) leaves every existing code path byte-identical:
+    no transport is constructed, no RNG is consumed, no counter is touched.
+    """
+    return os.environ.get("REPRO_CHAOS", "0").lower() not in ("", "0", "false", "no")
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap wire bytes with a content digest (the transport integrity layer)."""
+    return encode_parts(hashlib.sha256(payload).digest(), payload)
+
+
+def unframe(blob: bytes) -> bytes:
+    """Validate and strip the frame; corrupted frames never reach a codec."""
+    try:
+        digest, payload = decode_parts(blob)
+    except (ParameterError, ValueError) as exc:
+        raise TransportCorruption(f"unparseable frame: {exc}") from exc
+    if hashlib.sha256(payload).digest() != digest:
+        raise TransportCorruption("frame failed its content digest")
+    return payload
+
+
+class ChaosTransport:
+    """Deterministic fault-injecting message channel between parties."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        timeout_s: float = 1.0,
+        latency_s: float = 0.001,
+    ) -> None:
+        self.plan = plan
+        self.timeout_s = timeout_s
+        self.latency_s = latency_s
+        #: Virtual seconds elapsed; advanced by deliveries, timeouts and
+        #: retry backoff.  Never wall-clock — chaos runs don't sleep.
+        self.clock = 0.0
+        #: Receiver-side idempotency cache: key -> cached handler reply.
+        self._idempotent: dict[object, object] = {}
+        #: Reordered messages awaiting stale delivery, per channel.
+        self._held: dict[str, list[tuple[bytes, object, object, object]]] = {}
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def for_profile(cls, name: str, seed: int = _DEFAULT_SEED) -> "ChaosTransport":
+        return cls(FaultPlan(profile_named(name), seed))
+
+    @classmethod
+    def from_env(cls) -> "ChaosTransport":
+        """Profile/seed from ``REPRO_CHAOS_PROFILE`` / ``REPRO_CHAOS_SEED``."""
+        name = os.environ.get("REPRO_CHAOS_PROFILE", "lossy")
+        try:
+            seed = int(os.environ.get("REPRO_CHAOS_SEED", str(_DEFAULT_SEED)), 0)
+        except ValueError as exc:
+            raise ParameterError(f"REPRO_CHAOS_SEED must be an integer: {exc}") from exc
+        return cls.for_profile(name, seed)
+
+    # ----------------------------------------------------------- the clock
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time (retry backoff 'waits' here)."""
+        self.clock += seconds
+
+    # ------------------------------------------------------------ delivery
+
+    def deliver(
+        self,
+        channel: str,
+        payload: bytes,
+        handler,
+        *,
+        idempotency_key: object | None = None,
+        cache_if=None,
+        on_crash=None,
+    ):
+        """Carry ``payload`` to ``handler`` through the fault plan.
+
+        ``handler`` receives the (verified) wire bytes and returns the reply
+        object.  ``idempotency_key`` enables receiver-side dedup: a repeated
+        delivery of the same logical operation returns the cached reply
+        instead of re-executing — this is what makes re-submission after a
+        lost reply safe.  ``cache_if(reply)`` limits which replies are
+        cached (e.g. only non-reverted receipts, so a transiently reverting
+        call re-executes).  ``on_crash`` restarts the receiving endpoint
+        when a crash fault fires.
+
+        Raises :class:`TransportTimeout` / :class:`TransportCorruption` for
+        the caller's retry policy to absorb.
+        """
+        framed = frame(payload)
+        self._deliver_stale(channel)
+        fault = self.plan.draw_request(channel)
+        if fault is FaultKind.DROP:
+            self._timeout("chaos.injected.drop", f"{channel}: request dropped")
+        if fault is FaultKind.STALL:
+            self._timeout("chaos.injected.stall", f"{channel}: request stalled")
+        if fault is FaultKind.CRASH:
+            perfstats.incr("chaos.injected.crash")
+            if on_crash is not None:
+                on_crash()
+            self.clock += self.timeout_s
+            raise TransportTimeout(f"{channel}: endpoint crashed mid-delivery")
+        if fault is FaultKind.CORRUPT:
+            perfstats.incr("chaos.injected.corrupt")
+            framed = self._flip_bit(framed)
+            self.clock += self.timeout_s
+            try:
+                unframe(framed)
+            except TransportCorruption:
+                perfstats.incr("chaos.detected.corrupt")
+                raise
+            # A flip inside the digest-sized prefix could in principle keep
+            # the frame parseable yet mismatched — unframe always raises on
+            # mismatch, so reaching here means the flip landed in framing
+            # bytes that still failed; either way the raise above covers it.
+            raise TransportCorruption(f"{channel}: frame corrupted in flight")
+        if fault is FaultKind.REORDER:
+            perfstats.incr("chaos.injected.reorder")
+            self._held.setdefault(channel, []).append(
+                (framed, handler, idempotency_key, cache_if)
+            )
+            self.clock += self.timeout_s
+            raise TransportTimeout(f"{channel}: request overtaken (reordered)")
+
+        self.clock += self.latency_s
+        result = self._handle(framed, handler, idempotency_key, cache_if)
+        if self.plan.draw_duplicate(channel):
+            perfstats.incr("chaos.injected.duplicate")
+            self._handle(framed, handler, idempotency_key, cache_if)
+        reply_fault = self.plan.draw_reply(channel)
+        if reply_fault is FaultKind.DROP:
+            self._timeout("chaos.injected.reply_drop", f"{channel}: reply dropped")
+        if reply_fault is FaultKind.STALL:
+            self._timeout("chaos.injected.reply_stall", f"{channel}: reply stalled")
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _timeout(self, counter: str, message: str) -> None:
+        perfstats.incr(counter)
+        self.clock += self.timeout_s
+        raise TransportTimeout(message)
+
+    def _flip_bit(self, framed: bytes) -> bytes:
+        position = self.plan.corruption_bit(len(framed))
+        blob = bytearray(framed)
+        blob[position // 8] ^= 1 << (position % 8)
+        return bytes(blob)
+
+    def _handle(self, framed: bytes, handler, idempotency_key, cache_if):
+        payload = unframe(framed)
+        if idempotency_key is not None and idempotency_key in self._idempotent:
+            perfstats.incr("chaos.deduped")
+            return self._idempotent[idempotency_key]
+        result = handler(payload)
+        if idempotency_key is not None and (cache_if is None or cache_if(result)):
+            self._idempotent[idempotency_key] = result
+        return result
+
+    def _deliver_stale(self, channel: str) -> None:
+        """Late delivery of reordered messages, before the newer one lands."""
+        for framed, handler, key, cache_if in self._held.pop(channel, []):
+            perfstats.incr("chaos.delivered.stale")
+            try:
+                self._handle(framed, handler, key, cache_if)
+            except TransportCorruption:
+                pass  # the held frame rotted; at-least-once still holds via retry

@@ -43,6 +43,36 @@ class AccumulatorError(ReproError):
     """RSA accumulator misuse (unknown element, bad witness request...)."""
 
 
+class TransportError(ReproError):
+    """A message failed to cross a party boundary (retryable).
+
+    Raised only by the chaos transport layer (:mod:`repro.chaos`): the
+    in-process direct path never loses messages.  Transport errors model
+    *delivery* failures — the receiver either never saw the message or its
+    reply was lost — so re-sending is always safe for idempotent operations.
+    """
+
+
+class TransportTimeout(TransportError):
+    """No reply within the delivery window (dropped, stalled or crashed peer)."""
+
+
+class TransportCorruption(TransportError):
+    """A frame failed its integrity check; the message was discarded."""
+
+
+class TransientChainError(TransportError):
+    """A chain call reverted for a reason that may clear on retry.
+
+    Example: ``verify_and_settle`` against an ADS digest that moved under a
+    concurrent insert — the next attempt reads the fresh digest.
+    """
+
+
+class RetryExhausted(ReproError):
+    """A retried operation failed on every attempt the policy allowed."""
+
+
 class BlockchainError(ReproError):
     """The simulated chain rejected a transaction for structural reasons."""
 

@@ -186,6 +186,36 @@ class CloudServer:
             raise AccumulatorError("witness cache failed accumulator self-check")
         perfstats.incr("cloud.witness_cache.selfcheck")
 
+    def snapshot(self) -> bytes:
+        """Serialize the full working state ``(I, X, Ac)`` for crash recovery."""
+        from ..storage import state_io  # local: storage depends on core
+
+        return state_io.dump_cloud_state(
+            self.index, list(self._primes), self.ads_value
+        )
+
+    def restore(self, snapshot: bytes) -> None:
+        """Cold-restart recovery: drop all in-memory state, reload a snapshot.
+
+        Models a crashed cloud process coming back up: the encrypted index,
+        prime set and ``Ac`` return from durable storage; every in-memory
+        cache (witness cache, repeat-search memo, product tree) is gone and
+        must be rebuilt.  The snapshot is integrity-checked before anything
+        is mutated, so a corrupt file raises
+        :class:`~repro.common.errors.StateError` and leaves the current
+        state untouched.
+        """
+        from ..storage import state_io  # local: storage depends on core
+
+        index, primes, ads_value = state_io.load_cloud_state(snapshot)
+        self.index = EncryptedIndex()
+        self._primes = {}
+        self._product_tree = ProductTree()
+        self.ads_value = 0
+        self._witness_cache = None
+        self._repeat_witness_cache = {}
+        self.install(CloudPackage(index, list(primes), ads_value))
+
     @property
     def prime_count(self) -> int:
         return len(self._primes)
@@ -391,7 +421,13 @@ class MaliciousCloud(CloudServer):
         if kind is Misbehavior.DROP_ENTRY and entries:
             entries.pop(self.rng.randint_below(len(entries)))
         elif kind is Misbehavior.INJECT_ENTRY:
-            size = len(entries[0]) if entries else 16 + self.params.record_id_len
+            from .wire import entry_wire_len  # local: wire imports this module
+
+            # A forged entry must be indistinguishable *in size* from a real
+            # one even when the honest result set is empty, so the guessed
+            # length comes from the wire codec, not a hand-copied constant
+            # that would drift if the cipher overhead ever changed.
+            size = len(entries[0]) if entries else entry_wire_len(self.params)
             entries.append(self.rng.token_bytes(size))
         elif kind is Misbehavior.TAMPER_ENTRY and entries:
             victim = self.rng.randint_below(len(entries))

@@ -19,6 +19,21 @@ _KIND_TOKENS = b"wire-tokens"
 _KIND_RESPONSE = b"wire-response"
 
 
+def entry_wire_len(params) -> int:
+    """Byte length of one encrypted result entry on the wire.
+
+    Entries are ``SymmetricCipher`` ciphertexts of fixed-size record IDs:
+    ``nonce || body`` with a CTR-mode body as long as the plaintext.  Anyone
+    fabricating an entry (see ``MaliciousCloud.INJECT_ENTRY``) must match
+    this exactly — deriving it here, from the cipher layout and
+    ``params.record_id_len``, keeps forged sizes in lock-step if either
+    ever changes, instead of hard-coding today's 16-byte nonce.
+    """
+    from ..crypto.symmetric import NONCE_LEN  # local: avoids import-order knots
+
+    return NONCE_LEN + params.record_id_len
+
+
 def dump_tokens(tokens: list[SearchToken]) -> bytes:
     """Serialize a token list (what the user posts to the chain)."""
     return codec.pack(_KIND_TOKENS, *[t.encode() for t in tokens])

@@ -21,6 +21,7 @@ from .common.rng import DeterministicRNG, default_rng
 from .core.params import SlicerParams
 from .core.query import Query
 from .core.records import Database
+from .chaos import RetryPolicy
 from .system import DEFAULT_PAYMENT, SearchOutcome, SlicerSystem
 
 
@@ -78,6 +79,12 @@ class DualSlicerSystem:
         system.user = None
         system.extra_users = {}
         system._last_user_package = None
+        # Dual deployments always use the direct in-process path; the
+        # chaos transport is single-system-scoped (one cloud snapshot).
+        system.transport = None
+        system.retry = RetryPolicy()
+        system._cloud_snapshot = None
+        system._chaos_op = 0
         return system
 
     # ------------------------------------------------------------ mutation

@@ -1,11 +1,13 @@
 """Persistence for protocol state (binary, versioned)."""
 
 from .state_io import (
+    dump_cloud_state,
     dump_index,
     dump_primes,
     dump_set_hash_state,
     dump_trapdoor_state,
     load,
+    load_cloud_state,
     load_index,
     load_primes,
     load_set_hash_state,
@@ -14,11 +16,13 @@ from .state_io import (
 )
 
 __all__ = [
+    "dump_cloud_state",
     "dump_index",
     "dump_primes",
     "dump_set_hash_state",
     "dump_trapdoor_state",
     "load",
+    "load_cloud_state",
     "load_index",
     "load_primes",
     "load_set_hash_state",

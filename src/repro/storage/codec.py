@@ -1,32 +1,52 @@
-"""Binary codec for protocol state (versioned, length-prefixed).
+"""Binary codec for protocol state (versioned, length-prefixed, checksummed).
 
 Persistence uses the same injective ``encode_parts`` framing as the wire
-protocol, wrapped with a magic header and format version so stale files fail
-loudly instead of deserialising garbage.  JSON is deliberately avoided: the
-state is dominated by raw byte strings and big integers, which JSON inflates
-and corrupts (no bytes type).
+protocol, wrapped with a magic header, a format version and — since v2 — a
+content digest, so stale, truncated or bit-rotted files fail loudly instead
+of deserialising garbage.  The digest matters for crash recovery: a cloud
+restarting from a snapshot that lost its tail in a mid-write crash must
+refuse the file, not silently load a partial index and then fail every
+on-chain verification.  JSON is deliberately avoided: the state is
+dominated by raw byte strings and big integers, which JSON inflates and
+corrupts (no bytes type).
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from ..common.encoding import decode_parts, decode_uint, encode_parts, encode_uint
 from ..common.errors import ParameterError
 
 MAGIC = b"SLCR"
-VERSION = 1
+#: v2 appends a SHA-256 content digest over (kind, body); v1 files (no
+#: digest) predate crash-recovery support and are rejected.
+VERSION = 2
+
+
+def _digest(kind: bytes, body: bytes) -> bytes:
+    return hashlib.sha256(encode_parts(MAGIC, kind, body)).digest()
 
 
 def pack(kind: bytes, *parts: bytes) -> bytes:
-    """Frame a record of ``kind`` with magic + version."""
-    return encode_parts(MAGIC, encode_uint(VERSION, 2), kind, encode_parts(*parts))
+    """Frame a record of ``kind`` with magic + version + content digest."""
+    body = encode_parts(*parts)
+    return encode_parts(
+        MAGIC, encode_uint(VERSION, 2), kind, body, _digest(kind, body)
+    )
 
 
 def unpack(blob: bytes, expected_kind: bytes) -> list[bytes]:
-    """Inverse of :func:`pack`; validates magic, version and kind."""
+    """Inverse of :func:`pack`; validates magic, version, kind and digest."""
     try:
-        magic, version, kind, body = decode_parts(blob)
+        fields = decode_parts(blob)
     except (ParameterError, ValueError) as exc:
         raise ParameterError(f"not a Slicer state blob: {exc}") from exc
+    if len(fields) != 5:
+        raise ParameterError(
+            f"corrupt state blob: expected 5 framing fields, found {len(fields)}"
+        )
+    magic, version, kind, body, digest = fields
     if magic != MAGIC:
         raise ParameterError("bad magic; not a Slicer state file")
     if decode_uint(version) != VERSION:
@@ -36,6 +56,10 @@ def unpack(blob: bytes, expected_kind: bytes) -> list[bytes]:
     if kind != expected_kind:
         raise ParameterError(
             f"state kind mismatch: file holds {kind!r}, expected {expected_kind!r}"
+        )
+    if _digest(kind, body) != digest:
+        raise ParameterError(
+            "state blob failed its integrity check (truncated or corrupted)"
         )
     return decode_parts(body)
 

@@ -3,20 +3,32 @@
 What gets persisted and by whom:
 
 * **cloud** — the encrypted index ``I`` and prime list ``X`` (its whole
-  working state; rebuilding them requires the owner).
+  working state; rebuilding them requires the owner).  The combined
+  :func:`dump_cloud_state` snapshot is what the chaos layer's crash-restart
+  recovery reloads.
 * **owner** — trapdoor state ``T`` and set-hash state ``S`` (losing S makes
   future inserts impossible; losing T strands users).
 * **user** — the trapdoor-state snapshot plus the last seen ``Ac``.
 
 Secret keys are intentionally *not* serialized here — key management is a
 deployment concern; see :class:`repro.core.params.KeyBundle`.
+
+Robustness contract: every ``load_*`` here either returns fully decoded
+state or raises a :class:`~repro.common.errors.StateError` — never a
+partially populated object.  Truncation and bit rot are caught by the
+codec's content digest (v2 framing); :func:`save` writes atomically
+(tmp file + rename) so a crash mid-write leaves the previous snapshot
+intact instead of a torn file.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
 
 from ..common.encoding import encode_parts, decode_parts, encode_uint, decode_uint
+from ..common.errors import ParameterError, StateError
 from ..core.state import EncryptedIndex, SetHashState, TrapdoorState
 from ..crypto.multiset_hash import MultisetHash
 from . import codec
@@ -25,6 +37,18 @@ _KIND_INDEX = b"index"
 _KIND_TRAPDOORS = b"trapdoors"
 _KIND_SETHASH = b"sethash"
 _KIND_PRIMES = b"primes"
+_KIND_CLOUD = b"cloud-state"
+
+
+@contextlib.contextmanager
+def _loading(what: str):
+    """Convert codec/structure errors into one clear ``StateError``."""
+    try:
+        yield
+    except StateError:
+        raise
+    except (ParameterError, ValueError) as exc:
+        raise StateError(f"cannot load {what}: {exc}") from exc
 
 
 # ----------------------------------------------------------------- index
@@ -34,11 +58,12 @@ def dump_index(index: EncryptedIndex) -> bytes:
 
 
 def load_index(blob: bytes) -> EncryptedIndex:
-    (mapping,) = codec.unpack(blob, _KIND_INDEX)
-    index = EncryptedIndex()
-    for label, payload in codec.decode_mapping(mapping).items():
-        index.put(label, payload)
-    return index
+    with _loading("encrypted index"):
+        (mapping,) = codec.unpack(blob, _KIND_INDEX)
+        index = EncryptedIndex()
+        for label, payload in codec.decode_mapping(mapping).items():
+            index.put(label, payload)
+        return index
 
 
 # ------------------------------------------------------------- trapdoors
@@ -52,12 +77,13 @@ def dump_trapdoor_state(state: TrapdoorState) -> bytes:
 
 
 def load_trapdoor_state(blob: bytes) -> TrapdoorState:
-    (mapping,) = codec.unpack(blob, _KIND_TRAPDOORS)
-    state = TrapdoorState()
-    for keyword, packed in codec.decode_mapping(mapping).items():
-        trapdoor, epoch = decode_parts(packed)
-        state.put(keyword, trapdoor, decode_uint(epoch))
-    return state
+    with _loading("trapdoor state"):
+        (mapping,) = codec.unpack(blob, _KIND_TRAPDOORS)
+        state = TrapdoorState()
+        for keyword, packed in codec.decode_mapping(mapping).items():
+            trapdoor, epoch = decode_parts(packed)
+            state.put(keyword, trapdoor, decode_uint(epoch))
+        return state
 
 
 # -------------------------------------------------------------- set hash
@@ -70,12 +96,13 @@ def dump_set_hash_state(state: SetHashState, field: int) -> bytes:
 
 
 def load_set_hash_state(blob: bytes) -> SetHashState:
-    field_blob, mapping = codec.unpack(blob, _KIND_SETHASH)
-    field = codec.decode_int(field_blob)
-    state = SetHashState()
-    for key, value in codec.decode_mapping(mapping).items():
-        state.put(key, MultisetHash(int.from_bytes(value, "big"), field))
-    return state
+    with _loading("set-hash state"):
+        field_blob, mapping = codec.unpack(blob, _KIND_SETHASH)
+        field = codec.decode_int(field_blob)
+        state = SetHashState()
+        for key, value in codec.decode_mapping(mapping).items():
+            state.put(key, MultisetHash(int.from_bytes(value, "big"), field))
+        return state
 
 
 # ----------------------------------------------------------------- primes
@@ -85,13 +112,53 @@ def dump_primes(primes: list[int]) -> bytes:
 
 
 def load_primes(blob: bytes) -> list[int]:
-    return [codec.decode_int(p) for p in codec.unpack(blob, _KIND_PRIMES)]
+    with _loading("prime list"):
+        return [codec.decode_int(p) for p in codec.unpack(blob, _KIND_PRIMES)]
+
+
+# ------------------------------------------------------------ cloud state
+
+def dump_cloud_state(index: EncryptedIndex, primes: list[int], ads_value: int) -> bytes:
+    """One self-contained cloud snapshot: ``(I, X, Ac)``.
+
+    This is both the owner's Build/Insert package on the wire and the
+    snapshot a crashed cloud restarts from — one format, one integrity
+    check, exercised by both paths.
+    """
+    return codec.pack(
+        _KIND_CLOUD,
+        dump_index(index),
+        dump_primes(primes),
+        codec.encode_int(ads_value),
+    )
+
+
+def load_cloud_state(blob: bytes) -> tuple[EncryptedIndex, list[int], int]:
+    with _loading("cloud state snapshot"):
+        index_blob, primes_blob, ads_blob = codec.unpack(blob, _KIND_CLOUD)
+        return (
+            load_index(index_blob),
+            load_primes(primes_blob),
+            codec.decode_int(ads_blob),
+        )
 
 
 # ------------------------------------------------------------ file helpers
 
 def save(path: str | pathlib.Path, blob: bytes) -> None:
-    pathlib.Path(path).write_bytes(blob)
+    """Atomically persist a state blob: write-temp, fsync, rename.
+
+    A crash at any point leaves either the old file or the new one — never
+    a torn mix — which is the property the chaos layer's crash-restart
+    recovery depends on.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def load(path: str | pathlib.Path) -> bytes:

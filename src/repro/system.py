@@ -12,6 +12,17 @@ the contract; the cloud reads them, searches, and submits results + VOs;
 the contract verifies and settles (payment to the cloud on success, refund
 on failure).  Inject a :class:`~repro.core.cloud.MaliciousCloud` to watch
 the refund path fire — that is the fairness property.
+
+Two delivery modes coexist:
+
+* **direct** (default, ``transport=None``) — the in-process calls this file
+  always had, byte-identical to before the chaos layer existed;
+* **chaos** — pass a :class:`~repro.chaos.ChaosTransport` (or export
+  ``REPRO_CHAOS=1``) and every party boundary serializes through
+  :mod:`repro.core.wire`, crosses the fault-injecting transport, and is
+  wrapped in a :class:`~repro.chaos.RetryPolicy` with idempotent
+  re-submission.  When the retry budget runs out the search degrades to a
+  :class:`SearchOutcome` error state instead of raising.
 """
 
 from __future__ import annotations
@@ -25,15 +36,29 @@ from .blockchain.slicer_contract import (
     tokens_digest_input,
 )
 from .blockchain.transaction import Receipt
-from .common.errors import StateError
+from .chaos import (
+    CLOUD_TO_CONTRACT,
+    CONTRACT_TO_CLOUD,
+    OWNER_TO_CLOUD,
+    OWNER_TO_CONTRACT,
+    USER_TO_CONTRACT,
+    ChaosTransport,
+    RetryPolicy,
+    chaos_enabled,
+)
+from .common import perfstats
+from .common.errors import RetryExhausted, StateError, TransientChainError
 from .common.rng import DeterministicRNG, default_rng
+from .core import wire
 from .core.cloud import CloudServer, SearchResponse
 from .core.owner import DataOwner, OwnerOutput
 from .core.params import SlicerParams
 from .core.query import Query
 from .core.records import AttributedDatabase, Database
+from .core.state import CloudPackage
 from .core.user import DataUser, RangeQuery
 from .core.tokens import SearchToken
+from .storage import codec, state_io
 
 DEFAULT_FUNDING = 10**9
 DEFAULT_PAYMENT = 10**6
@@ -41,19 +66,36 @@ DEFAULT_PAYMENT = 10**6
 
 @dataclass
 class SearchOutcome:
-    """Everything one on-chain search produced."""
+    """Everything one on-chain search produced.
+
+    Under chaos delivery a search can *degrade* instead of settling: when
+    the retry budget is exhausted ``error`` carries the reason, ``verified``
+    is False, and the receipt/response fields for the legs that never
+    completed are None.  Direct-mode outcomes always have ``error is None``
+    and every field populated.
+    """
 
     query: Query
     query_id: int
     tokens: list[SearchToken]
-    response: SearchResponse
+    response: SearchResponse | None
     verified: bool
     record_ids: set[bytes]
-    submit_receipt: Receipt
-    settle_receipt: Receipt
+    submit_receipt: Receipt | None
+    settle_receipt: Receipt | None
+    #: Degradation reason when delivery gave up; None on a settled search.
+    error: str | None = None
+    #: Delivery attempts consumed across the submit and settle phases.
+    attempts: int = 1
+
+    @property
+    def settled(self) -> bool:
+        """Whether the escrow closed on chain (paid or refunded)."""
+        return self.settle_receipt is not None and bool(self.settle_receipt.status)
 
     @property
     def settle_gas(self) -> int:
+        assert self.settle_receipt is not None, "search never settled"
         return self.settle_receipt.gas_used
 
 
@@ -86,11 +128,14 @@ class SlicerSystem:
         chain: Blockchain | None = None,
         cloud: CloudServer | None = None,
         rng: DeterministicRNG | None = None,
+        owner: DataOwner | None = None,
+        transport: ChaosTransport | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.params = params or SlicerParams()
         self.rng = rng or default_rng()
         self.chain = chain or Blockchain()
-        self.owner = DataOwner(self.params, rng=self.rng.spawn())
+        self.owner = owner or DataOwner(self.params, rng=self.rng.spawn())
         self.cloud = cloud or CloudServer(self.params, self.owner.keys.trapdoor.public)
 
         self.owner_address = self.chain.create_account("data-owner", DEFAULT_FUNDING)
@@ -103,6 +148,15 @@ class SlicerSystem:
         #: Additional authorised users: label -> (chain address, DataUser).
         self.extra_users: dict[str, tuple[bytes, DataUser]] = {}
         self._last_user_package = None
+
+        # Chaos delivery (opt-in): None keeps the direct in-process path
+        # bit-for-bit identical to the pre-chaos system.
+        if transport is None and chaos_enabled():
+            transport = ChaosTransport.from_env()
+        self.transport = transport
+        self.retry = retry or RetryPolicy()
+        self._cloud_snapshot: bytes | None = None
+        self._chaos_op = 0
 
     # ---------------------------------------------------------------- setup
 
@@ -121,6 +175,9 @@ class SlicerSystem:
         self.user = DataUser(self.params, output.user_package, self.rng.spawn())
         self._last_user_package = output.user_package
         self.chain.mine()
+        if self.transport is not None:
+            # First durable snapshot: what a crash-restarted cloud reloads.
+            self._cloud_snapshot = self.cloud.snapshot()
         return output
 
     def authorize_user(self, label: str, funding: int = DEFAULT_FUNDING) -> DataUser:
@@ -142,15 +199,21 @@ class SlicerSystem:
         """Owner inserts records and refreshes the on-chain ADS digest."""
         contract = self._require_setup()
         output = self.owner.insert(additions)
-        self.cloud.install(output.cloud_package)
+        if self.transport is None:
+            self.cloud.install(output.cloud_package)
+        else:
+            self._chaos_install(output.cloud_package)
         assert self.user is not None
         self.user.refresh(output.user_package)
         for _, extra in self.extra_users.values():
             extra.refresh(output.user_package)
         self._last_user_package = output.user_package
-        receipt = self.chain.call(
-            self.owner_address, contract, "update_ads", (output.chain_ads,)
-        )
+        if self.transport is None:
+            receipt = self.chain.call(
+                self.owner_address, contract, "update_ads", (output.chain_ads,)
+            )
+        else:
+            receipt = self._chaos_update_ads(contract, output.chain_ads)
         if not receipt.status:
             raise StateError(f"ADS update reverted: {receipt.revert_reason}")
         self.chain.mine()
@@ -174,6 +237,18 @@ class SlicerSystem:
             searcher_address, searcher = self.extra_users[as_user]
 
         tokens = searcher.make_tokens(query)
+        if self.transport is None:
+            return self._search_direct(
+                contract, query, payment, tokens, searcher, searcher_address
+            )
+        return self._search_chaos(
+            contract, query, payment, tokens, searcher, searcher_address
+        )
+
+    def _search_direct(
+        self, contract, query, payment, tokens, searcher, searcher_address
+    ) -> SearchOutcome:
+        """In-process delivery — the original, fault-free flow."""
         submit_receipt = self.chain.call(
             searcher_address,
             contract,
@@ -204,6 +279,147 @@ class SlicerSystem:
             record_ids=record_ids,
             submit_receipt=submit_receipt,
             settle_receipt=settle_receipt,
+        )
+
+    def _search_chaos(
+        self, contract, query, payment, tokens, searcher, searcher_address
+    ) -> SearchOutcome:
+        """Chaos delivery: every boundary crosses the fault-injecting transport.
+
+        Three legs, each retried with deterministic backoff and idempotent
+        re-submission (keyed by an operation counter, so a duplicated or
+        re-sent message never double-charges the escrow):
+
+        1. user -> contract: post tokens + payment (``submit_query``);
+        2. contract -> cloud: tokens reach the cloud, which searches;
+        3. cloud -> contract: response reaches ``verify_and_settle``.
+
+        Exhausting the retry budget degrades to an error outcome instead of
+        raising — the caller sees ``verified=False`` plus ``error``.
+        """
+        transport = self.transport
+        assert transport is not None
+        tokens_wire = wire.dump_tokens(tokens)
+        op = self._next_op()
+        attempts = {"n": 0}
+
+        def submit_op(attempt: int) -> Receipt:
+            attempts["n"] += 1
+            receipt = transport.deliver(
+                USER_TO_CONTRACT,
+                tokens_wire,
+                lambda blob: self.chain.call(
+                    searcher_address,
+                    contract,
+                    "submit_query",
+                    (tokens_digest_input(wire.load_tokens(blob)),),
+                    value=payment,
+                ),
+                idempotency_key=("submit", op),
+                cache_if=lambda r: r.status,
+            )
+            return receipt
+
+        try:
+            submit_receipt = self.retry.run(
+                submit_op, transport=transport, label="submit_query"
+            )
+        except RetryExhausted as exc:
+            return self._degraded(query, tokens, str(exc), attempts["n"])
+        if not submit_receipt.status:
+            # A genuine (non-transient) revert: same contract as direct mode.
+            raise StateError(f"query submission reverted: {submit_receipt.revert_reason}")
+        query_id = submit_receipt.return_value
+
+        def settle_op(attempt: int) -> tuple[bytes, Receipt]:
+            attempts["n"] += 1
+            # Leg 2: the cloud reads the tokens and searches.  Not cached —
+            # an honest cloud's search is a pure function of its state, and
+            # re-running it after a crash restart is exactly the recovery
+            # path under test.
+            response_wire = transport.deliver(
+                CONTRACT_TO_CLOUD,
+                tokens_wire,
+                lambda blob: wire.dump_response(self.cloud.search(wire.load_tokens(blob))),
+                on_crash=self._restart_cloud,
+            )
+            # Leg 3: response + current Ac to the contract for settlement.
+            receipt = transport.deliver(
+                CLOUD_TO_CONTRACT,
+                response_wire,
+                lambda blob: self.chain.call(
+                    self.cloud_address,
+                    contract,
+                    "verify_and_settle",
+                    (
+                        query_id,
+                        self.cloud.ads_value,
+                        response_to_chain_args(wire.load_response(blob)),
+                    ),
+                ),
+                idempotency_key=("settle", op),
+                cache_if=lambda r: r.status,
+                on_crash=self._restart_cloud,
+            )
+            if not receipt.status:
+                # Reverts leave the query open (state rolled back), so the
+                # settlement can be retried — e.g. after a crash restart
+                # briefly served a stale Ac.
+                raise TransientChainError(f"settle reverted: {receipt.revert_reason}")
+            return response_wire, receipt
+
+        try:
+            response_wire, settle_receipt = self.retry.run(
+                settle_op, transport=transport, label="verify_and_settle"
+            )
+        except RetryExhausted as exc:
+            return self._degraded(
+                query,
+                tokens,
+                str(exc),
+                attempts["n"],
+                query_id=query_id,
+                submit_receipt=submit_receipt,
+            )
+
+        response = wire.load_response(response_wire)
+        verified = bool(settle_receipt.return_value)
+        record_ids = searcher.decrypt_results(response) if verified else set()
+        self.chain.mine()
+        return SearchOutcome(
+            query=query,
+            query_id=query_id,
+            tokens=tokens,
+            response=response,
+            verified=verified,
+            record_ids=record_ids,
+            submit_receipt=submit_receipt,
+            settle_receipt=settle_receipt,
+            attempts=attempts["n"],
+        )
+
+    def _degraded(
+        self,
+        query: Query,
+        tokens: list[SearchToken],
+        error: str,
+        attempts: int,
+        query_id: int = -1,
+        submit_receipt: Receipt | None = None,
+    ) -> SearchOutcome:
+        """Graceful degradation: the retry budget ran out on some leg."""
+        self.chain.mine()
+        return SearchOutcome(
+            query=query,
+            query_id=query_id,
+            tokens=tokens,
+            response=None,
+            verified=False,
+            record_ids=set(),
+            submit_receipt=submit_receipt,
+            settle_receipt=None,
+            error=error,
+            attempts=attempts,
         )
 
     def range_search(self, range_query: RangeQuery, payment: int = DEFAULT_PAYMENT) -> RangeOutcome:
@@ -264,6 +480,81 @@ class SlicerSystem:
             )
         self.chain.mine()
         return outcomes
+
+    # ------------------------------------------------------- chaos delivery
+
+    def _next_op(self) -> int:
+        """Monotonic operation counter — the idempotency-key namespace."""
+        self._chaos_op += 1
+        return self._chaos_op
+
+    def _restart_cloud(self) -> None:
+        """Crash-fault hook: restart the cloud from its durable snapshot.
+
+        Models a process restart — in-memory caches are gone, durable state
+        (the last installed ``(I, X, Ac)`` snapshot) survives.  If the dead
+        cloud had precomputed witnesses, the restarted one rebuilds them:
+        that is the witness-cache rebuild path the chaos tests exercise.
+        """
+        if self._cloud_snapshot is None:
+            return
+        perfstats.incr("chaos.cloud_restarts")
+        had_cache = self.cloud._witness_cache is not None
+        self.cloud.restore(self._cloud_snapshot)
+        if had_cache:
+            self.cloud.precompute_witnesses()
+
+    def _chaos_install(self, package: CloudPackage) -> None:
+        """Owner -> cloud install over the transport (retried, idempotent)."""
+        transport = self.transport
+        assert transport is not None
+        pkg_wire = state_io.dump_cloud_state(
+            package.index, list(package.primes), package.accumulation
+        )
+        op = self._next_op()
+
+        def handler(blob: bytes) -> bytes:
+            index, primes, ads_value = state_io.load_cloud_state(blob)
+            self.cloud.install(CloudPackage(index, primes, ads_value))
+            # Snapshot atomically with the install: a crash after this
+            # handler ran (but before the reply arrived) must restart the
+            # cloud into the *installed* state, or the idempotency cache
+            # and the cloud's reality would disagree.
+            self._cloud_snapshot = self.cloud.snapshot()
+            return b"installed"
+
+        def install_op(attempt: int) -> None:
+            transport.deliver(
+                OWNER_TO_CLOUD,
+                pkg_wire,
+                handler,
+                idempotency_key=("install", op),
+                on_crash=self._restart_cloud,
+            )
+
+        self.retry.run(install_op, transport=transport, label="install")
+
+    def _chaos_update_ads(self, contract: SlicerContract, chain_ads) -> Receipt:
+        """Owner -> contract ADS refresh over the transport."""
+        transport = self.transport
+        assert transport is not None
+        op = self._next_op()
+
+        def update_op(attempt: int) -> Receipt:
+            return transport.deliver(
+                OWNER_TO_CONTRACT,
+                codec.encode_int(chain_ads),
+                lambda blob: self.chain.call(
+                    self.owner_address,
+                    contract,
+                    "update_ads",
+                    (codec.decode_int(blob),),
+                ),
+                idempotency_key=("ads", op),
+                cache_if=lambda r: r.status,
+            )
+
+        return self.retry.run(update_op, transport=transport, label="update_ads")
 
     # -------------------------------------------------------------- helpers
 

@@ -1,0 +1,118 @@
+"""Unit tests for the fault vocabulary and the replayable schedule."""
+
+import pytest
+
+from repro.chaos import FaultKind, FaultPlan, FaultProfile, PROFILES, profile_named
+from repro.chaos.faults import REPLY_FAULTS, REQUEST_FAULTS, WEIGHT_SCALE
+from repro.common.errors import ParameterError
+
+
+class TestFaultProfile:
+    def test_named_profiles_resolve(self):
+        for name in ("clean", "lossy", "crash_restart"):
+            assert profile_named(name) is PROFILES[name]
+            assert profile_named(name).name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ParameterError, match="unknown fault profile"):
+            profile_named("tsunami")
+
+    def test_clean_profile_has_zero_weights(self):
+        clean = profile_named("clean")
+        assert all(w == 0 for _, w in clean.request_weights())
+        assert all(w == 0 for _, w in clean.reply_weights())
+        assert clean.duplicate == 0
+
+    def test_overweight_request_rejected(self):
+        with pytest.raises(ParameterError, match="request fault weights"):
+            FaultProfile(name="bad", drop=600, crash=600)
+
+    def test_overweight_reply_rejected(self):
+        with pytest.raises(ParameterError, match="reply fault weights"):
+            FaultProfile(name="bad", reply_drop=800, reply_stall=400)
+
+    def test_force_clean_after_must_be_positive(self):
+        with pytest.raises(ParameterError, match="force_clean_after"):
+            FaultProfile(name="bad", force_clean_after=0)
+
+    def test_weight_orders_match_fault_tuples(self):
+        profile = profile_named("lossy")
+        assert tuple(k for k, _ in profile.request_weights()) == REQUEST_FAULTS
+        assert tuple(k for k, _ in profile.reply_weights()) == REPLY_FAULTS
+
+
+class TestFaultPlan:
+    def test_same_seed_replays_identical_schedule(self):
+        def draw_many(plan):
+            out = []
+            for i in range(200):
+                out.append(plan.draw_request("a"))
+                out.append(plan.draw_reply("a"))
+                out.append(plan.draw_duplicate("b"))
+            return out
+
+        p1 = FaultPlan(profile_named("lossy"), seed=42)
+        p2 = FaultPlan(profile_named("lossy"), seed=42)
+        assert draw_many(p1) == draw_many(p2)
+        assert p1.history == p2.history
+
+    def test_different_seeds_diverge(self):
+        draws = []
+        for seed in (1, 2):
+            plan = FaultPlan(profile_named("lossy"), seed=seed)
+            draws.append([plan.draw_request("a") for _ in range(200)])
+        assert draws[0] != draws[1]
+
+    def test_clean_profile_never_faults(self):
+        plan = FaultPlan(profile_named("clean"), seed=7)
+        for _ in range(100):
+            assert plan.draw_request("x") is None
+            assert plan.draw_reply("x") is None
+            assert plan.draw_duplicate("x") is False
+
+    def test_force_clean_bounds_streaks_per_leg(self):
+        # drop=WEIGHT_SCALE makes every unforced draw a fault, so streaks
+        # hit the bound exactly and a clean delivery is forced each time.
+        profile = FaultProfile(name="always-drop", drop=WEIGHT_SCALE, force_clean_after=2)
+        plan = FaultPlan(profile, seed=0)
+        draws = [plan.draw_request("ch") for _ in range(9)]
+        assert draws == [
+            FaultKind.DROP, FaultKind.DROP, None,
+            FaultKind.DROP, FaultKind.DROP, None,
+            FaultKind.DROP, FaultKind.DROP, None,
+        ]
+
+    def test_streaks_tracked_independently_per_leg(self):
+        profile = FaultProfile(name="always-drop", drop=WEIGHT_SCALE, force_clean_after=1)
+        plan = FaultPlan(profile, seed=0)
+        # Alternating channels: each leg keeps its own streak counter.
+        assert plan.draw_request("a") is FaultKind.DROP
+        assert plan.draw_request("b") is FaultKind.DROP
+        assert plan.draw_request("a") is None  # a's streak hit the bound
+        assert plan.draw_request("b") is None
+        assert plan.draw_request("a") is FaultKind.DROP  # streak reset
+
+    def test_reply_leg_is_a_distinct_streak(self):
+        profile = FaultProfile(
+            name="both", drop=WEIGHT_SCALE, reply_drop=WEIGHT_SCALE, force_clean_after=1
+        )
+        plan = FaultPlan(profile, seed=0)
+        assert plan.draw_request("ch") is FaultKind.DROP
+        assert plan.draw_reply("ch") is FaultKind.DROP  # not forced by request streak
+        assert plan.draw_request("ch") is None
+        assert plan.draw_reply("ch") is None
+
+    def test_history_records_every_decision(self):
+        plan = FaultPlan(profile_named("lossy"), seed=3)
+        for _ in range(10):
+            plan.draw_request("a")
+            plan.draw_reply("a")
+        steps = [step for step, _, _ in plan.history]
+        assert steps == sorted(steps)
+        legs = {leg for _, leg, _ in plan.history}
+        assert legs <= {"a", "a:reply"}
+
+    def test_corruption_bit_in_range(self):
+        plan = FaultPlan(profile_named("lossy"), seed=5)
+        for _ in range(50):
+            assert 0 <= plan.corruption_bit(33) < 33 * 8

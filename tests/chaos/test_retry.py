@@ -1,0 +1,120 @@
+"""Unit tests for RetryPolicy: backoff math, retry semantics, counters."""
+
+import pytest
+
+from repro.chaos import ChaosTransport, FaultPlan, RetryPolicy, profile_named
+from repro.common import perfstats
+from repro.common.errors import (
+    ParameterError,
+    RetryExhausted,
+    TransportTimeout,
+    TransientChainError,
+)
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=0.05, multiplier=2.0, max_delay_s=0.3)
+        assert policy.schedule() == pytest.approx([0.05, 0.1, 0.2, 0.3, 0.3])
+
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.schedule() == policy.schedule()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ParameterError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestRun:
+    def test_first_try_success_is_one_attempt(self):
+        perfstats.reset()
+        result = RetryPolicy().run(lambda attempt: attempt * 10)
+        assert result == 10
+        assert perfstats.get("retry.attempts") == 1
+        assert perfstats.get("retry.recovered") == 0
+
+    def test_recovers_after_transient_failures(self):
+        perfstats.reset()
+
+        def op(attempt):
+            if attempt < 3:
+                raise TransportTimeout("flaky")
+            return "done"
+
+        assert RetryPolicy().run(op) == "done"
+        assert perfstats.get("retry.attempts") == 3
+        assert perfstats.get("retry.recovered") == 1
+
+    def test_transient_chain_error_is_retried(self):
+        # e.g. "stale accumulation value" revert during a concurrent insert.
+        def op(attempt):
+            if attempt == 1:
+                raise TransientChainError("settle reverted: stale accumulation value")
+            return "settled"
+
+        assert RetryPolicy().run(op) == "settled"
+
+    def test_budget_exhaustion_raises_with_cause(self):
+        perfstats.reset()
+        policy = RetryPolicy(max_attempts=3)
+
+        def op(attempt):
+            raise TransportTimeout("永 down")
+
+        with pytest.raises(RetryExhausted, match="failed after 3 attempts") as info:
+            policy.run(op, label="submit_query")
+        assert "submit_query" in str(info.value)
+        assert isinstance(info.value.__cause__, TransportTimeout)
+        assert perfstats.get("retry.attempts") == 3
+        assert perfstats.get("retry.gave_up") == 1
+
+    def test_non_transport_errors_propagate_immediately(self):
+        calls = []
+
+        def op(attempt):
+            calls.append(attempt)
+            raise ValueError("a bug, not delivery noise")
+
+        with pytest.raises(ValueError):
+            RetryPolicy().run(op)
+        assert calls == [1]  # never retried
+
+    def test_backoff_advances_virtual_clock_between_attempts(self):
+        transport = ChaosTransport(FaultPlan(profile_named("clean"), seed=0))
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0)
+
+        def op(attempt):
+            if attempt < 4:
+                raise TransportTimeout("x")
+            return "ok"
+
+        start = transport.clock
+        assert policy.run(op, transport=transport) == "ok"
+        # Three failures -> backoffs 0.1 + 0.2 + 0.4 (no sleep after success).
+        assert transport.clock - start == pytest.approx(0.7)
+
+    def test_no_backoff_after_final_failure(self):
+        transport = ChaosTransport(FaultPlan(profile_named("clean"), seed=0))
+        policy = RetryPolicy(max_attempts=2, base_delay_s=1.0, multiplier=1.0, max_delay_s=1.0)
+
+        def op(attempt):
+            raise TransportTimeout("x")
+
+        with pytest.raises(RetryExhausted):
+            policy.run(op, transport=transport)
+        assert transport.clock == pytest.approx(1.0)  # one inter-attempt gap only
+
+    def test_liveness_against_worst_case_streaks(self):
+        """The default policy always lands a message under bundled profiles.
+
+        ``force_clean_after=2`` bounds consecutive faulty draws per leg, so
+        request+reply legs can burn at most 5 deliveries before a clean
+        pair — well under the 8-attempt default budget.
+        """
+        worst_streak = 2 + 1 + 2  # request streak + forced-clean + reply streak
+        assert RetryPolicy().max_attempts > worst_streak

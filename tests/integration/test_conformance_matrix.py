@@ -1,0 +1,248 @@
+"""Adversarial conformance matrix: Misbehavior × query shape × fault profile.
+
+The headline chaos claim, asserted cell by cell:
+
+* an **honest** cloud always settles **paid**, under every fault profile;
+* a response that differs from what an honest cloud would have sent is
+  always **refunded** — and one that is byte-identical to honest output is
+  paid, even if produced by a "malicious" cloud whose tampering happened to
+  be a no-op (dropping from an empty result, omitting epochs that don't
+  exist yet, ``STALE_WITNESS``'s honest fallback);
+* **no fault profile flips either outcome** — drops, duplicates, bit rot,
+  reordering and cloud crashes change how many retries a search needs,
+  never who gets the escrow.
+
+The expected verdict is not hand-coded per cell: every outcome is compared
+against an *honest twin* — a fresh ``CloudServer`` restored from the
+(actual, possibly malicious) cloud's state snapshot — which makes the
+oracle exact for no-op tampering without enumerating the no-op cases.
+"""
+
+import pytest
+
+from repro.blockchain.slicer_contract import response_to_chain_args, tokens_digest_input
+from repro.chaos import ChaosTransport, FaultPlan, FaultProfile, profile_named
+from repro.common import perfstats
+from repro.common.rng import default_rng
+from repro.core import wire
+from repro.core.cloud import CloudServer, MaliciousCloud, Misbehavior
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import RangeQuery
+from repro.system import DEFAULT_FUNDING, SlicerSystem
+
+PAYMENT = 5000
+VALUES = [7, 7, 9, 40, 41, 64, 3, 200]
+#: Inserted after setup so the queried keywords gain a second epoch —
+#: without this, OMIT_OLD_EPOCHS would be a no-op in every cell.
+EXTRA = [7, 41]
+
+BEHAVIORS = [None, *Misbehavior]  # None = honest
+PROFILE_NAMES = ["clean", "lossy", "crash_restart"]
+
+#: shape name -> callable running it; returns the per-side outcomes.
+SHAPES = [
+    ("eq", lambda s: [s.search(Query.parse(7, "="), payment=PAYMENT)]),
+    ("one_sided", lambda s: [s.search(Query.parse(40, ">"), payment=PAYMENT)]),
+    ("range", lambda s: s.range_search(RangeQuery(5, 64), payment=PAYMENT).sides),
+    ("empty", lambda s: [s.search(Query.parse(101, "="), payment=PAYMENT)]),
+]
+
+#: Tampering that is *guaranteed* non-trivial on the post-insert ``eq``
+#: shape (non-empty results, two epochs) — these cells must refund.
+EFFECTIVE_ON_EQ = {
+    Misbehavior.DROP_ENTRY,
+    Misbehavior.INJECT_ENTRY,
+    Misbehavior.TAMPER_ENTRY,
+    Misbehavior.OMIT_OLD_EPOCHS,
+    Misbehavior.FORGE_WITNESS,
+    Misbehavior.EMPTY_RESULT,
+}
+
+
+def database(values, start=0):
+    return make_database(
+        [(f"rec-{start + i}", v) for i, v in enumerate(values)], bits=8
+    )
+
+
+def build_cell(tparams, owner_factory, behavior, profile, chaos_seed=17):
+    owner = owner_factory(tparams, seed=7)
+    transport = ChaosTransport(FaultPlan(profile, seed=chaos_seed))
+    system = SlicerSystem(
+        tparams, rng=default_rng(7), owner=owner, transport=transport
+    )
+    if behavior is not None:
+        system.cloud = MaliciousCloud(
+            tparams, owner.keys.trapdoor.public, behavior, default_rng(11)
+        )
+    system.setup(database(VALUES))
+    system.insert(database(EXTRA, start=100))
+    return system
+
+
+def honest_twin(system) -> CloudServer:
+    """An honest cloud rebuilt from the actual cloud's state snapshot."""
+    twin = CloudServer(system.params, system.owner.keys.trapdoor.public)
+    twin.restore(system.cloud.snapshot())
+    return twin
+
+
+class TestConformanceMatrix:
+    @pytest.mark.parametrize(
+        "behavior", BEHAVIORS, ids=lambda b: "honest" if b is None else b.value
+    )
+    def test_matrix_cell(self, tparams, owner_factory, behavior):
+        verdicts_by_profile = {}
+        for profile_name in PROFILE_NAMES:
+            perfstats.reset()
+            system = build_cell(
+                tparams, owner_factory, behavior, profile_named(profile_name)
+            )
+            twin = honest_twin(system)
+            verdicts = {}
+            expected_cloud_gain = 0
+            for shape_name, run_shape in SHAPES:
+                sides = run_shape(system)
+                for outcome in sides:
+                    # Liveness: bounded fault streaks + the retry budget mean
+                    # every search settles — no degraded outcomes, ever.
+                    assert outcome.error is None, (shape_name, outcome.error)
+                    assert outcome.settled
+                    # The fairness oracle: paid iff byte-identical to honest.
+                    honest_bytes = wire.dump_response(twin.search(outcome.tokens))
+                    got_bytes = wire.dump_response(outcome.response)
+                    assert outcome.verified == (got_bytes == honest_bytes), (
+                        behavior, shape_name, profile_name,
+                    )
+                    if outcome.verified:
+                        expected_cloud_gain += PAYMENT
+                verdicts[shape_name] = tuple(o.verified for o in sides)
+
+            # The escrow moved money for exactly the paid cells: duplicates
+            # were deduplicated, refunds returned the full payment.
+            balances = system.balances()
+            assert balances["cloud"] == DEFAULT_FUNDING + expected_cloud_gain
+            assert balances["user"] == DEFAULT_FUNDING - expected_cloud_gain
+            assert perfstats.get("retry.gave_up") == 0
+            verdicts_by_profile[profile_name] = verdicts
+
+        # No fault profile flips any outcome.
+        clean = verdicts_by_profile["clean"]
+        for profile_name in PROFILE_NAMES[1:]:
+            assert verdicts_by_profile[profile_name] == clean, profile_name
+
+        if behavior is None:
+            # Honest cloud: paid in every cell of every profile.
+            assert all(all(v) for v in clean.values())
+        elif behavior in EFFECTIVE_ON_EQ:
+            # Non-trivial tampering on a non-empty, two-epoch result: refund.
+            assert clean["eq"] == (False,)
+
+    def test_faults_were_actually_injected(self, tparams, owner_factory):
+        """Guards the matrix against vacuity: lossy cells really see faults."""
+        perfstats.reset()
+        system = build_cell(
+            tparams, owner_factory, None, profile_named("lossy"), chaos_seed=17
+        )
+        for _, run_shape in SHAPES:
+            run_shape(system)
+        injected = sum(
+            v for k, v in perfstats.snapshot().items()
+            if k.startswith("chaos.injected.")
+        )
+        assert injected > 0
+        assert perfstats.get("retry.attempts") > 0
+
+
+class TestCrashRecoveryInMatrix:
+    def test_forced_crashes_rebuild_witness_cache_and_still_pay(
+        self, tparams, owner_factory
+    ):
+        """Every delivery crashes the cloud once; restarts restore the
+        snapshot and rebuild the precomputed witness cache, and the search
+        still settles paid."""
+        profile = FaultProfile(name="forced-crash", crash=1000, force_clean_after=1)
+        perfstats.reset()
+        system = build_cell(tparams, owner_factory, None, profile)
+        system.cloud.precompute_witnesses()
+        system._cloud_snapshot = system.cloud.snapshot()
+        outcome = system.search(Query.parse(7, "="), payment=PAYMENT)
+        assert outcome.verified
+        assert perfstats.get("chaos.cloud_restarts") > 0
+        # The restart path rebuilt the cache (restore drops it first).
+        assert system.cloud._witness_cache is not None
+        assert outcome.attempts > 2
+
+    def test_crash_between_install_and_ads_update(self, tparams, owner_factory):
+        """A cloud that crashes during an insert restarts into the freshly
+        installed state (the snapshot is taken atomically with the install),
+        so post-insert searches verify against the new on-chain digest."""
+        profile = profile_named("crash_restart")
+        system = build_cell(tparams, owner_factory, None, profile, chaos_seed=23)
+        for extra_seed in range(3):  # several inserts, several crash windows
+            system.insert(database([50 + extra_seed], start=200 + extra_seed))
+            outcome = system.search(Query.parse(50 + extra_seed, "="), payment=PAYMENT)
+            assert outcome.verified
+            assert len(outcome.record_ids) == 1
+
+
+class TestConcurrentInsertAndSearch:
+    """Insert lands between submit and settle — the interleaving cell."""
+
+    def _submit(self, system, tokens):
+        receipt = system.chain.call(
+            system.user_address,
+            system.contract,
+            "submit_query",
+            (tokens_digest_input(tokens),),
+            value=PAYMENT,
+        )
+        assert receipt.status
+        return receipt.return_value
+
+    def _settle(self, system, query_id, tokens):
+        response = system.cloud.search(tokens)
+        receipt = system.chain.call(
+            system.cloud_address,
+            system.contract,
+            "verify_and_settle",
+            (query_id, system.cloud.ads_value, response_to_chain_args(response)),
+        )
+        assert receipt.status
+        return receipt, response
+
+    def test_unrelated_insert_between_submit_and_settle_pays(
+        self, tparams, owner_factory
+    ):
+        system = build_cell(tparams, owner_factory, None, profile_named("lossy"))
+        tokens = system.user.make_tokens(Query.parse(7, "="))
+        query_id = self._submit(system, tokens)
+        system.insert(database([99], start=300))  # untouched keyword
+        receipt, _ = self._settle(system, query_id, tokens)
+        assert receipt.return_value is True
+        assert system.balances()["cloud"] == DEFAULT_FUNDING + PAYMENT
+
+    def test_related_insert_serves_snapshot_of_submission_epoch(
+        self, tparams, owner_factory
+    ):
+        """Tokens fix the epoch they were generated at: a concurrent insert
+        to the same keyword doesn't break settlement, and the result is the
+        complete pre-insert snapshot — the freshness anchor is the *user's*
+        refreshed token, not the settle-time state."""
+        system = build_cell(tparams, owner_factory, None, profile_named("lossy"))
+        baseline = system.search(Query.parse(7, "="), payment=PAYMENT)
+        assert baseline.verified
+
+        tokens = system.user.make_tokens(Query.parse(7, "="))
+        query_id = self._submit(system, tokens)
+        system.insert(database([7], start=400))  # same keyword, new epoch
+        receipt, response = self._settle(system, query_id, tokens)
+        assert receipt.return_value is True
+        stale_ids = system.user.decrypt_results(response)
+        assert stale_ids == baseline.record_ids  # the pre-insert snapshot
+
+        # A refreshed query sees the new record too.
+        fresh = system.search(Query.parse(7, "="), payment=PAYMENT)
+        assert fresh.verified
+        assert len(fresh.record_ids) == len(stale_ids) + 1
