@@ -5,15 +5,18 @@ Reads the committed ``reports/BENCH_smoke.json``, re-runs ``run_smoke.py``
 (unless ``--no-run`` compares an already-fresh report), and gates on two
 signals:
 
-* **Kernel counters (the gate).**  The perfstats counters run_smoke.py
-  records are machine-independent — for a fixed seed and worker config the
-  hit/miss/candidate counts are deterministic — so "a cache that stopped
-  hitting" or "an accidentally repeated walk" shows up exactly, with no CI
-  hardware noise.  A cache regresses when its miss count inflates beyond
-  ``--miss-ratio`` (above an absolute floor) or its hit rate collapses.
-  Counters are only comparable when the fresh run uses the same worker
-  config as the baseline (forked workers keep their counters); otherwise
-  the counter section is reported as informational.
+* **Kernel counters (the gate).**  The counters run_smoke.py records are
+  machine-independent — for a fixed seed the hit/miss/candidate counts are
+  deterministic — so "a cache that stopped hitting" or "an accidentally
+  repeated walk" shows up exactly, with no CI hardware noise.  Worker
+  counter deltas merge back into the parent process and execution-shape
+  ``parallel.*`` counters are excluded from the report, so the snapshot is
+  comparable across *any* worker config: a baseline recorded at workers=0
+  gates a fresh run at workers=2 and vice versa.  A cache regresses when
+  its miss count inflates beyond ``--miss-ratio`` (above an absolute
+  floor) or its hit rate collapses; ``--exact-counters`` tightens the gate
+  to bit-for-bit equality of every counter and value-histogram (the CI
+  cross-worker determinism check).
 * **Wall-clock ratios (a warning).**  The committed baseline was timed on a
   different machine, and GitHub runner hardware varies enough that >2x on
   sub-second metrics can trip spuriously — so slowdowns beyond ``--ratio``
@@ -90,8 +93,10 @@ def compare_counters(
         now_miss = int(fresh.get(f"{cache}.miss", 0))
         base_total = base_hit + base_miss
         now_total = now_hit + now_miss
-        base_rate = base_hit / base_total if base_total else 0.0
-        now_rate = now_hit / now_total if now_total else 0.0
+        # None (rendered "n/a") for a never-consulted cache: 0.0 would
+        # read as a collapse when the cache simply wasn't on the path.
+        base_rate = base_hit / base_total if base_total else None
+        now_rate = now_hit / now_total if now_total else None
         miss_inflated = now_miss > max(MISS_FLOOR, miss_ratio * base_miss)
         rate_collapsed = (
             base_total >= MIN_LOOKUPS
@@ -111,6 +116,10 @@ def compare_counters(
             }
         )
     return rows
+
+
+def _fmt_rate(rate: float | None) -> str:
+    return "n/a" if rate is None else f"{rate:.2f}"
 
 
 def render(
@@ -137,7 +146,8 @@ def render(
             f"{row['cache']:<24} "
             f"{row['baseline_hit']:>6}/{row['baseline_miss']:<7} "
             f"{row['fresh_hit']:>6}/{row['fresh_miss']:<7} "
-            f"{row['baseline_hit_rate']:>8.2f} {row['fresh_hit_rate']:>9.2f}  {verdict}"
+            f"{_fmt_rate(row['baseline_hit_rate']):>8} "
+            f"{_fmt_rate(row['fresh_hit_rate']):>9}  {verdict}"
         )
     if not counter_rows:
         lines.append("(no comparable hit/miss counters in both reports)")
@@ -273,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip re-running run_smoke.py; compare the report already on disk",
     )
+    parser.add_argument(
+        "--exact-counters",
+        action="store_true",
+        help="fail on ANY counter/histogram difference vs the baseline "
+        "(the CI cross-worker determinism gate)",
+    )
     args = parser.parse_args(argv)
 
     if args.chaos:
@@ -293,22 +309,14 @@ def main(argv: list[str] | None = None) -> int:
     timing_rows = compare_timings(
         baseline.get("metrics", {}), fresh.get("metrics", {}), args.ratio, ABS_FLOOR_S
     )
-    base_workers = baseline.get("env", {}).get("bench_workers")
-    fresh_workers = fresh.get("env", {}).get("bench_workers")
-    counters_comparable = (
-        bool(baseline.get("counters"))
-        and bool(fresh.get("counters"))
-        and base_workers == fresh_workers
-    )
+    # Worker counter deltas merge into the parent and `parallel.*` shape
+    # counters are excluded at the source, so counters compare across any
+    # worker config — no "matching workers" caveat anymore.
+    counters_comparable = bool(baseline.get("counters")) and bool(fresh.get("counters"))
     if counters_comparable:
-        counter_note = f"comparable: both runs at workers={base_workers}"
-    elif not baseline.get("counters"):
-        counter_note = "informational: baseline predates counter reporting"
+        counter_note = "comparable: merged worker deltas, any worker config"
     else:
-        counter_note = (
-            f"informational: workers differ (baseline {base_workers}, "
-            f"fresh {fresh_workers}) so forked-worker counters diverge"
-        )
+        counter_note = "informational: baseline predates counter reporting"
     counter_rows = compare_counters(
         baseline.get("counters", {}), fresh.get("counters", {}), args.miss_ratio
     )
@@ -317,13 +325,34 @@ def main(argv: list[str] | None = None) -> int:
         timing_rows, counter_rows, args.ratio, counters_comparable, counter_note,
         args.strict_timing,
     )
-    print(text)
 
     counter_regressions = (
         [r for r in counter_rows if r["regressed"]] if counters_comparable else []
     )
     timing_regressions = [r for r in timing_rows if r["slow"]] if args.strict_timing else []
     timing_warnings = [r for r in timing_rows if r["slow"]]
+
+    exact_drift: list[str] = []
+    if args.exact_counters and counters_comparable:
+        for section in ("counters", "histograms"):
+            base_sec = baseline.get(section, {})
+            fresh_sec = fresh.get(section, {})
+            exact_drift += sorted(
+                f"{section}.{name}"
+                for name in set(base_sec) | set(fresh_sec)
+                if base_sec.get(name) != fresh_sec.get(name)
+            )
+        if exact_drift:
+            text += (
+                "\n\nExact-counter gate: DRIFTED\n  "
+                + "\n  ".join(exact_drift)
+            )
+        else:
+            text += (
+                "\n\nExact-counter gate: ok "
+                "(every counter and value-histogram identical to baseline)"
+            )
+    print(text)
     REPORTS.mkdir(exist_ok=True)
     (REPORTS / "regression_check.txt").write_text(text + "\n")
     (REPORTS / "regression_check.json").write_text(
@@ -335,22 +364,25 @@ def main(argv: list[str] | None = None) -> int:
                 "strict_timing": args.strict_timing,
                 "counters_comparable": counters_comparable,
                 "counter_note": counter_note,
+                "exact_counters": args.exact_counters,
+                "exact_drift": exact_drift,
                 "timing_rows": timing_rows,
                 "counter_rows": counter_rows,
                 "regressed": [r["cache"] for r in counter_regressions]
                 + [r["metric"] for r in timing_regressions],
                 "timing_warnings": [r["metric"] for r in timing_warnings],
-                "ok": not (counter_regressions or timing_regressions),
+                "ok": not (counter_regressions or timing_regressions or exact_drift),
             },
             indent=2,
         )
         + "\n"
     )
 
-    if counter_regressions or timing_regressions:
+    if counter_regressions or timing_regressions or exact_drift:
         names = ", ".join(
             [r["cache"] for r in counter_regressions]
             + [r["metric"] for r in timing_regressions]
+            + exact_drift
         )
         print(f"\nFAIL: {names} regressed vs baseline")
         return 1

@@ -4,7 +4,13 @@
 Runs Build -> Search -> precompute-witnesses -> Insert -> Search on a
 smoke-scale database and writes ``reports/BENCH_smoke.json`` (plus the
 text twin) via the shared harness.  Honors ``REPRO_BENCH_WORKERS`` so CI
-exercises both the serial path and the process fan-out.
+exercises both the serial path and the process fan-out; worker counter
+deltas merge back into the parent, so the recorded counter snapshot is
+identical at every worker config (CI gates on exactly that).  Each run
+also writes a JSONL span trace (``reports/TRACE_smoke.jsonl`` /
+``TRACE_chaos.jsonl``) and, for chaos runs, the settlement audit log
+(``reports/AUDIT_chaos.jsonl``) — both readable via
+``python -m repro report``.
 
 With ``--chaos-seed`` the smoke run instead goes through the full
 four-party :class:`~repro.system.SlicerSystem` behind a fault-injecting
@@ -25,7 +31,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from _harness import bench_params, bench_workers, write_report  # noqa: E402
+from _harness import REPORT_DIR, bench_params, bench_workers, write_report  # noqa: E402
 from repro.analysis.reporting import render_kv_table  # noqa: E402
 from repro.chaos import ChaosTransport, FaultPlan, profile_named  # noqa: E402
 from repro.common import perfstats  # noqa: E402
@@ -37,6 +43,9 @@ from repro.core.params import KeyBundle  # noqa: E402
 from repro.core.query import Query  # noqa: E402
 from repro.core.user import DataUser  # noqa: E402
 from repro.core.verify import verify_response  # noqa: E402
+from repro.obs import audit as obs_audit  # noqa: E402
+from repro.obs import trace  # noqa: E402
+from repro.obs.metrics import REGISTRY  # noqa: E402
 from repro.system import SlicerSystem  # noqa: E402
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec  # noqa: E402
 
@@ -45,9 +54,26 @@ N_INSERT = 30
 BITS = 8
 
 
+def _fresh_sink(filename: str) -> str:
+    """Truncate-and-return a JSONL sink path (sinks append per record)."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / filename
+    path.write_text("")
+    return str(path)
+
+
+def _reset_observability(trace_file: str, audit_file: str | None = None) -> None:
+    """Cold registry/tracer/audit state plus fresh JSONL sinks for this run."""
+    REGISTRY.reset()
+    trace.TRACER.reset()
+    trace.TRACER.set_sink(_fresh_sink(trace_file))
+    obs_audit.AUDIT_LOG.reset()
+    obs_audit.AUDIT_LOG.set_sink(_fresh_sink(audit_file) if audit_file else None)
+
+
 def run_chaos(seed: int, profile_name: str) -> int:
     """End-to-end chaos smoke: everything settles despite injected faults."""
-    perfstats.reset()
+    _reset_observability("TRACE_chaos.jsonl", "AUDIT_chaos.jsonl")
     params = bench_params(BITS)
     keys = KeyBundle.generate(default_rng(31337), 1024)
     owner = DataOwner(params, keys=keys, rng=default_rng(12))
@@ -68,10 +94,22 @@ def run_chaos(seed: int, profile_name: str) -> int:
     for outcome in outcomes:
         assert outcome.error is None, f"chaos search degraded: {outcome.error}"
         assert outcome.verified, "honest chaos search must settle paid"
+
+    # The audit log must agree with the outcomes, search for search.
+    audit_records = obs_audit.AUDIT_LOG.records()
+    assert len(audit_records) == len(outcomes), "one audit record per search"
+    by_query = {r.query_id: r for r in audit_records}
+    for outcome in outcomes:
+        record = by_query[str(outcome.query_id)]
+        assert record.verdict == "paid", (
+            f"audit verdict {record.verdict!r} disagrees with verified outcome"
+        )
+        assert record.trace_id is not None, "audit entry must link to its trace"
+
     counters = {
         k: v
-        for k, v in perfstats.snapshot().items()
-        if k.startswith(("chaos.", "retry."))
+        for k, v in REGISTRY.deterministic_snapshot()["counters"].items()
+        if k.startswith(("chaos.", "retry.", "audit."))
     }
     injected = sum(v for k, v in counters.items() if k.startswith("chaos.injected."))
     assert injected > 0, f"profile {profile_name!r} seed {seed} injected no faults"
@@ -86,6 +124,8 @@ def run_chaos(seed: int, profile_name: str) -> int:
         "value_bits": BITS,
         "virtual_time_s": transport.clock,
         "faults_injected": injected,
+        "audit_records": len(audit_records),
+        "audit_gas_total": obs_audit.AUDIT_LOG.totals()["gas_total"],
         "all_verified": True,
     }
     rows = [("Metric", "value")] + [
@@ -100,6 +140,10 @@ def run_chaos(seed: int, profile_name: str) -> int:
             "chaos": {"seed": seed, "profile": profile_name},
             "metrics": metrics,
             "counters": counters,
+            "artifacts": {
+                "trace": "TRACE_chaos.jsonl",
+                "audit": "AUDIT_chaos.jsonl",
+            },
         },
     )
     return 0
@@ -125,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def run_plain() -> int:
-    perfstats.reset()  # clean counter snapshot for the regression gate
+    _reset_observability("TRACE_smoke.jsonl")  # clean slate for the gate
     params = bench_params(BITS)
     keys = KeyBundle.generate(default_rng(31337), 1024)
     generator = WorkloadGenerator(default_rng(404))
@@ -169,15 +213,21 @@ def run_plain() -> int:
     rows = [("Metric", "value")] + [
         (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
     ]
+    deterministic = REGISTRY.deterministic_snapshot()
     write_report(
         "smoke",
         render_kv_table("CI smoke benchmark", rows),
         data={
             "metrics": metrics,
             # Machine-independent kernel counters: the regression gate
-            # compares these (deterministic for a given seed + worker
-            # config), with wall-clock ratios demoted to warnings.
-            "counters": perfstats.snapshot(),
+            # compares these exactly.  Worker counter deltas merge back
+            # into the parent and execution-shape `parallel.*` counters
+            # are excluded, so the snapshot is identical at any
+            # REPRO_BENCH_WORKERS — CI asserts workers=0 == workers=2.
+            "counters": deterministic["counters"],
+            # Value-deterministic histograms (gas, token/result sizes);
+            # wall-clock `*_s` histograms are already excluded.
+            "histograms": deterministic["histograms"],
             "hit_rates": perfstats.rates(),
         },
     )

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..common import perfstats
 from ..common.encoding import encode_parts, encode_uint
 from ..core.cloud import SearchResponse
 from ..core.params import SlicerParams
 from ..core.state import set_hash_key
 from ..core.tokens import SearchToken
 from ..crypto.multiset_hash import MultisetHash
+from ..obs import metrics
 from .contract import Contract
 
 #: Miller-Rabin rounds the contract charges for checking one prime
@@ -178,6 +180,8 @@ class SlicerContract(Contract):
             self._transfer(self._sload("cloud"), payment)
         else:
             self._transfer(user, payment)
+        perfstats.incr("contract.settle.paid" if ok else "contract.settle.refunded")
+        metrics.observe("contract.settle.entries", sum(len(r.entries) for r in results))
         self._emit("QuerySettled", query_id=encode_uint(query_id), verified=b"\x01" if ok else b"\x00")
         return ok
 
@@ -215,6 +219,8 @@ class SlicerContract(Contract):
             user = self._sload(f"{prefix}:user")
             self._sstore_int(f"{prefix}:state", 2 if ok else 3, 1)
             self._transfer(self._sload("cloud") if ok else user, payment)
+            perfstats.incr("contract.settle.paid" if ok else "contract.settle.refunded")
+            metrics.observe("contract.settle.entries", sum(len(r.entries) for r in results))
             outcomes.append(ok)
         self._emit("BatchSettled", count=encode_uint(len(outcomes)))
         return outcomes

@@ -24,6 +24,23 @@ from dataclasses import dataclass
 
 from ..common import perfstats
 from ..common.errors import ParameterError, RetryExhausted, TransportError
+from ..obs import trace
+
+
+def last_fault_step(transport) -> int | None:
+    """Index into the transport's FaultPlan history of the latest injection.
+
+    Scans backwards past bookkeeping outcomes (``clean``/``forced-clean``)
+    to the decision that actually faulted a delivery — the attribution a
+    degraded outcome records (``RetryExhausted.fault_step``).
+    """
+    plan = getattr(transport, "plan", None)
+    if plan is None:
+        return None
+    for step, _leg, outcome in reversed(plan.history):
+        if outcome not in ("clean", "forced-clean"):
+            return step
+    return None
 
 
 @dataclass(frozen=True)
@@ -70,13 +87,34 @@ class RetryPolicy:
                 result = op(attempt)
             except TransportError as exc:
                 last = exc
+                backoff = self.backoff_s(attempt)
+                trace.event(
+                    "retry",
+                    label=label,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    backoff_s=backoff,
+                )
                 if transport is not None and attempt < self.max_attempts:
-                    transport.sleep(self.backoff_s(attempt))
+                    transport.sleep(backoff)
                 continue
             if attempt > 1:
                 perfstats.incr("retry.recovered")
+                trace.event("retry_recovered", label=label, attempts=attempt)
             return result
         perfstats.incr("retry.gave_up")
+        fault_step = last_fault_step(transport)
+        trace.event(
+            "retry_exhausted",
+            label=label,
+            attempts=self.max_attempts,
+            error=type(last).__name__ if last else None,
+            fault_step=fault_step,
+        )
         raise RetryExhausted(
-            f"{label} failed after {self.max_attempts} attempts: {last}"
+            f"{label} failed after {self.max_attempts} attempts: {last}",
+            label=label,
+            attempts=self.max_attempts,
+            last_error=last,
+            fault_step=fault_step,
         ) from last

@@ -37,6 +37,7 @@ import os
 from ..common import perfstats
 from ..common.encoding import decode_parts, encode_parts
 from ..common.errors import ParameterError, TransportCorruption, TransportTimeout
+from ..obs import trace
 from .faults import FaultKind, FaultPlan, FaultProfile, profile_named
 
 # Channel names for the Fig. 1 party boundaries.
@@ -146,6 +147,8 @@ class ChaosTransport:
         framed = frame(payload)
         self._deliver_stale(channel)
         fault = self.plan.draw_request(channel)
+        if fault is not None:
+            self._trace_fault(channel, fault, leg="request")
         if fault is FaultKind.DROP:
             self._timeout("chaos.injected.drop", f"{channel}: request dropped")
         if fault is FaultKind.STALL:
@@ -182,8 +185,11 @@ class ChaosTransport:
         result = self._handle(framed, handler, idempotency_key, cache_if)
         if self.plan.draw_duplicate(channel):
             perfstats.incr("chaos.injected.duplicate")
+            self._trace_fault(channel, FaultKind.DUPLICATE, leg="request")
             self._handle(framed, handler, idempotency_key, cache_if)
         reply_fault = self.plan.draw_reply(channel)
+        if reply_fault is not None:
+            self._trace_fault(channel, reply_fault, leg="reply")
         if reply_fault is FaultKind.DROP:
             self._timeout("chaos.injected.reply_drop", f"{channel}: reply dropped")
         if reply_fault is FaultKind.STALL:
@@ -191,6 +197,22 @@ class ChaosTransport:
         return result
 
     # ------------------------------------------------------------ internals
+
+    def _trace_fault(self, channel: str, kind: FaultKind, *, leg: str) -> None:
+        """Attach one injection to the current span, with its plan step.
+
+        The step index points into ``plan.history``, so a trace event and
+        the replayable schedule cross-reference each other exactly —
+        "which decision broke this attempt" is answerable offline.
+        """
+        history = self.plan.history
+        trace.event(
+            "fault",
+            channel=channel,
+            leg=leg,
+            kind=kind.value,
+            step=history[-1][0] if history else None,
+        )
 
     def _timeout(self, counter: str, message: str) -> None:
         perfstats.incr(counter)

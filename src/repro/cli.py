@@ -7,6 +7,8 @@ Commands:
 * ``gas``      — deploy on the simulated chain and print the Table II costs.
 * ``leakage``  — show what SORE leaks between two values.
 * ``bench-report`` — pretty-print a saved benchmark report with a chart.
+* ``report``   — render JSONL observability artifacts (settlement audit
+  logs, span traces) from :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -50,6 +52,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("bench-report", help="show a saved benchmark report")
     report.add_argument("path", help="path to a benchmarks/reports/*.txt file")
+
+    obs = sub.add_parser(
+        "report", help="render observability artifacts (audit log, trace JSONL)"
+    )
+    obs.add_argument(
+        "--audit", action="append", default=[], metavar="FILE",
+        help="settlement audit-log JSONL file (repeatable)",
+    )
+    obs.add_argument(
+        "--trace", action="append", default=[], metavar="FILE",
+        help="span trace JSONL file (repeatable)",
+    )
+    obs.add_argument(
+        "--verdict", choices=["paid", "refunded", "degraded"], default=None,
+        help="filter audit rows to one verdict",
+    )
+    obs.add_argument("--json", action="store_true", help="emit JSON summaries instead of tables")
 
     sore = sub.add_parser(
         "sore-demo", help="show SORE slicing for stored values vs queries (paper Fig. 2)"
@@ -202,12 +221,25 @@ def cmd_sore_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import run_report
+
+    try:
+        text = run_report(args.audit, args.trace, verdict=args.verdict, as_json=args.json)
+    except (OSError, ValueError) as exc:
+        print(f"cannot render report: {exc}", file=sys.stderr)
+        return 1
+    print(text, end="")
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "features": cmd_features,
     "gas": cmd_gas,
     "leakage": cmd_leakage,
     "bench-report": cmd_bench_report,
+    "report": cmd_report,
     "sore-demo": cmd_sore_demo,
 }
 

@@ -70,7 +70,34 @@ class TransientChainError(TransportError):
 
 
 class RetryExhausted(ReproError):
-    """A retried operation failed on every attempt the policy allowed."""
+    """A retried operation failed on every attempt the policy allowed.
+
+    Carries enough structure to attribute the failure after the fact
+    (degraded :class:`~repro.system.SearchOutcome`\\ s surface these fields
+    through ``outcome.failure``):
+
+    * ``label`` — the operation that was being retried (e.g. ``"submit"``);
+    * ``attempts`` — how many attempts the policy spent;
+    * ``last_error`` — the final exception (also chained as ``__cause__``);
+    * ``fault_step`` — the index into the chaos
+      :class:`~repro.chaos.faults.FaultPlan` history of the injection that
+      exhausted the budget, or ``None`` outside chaos runs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: str | None = None,
+        attempts: int | None = None,
+        last_error: BaseException | None = None,
+        fault_step: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+        self.fault_step = fault_step
 
 
 class BlockchainError(ReproError):

@@ -1,4 +1,4 @@
-"""Process-local performance counters for the crypto kernel layer.
+"""Performance counters: the counter section of the metrics registry.
 
 The kernels in :mod:`repro.crypto.kernels` memoize expensive primitives
 (``H_prime`` walks, trapdoor-chain steps, fixed-base exponentiations).  A
@@ -8,14 +8,20 @@ operation counts here, and the benchmarks print the rates next to their
 timings.
 
 Counters are *advisory instrumentation only*: no protocol logic may read
-them, they carry no security meaning, and they are process-local — work done
-inside forked benchmark workers counts in the worker's copy and vanishes
-with it.  The overhead per increment is one dict operation, cheap enough for
-the hot loops it instruments.
+them and they carry no security meaning.  They are process-local, but no
+longer worker-blind: tasks fanned out by
+:class:`~repro.parallel.executor.ParallelExecutor` return a counter
+**delta** (via :meth:`PerfStats.delta_since`) alongside their results, and
+the executor merges the deltas back in chunk order (:meth:`PerfStats.merge`)
+— so counter snapshots are identical whether a workload ran serially or
+across forked workers.  The overhead per increment is one dict operation,
+cheap enough for the hot loops it instruments.
 
 Naming convention: dotted ``area.event`` labels, with cache counters paired
 as ``<cache>.hit`` / ``<cache>.miss`` so :func:`hit_rate` can derive rates
-generically.
+generically.  The richer registry (histograms, gauges, cross-process
+snapshots) lives in :mod:`repro.obs.metrics` and shares this module's
+:data:`STATS` store as its counter section.
 """
 
 from __future__ import annotations
@@ -42,6 +48,25 @@ class PerfStats:
             return dict(self._counts)
         return {k: v for k, v in self._counts.items() if k.startswith(prefix)}
 
+    def delta_since(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Per-counter difference against an earlier :meth:`snapshot`.
+
+        The worker half of the cross-process merge: a task snapshots on
+        entry, runs, and ships ``delta_since(entry_snapshot)`` home with its
+        results.  Only changed counters appear, so idle counters cost
+        nothing on the wire.
+        """
+        return {
+            k: v - baseline.get(k, 0)
+            for k, v in self._counts.items()
+            if v != baseline.get(k, 0)
+        }
+
+    def merge(self, delta: dict[str, int]) -> None:
+        """Fold a worker task's counter delta in (the parent half)."""
+        for name, amount in delta.items():
+            self.incr(name, amount)
+
     def reset(self, prefix: str = "") -> None:
         """Zero every counter (or only those under ``prefix``)."""
         if not prefix:
@@ -50,16 +75,18 @@ class PerfStats:
         for key in [k for k in self._counts if k.startswith(prefix)]:
             del self._counts[key]
 
-    def hit_rate(self, cache: str) -> float:
+    def hit_rate(self, cache: str) -> float | None:
         """``hit / (hit + miss)`` for a ``<cache>.hit``/``.miss`` pair.
 
-        Returns 0.0 when the cache was never consulted, so reports can
-        print the rate unconditionally.
+        Returns ``None`` when the cache was never consulted — a disabled or
+        never-reached cache is not the same signal as one that was consulted
+        and always missed (0.0), and regression gates must not conflate
+        them.  Reports print ``n/a`` for ``None``.
         """
         hits = self.get(f"{cache}.hit")
         misses = self.get(f"{cache}.miss")
         total = hits + misses
-        return hits / total if total else 0.0
+        return hits / total if total else None
 
     def rates(self) -> dict[str, float]:
         """Hit rate for every cache that recorded at least one lookup."""
@@ -68,7 +95,12 @@ class PerfStats:
             for name in self._counts
             if name.endswith(".hit") or name.endswith(".miss")
         }
-        return {cache: self.hit_rate(cache) for cache in sorted(caches)}
+        out: dict[str, float] = {}
+        for cache in sorted(caches):
+            rate = self.hit_rate(cache)
+            if rate is not None:
+                out[cache] = rate
+        return out
 
 
 #: The process-wide registry every kernel reports to.
@@ -87,11 +119,19 @@ def snapshot(prefix: str = "") -> dict[str, int]:
     return STATS.snapshot(prefix)
 
 
+def delta_since(baseline: dict[str, int]) -> dict[str, int]:
+    return STATS.delta_since(baseline)
+
+
+def merge(delta: dict[str, int]) -> None:
+    STATS.merge(delta)
+
+
 def reset(prefix: str = "") -> None:
     STATS.reset(prefix)
 
 
-def hit_rate(cache: str) -> float:
+def hit_rate(cache: str) -> float | None:
     return STATS.hit_rate(cache)
 
 

@@ -26,6 +26,7 @@ from ..common.timing import Stopwatch
 from ..common.errors import AccumulatorError
 from ..crypto import kernels
 from ..crypto.accumulator import MembershipWitness, verify_membership_batch
+from ..obs import metrics, trace
 from ..crypto.modmath import ProductTree, product
 from ..crypto.multiset_hash import MultisetHash
 from ..crypto.prf import PRF
@@ -238,17 +239,22 @@ class CloudServer:
         one full-product exponentiation instead of one per token, which is
         what keeps order-search VO generation (paper Fig. 5d) tractable.
         """
-        with self.stopwatch.measure("results"):
+        with self.stopwatch.measure("results"), trace.span("cloud.results"):
             unique: dict[SearchToken, int] = {}
             slots = [unique.setdefault(token, len(unique)) for token in tokens]
             perfstats.incr("cloud.token_dedup.saved", len(tokens) - len(unique))
             collected = self._collect_all(list(unique))
             partials = [(token, collected[slot]) for token, slot in zip(tokens, slots)]
-        with self.stopwatch.measure("vo"):
+        with self.stopwatch.measure("vo"), trace.span("cloud.vo"):
             witnesses = self._batch_witnesses(partials)
-        return SearchResponse(
+        response = SearchResponse(
             [TokenResult(t, e, w) for (t, e), w in zip(partials, witnesses)]
         )
+        metrics.observe("cloud.search.tokens", len(tokens))
+        metrics.observe("cloud.search.entries", sum(len(e) for _, e in partials))
+        metrics.observe("cloud.search.result_bytes", response.encrypted_result_bytes)
+        metrics.observe("cloud.search.witness_bytes", response.witness_bytes)
+        return response
 
     def _search_token(self, token: SearchToken) -> TokenResult:
         entries = self._collect_entries(token)

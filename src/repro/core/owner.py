@@ -26,6 +26,7 @@ from ..common.rng import DeterministicRNG, default_rng
 from ..common.timing import Stopwatch
 from ..crypto.accumulator import Accumulator
 from ..crypto.multiset_hash import MultisetHash
+from ..obs import metrics, trace
 from ..crypto.symmetric import NONCE_LEN, SymmetricCipher
 from ..parallel import ParallelExecutor
 from ..parallel.tasks import (
@@ -181,15 +182,17 @@ class DataOwner:
         new_index = EncryptedIndex()
         field = self.params.multiset_field
 
-        with self.stopwatch.measure("index"):
+        with self.stopwatch.measure("index"), trace.span("owner.index"):
             jobs = self._stage_keywords(records)
+            metrics.observe("owner.batch.records", len(records))
+            metrics.observe("owner.batch.keywords", len(jobs))
             shared = IndexShared(self.keys.record_key, self.params.label_len, field)
             folded = self._executor.map_chunks(index_keyword_chunk, jobs, shared=shared)
             for entries, _ in folded:
                 for label, payload in entries:
                     new_index.put(label, payload)
 
-        with self.stopwatch.measure("ads"):
+        with self.stopwatch.measure("ads"), trace.span("owner.ads"):
             payloads: list[bytes] = []
             for job, (_, running_value) in zip(jobs, folded):
                 state_key = set_hash_key(job.trapdoor, job.epoch, job.g1, job.g2)

@@ -231,7 +231,11 @@ class TrapdoorChainCache:
 
     __slots__ = ("public", "_memo")
 
-    def __init__(self, public) -> None:
+    def __init__(self, public=None) -> None:
+        # ``public`` may be None for a cache rebuilt from a worker export
+        # (the key object does not cross the process boundary); it is
+        # backfilled on the next `trapdoor_chain(public)` lookup, and only
+        # a *miss* needs it.
         self.public = public  # TrapdoorPublicKey (duck-typed: .apply)
         self._memo: dict[bytes, bytes] = {}
 
@@ -259,6 +263,8 @@ def trapdoor_chain(public) -> TrapdoorChainCache:
     cache = _TRAPDOOR_CHAINS.get(key)
     if cache is None:
         cache = _TRAPDOOR_CHAINS[key] = TrapdoorChainCache(public)
+    elif cache.public is None:
+        cache.public = public  # backfill a cache rebuilt from a worker export
     return cache
 
 
@@ -360,6 +366,92 @@ def batch_verify_membership(
     )
     rhs = pow(accumulated % modulus, sum(coefficients), modulus)
     return lhs == rhs
+
+
+# ----------------------------------------------- cross-process cache warm-back
+
+def cache_mark() -> dict:
+    """Position marker over the exportable caches (see :func:`export_since`).
+
+    Marks are entry counts per memo dict.  Python dicts preserve insertion
+    order, so "everything after position k" is exactly "everything added
+    since the mark was taken" — as long as no eviction rotated the front.
+    Evictions start at 2^16 entries per memo, far beyond any workload that
+    fans out, and :func:`export_since` falls back to a full export when one
+    is detected.
+    """
+    return {
+        "hash": {key: len(memo) for key, memo in _HASH_MEMOS.items()},
+        "trapdoor": {key: len(cache._memo) for key, cache in _TRAPDOOR_CHAINS.items()},
+    }
+
+
+def export_since(mark: dict) -> dict:
+    """Memo entries added since ``mark`` — the worker half of warm-back.
+
+    A forked worker inherits the parent's caches, populates its own copies,
+    and dies with them; without this, a parallel run leaves the parent
+    colder than the identical serial run, and the *next* operation's
+    hit/miss counters diverge between worker configs.  Workers therefore
+    ship the new entries home alongside their results and counter delta.
+
+    Only the hash-to-prime memos and trapdoor-chain memos export: they are
+    the two caches worker tasks touch, and their keys/values are plain
+    bytes/ints.  Fixed-base tables are parent-side only (worker tasks use
+    built-in ``pow``).
+    """
+    hash_marks = mark.get("hash", {})
+    trapdoor_marks = mark.get("trapdoor", {})
+    export_hash: dict = {}
+    for key, memo in _HASH_MEMOS.items():
+        seen = hash_marks.get(key, 0)
+        if len(memo) < seen:
+            seen = 0  # eviction rotated the dict: export everything
+        if len(memo) > seen:
+            items = list(memo.items())
+            export_hash[key] = items[seen:]
+    export_trapdoor: dict = {}
+    for key, cache in _TRAPDOOR_CHAINS.items():
+        memo = cache._memo
+        seen = trapdoor_marks.get(key, 0)
+        if len(memo) < seen:
+            seen = 0
+        if len(memo) > seen:
+            items = list(memo.items())
+            export_trapdoor[key] = items[seen:]
+    if not export_hash and not export_trapdoor:
+        return {}
+    return {"hash": export_hash, "trapdoor": export_trapdoor}
+
+
+def absorb_cache_export(export: dict) -> None:
+    """Fold a worker's :func:`export_since` result in (the parent half).
+
+    Idempotent and order-independent: every cache memoizes a pure
+    deterministic function, so an entry arriving twice (two chunks from the
+    same worker, or two workers deriving the same key) carries the same
+    value; first write wins.  No counters move here — absorption is cache
+    state transfer, not cache activity.
+    """
+    if not export:
+        return
+    for key, items in export.get("hash", {}).items():
+        memo = _HASH_MEMOS.setdefault(key, {})
+        for data, result in items:
+            if data not in memo:
+                if len(memo) >= HASH_MEMO_MAX:
+                    del memo[next(iter(memo))]
+                memo[data] = result
+    for key, items in export.get("trapdoor", {}).items():
+        cache = _TRAPDOOR_CHAINS.get(key)
+        if cache is None:
+            cache = _TRAPDOOR_CHAINS[key] = TrapdoorChainCache()
+        memo = cache._memo
+        for trapdoor, image in items:
+            if trapdoor not in memo:
+                if len(memo) >= TRAPDOOR_CACHE_MAX:
+                    del memo[next(iter(memo))]
+                memo[trapdoor] = image
 
 
 # ------------------------------------------------------------------- lifecycle

@@ -1,0 +1,207 @@
+"""Settlement audit log: one append-only record per search settlement.
+
+Slicer's fairness claim is that the blockchain arbitrates payment: the user
+escrows, the cloud posts search tokens and a VO, the contract re-derives
+the accumulator check and routes the escrow.  That story is only auditable
+if someone keeps the ledger — this module is that ledger for the
+reproduction.  Every settled (or degraded) search appends exactly one
+:class:`SettlementRecord` capturing
+
+* what the contract saw: how many tokens were posted, the accumulator
+  value it checked (hex, truncated for the log), the gas consumed;
+* what it decided: the verdict (``paid`` / ``refunded`` / ``degraded``)
+  and where the escrow went;
+* how to correlate: the query id, the trace id of the search's span tree,
+  and the attempt count under chaos.
+
+Records are frozen and sequence-numbered by the log; with a sink set (via
+:meth:`SettlementAuditLog.set_sink` or ``REPRO_AUDIT_FILE``) each append
+also writes one JSON line, and :meth:`SettlementAuditLog.replay` loads a
+JSONL file back, refusing gaps in the sequence — an audit log you can
+truncate unnoticed is not an audit log.  ``python -m repro report``
+(:mod:`repro.obs.report`) renders these files.
+
+Appends are no-ops under ``REPRO_OBS=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Iterable
+
+from . import metrics
+
+#: Environment sink: path to append JSONL settlement records to.
+AUDIT_FILE_ENV = "REPRO_AUDIT_FILE"
+
+#: The contract verified the VO and released the escrow to the cloud.
+VERDICT_PAID = "paid"
+#: The contract rejected the evidence and refunded the user.
+VERDICT_REFUNDED = "refunded"
+#: The search never reached settlement (retries exhausted under chaos).
+VERDICT_DEGRADED = "degraded"
+
+_VERDICTS = (VERDICT_PAID, VERDICT_REFUNDED, VERDICT_DEGRADED)
+
+
+@dataclass(frozen=True)
+class SettlementRecord:
+    """One search's settlement, as the contract (or its absence) decided it."""
+
+    seq: int
+    query_id: str
+    verdict: str
+    tokens_posted: int
+    result_count: int
+    accumulator: str | None
+    paid_to: str | None
+    amount: int
+    gas: int
+    attempts: int
+    trace_id: str | None
+    detail: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.verdict not in _VERDICTS:
+            raise ValueError(f"unknown verdict {self.verdict!r} (want one of {_VERDICTS})")
+
+    def to_json(self) -> str:
+        return json.dumps({"type": "settlement", **asdict(self)}, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SettlementRecord":
+        fields = {k: v for k, v in data.items() if k != "type"}
+        return cls(**fields)
+
+
+class SettlementAuditLog:
+    """Append-only, sequence-numbered settlement ledger with a JSONL sink."""
+
+    def __init__(self) -> None:
+        self._records: list[SettlementRecord] = []
+        self._sink_path: str | None = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    # --------------------------------------------------------------- append
+
+    def append(
+        self,
+        *,
+        query_id: str,
+        verdict: str,
+        tokens_posted: int = 0,
+        result_count: int = 0,
+        accumulator: int | str | None = None,
+        paid_to: str | None = None,
+        amount: int = 0,
+        gas: int = 0,
+        attempts: int = 1,
+        trace_id: str | None = None,
+        detail: str | None = None,
+        **extra,
+    ) -> SettlementRecord | None:
+        """Record one settlement; returns the record (``None`` if disabled).
+
+        ``accumulator`` may be the raw integer the contract checked; it is
+        stored as a truncated hex digest — the log correlates evidence, the
+        chain stores it.
+        """
+        if not metrics.obs_enabled():
+            return None
+        if isinstance(accumulator, int):
+            accumulator = format(accumulator, "x")[:32]
+        record = SettlementRecord(
+            seq=len(self._records),
+            query_id=query_id,
+            verdict=verdict,
+            tokens_posted=tokens_posted,
+            result_count=result_count,
+            accumulator=accumulator,
+            paid_to=paid_to,
+            amount=amount,
+            gas=gas,
+            attempts=attempts,
+            trace_id=trace_id,
+            detail=detail,
+            extra=dict(extra),
+        )
+        self._records.append(record)
+        metrics.incr(f"audit.settlement.{verdict}")
+        path = self._sink_path or os.environ.get(AUDIT_FILE_ENV)
+        if path:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    # ---------------------------------------------------------------- query
+
+    def records(self, verdict: str | None = None) -> list[SettlementRecord]:
+        if verdict is None:
+            return list(self._records)
+        return [r for r in self._records if r.verdict == verdict]
+
+    def totals(self) -> dict:
+        """Aggregate view: verdict counts, gas and escrow flow."""
+        by_verdict = {v: 0 for v in _VERDICTS}
+        gas = 0
+        paid_out = 0
+        refunded = 0
+        for r in self._records:
+            by_verdict[r.verdict] += 1
+            gas += r.gas
+            if r.verdict == VERDICT_PAID:
+                paid_out += r.amount
+            elif r.verdict == VERDICT_REFUNDED:
+                refunded += r.amount
+        return {
+            "records": len(self._records),
+            "verdicts": by_verdict,
+            "gas_total": gas,
+            "paid_out": paid_out,
+            "refunded": refunded,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def set_sink(self, path: str | None) -> None:
+        """Append future records to ``path`` as JSONL (``None`` disables)."""
+        self._sink_path = path
+
+    def reset(self) -> None:
+        self._records.clear()
+
+    @classmethod
+    def replay(cls, lines: Iterable[str]) -> "SettlementAuditLog":
+        """Rebuild a log from JSONL lines, enforcing sequence contiguity."""
+        log = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") != "settlement":
+                continue
+            record = SettlementRecord.from_dict(data)
+            if record.seq != len(log._records):
+                raise ValueError(
+                    f"audit log gap: expected seq {len(log._records)}, got {record.seq}"
+                )
+            log._records.append(record)
+        return log
+
+    @classmethod
+    def load(cls, path: str) -> "SettlementAuditLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.replay(handle)
+
+
+#: The process-wide settlement ledger the system appends to.
+AUDIT_LOG = SettlementAuditLog()

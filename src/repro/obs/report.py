@@ -1,0 +1,150 @@
+"""``python -m repro report`` — render JSONL trace and audit artifacts.
+
+The observability layer emits two kinds of append-only JSONL files: span
+records from :mod:`repro.obs.trace` and settlement records from
+:mod:`repro.obs.audit`.  This module turns them back into something a
+human (or a CI log reader) can audit:
+
+* ``repro report --audit AUDIT.jsonl`` — the settlement ledger as a table
+  plus verdict/gas/escrow totals, with ``--verdict`` filtering;
+* ``repro report --trace TRACE.jsonl`` — span trees, one per trace id,
+  children indented under parents with durations and fault/retry events.
+
+Both accept multiple files and can be combined in one invocation; replay
+validates audit-sequence contiguity, so a truncated ledger fails loudly
+instead of rendering as a shorter, plausible one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .audit import SettlementAuditLog
+
+
+def _fmt_duration(span: dict) -> str:
+    start, end = span.get("start_s"), span.get("end_s")
+    if start is None or end is None:
+        return "?"
+    return f"{end - start:.6f}s"
+
+
+def load_spans(path: str) -> list[dict]:
+    """Span records from a JSONL trace file (non-span lines are skipped)."""
+    spans: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") == "span":
+                spans.append(data)
+    return spans
+
+
+def trace_trees(spans: Iterable[dict]) -> dict[str, list[dict]]:
+    """Group spans by trace id, each list in emission (finish) order."""
+    trees: dict[str, list[dict]] = {}
+    for span in spans:
+        trees.setdefault(span["trace_id"], []).append(span)
+    return trees
+
+
+def render_trace(spans: list[dict]) -> list[str]:
+    """Indented span trees, children under parents, events inline."""
+    lines: list[str] = []
+    by_parent: dict[str | None, list[dict]] = {}
+    by_id = {s["span_id"]: s for s in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (parent span in another file): treat as root
+        by_parent.setdefault(parent, []).append(span)
+
+    def walk(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        status = span.get("status", "ok")
+        flag = "" if status == "ok" else f"  [{status}]"
+        lines.append(f"{indent}{span['name']}  ({_fmt_duration(span)}){flag}")
+        for event in span.get("events", ()):
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.items()) if k != "event"
+            )
+            suffix = f": {detail}" if detail else ""
+            lines.append(f"{indent}  · {event['event']}{suffix}")
+        for child in by_parent.get(span["span_id"], ()):
+            walk(child, depth + 1)
+
+    for trace_id, tree in sorted(trace_trees(spans).items()):
+        lines.append(f"trace {trace_id}  ({len(tree)} spans)")
+        roots = [s for s in by_parent.get(None, ()) if s["trace_id"] == trace_id]
+        # Roots finish last in emission order; show them first-started first.
+        for root in sorted(roots, key=lambda s: s.get("start_s") or 0.0):
+            walk(root, 1)
+        lines.append("")
+    return lines
+
+
+def render_audit(log: SettlementAuditLog, verdict: str | None = None) -> list[str]:
+    """The settlement ledger as an aligned table plus totals."""
+    records = log.records(verdict)
+    lines: list[str] = []
+    header = f"{'seq':>4}  {'query_id':<14} {'verdict':<9} {'tokens':>6} {'results':>7} {'gas':>8} {'amount':>7}  detail"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in records:
+        lines.append(
+            f"{r.seq:>4}  {r.query_id:<14} {r.verdict:<9} {r.tokens_posted:>6} "
+            f"{r.result_count:>7} {r.gas:>8} {r.amount:>7}  {r.detail or ''}"
+        )
+    totals = log.totals()
+    lines.append("")
+    lines.append(
+        "totals: {records} records — paid {paid}, refunded {refunded}, degraded "
+        "{degraded}; gas {gas_total}, escrow paid out {paid_out}, escrow "
+        "refunded {refunded_amt}".format(
+            records=totals["records"],
+            paid=totals["verdicts"]["paid"],
+            refunded=totals["verdicts"]["refunded"],
+            degraded=totals["verdicts"]["degraded"],
+            gas_total=totals["gas_total"],
+            paid_out=totals["paid_out"],
+            refunded_amt=totals["refunded"],
+        )
+    )
+    return lines
+
+
+def run_report(
+    audit_paths: list[str],
+    trace_paths: list[str],
+    verdict: str | None = None,
+    as_json: bool = False,
+) -> str:
+    """The ``repro report`` entry point; returns the rendered text."""
+    sections: list[str] = []
+    for path in audit_paths:
+        log = SettlementAuditLog.load(path)
+        if as_json:
+            sections.append(json.dumps(log.totals(), sort_keys=True, indent=2))
+        else:
+            sections.append(f"== settlement audit: {path} ==")
+            sections.extend(render_audit(log, verdict))
+            sections.append("")
+    for path in trace_paths:
+        spans = load_spans(path)
+        if as_json:
+            summary = {
+                "spans": len(spans),
+                "traces": len(trace_trees(spans)),
+                "errors": sum(1 for s in spans if s.get("status") != "ok"),
+            }
+            sections.append(json.dumps(summary, sort_keys=True, indent=2))
+        else:
+            sections.append(f"== trace: {path} ==")
+            sections.extend(render_trace(spans))
+    if not sections:
+        return "nothing to report (pass --audit and/or --trace)"
+    return "\n".join(sections).rstrip() + "\n"

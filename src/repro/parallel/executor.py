@@ -15,6 +15,16 @@ Design constraints (see ISSUE 1 / DESIGN.md §7):
   depends on parallelism.
 * **Serial fallback** — pools cost a few forks per call, so small inputs
   (fewer than :attr:`ParallelExecutor.min_items`) run in-process.
+* **No worker-blind metrics** — counters incremented inside a worker (and
+  kernel-cache entries it populated) used to die with the process, making
+  every ``workers > 0`` run under-report and leave the parent colder than
+  the identical serial run.  The worker trampoline now returns
+  ``(results, counter_delta, cache_export)``; the parent merges the deltas
+  back in chunk order and absorbs the cache entries, so counter snapshots
+  are identical at any worker count (``tests/properties/
+  test_prop_observability.py`` enforces this).  Only execution-*shape*
+  counters (``parallel.*``) legitimately differ between serial and
+  fanned-out runs.
 """
 
 from __future__ import annotations
@@ -24,7 +34,9 @@ import multiprocessing
 import os
 from typing import Any, Callable, Sequence, TypeVar
 
+from ..common import perfstats
 from ..common.errors import ParameterError
+from ..crypto import kernels
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -72,9 +84,19 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
     return multiprocessing.get_context("fork")
 
 
-def _run_chunk(fn: Callable[[Any, list], list], chunk: list) -> list:
-    """Worker-side trampoline: re-attach the fork-inherited shared payload."""
-    return fn(_SHARED, chunk)
+def _run_chunk(fn: Callable[[Any, list], list], chunk: list) -> tuple[list, dict, dict]:
+    """Worker-side trampoline: re-attach the fork-inherited shared payload.
+
+    Besides the task results, ships home (a) the counter delta this chunk
+    produced — computed against a snapshot taken on entry, so multiple
+    chunks handled by one worker each report exactly their own work — and
+    (b) the kernel-cache entries added since entry, so the parent's caches
+    end up in the same state a serial run would leave them in.
+    """
+    counter_base = perfstats.snapshot()
+    cache_base = kernels.cache_mark()
+    results = fn(_SHARED, chunk)
+    return results, perfstats.delta_since(counter_base), kernels.export_since(cache_base)
 
 
 def split_chunks(items: Sequence[T], parts: int) -> list[list[T]]:
@@ -158,10 +180,21 @@ class ParallelExecutor:
     def _dispatch(
         self, fn: Callable[[Any, list[T]], list[R]], chunks: list[list[T]], shared: Any
     ) -> list[R]:
-        """Fork a pool, run one task per chunk, merge results in chunk order."""
+        """Fork a pool, run one task per chunk, merge everything in chunk order.
+
+        "Everything" is results *and* instrumentation: each worker task
+        returns ``(results, counter_delta, cache_export)``, and the parent
+        folds the deltas into its own counters and absorbs the cache
+        entries — the fix for the worker-blind counter bug.  Merging in
+        chunk order keeps the whole operation deterministic; absorption is
+        idempotent (kernel caches memoize pure functions), so overlapping
+        exports from sibling workers are harmless.
+        """
         ctx = _fork_context()
         global _SHARED
         _SHARED = shared
+        perfstats.incr("parallel.dispatch")
+        perfstats.incr("parallel.chunks", len(chunks))
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(self.workers, len(chunks)), mp_context=ctx
@@ -170,6 +203,8 @@ class ParallelExecutor:
         finally:
             _SHARED = None
         out: list[R] = []
-        for part in parts:
-            out.extend(part)
+        for results, counter_delta, cache_export in parts:
+            out.extend(results)
+            perfstats.merge(counter_delta)
+            kernels.absorb_cache_export(cache_export)
         return out

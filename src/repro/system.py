@@ -48,6 +48,9 @@ from .chaos import (
 )
 from .common import perfstats
 from .common.errors import RetryExhausted, StateError, TransientChainError
+from .obs import audit as obs_audit
+from .obs import metrics, trace
+from .obs.audit import VERDICT_DEGRADED, VERDICT_PAID, VERDICT_REFUNDED
 from .common.rng import DeterministicRNG, default_rng
 from .core import wire
 from .core.cloud import CloudServer, SearchResponse
@@ -64,15 +67,45 @@ DEFAULT_FUNDING = 10**9
 DEFAULT_PAYMENT = 10**6
 
 
+@dataclass(frozen=True)
+class DeliveryFailure:
+    """Structured attribution for a degraded search.
+
+    ``error`` on :class:`SearchOutcome` stays a human-readable string (and
+    the fingerprint tests rely on that); this carries what the string
+    flattens away: the exception class, which retried operation gave up,
+    and the index into the chaos :class:`~repro.chaos.faults.FaultPlan`
+    history of the injection that exhausted the budget.
+    """
+
+    error_type: str
+    message: str
+    label: str | None = None
+    attempts: int | None = None
+    fault_step: int | None = None
+
+    @classmethod
+    def from_exception(cls, exc: RetryExhausted) -> "DeliveryFailure":
+        cause = exc.last_error if exc.last_error is not None else exc.__cause__
+        return cls(
+            error_type=type(cause).__name__ if cause is not None else type(exc).__name__,
+            message=str(exc),
+            label=exc.label,
+            attempts=exc.attempts,
+            fault_step=exc.fault_step,
+        )
+
+
 @dataclass
 class SearchOutcome:
     """Everything one on-chain search produced.
 
     Under chaos delivery a search can *degrade* instead of settling: when
-    the retry budget is exhausted ``error`` carries the reason, ``verified``
-    is False, and the receipt/response fields for the legs that never
-    completed are None.  Direct-mode outcomes always have ``error is None``
-    and every field populated.
+    the retry budget is exhausted ``error`` carries the reason (and
+    ``failure`` its structured form), ``verified`` is False, and the
+    receipt/response fields for the legs that never completed are None.
+    Direct-mode outcomes always have ``error is None`` and every field
+    populated.
     """
 
     query: Query
@@ -87,6 +120,9 @@ class SearchOutcome:
     error: str | None = None
     #: Delivery attempts consumed across the submit and settle phases.
     attempts: int = 1
+    #: Structured failure attribution (exception class, retried label,
+    #: FaultPlan step); None unless the search degraded.
+    failure: DeliveryFailure | None = None
 
     @property
     def settled(self) -> bool:
@@ -162,22 +198,27 @@ class SlicerSystem:
 
     def setup(self, database: Database | AttributedDatabase) -> OwnerOutput:
         """Owner builds everything and deploys the contract (Fig. 1 step 1)."""
-        output = self.owner.build(database)
-        self.cloud.install(output.cloud_package)
-        self.contract, self.deploy_receipt = self.chain.deploy(
-            self.owner_address,
-            SlicerContract,
-            args=(self.owner_address, self.cloud_address, output.chain_ads),
-            config={"params": self.params.public()},
-        )
-        if not self.deploy_receipt.status:
-            raise StateError(f"contract deployment failed: {self.deploy_receipt.revert_reason}")
-        self.user = DataUser(self.params, output.user_package, self.rng.spawn())
-        self._last_user_package = output.user_package
-        self.chain.mine()
-        if self.transport is not None:
-            # First durable snapshot: what a crash-restarted cloud reloads.
-            self._cloud_snapshot = self.cloud.snapshot()
+        with trace.span("setup", records=len(database.records)):
+            output = self.owner.build(database)
+            with trace.span("install"):
+                self.cloud.install(output.cloud_package)
+            self.contract, self.deploy_receipt = self.chain.deploy(
+                self.owner_address,
+                SlicerContract,
+                args=(self.owner_address, self.cloud_address, output.chain_ads),
+                config={"params": self.params.public()},
+            )
+            if not self.deploy_receipt.status:
+                raise StateError(
+                    f"contract deployment failed: {self.deploy_receipt.revert_reason}"
+                )
+            metrics.observe("setup.deploy_gas", self.deploy_receipt.gas_used)
+            self.user = DataUser(self.params, output.user_package, self.rng.spawn())
+            self._last_user_package = output.user_package
+            self.chain.mine()
+            if self.transport is not None:
+                # First durable snapshot: what a crash-restarted cloud reloads.
+                self._cloud_snapshot = self.cloud.snapshot()
         return output
 
     def authorize_user(self, label: str, funding: int = DEFAULT_FUNDING) -> DataUser:
@@ -198,25 +239,29 @@ class SlicerSystem:
     def insert(self, additions: Database | AttributedDatabase) -> Receipt:
         """Owner inserts records and refreshes the on-chain ADS digest."""
         contract = self._require_setup()
-        output = self.owner.insert(additions)
-        if self.transport is None:
-            self.cloud.install(output.cloud_package)
-        else:
-            self._chaos_install(output.cloud_package)
-        assert self.user is not None
-        self.user.refresh(output.user_package)
-        for _, extra in self.extra_users.values():
-            extra.refresh(output.user_package)
-        self._last_user_package = output.user_package
-        if self.transport is None:
-            receipt = self.chain.call(
-                self.owner_address, contract, "update_ads", (output.chain_ads,)
-            )
-        else:
-            receipt = self._chaos_update_ads(contract, output.chain_ads)
-        if not receipt.status:
-            raise StateError(f"ADS update reverted: {receipt.revert_reason}")
-        self.chain.mine()
+        with trace.span("insert", records=len(additions.records)):
+            output = self.owner.insert(additions)
+            with trace.span("install"):
+                if self.transport is None:
+                    self.cloud.install(output.cloud_package)
+                else:
+                    self._chaos_install(output.cloud_package)
+            assert self.user is not None
+            self.user.refresh(output.user_package)
+            for _, extra in self.extra_users.values():
+                extra.refresh(output.user_package)
+            self._last_user_package = output.user_package
+            with trace.span("update_ads"):
+                if self.transport is None:
+                    receipt = self.chain.call(
+                        self.owner_address, contract, "update_ads", (output.chain_ads,)
+                    )
+                else:
+                    receipt = self._chaos_update_ads(contract, output.chain_ads)
+            if not receipt.status:
+                raise StateError(f"ADS update reverted: {receipt.revert_reason}")
+            metrics.observe("insert.update_ads_gas", receipt.gas_used)
+            self.chain.mine()
         return receipt
 
     # --------------------------------------------------------------- search
@@ -236,37 +281,47 @@ class SlicerSystem:
         else:
             searcher_address, searcher = self.extra_users[as_user]
 
-        tokens = searcher.make_tokens(query)
-        if self.transport is None:
-            return self._search_direct(
-                contract, query, payment, tokens, searcher, searcher_address
-            )
-        return self._search_chaos(
-            contract, query, payment, tokens, searcher, searcher_address
-        )
+        mode = "direct" if self.transport is None else "chaos"
+        with trace.span("search", mode=mode):
+            tokens = searcher.make_tokens(query)
+            if self.transport is None:
+                outcome = self._search_direct(
+                    contract, query, payment, tokens, searcher, searcher_address
+                )
+            else:
+                outcome = self._search_chaos(
+                    contract, query, payment, tokens, searcher, searcher_address
+                )
+            trace.set_attr("query_id", outcome.query_id)
+            trace.set_attr("verified", outcome.verified)
+            self._record_search(outcome, payment)
+        return outcome
 
     def _search_direct(
         self, contract, query, payment, tokens, searcher, searcher_address
     ) -> SearchOutcome:
         """In-process delivery — the original, fault-free flow."""
-        submit_receipt = self.chain.call(
-            searcher_address,
-            contract,
-            "submit_query",
-            (tokens_digest_input(tokens),),
-            value=payment,
-        )
+        with trace.span("submit"):
+            submit_receipt = self.chain.call(
+                searcher_address,
+                contract,
+                "submit_query",
+                (tokens_digest_input(tokens),),
+                value=payment,
+            )
         if not submit_receipt.status:
             raise StateError(f"query submission reverted: {submit_receipt.revert_reason}")
         query_id = submit_receipt.return_value
 
-        response = self.cloud.search(tokens)
-        settle_receipt = self.chain.call(
-            self.cloud_address,
-            contract,
-            "verify_and_settle",
-            (query_id, self.cloud.ads_value, response_to_chain_args(response)),
-        )
+        with trace.span("cloud.search"):
+            response = self.cloud.search(tokens)
+        with trace.span("verify_settle"):
+            settle_receipt = self.chain.call(
+                self.cloud_address,
+                contract,
+                "verify_and_settle",
+                (query_id, self.cloud.ads_value, response_to_chain_args(response)),
+            )
         verified = bool(settle_receipt.status and settle_receipt.return_value)
         record_ids = searcher.decrypt_results(response) if verified else set()
         self.chain.mine()
@@ -321,11 +376,12 @@ class SlicerSystem:
             return receipt
 
         try:
-            submit_receipt = self.retry.run(
-                submit_op, transport=transport, label="submit_query"
-            )
+            with trace.span("submit"):
+                submit_receipt = self.retry.run(
+                    submit_op, transport=transport, label="submit_query"
+                )
         except RetryExhausted as exc:
-            return self._degraded(query, tokens, str(exc), attempts["n"])
+            return self._degraded(query, tokens, exc, attempts["n"])
         if not submit_receipt.status:
             # A genuine (non-transient) revert: same contract as direct mode.
             raise StateError(f"query submission reverted: {submit_receipt.revert_reason}")
@@ -337,35 +393,37 @@ class SlicerSystem:
             # an honest cloud's search is a pure function of its state, and
             # re-running it after a crash restart is exactly the recovery
             # path under test.
-            response_wire = transport.deliver(
-                CONTRACT_TO_CLOUD,
-                tokens_wire,
-                lambda blob: wire.dump_response(self.cloud.search(wire.load_tokens(blob))),
-                on_crash=self._restart_cloud,
-            )
+            with trace.span("cloud.search", attempt=attempt):
+                response_wire = transport.deliver(
+                    CONTRACT_TO_CLOUD,
+                    tokens_wire,
+                    lambda blob: wire.dump_response(self.cloud.search(wire.load_tokens(blob))),
+                    on_crash=self._restart_cloud,
+                )
             # Leg 3: response + current Ac to the contract for settlement.
-            receipt = transport.deliver(
-                CLOUD_TO_CONTRACT,
-                response_wire,
-                lambda blob: self.chain.call(
-                    self.cloud_address,
-                    contract,
-                    "verify_and_settle",
-                    (
-                        query_id,
-                        self.cloud.ads_value,
-                        response_to_chain_args(wire.load_response(blob)),
+            with trace.span("verify_settle", attempt=attempt):
+                receipt = transport.deliver(
+                    CLOUD_TO_CONTRACT,
+                    response_wire,
+                    lambda blob: self.chain.call(
+                        self.cloud_address,
+                        contract,
+                        "verify_and_settle",
+                        (
+                            query_id,
+                            self.cloud.ads_value,
+                            response_to_chain_args(wire.load_response(blob)),
+                        ),
                     ),
-                ),
-                idempotency_key=("settle", op),
-                cache_if=lambda r: r.status,
-                on_crash=self._restart_cloud,
-            )
-            if not receipt.status:
-                # Reverts leave the query open (state rolled back), so the
-                # settlement can be retried — e.g. after a crash restart
-                # briefly served a stale Ac.
-                raise TransientChainError(f"settle reverted: {receipt.revert_reason}")
+                    idempotency_key=("settle", op),
+                    cache_if=lambda r: r.status,
+                    on_crash=self._restart_cloud,
+                )
+                if not receipt.status:
+                    # Reverts leave the query open (state rolled back), so
+                    # the settlement can be retried — e.g. after a crash
+                    # restart briefly served a stale Ac.
+                    raise TransientChainError(f"settle reverted: {receipt.revert_reason}")
             return response_wire, receipt
 
         try:
@@ -376,7 +434,7 @@ class SlicerSystem:
             return self._degraded(
                 query,
                 tokens,
-                str(exc),
+                exc,
                 attempts["n"],
                 query_id=query_id,
                 submit_receipt=submit_receipt,
@@ -402,7 +460,7 @@ class SlicerSystem:
         self,
         query: Query,
         tokens: list[SearchToken],
-        error: str,
+        exc: RetryExhausted,
         attempts: int,
         query_id: int = -1,
         submit_receipt: Receipt | None = None,
@@ -418,8 +476,51 @@ class SlicerSystem:
             record_ids=set(),
             submit_receipt=submit_receipt,
             settle_receipt=None,
-            error=error,
+            error=str(exc),
             attempts=attempts,
+            failure=DeliveryFailure.from_exception(exc),
+        )
+
+    def _record_search(self, outcome: SearchOutcome, payment: int) -> None:
+        """Fold one search into the audit log and the metrics registry.
+
+        Called inside the search's root span, so the audit record carries
+        the trace id of the span tree it corresponds to.  The verdict must
+        mirror the outcome exactly: ``paid`` iff the contract verified,
+        ``refunded`` iff it settled unverified, ``degraded`` iff delivery
+        gave up — the chaos property tests assert this correspondence.
+        """
+        if outcome.error is not None:
+            verdict = VERDICT_DEGRADED
+        elif outcome.verified:
+            verdict = VERDICT_PAID
+        else:
+            verdict = VERDICT_REFUNDED
+        submit_gas = outcome.submit_receipt.gas_used if outcome.submit_receipt else 0
+        settle_gas = outcome.settle_receipt.gas_used if outcome.settle_receipt else 0
+        metrics.observe("search.tokens_posted", len(outcome.tokens))
+        metrics.observe("search.result_ids", len(outcome.record_ids))
+        metrics.observe("search.attempts", outcome.attempts)
+        if outcome.submit_receipt is not None:
+            metrics.observe("gas.submit_query", submit_gas)
+        if outcome.settle_receipt is not None:
+            metrics.observe("gas.verify_and_settle", settle_gas)
+        failure = outcome.failure
+        obs_audit.AUDIT_LOG.append(
+            query_id=str(outcome.query_id),
+            verdict=verdict,
+            tokens_posted=len(outcome.tokens),
+            result_count=len(outcome.record_ids),
+            accumulator=self.cloud.ads_value if outcome.response is not None else None,
+            paid_to="cloud" if verdict == VERDICT_PAID else (
+                "user" if verdict == VERDICT_REFUNDED else None
+            ),
+            amount=payment if verdict != VERDICT_DEGRADED else 0,
+            gas=submit_gas + settle_gas,
+            attempts=outcome.attempts,
+            trace_id=trace.current_trace_id(),
+            detail=outcome.error,
+            fault_step=failure.fault_step if failure else None,
         )
 
     def range_search(self, range_query: RangeQuery, payment: int = DEFAULT_PAYMENT) -> RangeOutcome:
@@ -438,36 +539,41 @@ class SlicerSystem:
         contract = self._require_setup()
         assert self.user is not None
 
-        staged = []
-        for query in queries:
-            tokens = self.user.make_tokens(query)
-            submit = self.chain.call(
-                self.user_address,
-                contract,
-                "submit_query",
-                (tokens_digest_input(tokens),),
-                value=payment,
-            )
-            if not submit.status:
-                raise StateError(f"query submission reverted: {submit.revert_reason}")
-            response = self.cloud.search(tokens)
-            staged.append((query, submit, tokens, response))
+        with trace.span("batch_search", queries=len(queries)):
+            staged = []
+            for query in queries:
+                tokens = self.user.make_tokens(query)
+                with trace.span("submit"):
+                    submit = self.chain.call(
+                        self.user_address,
+                        contract,
+                        "submit_query",
+                        (tokens_digest_input(tokens),),
+                        value=payment,
+                    )
+                if not submit.status:
+                    raise StateError(f"query submission reverted: {submit.revert_reason}")
+                with trace.span("cloud.search"):
+                    response = self.cloud.search(tokens)
+                staged.append((query, submit, tokens, response))
 
-        settle = self.chain.call(
-            self.cloud_address,
-            contract,
-            "batch_verify_and_settle",
-            (
-                [s.return_value for _, s, _, _ in staged],
-                self.cloud.ads_value,
-                [response_to_chain_args(r) for _, _, _, r in staged],
-            ),
-        )
-        verdicts = settle.return_value if settle.status else [False] * len(staged)
-        outcomes = []
-        for (query, submit, tokens, response), verified in zip(staged, verdicts):
-            outcomes.append(
-                SearchOutcome(
+            with trace.span("verify_settle", batch=len(staged)):
+                settle = self.chain.call(
+                    self.cloud_address,
+                    contract,
+                    "batch_verify_and_settle",
+                    (
+                        [s.return_value for _, s, _, _ in staged],
+                        self.cloud.ads_value,
+                        [response_to_chain_args(r) for _, _, _, r in staged],
+                    ),
+                )
+            metrics.observe("gas.batch_verify_and_settle", settle.gas_used)
+            verdicts = settle.return_value if settle.status else [False] * len(staged)
+            outcomes = []
+            trace_id = trace.current_trace_id()
+            for (query, submit, tokens, response), verified in zip(staged, verdicts):
+                outcome = SearchOutcome(
                     query=query,
                     query_id=submit.return_value,
                     tokens=tokens,
@@ -477,8 +583,26 @@ class SlicerSystem:
                     submit_receipt=submit,
                     settle_receipt=settle,
                 )
-            )
-        self.chain.mine()
+                outcomes.append(outcome)
+                verdict = VERDICT_PAID if outcome.verified else VERDICT_REFUNDED
+                # Per-record gas is this query's submit tx; the shared batch
+                # settlement tx is attributed once via `extra`, not inflated
+                # onto every record.
+                obs_audit.AUDIT_LOG.append(
+                    query_id=str(outcome.query_id),
+                    verdict=verdict,
+                    tokens_posted=len(tokens),
+                    result_count=len(outcome.record_ids),
+                    accumulator=self.cloud.ads_value,
+                    paid_to="cloud" if outcome.verified else "user",
+                    amount=payment,
+                    gas=submit.gas_used,
+                    attempts=1,
+                    trace_id=trace_id,
+                    batch_size=len(staged),
+                    batch_settle_gas=settle.gas_used,
+                )
+            self.chain.mine()
         return outcomes
 
     # ------------------------------------------------------- chaos delivery

@@ -57,8 +57,14 @@ class TestHitRates:
         stats.incr("memo.miss", 1)
         assert stats.hit_rate("memo") == pytest.approx(0.75)
 
-    def test_unconsulted_cache_is_zero(self, stats):
-        assert stats.hit_rate("never") == 0.0
+    def test_unconsulted_cache_is_none(self, stats):
+        # Never-consulted is a distinct signal from consulted-and-collapsed:
+        # regression gates must not mistake a disabled cache for a 0% one.
+        assert stats.hit_rate("never") is None
+
+    def test_consulted_but_zero_hits_is_zero(self, stats):
+        stats.incr("memo.miss", 4)
+        assert stats.hit_rate("memo") == 0.0
 
     def test_all_hits(self, stats):
         stats.incr("memo.hit", 5)
@@ -69,6 +75,44 @@ class TestHitRates:
         stats.incr("b.miss")
         stats.incr("c.unrelated")
         assert stats.rates() == {"a": 1.0, "b": 0.0}
+
+
+class TestDeltaMerge:
+    """The two halves of the cross-process counter merge."""
+
+    def test_delta_since_reports_only_changes(self, stats):
+        stats.incr("a", 2)
+        base = stats.snapshot()
+        stats.incr("a", 3)
+        stats.incr("b", 1)
+        assert stats.delta_since(base) == {"a": 3, "b": 1}
+
+    def test_delta_since_empty_when_idle(self, stats):
+        stats.incr("a")
+        assert stats.delta_since(stats.snapshot()) == {}
+
+    def test_merge_folds_delta_in(self, stats):
+        stats.incr("a", 2)
+        stats.merge({"a": 3, "b": 1})
+        assert stats.get("a") == 5
+        assert stats.get("b") == 1
+
+    def test_roundtrip_equals_serial(self):
+        # parent + (worker delta) must equal the serial run's counters
+        serial = PerfStats()
+        for _ in range(5):
+            serial.incr("memo.hit")
+        serial.incr("memo.miss", 2)
+
+        parent = PerfStats()
+        parent.incr("memo.hit", 2)
+        worker = PerfStats()
+        worker.incr("memo.hit", 2)  # state inherited at "fork"
+        base = worker.snapshot()
+        worker.incr("memo.hit", 3)
+        worker.incr("memo.miss", 2)
+        parent.merge(worker.delta_since(base))
+        assert parent.snapshot() == serial.snapshot()
 
 
 class TestModuleRegistry:

@@ -1,0 +1,25 @@
+"""Shared hygiene for the observability suite.
+
+The obs layer keeps process-wide globals (the tracer's span buffer, the
+audit ledger, the registry's histograms, the kill-switch override).  Every
+test here starts and ends clean so ordering never matters.
+"""
+
+import pytest
+
+from repro.obs import audit, metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    metrics.set_obs_enabled(None)
+    trace.TRACER.reset()
+    trace.TRACER.set_sink(None)
+    audit.AUDIT_LOG.reset()
+    audit.AUDIT_LOG.set_sink(None)
+    yield
+    metrics.set_obs_enabled(None)
+    trace.TRACER.reset()
+    trace.TRACER.set_sink(None)
+    audit.AUDIT_LOG.reset()
+    audit.AUDIT_LOG.set_sink(None)

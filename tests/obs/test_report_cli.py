@@ -1,0 +1,83 @@
+"""The ``python -m repro report`` command over real JSONL artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.audit import VERDICT_PAID, VERDICT_REFUNDED, SettlementAuditLog
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def audit_file(tmp_path):
+    log = SettlementAuditLog()
+    log.set_sink(str(tmp_path / "audit.jsonl"))
+    log.append(query_id="0", verdict=VERDICT_PAID, tokens_posted=3, gas=120, amount=9)
+    log.append(query_id="1", verdict=VERDICT_REFUNDED, tokens_posted=2, gas=90, amount=9)
+    return str(tmp_path / "audit.jsonl")
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    tracer = Tracer(clock=iter(range(100)).__next__)
+    tracer.set_sink(str(tmp_path / "trace.jsonl"))
+    with tracer.span("search"):
+        with tracer.span("submit"):
+            tracer.event("fault", kind="drop", step=2)
+        with tracer.span("verify_settle"):
+            pass
+    return str(tmp_path / "trace.jsonl")
+
+
+class TestReportCommand:
+    def test_audit_table_and_totals(self, audit_file, capsys):
+        assert main(["report", "--audit", audit_file]) == 0
+        out = capsys.readouterr().out
+        assert "paid" in out and "refunded" in out
+        assert "2 records" in out
+        assert "gas 210" in out
+
+    def test_verdict_filter(self, audit_file, capsys):
+        assert main(["report", "--audit", audit_file, "--verdict", "paid"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line.lstrip().startswith(("0", "1"))]
+        assert len(rows) == 1
+
+    def test_trace_tree_rendering(self, trace_file, capsys):
+        assert main(["report", "--trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "search" in out
+        # children indented under the root
+        assert "  submit" in out and "  verify_settle" in out
+        # fault events rendered inline
+        assert "fault" in out and "kind=drop" in out
+
+    def test_combined_json_summary(self, audit_file, trace_file, capsys):
+        assert main(["report", "--audit", audit_file, "--trace", trace_file, "--json"]) == 0
+        out = capsys.readouterr().out
+        decoder = json.JSONDecoder()
+        chunks, pos = [], 0
+        while pos < len(out.rstrip()):
+            obj, end = decoder.raw_decode(out, pos)
+            chunks.append(obj)
+            pos = end + 1  # skip the newline joining the summaries
+        audit_summary, trace_summary = chunks
+        assert audit_summary["records"] == 2
+        assert trace_summary["spans"] == 3 and trace_summary["traces"] == 1
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["report", "--audit", missing]) == 1
+        assert "cannot render report" in capsys.readouterr().err
+
+    def test_truncated_audit_fails_loudly(self, audit_file, capsys):
+        lines = open(audit_file).read().strip().splitlines()
+        with open(audit_file, "w") as handle:
+            handle.write(lines[1] + "\n")  # drop seq 0: a gap
+        assert main(["report", "--audit", audit_file]) == 1
+        assert "gap" in capsys.readouterr().err
+
+    def test_no_inputs_prints_hint(self, capsys):
+        assert main(["report"]) == 0
+        assert "nothing to report" in capsys.readouterr().out

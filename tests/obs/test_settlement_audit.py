@@ -1,0 +1,97 @@
+"""Settlement audit log: append/replay semantics and tamper-evidence."""
+
+import pytest
+
+from repro.obs.audit import (
+    VERDICT_DEGRADED,
+    VERDICT_PAID,
+    VERDICT_REFUNDED,
+    SettlementAuditLog,
+    SettlementRecord,
+)
+from repro.obs.metrics import set_obs_enabled
+
+
+@pytest.fixture()
+def log():
+    return SettlementAuditLog()
+
+
+def _append_three(log):
+    log.append(query_id="0", verdict=VERDICT_PAID, tokens_posted=3, gas=100, amount=5)
+    log.append(query_id="1", verdict=VERDICT_REFUNDED, tokens_posted=2, gas=80, amount=5)
+    log.append(query_id="2", verdict=VERDICT_DEGRADED, detail="submit gave up", fault_step=7)
+
+
+class TestAppend:
+    def test_sequence_numbers_are_contiguous(self, log):
+        _append_three(log)
+        assert [r.seq for r in log] == [0, 1, 2]
+
+    def test_unknown_verdict_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.append(query_id="0", verdict="maybe")
+
+    def test_accumulator_int_stored_as_hex(self, log):
+        record = log.append(query_id="0", verdict=VERDICT_PAID, accumulator=0xDEADBEEF)
+        assert record.accumulator == "deadbeef"
+
+    def test_extra_kwargs_captured(self, log):
+        record = log.append(query_id="0", verdict=VERDICT_DEGRADED, fault_step=12)
+        assert record.extra == {"fault_step": 12}
+
+    def test_counter_per_verdict(self, log):
+        from repro.common import perfstats
+
+        before = perfstats.get("audit.settlement.paid")
+        log.append(query_id="0", verdict=VERDICT_PAID)
+        assert perfstats.get("audit.settlement.paid") == before + 1
+
+    def test_disabled_append_is_noop(self, log):
+        set_obs_enabled(False)
+        assert log.append(query_id="0", verdict=VERDICT_PAID) is None
+        assert len(log) == 0
+
+
+class TestQuery:
+    def test_records_filter_by_verdict(self, log):
+        _append_three(log)
+        assert [r.query_id for r in log.records(VERDICT_PAID)] == ["0"]
+        assert len(log.records()) == 3
+
+    def test_totals(self, log):
+        _append_three(log)
+        totals = log.totals()
+        assert totals["records"] == 3
+        assert totals["verdicts"] == {"paid": 1, "refunded": 1, "degraded": 1}
+        assert totals["gas_total"] == 180
+        assert totals["paid_out"] == 5
+        assert totals["refunded"] == 5
+
+
+class TestReplay:
+    def test_jsonl_roundtrip(self, log, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log.set_sink(str(path))
+        _append_three(log)
+        replayed = SettlementAuditLog.load(str(path))
+        assert replayed.records() == log.records()
+
+    def test_replay_rejects_gaps(self, log, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log.set_sink(str(path))
+        _append_three(log)
+        lines = path.read_text().strip().splitlines()
+        truncated = [lines[0], lines[2]]  # drop the middle record
+        with pytest.raises(ValueError, match="gap"):
+            SettlementAuditLog.replay(truncated)
+
+    def test_replay_skips_blank_and_foreign_lines(self, log):
+        record = SettlementRecord(
+            seq=0, query_id="0", verdict=VERDICT_PAID, tokens_posted=1,
+            result_count=0, accumulator=None, paid_to="cloud", amount=1,
+            gas=10, attempts=1, trace_id=None,
+        )
+        lines = ["", '{"type": "span", "span_id": "x"}', record.to_json()]
+        replayed = SettlementAuditLog.replay(lines)
+        assert len(replayed) == 1
