@@ -37,6 +37,7 @@ from repro.chaos import ChaosTransport, FaultPlan, profile_named  # noqa: E402
 from repro.common import perfstats  # noqa: E402
 from repro.common.rng import default_rng  # noqa: E402
 from repro.common.timing import time_call  # noqa: E402
+from repro.core import wire  # noqa: E402
 from repro.core.cloud import CloudServer  # noqa: E402
 from repro.core.owner import DataOwner  # noqa: E402
 from repro.core.params import KeyBundle  # noqa: E402
@@ -185,6 +186,14 @@ def run_plain() -> int:
     search_s, response = time_call(lambda: cloud.search(tokens))
     assert verify_response(params, cloud.ads_value, response).ok, "smoke search failed"
 
+    # Warm repeat: the epoch-suffix entry cache must serve the identical
+    # response (this is what puts cloud.entry_cache.{hit,spliced_entries}
+    # into the gated counter snapshot).
+    repeat_s, repeat = time_call(lambda: cloud.search(tokens))
+    assert wire.dump_response(repeat) == wire.dump_response(response), (
+        "warm repeat search drifted from the cold response"
+    )
+
     precompute_s, count = time_call(cloud.precompute_witnesses)
     assert count == cloud.prime_count
 
@@ -197,12 +206,27 @@ def run_plain() -> int:
     search2_s, response2 = time_call(lambda: cloud.search(tokens2))
     assert verify_response(params, cloud.ads_value, response2).ok, "post-insert smoke search failed"
 
+    # Batched collection over the union of both queries (one duplicated):
+    # per-query responses must be byte-identical to sequential post-insert
+    # searches, and the batch.{unique_tokens,dedup_saved} counters get gated.
+    # (The pre-insert `response` is stale here: inserts change the ADS, so
+    # witnesses for the same entries differ — re-derive the reference.)
+    reference = cloud.search(tokens)
+    batch_s, batch = time_call(lambda: cloud.search_many([tokens, tokens2, tokens]))
+    assert [wire.dump_response(r) for r in batch] == [
+        wire.dump_response(reference),
+        wire.dump_response(response2),
+        wire.dump_response(reference),
+    ], "batched search drifted from per-query responses"
+
     metrics = {
         "build_s": build_s,
         "search_s": search_s,
+        "repeat_search_s": repeat_s,
         "precompute_s": precompute_s,
         "insert_s": insert_s,
         "search_after_insert_s": search2_s,
+        "batch_search_s": batch_s,
         "records": N_RECORDS,
         "inserted": N_INSERT,
         "value_bits": BITS,

@@ -65,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="span trace JSONL file (repeatable)",
     )
     obs.add_argument(
+        "--metrics", action="append", default=[], metavar="FILE",
+        help="counter snapshot (BENCH_*.json or raw dict) for cache stats (repeatable)",
+    )
+    obs.add_argument(
         "--verdict", choices=["paid", "refunded", "degraded"], default=None,
         help="filter audit rows to one verdict",
     )
@@ -225,7 +229,13 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .obs.report import run_report
 
     try:
-        text = run_report(args.audit, args.trace, verdict=args.verdict, as_json=args.json)
+        text = run_report(
+            args.audit,
+            args.trace,
+            metrics_paths=args.metrics,
+            verdict=args.verdict,
+            as_json=args.json,
+        )
     except (OSError, ValueError) as exc:
         print(f"cannot render report: {exc}", file=sys.stderr)
         return 1

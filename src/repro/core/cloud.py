@@ -18,8 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..common.bitstring import xor_bytes
-from ..common.encoding import encode_parts, encode_uint, sizeof
+from ..common.encoding import encode_parts, sizeof
 from ..common.rng import DeterministicRNG, default_rng
 from ..common import perfstats
 from ..common.timing import Stopwatch
@@ -29,7 +28,6 @@ from ..crypto.accumulator import MembershipWitness, verify_membership_batch
 from ..obs import metrics, trace
 from ..crypto.modmath import ProductTree, product
 from ..crypto.multiset_hash import MultisetHash
-from ..crypto.prf import PRF
 from ..crypto.trapdoor import TrapdoorPublicKey
 from ..parallel import ParallelExecutor
 from ..parallel.tasks import (
@@ -39,6 +37,7 @@ from ..parallel.tasks import (
     pow_chunk,
     witness_map,
 )
+from .entry_cache import CollectResult, EntryCache, collect_entries
 from .params import SlicerParams
 from .state import CloudPackage, EncryptedIndex, set_hash_key
 from .tokens import SearchToken
@@ -99,6 +98,10 @@ class CloudServer:
         #: Repeat-search witness memo: token-subset tuple -> witness map.
         #: Valid only for the current prime set, so :meth:`install` clears it.
         self._repeat_witness_cache: dict[tuple[int, ...], dict[int, int]] = {}
+        #: Epoch-suffix result cache: needs no invalidation (epochs are
+        #: immutable, :meth:`install` leaves it intact); :meth:`restore`
+        #: drops it with the other in-memory caches.
+        self._entry_cache = EntryCache()
         self._executor = ParallelExecutor(params.workers)
         #: Phase timings ("results" / "vo") for the Fig. 5 benches.
         self.stopwatch = Stopwatch()
@@ -215,6 +218,7 @@ class CloudServer:
         self.ads_value = 0
         self._witness_cache = None
         self._repeat_witness_cache = {}
+        self._entry_cache = EntryCache()
         self.install(CloudPackage(index, list(primes), ads_value))
 
     @property
@@ -248,82 +252,130 @@ class CloudServer:
         with self.stopwatch.measure("vo"), trace.span("cloud.vo"):
             witnesses = self._batch_witnesses(partials)
         response = SearchResponse(
-            [TokenResult(t, e, w) for (t, e), w in zip(partials, witnesses)]
+            [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
         )
-        metrics.observe("cloud.search.tokens", len(tokens))
-        metrics.observe("cloud.search.entries", sum(len(e) for _, e in partials))
-        metrics.observe("cloud.search.result_bytes", response.encrypted_result_bytes)
-        metrics.observe("cloud.search.witness_bytes", response.witness_bytes)
+        self._observe_search(tokens, partials, response)
         return response
 
-    def _search_token(self, token: SearchToken) -> TokenResult:
-        entries = self._collect_entries(token)
-        witness = self._batch_witnesses([(token, entries)])[0]
-        return TokenResult(token, entries, witness)
+    def search_many(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+        """One batch of queries, collected over the batch-wide token union.
 
-    def _collect_all(self, tokens: list[SearchToken]) -> list[list[bytes]]:
+        The cross-query extension of :meth:`search`'s per-query dedup:
+        identical tokens across the staged queries (hot boundary keywords
+        under skewed traffic) walk the index once, and one
+        :meth:`_collect_all` dispatch covers the whole batch — the parallel
+        fan-out sees the union, not ``n`` small lists.  Responses are
+        byte-identical to ``[search(tokens) for tokens in token_lists]``:
+        collection is a pure function per unique token, and witness values
+        ``g^(prod(X)/p)`` do not depend on how queries group the primes.
+        """
+        unique: dict[SearchToken, int] = {}
+        slot_lists = [
+            [unique.setdefault(token, len(unique)) for token in tokens]
+            for tokens in token_lists
+        ]
+        total = sum(len(tokens) for tokens in token_lists)
+        perfstats.incr("batch.unique_tokens", len(unique))
+        perfstats.incr("batch.dedup_saved", total - len(unique))
+        with self.stopwatch.measure("results"), trace.span("cloud.results", batch=len(token_lists)):
+            collected = self._collect_all(list(unique))
+        responses: list[SearchResponse] = []
+        for tokens, slots in zip(token_lists, slot_lists):
+            perfstats.incr("cloud.token_dedup.saved", len(tokens) - len(set(slots)))
+            partials = [(token, collected[slot]) for token, slot in zip(tokens, slots)]
+            with self.stopwatch.measure("vo"), trace.span("cloud.vo"):
+                witnesses = self._batch_witnesses(partials)
+            response = SearchResponse(
+                [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
+            )
+            self._observe_search(tokens, partials, response)
+            responses.append(response)
+        return responses
+
+    def _observe_search(
+        self,
+        tokens: list[SearchToken],
+        partials: list[tuple[SearchToken, CollectResult]],
+        response: SearchResponse,
+    ) -> None:
+        metrics.observe("cloud.search.tokens", len(tokens))
+        metrics.observe("cloud.search.entries", sum(len(c.entries) for _, c in partials))
+        metrics.observe("cloud.search.result_bytes", response.encrypted_result_bytes)
+        metrics.observe("cloud.search.witness_bytes", response.witness_bytes)
+
+    def _search_token(self, token: SearchToken) -> TokenResult:
+        collected = self._collect(token)
+        witness = self._batch_witnesses([(token, collected)])[0]
+        return TokenResult(token, collected.entries, witness)
+
+    def _collect_all(self, tokens: list[SearchToken]) -> list[CollectResult]:
         """Entry collection for every token, fanned out across workers.
 
-        The index dictionary reaches workers by fork inheritance (zero
-        copy); each worker runs the same epoch walk as
-        :meth:`_collect_entries`, so output is order- and byte-identical to
-        the serial loop.
+        The index dictionary *and the entry cache* reach workers by fork
+        inheritance (zero copy); each worker runs the same cache-aware epoch
+        walk as the serial path, ships installed nodes home through the
+        kernel cache-export machinery, and distinct keywords have disjoint
+        trapdoor chains — so results, counters and cache state are byte-
+        identical to the serial loop at any worker count.
         """
         if not self._executor.parallel_available or len(tokens) < max(
             2, self._executor.min_items
         ):
-            return [self._collect_entries(token) for token in tokens]
+            return [self._collect(token) for token in tokens]
         shared = CollectShared(
-            self.index.entries, self.params.label_len, self.trapdoor_public
+            self.index.entries,
+            self.params.label_len,
+            self.trapdoor_public,
+            self._entry_cache if kernels.kernels_enabled() else None,
+            self.params.multiset_field,
         )
         work = [TokenWork(t.trapdoor, t.epoch, t.g1, t.g2) for t in tokens]
         return self._executor.map_chunks(collect_entries_chunk, work, shared=shared)
 
-    def _collect_entries(self, token: SearchToken, max_epochs: int | None = None) -> list[bytes]:
-        """Walk epochs j..0 via π_pk, scanning counters inside each epoch.
+    def _collect(self, token: SearchToken, max_epochs: int | None = None) -> CollectResult:
+        """The cache-aware epoch walk for one token (serial path).
 
-        ``max_epochs`` truncates the walk to the newest epochs (used by the
-        ``OMIT_OLD_EPOCHS`` misbehaviour); ``None`` walks the full chain.
-
-        Older trapdoors are derived through the kernel chain cache — every
-        ``π_pk`` step is a full RSA modexp, deterministic in its input, so
-        repeat searches walk the chain on dict hits.  The step *after* the
-        oldest epoch is never taken (its result is unused).
+        Delegates to :func:`repro.core.entry_cache.collect_entries` — the
+        same function the fork workers run — against this cloud's own
+        suffix cache.  Truncated walks (``max_epochs``) and
+        ``REPRO_KERNELS=0`` bypass the cache and reproduce the legacy loop
+        byte for byte.
         """
-        label_prf = PRF(token.g1, self.params.label_len)
-        pad_prf = PRF(token.g2)
-        chain = kernels.trapdoor_chain(self.trapdoor_public) if kernels.kernels_enabled() else None
-        entries: list[bytes] = []
-        trapdoor = token.trapdoor
-        epochs = token.epoch + 1
-        if max_epochs is not None:
-            epochs = min(epochs, max_epochs)
-        for epoch in range(epochs):
-            counter = 0
-            while True:
-                label = label_prf.eval(trapdoor, encode_uint(counter))
-                payload = self.index.find(label)
-                if payload is None:
-                    break
-                pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
-                entries.append(xor_bytes(pad, payload))
-                counter += 1
-            if epoch + 1 < epochs:
-                trapdoor = (
-                    chain.step(trapdoor)
-                    if chain is not None
-                    else self.trapdoor_public.apply(trapdoor)
-                )
-        return entries
+        cache = self._entry_cache if kernels.kernels_enabled() else None
+        return collect_entries(
+            cache,
+            self.index.find,
+            self.params.label_len,
+            self.trapdoor_public,
+            self.params.multiset_field,
+            token.trapdoor,
+            token.epoch,
+            token.g1,
+            token.g2,
+            max_epochs,
+        )
 
-    def _token_prime(self, token: SearchToken, entries: list[bytes]) -> int:
-        """The prime representative of (token state, result multiset hash)."""
-        result_hash = MultisetHash.of(entries, self.params.multiset_field)
+    def _collect_entries(self, token: SearchToken, max_epochs: int | None = None) -> list[bytes]:
+        """Walk epochs j..0 via π_pk; plain entry list (no cache metadata)."""
+        return self._collect(token, max_epochs).entries
+
+    def _token_prime(self, token: SearchToken, collected: CollectResult) -> int:
+        """The prime representative of (token state, result multiset hash).
+
+        A warm walk already knows the full multiset-hash value — the head
+        cache node's suffix hash — so the fold is free; a bypassed walk
+        (``hash_value is None``) hashes the multiset from scratch, exactly
+        as before the cache existed.
+        """
+        if collected.hash_value is not None:
+            result_hash = MultisetHash(collected.hash_value, self.params.multiset_field)
+        else:
+            result_hash = MultisetHash.of(collected.entries, self.params.multiset_field)
         state_key = set_hash_key(token.trapdoor, token.epoch, token.g1, token.g2)
         return self._hash_to_prime(encode_parts(state_key, result_hash.to_bytes()))
 
     def _batch_witnesses(
-        self, partials: list[tuple[SearchToken, list[bytes]]]
+        self, partials: list[tuple[SearchToken, CollectResult]]
     ) -> list[MembershipWitness]:
         """``MemWit`` for every token of one query, sharing the big base pow.
 
@@ -336,7 +388,7 @@ class CloudServer:
         """
         acc = self.params.accumulator
         n, g = acc.modulus, acc.generator
-        primes = [self._token_prime(token, entries) for token, entries in partials]
+        primes = [self._token_prime(token, collected) for token, collected in partials]
         if self._witness_cache is not None:
             witness_by_prime = self._witness_cache
         else:
@@ -419,6 +471,20 @@ class MaliciousCloud(CloudServer):
         honest = super().search(tokens)
         tampered = [self._tamper(result) for result in honest.results]
         return SearchResponse(tampered)
+
+    def search_many(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+        """Batched search with the same per-result tampering as :meth:`search`.
+
+        Tampering happens per query in order, so the rng draws match a
+        per-query ``search`` loop — the batched and unbatched malicious
+        clouds misbehave identically (and both get caught identically,
+        warm or cold; the conformance matrix asserts this).
+        """
+        honest = super().search_many(token_lists)
+        return [
+            SearchResponse([self._tamper(result) for result in response.results])
+            for response in honest
+        ]
 
     def _tamper(self, result: TokenResult) -> TokenResult:
         kind = self.misbehavior

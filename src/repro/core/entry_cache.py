@@ -1,0 +1,351 @@
+"""Epoch-suffix result cache: repeat searches cost O(entries in new epochs).
+
+Slicer's forward-secure index makes every epoch's entry list *immutable*
+once written — an Insert advances a touched keyword's trapdoor via
+``π_sk⁻¹``, so the epochs ``j..0`` below the new head never change.  The
+honest cloud nevertheless re-walks the whole chain per search, re-deriving
+every PRF label, index probe and pad stream.  This module caches the walk:
+
+* **CacheNode** — keyed by ``(trapdoor, G1, G2)`` bytes, one per visited
+  epoch: that epoch's decrypted entries (counter order), the running
+  MSet-Mu-Hash *value* of the whole suffix ``epoch..0``, and a link to the
+  next-older trapdoor (so following cached links costs zero ``π_pk``
+  modexps).
+* **collect_entries** — the one epoch walk shared by the serial cloud path
+  and the fork-worker task: it descends from the token head only until it
+  hits a cached node, collects just the fresh epochs, splices the cached
+  suffix, and installs nodes for the fresh prefix on the way out.  The
+  head node's suffix hash *is* the full result-multiset hash, so
+  ``CloudServer._token_prime`` folds it incrementally instead of rehashing
+  the full multiset.
+
+Correct invalidation is the empty set: epochs are immutable and a search
+never observes a half-written epoch (``install`` happens before tokens for
+the new head exist), so ``CloudServer.install`` leaves the cache intact and
+only ``restore`` (crash recovery — in-memory caches die with the process)
+drops it.  The cache is **per cloud instance** — entries depend on that
+cloud's index contents, never shared across deployments — size-bounded with
+FIFO eviction (insertion order, which keeps the position-based export marks
+below valid) and disabled alongside the other kernels by ``REPRO_KERNELS=0``.
+
+Fork workers inherit the parent cloud's cache object through the executor's
+shared payload and ship the nodes they installed home through the PR 4
+``cache_mark`` / ``export_since`` / ``absorb_cache_export`` machinery: this
+module registers itself as a kernel cache *family*, so the executor needs no
+entry-cache-specific plumbing and counter snapshots plus warm behaviour stay
+bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Callable, NamedTuple, Optional
+
+from ..common import perfstats
+from ..common.bitstring import xor_bytes
+from ..common.encoding import encode_parts, encode_uint
+from ..crypto import kernels
+from ..crypto.multiset_hash import element_hash
+from ..crypto.prf import PRF
+
+#: Node cap per cache; beyond it the oldest nodes are evicted (FIFO via dict
+#: insertion order — nodes install oldest-epoch-first, so eviction sheds the
+#: deepest suffix first and the walk transparently re-probes the hole).
+ENTRY_CACHE_MAX = 1 << 15
+
+
+class CacheNode(NamedTuple):
+    """One cached epoch of one keyword's chain.
+
+    ``suffix_hash`` is the MSet-Mu-Hash field value over *all* entries in
+    epochs ``epoch..0`` (not just this epoch's), so the node found at the
+    walk's first hit closes the incremental fold in O(1).
+    """
+
+    entries: tuple[bytes, ...]  # this epoch's decrypted entries, counter order
+    suffix_hash: int  # multiset-hash value of epochs epoch..0
+    next_trapdoor: Optional[bytes]  # link to epoch-1's trapdoor (None at epoch 0)
+
+
+class CollectResult(NamedTuple):
+    """One token's collected entries plus what the cache knew about them."""
+
+    entries: list[bytes]
+    #: Full result-multiset hash value, or None when the cache was bypassed
+    #: (kernels disabled / truncated walk) and the caller must hash from
+    #: scratch.
+    hash_value: Optional[int]
+    #: Entries served from cache nodes instead of index probes.
+    spliced: int
+
+
+def node_key(trapdoor: bytes, g1: bytes, g2: bytes) -> bytes:
+    """Content address of one epoch: injective over the walk state."""
+    return encode_parts(trapdoor, g1, g2)
+
+
+# Registry of live caches for the cross-process export machinery.  Weak so a
+# discarded cloud (or a cache dropped by restore) never pins its nodes.
+_IDS = itertools.count()
+_REGISTRY: "weakref.WeakValueDictionary[int, EntryCache]" = weakref.WeakValueDictionary()
+
+
+class EntryCache:
+    """Bounded FIFO map ``node_key -> CacheNode`` for one cloud instance.
+
+    ``installs`` / ``evictions`` count monotonically (never reset by
+    :meth:`clear`): the export marks below compare them to decide what a
+    worker added since the fork, which stays sound even when an evict+install
+    pair leaves ``len()`` unchanged.
+    """
+
+    __slots__ = ("nodes", "max_nodes", "cache_id", "installs", "evictions", "__weakref__")
+
+    def __init__(self, max_nodes: int = ENTRY_CACHE_MAX) -> None:
+        self.nodes: dict[bytes, CacheNode] = {}
+        self.max_nodes = max_nodes
+        self.cache_id = next(_IDS)
+        self.installs = 0
+        self.evictions = 0
+        _REGISTRY[self.cache_id] = self
+
+    def get(self, key: bytes) -> Optional[CacheNode]:
+        return self.nodes.get(key)
+
+    def _evict_oldest(self) -> None:
+        del self.nodes[next(iter(self.nodes))]
+        self.evictions += 1
+
+    def install(self, key: bytes, node: CacheNode) -> None:
+        """Insert a node (first write wins; nodes for one key are identical)."""
+        nodes = self.nodes
+        if key in nodes:
+            return
+        if len(nodes) >= self.max_nodes:
+            self._evict_oldest()
+            perfstats.incr("cloud.entry_cache.evicted")
+        nodes[key] = node
+        self.installs += 1
+
+    def absorb(self, items: list[tuple[bytes, CacheNode]]) -> None:
+        """Fold a worker export in: first write wins, evictions silent.
+
+        No *perf counters* move here — the worker already counted its own
+        installs and evictions in the delta the executor merged back (same
+        contract as :func:`repro.crypto.kernels.absorb_cache_export`); the
+        export-mark bookkeeping still advances.
+        """
+        nodes = self.nodes
+        for key, node in items:
+            if key not in nodes:
+                if len(nodes) >= self.max_nodes:
+                    self._evict_oldest()
+                nodes[key] = node
+                self.installs += 1
+
+    def clear(self) -> None:
+        self.evictions += len(self.nodes)
+        self.nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+# ------------------------------------------------------------- the epoch walk
+
+
+def collect_entries(
+    cache: Optional[EntryCache],
+    find: Callable[[bytes], Optional[bytes]],
+    label_len: int,
+    trapdoor_public,
+    field: int,
+    trapdoor: bytes,
+    epoch: int,
+    g1: bytes,
+    g2: bytes,
+    max_epochs: Optional[int] = None,
+) -> CollectResult:
+    """Algorithm 4's epoch walk ``j..0``, spliced through the suffix cache.
+
+    The one walk both the serial cloud and the fork-worker chunk task run:
+    descend from the head; at each epoch, a cache hit appends that node's
+    entries and follows its link (zero PRF/index/modexp work), a miss scans
+    counters exactly like the legacy loop.  Fresh epochs *above* the first
+    hit are folded into suffix hashes bottom-up and installed oldest-first;
+    fresh epochs *below* the first hit (an evicted hole being repaired) are
+    already covered by the hit node's suffix hash and are not re-folded.
+
+    ``max_epochs`` truncates the walk (the ``OMIT_OLD_EPOCHS`` misbehaviour);
+    truncated walks bypass the cache entirely — their suffix is not the real
+    suffix, so no node may be installed for them, and performance is beside
+    the point on that path.  With the cache bypassed (or kernels disabled)
+    the returned ``hash_value`` is None and output is byte-identical to the
+    pre-cache loop.
+    """
+    epochs = epoch + 1
+    truncated = max_epochs is not None and max_epochs < epochs
+    if truncated:
+        epochs = max_epochs  # type: ignore[assignment]
+    use_kernels = kernels.kernels_enabled()
+    chain = kernels.trapdoor_chain(trapdoor_public) if use_kernels else None
+    label_prf = PRF(g1, label_len)
+    pad_prf = PRF(g2)
+
+    if cache is None or not use_kernels or truncated:
+        entries: list[bytes] = []
+        probes = prf_evals = 0
+        t = trapdoor
+        for e in range(epochs):
+            counter = 0
+            while True:
+                label = label_prf.eval(t, encode_uint(counter))
+                probes += 1
+                prf_evals += 1
+                payload = find(label)
+                if payload is None:
+                    break
+                pad = pad_prf.eval_stream(len(payload), t, encode_uint(counter))
+                prf_evals += 1
+                entries.append(xor_bytes(pad, payload))
+                counter += 1
+            if e + 1 < epochs:
+                t = chain.step(t) if chain is not None else trapdoor_public.apply(t)
+        perfstats.incr("cloud.collect.index_probes", probes)
+        perfstats.incr("cloud.collect.prf_evals", prf_evals)
+        return CollectResult(entries, None, 0)
+
+    entries = []
+    #: Contiguous fresh prefix above the first hit: (trapdoor, epoch entries).
+    fresh_prefix: list[tuple[bytes, list[bytes]]] = []
+    hit_node: Optional[CacheNode] = None
+    hit_trapdoor: Optional[bytes] = None
+    probes = prf_evals = spliced = 0
+    t = trapdoor
+    for e in range(epochs):
+        node = cache.get(node_key(t, g1, g2))
+        if node is not None:
+            if hit_node is None:
+                hit_node, hit_trapdoor = node, t
+            entries.extend(node.entries)
+            spliced += len(node.entries)
+            if e + 1 < epochs:
+                # Cached link: the saved π_pk modexp.  A node can only lack a
+                # link at epoch 0, where the loop ends; the step fallback
+                # guards impossible-in-honest-use inconsistency.
+                t = node.next_trapdoor if node.next_trapdoor is not None else chain.step(t)
+            continue
+        epoch_entries: list[bytes] = []
+        counter = 0
+        while True:
+            label = label_prf.eval(t, encode_uint(counter))
+            probes += 1
+            prf_evals += 1
+            payload = find(label)
+            if payload is None:
+                break
+            pad = pad_prf.eval_stream(len(payload), t, encode_uint(counter))
+            prf_evals += 1
+            epoch_entries.append(xor_bytes(pad, payload))
+            counter += 1
+        entries.extend(epoch_entries)
+        if hit_node is None:
+            fresh_prefix.append((t, epoch_entries))
+        if e + 1 < epochs:
+            t = chain.step(t)
+
+    # Fold the fresh prefix bottom-up onto the hit node's suffix hash and
+    # install one node per fresh epoch.  The final fold value is the hash of
+    # the *entire* result multiset: hole-repaired entries below the hit are
+    # already inside ``hit_node.suffix_hash``, so they are not re-folded.
+    if hit_node is not None:
+        suffix_value = hit_node.suffix_hash
+        next_trapdoor = hit_trapdoor
+    else:
+        suffix_value = 1  # H(φ)
+        next_trapdoor = None
+    for node_trapdoor, epoch_entries in reversed(fresh_prefix):
+        for entry in epoch_entries:
+            suffix_value = suffix_value * element_hash(entry, field) % field
+        cache.install(
+            node_key(node_trapdoor, g1, g2),
+            CacheNode(tuple(epoch_entries), suffix_value, next_trapdoor),
+        )
+        next_trapdoor = node_trapdoor
+
+    perfstats.incr("cloud.entry_cache.hit" if hit_node is not None else "cloud.entry_cache.miss")
+    perfstats.incr("cloud.entry_cache.spliced_entries", spliced)
+    perfstats.incr("cloud.collect.index_probes", probes)
+    perfstats.incr("cloud.collect.prf_evals", prf_evals)
+    return CollectResult(entries, suffix_value, spliced)
+
+
+# --------------------------------------------- kernel cache-family integration
+
+
+def _family_mark() -> dict:
+    """Monotonic (installs, evictions) marks per live cache.
+
+    Length alone cannot detect an evict+install pair (it leaves ``len()``
+    unchanged), so the marks count installs and evictions separately — see
+    ``kernels.cache_mark``.
+    """
+    return {
+        cache_id: (cache.installs, cache.evictions)
+        for cache_id, cache in _REGISTRY.items()
+    }
+
+
+def _family_export(mark: dict) -> dict:
+    """Nodes installed since ``mark``, keyed by cache id (the worker half).
+
+    With no evictions since the mark, the fresh nodes are exactly the dict's
+    tail (FIFO insertion order); any eviction invalidates tail positions, so
+    the whole cache ships — absorb is first-write-wins, so over-sending is
+    merely redundant, never wrong.
+    """
+    export: dict = {}
+    for cache_id, cache in _REGISTRY.items():
+        installs_seen, evictions_seen = mark.get(cache_id, (0, 0))
+        fresh = cache.installs - installs_seen
+        if fresh <= 0:
+            continue
+        items = list(cache.nodes.items())
+        if cache.evictions != evictions_seen:
+            export[cache_id] = items  # positions rotated: send everything
+        else:
+            export[cache_id] = items[len(items) - fresh:]
+    return export
+
+
+def _family_absorb(export: dict) -> None:
+    """Fold worker exports into the parent's caches (the parent half).
+
+    A cache id the parent no longer holds (restore dropped it mid-flight)
+    is skipped — the nodes belonged to an instance that no longer exists.
+    """
+    for cache_id, items in export.items():
+        cache = _REGISTRY.get(cache_id)
+        if cache is not None:
+            cache.absorb(items)
+
+
+def _family_clear() -> None:
+    """Drop every live cache's nodes (the benchmarks' cold-path reset)."""
+    for cache in list(_REGISTRY.values()):
+        cache.clear()
+
+
+def _family_size() -> int:
+    return sum(len(cache) for cache in _REGISTRY.values())
+
+
+kernels.register_cache_family(
+    "entry",
+    mark=_family_mark,
+    export_since=_family_export,
+    absorb=_family_absorb,
+    clear=_family_clear,
+    size=_family_size,
+)

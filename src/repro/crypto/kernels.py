@@ -370,6 +370,43 @@ def batch_verify_membership(
 
 # ----------------------------------------------- cross-process cache warm-back
 
+class _CacheFamily:
+    """Hooks one externally owned cache family into the warm-back machinery."""
+
+    __slots__ = ("mark", "export_since", "absorb", "clear", "size")
+
+    def __init__(self, mark, export_since, absorb, clear=None, size=None) -> None:
+        self.mark = mark
+        self.export_since = export_since
+        self.absorb = absorb
+        self.clear = clear
+        self.size = size
+
+
+#: Cache families registered from outside this module (e.g. the cloud's
+#: epoch-suffix entry cache in :mod:`repro.core.entry_cache` — crypto cannot
+#: import core, so the dependency points the other way).
+_FAMILIES: dict[str, _CacheFamily] = {}
+
+_BUILTIN_FAMILY_KEYS = {"hash", "trapdoor"}
+
+
+def register_cache_family(
+    name: str, *, mark, export_since, absorb, clear=None, size=None
+) -> None:
+    """Register an external cache family with the mark/export/absorb plumbing.
+
+    ``mark()`` returns an opaque position marker, ``export_since(mark)`` the
+    entries added since it (empty dict when nothing), ``absorb(export)``
+    folds a worker export in (first write wins, no counters).  ``clear`` and
+    ``size`` optionally hook :func:`clear_caches` / :func:`cache_sizes`.
+    Registration is idempotent per name — module re-imports just re-bind.
+    """
+    if name in _BUILTIN_FAMILY_KEYS:
+        raise ValueError(f"cache family name {name!r} is reserved")
+    _FAMILIES[name] = _CacheFamily(mark, export_since, absorb, clear, size)
+
+
 def cache_mark() -> dict:
     """Position marker over the exportable caches (see :func:`export_since`).
 
@@ -380,10 +417,13 @@ def cache_mark() -> dict:
     fans out, and :func:`export_since` falls back to a full export when one
     is detected.
     """
-    return {
+    mark = {
         "hash": {key: len(memo) for key, memo in _HASH_MEMOS.items()},
         "trapdoor": {key: len(cache._memo) for key, cache in _TRAPDOOR_CHAINS.items()},
     }
+    for name, family in _FAMILIES.items():
+        mark[name] = family.mark()
+    return mark
 
 
 def export_since(mark: dict) -> dict:
@@ -419,9 +459,14 @@ def export_since(mark: dict) -> dict:
         if len(memo) > seen:
             items = list(memo.items())
             export_trapdoor[key] = items[seen:]
-    if not export_hash and not export_trapdoor:
-        return {}
-    return {"hash": export_hash, "trapdoor": export_trapdoor}
+    out: dict = {}
+    if export_hash or export_trapdoor:
+        out = {"hash": export_hash, "trapdoor": export_trapdoor}
+    for name, family in _FAMILIES.items():
+        data = family.export_since(mark.get(name, {}))
+        if data:
+            out[name] = data
+    return out
 
 
 def absorb_cache_export(export: dict) -> None:
@@ -452,6 +497,10 @@ def absorb_cache_export(export: dict) -> None:
                 if len(memo) >= TRAPDOOR_CACHE_MAX:
                     del memo[next(iter(memo))]
                 memo[trapdoor] = image
+    for name, family in _FAMILIES.items():
+        data = export.get(name)
+        if data:
+            family.absorb(data)
 
 
 # ------------------------------------------------------------------- lifecycle
@@ -461,14 +510,21 @@ def clear_caches() -> None:
     _HASH_MEMOS.clear()
     _FIXED_BASES.clear()
     _TRAPDOOR_CHAINS.clear()
+    for family in _FAMILIES.values():
+        if family.clear is not None:
+            family.clear()
 
 
 def cache_sizes() -> dict[str, int]:
     """Entry counts per cache family — reported next to benchmark timings."""
-    return {
+    sizes = {
         "hash_to_prime": sum(len(m) for m in _HASH_MEMOS.values()),
         "fixed_base_tables": sum(
             len(t) for kernel in _FIXED_BASES.values() for t in kernel._tables.values()
         ),
         "trapdoor_chain": sum(len(c) for c in _TRAPDOOR_CHAINS.values()),
     }
+    for name, family in _FAMILIES.items():
+        if family.size is not None:
+            sizes[f"{name}_cache"] = family.size()
+    return sizes

@@ -117,3 +117,14 @@ class MultisetHash:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MultisetHash(0x{self.value:x})"
+
+
+def element_hash(element: bytes, q: int = DEFAULT_FIELD_PRIME) -> int:
+    """The ``GF(q)*`` image of one element — the per-element factor of the hash.
+
+    Exposed for incremental folds that carry raw field values instead of
+    :class:`MultisetHash` instances (e.g. the cloud's epoch-suffix cache,
+    which multiplies fresh entries onto a cached suffix value):
+    ``H(M).value == prod(element_hash(b) for b in M) mod q``.
+    """
+    return MultisetHash._element_hash(element, q)

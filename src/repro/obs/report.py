@@ -8,7 +8,11 @@ human (or a CI log reader) can audit:
 * ``repro report --audit AUDIT.jsonl`` — the settlement ledger as a table
   plus verdict/gas/escrow totals, with ``--verdict`` filtering;
 * ``repro report --trace TRACE.jsonl`` — span trees, one per trace id,
-  children indented under parents with durations and fault/retry events.
+  children indented under parents with durations and fault/retry events;
+* ``repro report --metrics BENCH.json`` — cache effectiveness from a saved
+  counter snapshot (a ``BENCH_*.json`` report or a raw counter dict): hit
+  rates per cache family ("n/a" when never consulted), epoch-suffix splice
+  savings, and cross-query batch dedup.
 
 Both accept multiple files and can be combined in one invocation; replay
 validates audit-sequence contiguity, so a truncated ledger fails loudly
@@ -117,9 +121,90 @@ def render_audit(log: SettlementAuditLog, verdict: str | None = None) -> list[st
     return lines
 
 
+#: Cache families always listed in the metrics section, even at zero
+#: consultations — a hot path that *never asked* its cache is itself a
+#: finding ("n/a" hit rate), invisible if rows only appear on activity.
+KNOWN_CACHES = (
+    "cloud.entry_cache",
+    "cloud.repeat_witness",
+    "hash_to_prime",
+    "trapdoor_chain",
+)
+
+
+def load_counters(path: str) -> dict[str, int]:
+    """Counter snapshot from a saved report.
+
+    Accepts either a ``BENCH_*.json`` twin (counters under a ``"counters"``
+    key) or a raw ``{counter_name: value}`` dict.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    counters = data.get("counters", data) if isinstance(data, dict) else None
+    if not isinstance(counters, dict) or not all(
+        isinstance(v, int) for v in counters.values()
+    ):
+        raise ValueError(f"{path}: not a counter snapshot")
+    return counters
+
+
+def cache_stats(counters: dict[str, int]) -> dict[str, dict]:
+    """Per-family hit/miss/eviction stats from a counter snapshot.
+
+    Families are every ``<prefix>.hit`` / ``<prefix>.miss`` pair present,
+    plus :data:`KNOWN_CACHES`.  ``hit_rate`` is ``None`` when the cache was
+    never consulted (rendered as "n/a"), distinct from a measured 0.0.
+    """
+    families = set(KNOWN_CACHES)
+    for key in counters:
+        for suffix in (".hit", ".miss"):
+            if key.endswith(suffix):
+                families.add(key[: -len(suffix)])
+    stats: dict[str, dict] = {}
+    for family in sorted(families):
+        hits = counters.get(f"{family}.hit", 0)
+        misses = counters.get(f"{family}.miss", 0)
+        consulted = hits + misses
+        stats[family] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / consulted if consulted else None,
+            "evicted": counters.get(f"{family}.evicted", 0),
+        }
+    return stats
+
+
+def render_cache_stats(counters: dict[str, int]) -> list[str]:
+    """The cache-effectiveness section: hit rates plus splice/dedup savings."""
+    stats = cache_stats(counters)
+    header = f"{'cache':<24} {'hits':>8} {'misses':>8} {'rate':>6} {'evicted':>8}"
+    lines = [header, "-" * len(header)]
+    for family, s in stats.items():
+        rate = "n/a" if s["hit_rate"] is None else f"{s['hit_rate']:.2f}"
+        lines.append(
+            f"{family:<24} {s['hits']:>8} {s['misses']:>8} {rate:>6} {s['evicted']:>8}"
+        )
+    spliced = counters.get("cloud.entry_cache.spliced_entries", 0)
+    probes = counters.get("cloud.collect.index_probes", 0)
+    lines.append("")
+    lines.append(
+        f"entry cache spliced {spliced} entries from cached epoch suffixes "
+        f"({probes} index probes paid for fresh epochs)"
+    )
+    unique = counters.get("batch.unique_tokens", 0)
+    saved = counters.get("batch.dedup_saved", 0)
+    if unique or saved:
+        lines.append(
+            f"batched search: {unique} unique tokens collected, "
+            f"{saved} duplicate collections saved by cross-query dedup"
+        )
+    return lines
+
+
 def run_report(
     audit_paths: list[str],
     trace_paths: list[str],
+    metrics_paths: list[str] | None = None,
     verdict: str | None = None,
     as_json: bool = False,
 ) -> str:
@@ -145,6 +230,14 @@ def run_report(
         else:
             sections.append(f"== trace: {path} ==")
             sections.extend(render_trace(spans))
+    for path in metrics_paths or []:
+        counters = load_counters(path)
+        if as_json:
+            sections.append(json.dumps(cache_stats(counters), sort_keys=True, indent=2))
+        else:
+            sections.append(f"== cache effectiveness: {path} ==")
+            sections.extend(render_cache_stats(counters))
+            sections.append("")
     if not sections:
-        return "nothing to report (pass --audit and/or --trace)"
+        return "nothing to report (pass --audit, --trace and/or --metrics)"
     return "\n".join(sections).rstrip() + "\n"

@@ -103,13 +103,19 @@ def hash_to_prime_chunk(shared: tuple[int], payloads: list[bytes]) -> list[int]:
 class CollectShared(NamedTuple):
     """Read-only inputs for :func:`collect_entries_chunk`.
 
-    ``index_entries`` is the cloud's label->payload dictionary; it reaches
-    workers by fork inheritance, never by pickle.
+    ``index_entries`` is the cloud's label->payload dictionary and
+    ``entry_cache`` the cloud's epoch-suffix cache (None when kernels are
+    disabled); both reach workers by fork inheritance, never by pickle.
+    Nodes a worker installs travel home through the kernel cache-export
+    machinery (the entry cache registers as a cache family), so the parent
+    cache ends up exactly as warm as after the identical serial run.
     """
 
     index_entries: dict[bytes, bytes]
     label_len: int
     trapdoor_public: object  # TrapdoorPublicKey (duck-typed: .apply)
+    entry_cache: object | None  # repro.core.entry_cache.EntryCache
+    field: int  # multiset-hash field modulus q
 
 
 class TokenWork(NamedTuple):
@@ -121,44 +127,33 @@ class TokenWork(NamedTuple):
     g2: bytes
 
 
-def collect_entries_chunk(
-    shared: CollectShared, tokens: list[TokenWork]
-) -> list[list[bytes]]:
-    """Algorithm 4's epoch walk for a chunk of tokens (one entry list each).
+def collect_entries_chunk(shared: CollectShared, tokens: list[TokenWork]) -> list:
+    """Algorithm 4's epoch walk for a chunk of tokens (one CollectResult each).
 
-    Mirrors ``CloudServer._collect_entries`` exactly, including the kernel
-    trapdoor-chain cache (per worker process, warm-at-fork) and skipping the
-    unused ``π_pk`` step after the oldest epoch.
+    Runs the *same* cache-aware walk as ``CloudServer._collect`` (the import
+    is deferred: ``repro.core`` imports this module at class-definition
+    time, so a top-level back-import would cycle).  Tokens within one
+    dispatch are unique and distinct keywords have disjoint trapdoor
+    chains, so chunk boundaries never change which walks hit or what gets
+    installed — output and counters stay byte-identical to the serial loop.
     """
+    from ..core.entry_cache import collect_entries
+
     find = shared.index_entries.get
-    chain = (
-        kernels.trapdoor_chain(shared.trapdoor_public) if kernels.kernels_enabled() else None
-    )
-    out: list[list[bytes]] = []
-    for token in tokens:
-        label_prf = PRF(token.g1, shared.label_len)
-        pad_prf = PRF(token.g2)
-        entries: list[bytes] = []
-        trapdoor = token.trapdoor
-        epochs = token.epoch + 1
-        for epoch in range(epochs):
-            counter = 0
-            while True:
-                label = label_prf.eval(trapdoor, encode_uint(counter))
-                payload = find(label)
-                if payload is None:
-                    break
-                pad = pad_prf.eval_stream(len(payload), trapdoor, encode_uint(counter))
-                entries.append(xor_bytes(pad, payload))
-                counter += 1
-            if epoch + 1 < epochs:
-                trapdoor = (
-                    chain.step(trapdoor)
-                    if chain is not None
-                    else shared.trapdoor_public.apply(trapdoor)
-                )
-        out.append(entries)
-    return out
+    return [
+        collect_entries(
+            shared.entry_cache,
+            find,
+            shared.label_len,
+            shared.trapdoor_public,
+            shared.field,
+            token.trapdoor,
+            token.epoch,
+            token.g1,
+            token.g2,
+        )
+        for token in tokens
+    ]
 
 
 # ---------------------------------------------------- witness generation / cache

@@ -534,13 +534,19 @@ class SlicerSystem:
         """Run several queries, settled by ONE batched contract call.
 
         Gas-amortised extension: n queries share one settlement transaction
-        (see :meth:`SlicerContract.batch_verify_and_settle`).
+        (see :meth:`SlicerContract.batch_verify_and_settle`).  Entry
+        collection is batched too: all submitted queries go through one
+        :meth:`CloudServer.search_many` call, which dedupes identical tokens
+        *across* the staged queries and collects over the batch-wide union —
+        per-query responses stay byte-identical to sequential
+        :meth:`CloudServer.search` calls (the entry-cache property tests
+        assert this), only the duplicated walks disappear.
         """
         contract = self._require_setup()
         assert self.user is not None
 
         with trace.span("batch_search", queries=len(queries)):
-            staged = []
+            submitted = []
             for query in queries:
                 tokens = self.user.make_tokens(query)
                 with trace.span("submit"):
@@ -553,9 +559,13 @@ class SlicerSystem:
                     )
                 if not submit.status:
                     raise StateError(f"query submission reverted: {submit.revert_reason}")
-                with trace.span("cloud.search"):
-                    response = self.cloud.search(tokens)
-                staged.append((query, submit, tokens, response))
+                submitted.append((query, submit, tokens))
+            with trace.span("cloud.search", batch=len(submitted)):
+                responses = self.cloud.search_many([t for _, _, t in submitted])
+            staged = [
+                (query, submit, tokens, response)
+                for (query, submit, tokens), response in zip(submitted, responses)
+            ]
 
             with trace.span("verify_settle", batch=len(staged)):
                 settle = self.chain.call(

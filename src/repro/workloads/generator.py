@@ -26,6 +26,19 @@ class ValueDistribution(enum.Enum):
     CLUSTERED = "clustered"
 
 
+class QueryPopularity(enum.Enum):
+    """How often each *query* recurs in a stream (distinct from value skew).
+
+    Production search traffic is repeat-heavy: a few hot queries dominate
+    (the Zipf shape observed in web/database query logs), which is exactly
+    the regime result caching targets.  ``UNIFORM`` draws every pool query
+    equally often — the cache-hostile baseline.
+    """
+
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Declarative description of a dataset to generate."""
@@ -129,3 +142,38 @@ class WorkloadGenerator:
         return self.equality_queries(cut, value_bits) + self.order_queries(
             count - cut, value_bits
         )
+
+    def popular_queries(
+        self,
+        count: int,
+        value_bits: int,
+        popularity: QueryPopularity = QueryPopularity.ZIPF,
+        zipf_s: float = 1.2,
+        pool: list[Query] | None = None,
+        pool_size: int = 16,
+        equality_fraction: float = 0.5,
+    ) -> list[Query]:
+        """A repeat-heavy query stream drawn from a fixed pool with rank skew.
+
+        First a pool of candidate queries is generated (or supplied), then
+        ``count`` draws pick pool *ranks*: uniformly under
+        :attr:`QueryPopularity.UNIFORM`, Zipf(``zipf_s``) under
+        :attr:`QueryPopularity.ZIPF` (rank 1 = the pool's first query = the
+        hottest).  Deterministic under a seeded rng — the same generator
+        state always emits the same stream, which is what lets the repeat-
+        search benchmarks assert byte-identical responses across runs.
+        """
+        if pool is None:
+            if pool_size <= 0:
+                raise ParameterError("pool_size must be positive")
+            pool = self.mixed_queries(pool_size, value_bits, equality_fraction)
+        if not pool:
+            raise ParameterError("query pool must be non-empty")
+        out: list[Query] = []
+        for _ in range(count):
+            if popularity is QueryPopularity.UNIFORM:
+                rank = self.rng.randint_below(len(pool))
+            else:
+                rank = min(self._zipf(len(pool), zipf_s), len(pool) - 1)
+            out.append(pool[rank])
+        return out

@@ -81,7 +81,8 @@ class TestMultiEpochSearch:
         """The multi-epoch walk must actually consult the kernel trapdoor
         chain (an *empty* cache is still a cache — regression: truthiness of
         the cache object once made the cold path skip it silently), and a
-        repeat search must walk entirely on hits."""
+        repeat search must not walk at all: the epoch-suffix entry cache
+        serves the whole result from its head node."""
         from repro.common import perfstats
         from repro.crypto import kernels
 
@@ -101,12 +102,18 @@ class TestMultiEpochSearch:
 
         kernels.clear_caches()
         perfstats.reset("trapdoor_chain.")
+        perfstats.reset("cloud.entry_cache.")
         first = cloud.search(tokens)
         assert perfstats.get("trapdoor_chain.miss") == 3  # one modexp per step
         assert perfstats.get("trapdoor_chain.hit") == 0
+        assert perfstats.get("cloud.entry_cache.miss") == 1
         again = cloud.search(tokens)
-        assert perfstats.get("trapdoor_chain.miss") == 3  # no new modexps
-        assert perfstats.get("trapdoor_chain.hit") == 3
+        # The repeat walk terminates at the cached head node: zero chain
+        # steps (neither misses nor hits) and every entry spliced.
+        assert perfstats.get("trapdoor_chain.miss") == 3
+        assert perfstats.get("trapdoor_chain.hit") == 0
+        assert perfstats.get("cloud.entry_cache.hit") == 1
+        assert perfstats.get("cloud.entry_cache.spliced_entries") == 4
         assert [r.entries for r in again.results] == [r.entries for r in first.results]
 
     def test_epoch_counters_reset(self, tparams, owner_factory):

@@ -1,0 +1,171 @@
+"""Epoch-suffix entry cache: lifecycle, incremental fold, worker export."""
+
+import pytest
+
+from repro.common import perfstats
+from repro.common.rng import default_rng
+from repro.core import entry_cache, wire
+from repro.core.cloud import CloudServer
+from repro.core.entry_cache import CacheNode, EntryCache
+from repro.core.query import Query
+from repro.core.records import Database, make_database
+from repro.core.user import DataUser
+from repro.crypto import kernels
+from repro.crypto.multiset_hash import MultisetHash
+
+
+def node(tag: bytes, value: int = 7) -> CacheNode:
+    return CacheNode((tag,), value, None)
+
+
+class TestCacheLifecycle:
+    def test_install_first_write_wins(self):
+        cache = EntryCache(max_nodes=4)
+        cache.install(b"k", node(b"first"))
+        cache.install(b"k", node(b"second"))
+        assert cache.get(b"k").entries == (b"first",)
+        assert len(cache) == 1
+
+    def test_fifo_eviction_counts(self):
+        perfstats.reset("cloud.entry_cache.")
+        cache = EntryCache(max_nodes=2)
+        cache.install(b"a", node(b"a"))
+        cache.install(b"b", node(b"b"))
+        cache.install(b"c", node(b"c"))
+        assert len(cache) == 2
+        assert cache.get(b"a") is None  # oldest evicted first
+        assert cache.get(b"b") is not None
+        assert cache.get(b"c") is not None
+        assert perfstats.get("cloud.entry_cache.evicted") == 1
+
+    def test_absorb_first_write_wins_and_silent(self):
+        perfstats.reset("cloud.entry_cache.")
+        cache = EntryCache(max_nodes=2)
+        cache.install(b"a", node(b"mine"))
+        cache.absorb([(b"a", node(b"theirs")), (b"b", node(b"b")), (b"c", node(b"c"))])
+        assert cache.get(b"a") is None or cache.get(b"a").entries == (b"mine",)
+        assert len(cache) == 2
+        # Worker-side eviction is already in the merged counter delta.
+        assert perfstats.get("cloud.entry_cache.evicted") == 0
+
+
+class TestFamilyExport:
+    def test_mark_export_absorb_roundtrip(self):
+        cache = EntryCache(max_nodes=8)
+        mark = entry_cache._family_mark()
+        cache.install(b"a", node(b"a"))
+        cache.install(b"b", node(b"b"))
+        export = entry_cache._family_export(mark)
+        assert [k for k, _ in export[cache.cache_id]] == [b"a", b"b"]
+        # Parent half: clear (simulating a cache that never saw the nodes)
+        # and fold the export back in.
+        cache.clear()
+        entry_cache._family_absorb(export)
+        assert cache.get(b"a").entries == (b"a",)
+        assert cache.get(b"b").entries == (b"b",)
+
+    def test_export_after_rotation_sends_everything(self):
+        cache = EntryCache(max_nodes=2)
+        cache.install(b"a", node(b"a"))
+        cache.install(b"b", node(b"b"))
+        mark = entry_cache._family_mark()
+        cache.install(b"c", node(b"c"))  # evicts b"a": len stays at the mark
+        export = entry_cache._family_export(mark)
+        assert sorted(k for k, _ in export.get(cache.cache_id, [])) == [b"b", b"c"]
+
+    def test_absorb_skips_dead_cache_ids(self):
+        entry_cache._family_absorb({-1: [(b"x", node(b"x"))]})  # must not raise
+
+    def test_registered_as_kernel_family(self):
+        cache = EntryCache()
+        cache.install(b"a", node(b"a"))
+        assert kernels.cache_sizes()["entry_cache"] >= 1
+        assert "entry" in kernels.cache_mark()
+        kernels.clear_caches()
+        assert len(cache) == 0
+
+    @pytest.mark.parametrize("reserved", ["hash", "trapdoor"])
+    def test_builtin_family_names_are_reserved(self, reserved):
+        with pytest.raises(ValueError, match="reserved"):
+            kernels.register_cache_family(
+                reserved, mark=dict, export_since=lambda m: {}, absorb=lambda e: None
+            )
+
+
+@pytest.fixture()
+def multi_epoch(tparams, owner_factory, monkeypatch):
+    """A 4-epoch deployment for value 7 with kernels pinned on."""
+    monkeypatch.setenv(kernels.KERNELS_ENV, "1")
+    owner = owner_factory(tparams, seed=23)
+    cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+    out = owner.build(make_database([("a", 7), ("b", 9)], bits=8))
+    cloud.install(out.cloud_package)
+    for i in range(3):
+        add = Database(8)
+        add.add(f"n{i}", 7)
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(1))
+    return owner, cloud, user
+
+
+class TestCollectFold:
+    def test_incremental_fold_matches_scratch_hash(self, multi_epoch, tparams):
+        _, cloud, user = multi_epoch
+        token = user.make_tokens(Query.parse(7, "="))[0]
+        for _ in range(2):  # cold walk, then fully-warm walk
+            collected = cloud._collect(token)
+            assert collected.hash_value is not None
+            scratch = MultisetHash.of(collected.entries, tparams.multiset_field)
+            assert collected.hash_value == scratch.value
+
+    def test_truncated_walk_bypasses_cache(self, multi_epoch):
+        _, cloud, user = multi_epoch
+        token = user.make_tokens(Query.parse(7, "="))[0]
+        before = len(cloud._entry_cache)
+        collected = cloud._collect(token, max_epochs=1)
+        assert collected.hash_value is None
+        assert collected.spliced == 0
+        assert len(cloud._entry_cache) == before  # nothing installed
+
+    def test_kernels_off_bypasses_cache(self, multi_epoch, monkeypatch):
+        _, cloud, user = multi_epoch
+        monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+        token = user.make_tokens(Query.parse(7, "="))[0]
+        collected = cloud._collect(token)
+        assert collected.hash_value is None
+        assert len(cloud._entry_cache) == 0
+
+    def test_install_keeps_cache_restore_drops_it(self, multi_epoch, tparams):
+        owner, cloud, user = multi_epoch
+        tokens = user.make_tokens(Query.parse(7, "="))
+        cloud.search(tokens)
+        assert len(cloud._entry_cache) > 0
+
+        add = Database(8)
+        add.add("later", 9)  # untouched keyword: epoch for 7 unchanged
+        out = owner.insert(add)
+        cloud.install(out.cloud_package)
+        assert len(cloud._entry_cache) > 0  # install leaves the cache intact
+        # Post-insert reference: the insert changed Ac, hence the witnesses.
+        reference = cloud.search(tokens)
+
+        snapshot = cloud.snapshot()
+        cloud.restore(snapshot)
+        assert len(cloud._entry_cache) == 0  # in-memory caches die with crash
+        again = cloud.search(tokens)
+        assert wire.dump_response(again) == wire.dump_response(reference)
+
+    def test_hole_repair_after_eviction(self, multi_epoch):
+        """Evicting deep-suffix nodes leaves a hole the walk re-probes; the
+        repaired walk still returns the full identical response."""
+        _, cloud, user = multi_epoch
+        tokens = user.make_tokens(Query.parse(7, "="))
+        first = cloud.search(tokens)
+        # Evict the oldest (deepest-epoch) node only.
+        nodes = cloud._entry_cache.nodes
+        del nodes[next(iter(nodes))]
+        perfstats.reset("cloud.entry_cache.")
+        repaired = cloud.search(tokens)
+        assert wire.dump_response(repaired) == wire.dump_response(first)
+        assert perfstats.get("cloud.entry_cache.hit") == 1  # head still cached

@@ -281,11 +281,13 @@ class TestLifecycle:
         fixed_base_pow(acc_params.generator, acc_params.modulus, 1 << FIXED_BASE_MIN_EXP_BITS)
         assert any(kernels.cache_sizes().values())
         kernels.clear_caches()
-        assert kernels.cache_sizes() == {
-            "hash_to_prime": 0,
-            "fixed_base_tables": 0,
-            "trapdoor_chain": 0,
-        }
+        sizes = kernels.cache_sizes()
+        # Registered cache families (e.g. the cloud's entry cache) append
+        # their own keys; everything must read empty after a clear.
+        assert sizes["hash_to_prime"] == 0
+        assert sizes["fixed_base_tables"] == 0
+        assert sizes["trapdoor_chain"] == 0
+        assert all(count == 0 for count in sizes.values())
 
     @pytest.mark.parametrize("value,expected", [
         ("0", False), ("false", False), ("OFF", False), ("no", False),

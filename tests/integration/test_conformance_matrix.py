@@ -155,6 +155,48 @@ class TestConformanceMatrix:
         assert perfstats.get("retry.attempts") > 0
 
 
+class TestWarmCacheColumn:
+    """The epoch-suffix entry cache adds a warm column to the matrix: every
+    shape runs twice on the same system, and the verdicts must be identical
+    cold and warm — a cached walk changes what the cloud *computes*, never
+    what the verifier *accepts*.  In particular OMIT_OLD_EPOCHS (whose
+    truncated walk bypasses the cache) and TAMPER_ENTRY are caught the same
+    way when the honest base response came out of the cache."""
+
+    WARM_BEHAVIORS = [None, Misbehavior.OMIT_OLD_EPOCHS, Misbehavior.TAMPER_ENTRY]
+
+    @pytest.mark.parametrize(
+        "behavior",
+        WARM_BEHAVIORS,
+        ids=lambda b: "honest" if b is None else b.value,
+    )
+    def test_verdicts_identical_cold_and_warm(
+        self, tparams, owner_factory, behavior, monkeypatch
+    ):
+        from repro.crypto import kernels
+
+        monkeypatch.setenv(kernels.KERNELS_ENV, "1")
+        kernels.clear_caches()
+        system = build_cell(tparams, owner_factory, behavior, profile_named("clean"))
+        runs = []
+        for leg in ("cold", "warm"):
+            perfstats.reset("cloud.entry_cache.")
+            verdicts = {}
+            for shape_name, run_shape in SHAPES:
+                sides = run_shape(system)
+                assert all(o.settled and o.error is None for o in sides)
+                verdicts[shape_name] = tuple(o.verified for o in sides)
+            runs.append(verdicts)
+            if leg == "warm":
+                # The warm leg really was warm: repeats hit the cache.
+                assert perfstats.get("cloud.entry_cache.hit") > 0
+        assert runs[0] == runs[1], behavior
+        if behavior is None:
+            assert all(all(v) for v in runs[0].values())
+        else:
+            assert runs[0]["eq"] == (False,)  # tampering caught, both legs
+
+
 class TestCrashRecoveryInMatrix:
     def test_forced_crashes_rebuild_witness_cache_and_still_pay(
         self, tparams, owner_factory

@@ -81,3 +81,62 @@ class TestReportCommand:
     def test_no_inputs_prints_hint(self, capsys):
         assert main(["report"]) == 0
         assert "nothing to report" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def metrics_file(tmp_path):
+    path = tmp_path / "BENCH_fake.json"
+    path.write_text(json.dumps({
+        "counters": {
+            "cloud.entry_cache.hit": 9,
+            "cloud.entry_cache.miss": 3,
+            "cloud.entry_cache.spliced_entries": 42,
+            "cloud.entry_cache.evicted": 1,
+            "cloud.collect.index_probes": 17,
+            "batch.unique_tokens": 5,
+            "batch.dedup_saved": 7,
+            "hash_to_prime.hit": 2,
+            "hash_to_prime.miss": 8,
+        }
+    }))
+    return str(path)
+
+
+class TestMetricsSection:
+    def test_cache_table_and_savings(self, metrics_file, capsys):
+        assert main(["report", "--metrics", metrics_file]) == 0
+        out = capsys.readouterr().out
+        assert "cloud.entry_cache" in out and "0.75" in out
+        assert "spliced 42 entries" in out
+        assert "17 index probes" in out
+        assert "5 unique tokens" in out and "7 duplicate collections" in out
+
+    def test_never_consulted_cache_shows_na(self, metrics_file, capsys):
+        """A known cache with zero hits and misses renders as n/a, not 0.00 —
+        never-asked is a different finding than always-missing."""
+        assert main(["report", "--metrics", metrics_file]) == 0
+        out = capsys.readouterr().out
+        trapdoor_row = next(
+            line for line in out.splitlines() if line.startswith("trapdoor_chain")
+        )
+        assert "n/a" in trapdoor_row
+
+    def test_json_stats(self, metrics_file, capsys):
+        assert main(["report", "--metrics", metrics_file, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cloud.entry_cache"]["hits"] == 9
+        assert stats["cloud.entry_cache"]["hit_rate"] == 0.75
+        assert stats["cloud.entry_cache"]["evicted"] == 1
+        assert stats["trapdoor_chain"]["hit_rate"] is None
+
+    def test_raw_counter_dict_accepted(self, tmp_path, capsys):
+        path = tmp_path / "counters.json"
+        path.write_text(json.dumps({"cloud.entry_cache.hit": 1, "cloud.entry_cache.miss": 1}))
+        assert main(["report", "--metrics", str(path)]) == 0
+        assert "0.50" in capsys.readouterr().out
+
+    def test_non_counter_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"counters": {"x": "not-an-int"}}))
+        assert main(["report", "--metrics", str(path)]) == 1
+        assert "not a counter snapshot" in capsys.readouterr().err

@@ -5,7 +5,12 @@ import pytest
 from repro.common.errors import ParameterError
 from repro.common.rng import default_rng
 from repro.core.query import MatchCondition
-from repro.workloads.generator import ValueDistribution, WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import (
+    QueryPopularity,
+    ValueDistribution,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 
 
 @pytest.fixture()
@@ -96,3 +101,41 @@ class TestQueryGeneration:
         qs = gen.mixed_queries(10, 8, equality_fraction=0.3)
         eq = sum(1 for q in qs if q.condition is MatchCondition.EQUAL)
         assert eq == 3
+
+
+class TestPopularQueries:
+    def test_stream_drawn_from_pool(self, gen):
+        pool = gen.mixed_queries(6, 8)
+        stream = gen.popular_queries(40, 8, pool=pool)
+        assert len(stream) == 40
+        assert all(q in pool for q in stream)
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(default_rng(5)).popular_queries(30, 8)
+        b = WorkloadGenerator(default_rng(5)).popular_queries(30, 8)
+        assert a == b
+
+    def test_zipf_repeats_more_than_uniform(self):
+        """Skewed traffic concentrates on fewer distinct queries — the
+        repeat-heavy regime the entry cache targets."""
+
+        def distinct(popularity):
+            gen = WorkloadGenerator(default_rng(5))
+            pool = gen.mixed_queries(32, 8)
+            stream = gen.popular_queries(64, 8, popularity=popularity, pool=pool)
+            return len({(q.value, q.condition) for q in stream})
+
+        assert distinct(QueryPopularity.ZIPF) < distinct(QueryPopularity.UNIFORM)
+
+    def test_zipf_head_dominates(self, gen):
+        pool = gen.mixed_queries(16, 8)
+        stream = gen.popular_queries(200, 8, pool=pool, zipf_s=1.5)
+        head_hits = sum(1 for q in stream if q == pool[0])
+        # Rank 1 of Zipf(1.5, 16) carries far more than the uniform 1/16.
+        assert head_hits / len(stream) > 0.25
+
+    def test_invalid_pool(self, gen):
+        with pytest.raises(ParameterError):
+            gen.popular_queries(5, 8, pool_size=0)
+        with pytest.raises(ParameterError):
+            gen.popular_queries(5, 8, pool=[])
