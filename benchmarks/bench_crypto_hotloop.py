@@ -1,0 +1,343 @@
+"""Crypto hot-loop benchmark: staged primality pipeline + modmath backends.
+
+Two claims this file substantiates, one machine-independent and one timed:
+
+* **Witness-schedule reduction (counter evidence).**  The seed code ran the
+  full deterministic Miller-Rabin witness schedule (13 proven bases below
+  3.3e24, 40 random rounds above) on every candidate that survived the
+  primorial gcd.  The staged pipeline pays one base-2 round per surviving
+  candidate and completes with a single strong Lucas test (below 2^64) or
+  the remaining schedule only for probable primes.  Both pipelines are
+  replayed here over the *same* deterministic ``H_prime`` candidate streams
+  and their round counts compared exactly — no clocks involved, so the
+  >= 3x reduction gates in CI on any hardware.
+* **Cold Build/Insert wall-clock (timed evidence).**  The same deployment
+  flow runs once per available modmath backend with the new pipeline and
+  once with a legacy-equivalent shim (identical accept/reject decisions,
+  seed-code witness schedule), asserting byte-identical outputs before any
+  timing is recorded.  The committed JSON records the measured speedup.
+
+The legacy shim is injected by monkeypatching the ``test_candidate``
+reference ``hash_to_prime`` holds — the production tree carries no legacy
+code path or env knob.
+"""
+
+from __future__ import annotations
+
+from _harness import touch_benchmark, write_report
+from repro.common.rng import default_rng
+from repro.common.timing import time_call
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import KeyBundle, SlicerParams
+from repro.core.query import Query
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.crypto import hash_to_prime as h2p_module
+from repro.crypto import kernels, modmath
+from repro.crypto.accumulator import AccumulatorParams
+from repro.crypto.hash_to_prime import HashToPrime
+from repro.crypto.primes import (
+    _DETERMINISTIC_BOUND,
+    _DETERMINISTIC_WITNESSES,
+    _miller_rabin_round,
+    _presieve_ok,
+    CandidateVerdict,
+)
+from repro.crypto.primes import test_candidate as check_candidate
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+BITS = 8
+N_RECORDS = 140
+N_INSERT = 40
+
+#: Random witness rounds the seed code ran above the proven bound.
+LEGACY_RANDOM_ROUNDS = 40
+
+#: The counter leg must show at least this much witness-schedule reduction
+#: at smoke scale (64-bit representatives) — the ISSUE acceptance floor.
+MIN_ROUND_REDUCTION = 3.0
+
+#: Interleaved repetitions per timing arm; best-of-N is reported.
+TIMING_REPS = 3
+
+_KEYS = KeyBundle.generate(default_rng(2026), 1024)
+
+_RESULTS: dict = {}
+
+
+# ------------------------------------------------- legacy pipeline replay
+
+
+def _legacy_rounds(n: int, rng) -> int:
+    """MR rounds the seed pipeline would execute on candidate ``n``.
+
+    Mirrors the seed ``is_prime``: primorial gcd, then the witness schedule
+    run to first failure.  ``rng`` stands in for the seed code's shared RNG
+    above the proven bound (witness *values* differ from any historical run,
+    but the expected round count does not).
+    """
+    if n < 2 or not _presieve_ok(n):
+        return 0
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    else:
+        witnesses = [rng.randrange(2, n - 1) for _ in range(LEGACY_RANDOM_ROUNDS)]
+    rounds = 0
+    for a in witnesses:
+        rounds += 1
+        if not _miller_rabin_round(n, a, d, r):
+            break
+    return rounds
+
+
+def _legacy_test_candidate(n: int) -> CandidateVerdict:
+    """Decision-equivalent legacy pipeline for the wall-clock A/B.
+
+    Runs the seed witness schedule (full deterministic list below 3.3e24)
+    and reports its cost through the same verdict type, so the instrumented
+    ``H_prime`` walk — and every byte derived from it — is unchanged; only
+    the work per candidate differs.  Valid for benchmark representatives
+    (64-bit), which sit entirely below the proven bound where both
+    pipelines are deterministically correct.
+    """
+    if n < 2:
+        return CandidateVerdict(False, 0, 0, True)
+    if not _presieve_ok(n):
+        return CandidateVerdict(False, 0, 0, True)
+    if n <= 349:
+        return check_candidate(n)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    rounds = 0
+    for a in witnesses:
+        rounds += 1
+        if not _miller_rabin_round(n, a, d, r):
+            return CandidateVerdict(False, rounds, 0, rounds == 1)
+    return CandidateVerdict(True, rounds, 0, False)
+
+
+def _candidate_streams(prime_bits: int, walks: int) -> list[int]:
+    """Every candidate the deterministic ``H_prime`` walks visit."""
+    h = HashToPrime(prime_bits)
+    candidates: list[int] = []
+    for i in range(walks):
+        data = b"hotloop" + i.to_bytes(4, "big")
+        counter = 0
+        while True:
+            candidate = h._candidate(data, counter)
+            candidates.append(candidate)
+            if check_candidate(candidate).probable_prime:
+                break
+            counter += 1
+    return candidates
+
+
+def _round_comparison(prime_bits: int, walks: int) -> dict:
+    candidates = _candidate_streams(prime_bits, walks)
+    rng = default_rng(0xC0FFEE)
+    legacy = sum(_legacy_rounds(n, rng) for n in candidates)
+    new_mr = 0
+    new_lucas = 0
+    fast_rejects = 0
+    for n in candidates:
+        verdict = check_candidate(n)
+        new_mr += verdict.mr_rounds
+        new_lucas += verdict.lucas_tests
+        fast_rejects += verdict.fast_reject
+    new_total = new_mr + new_lucas
+    return {
+        "prime_bits": prime_bits,
+        "walks": walks,
+        "candidates": len(candidates),
+        "fast_rejects": fast_rejects,
+        "legacy_mr_rounds": legacy,
+        "new_mr_rounds": new_mr,
+        "new_lucas_tests": new_lucas,
+        "round_reduction_mr_only": legacy / new_mr if new_mr else 0.0,
+        "round_reduction_total": legacy / new_total if new_total else 0.0,
+    }
+
+
+# ----------------------------------------------------- timed deployment flow
+
+
+def _run_flow() -> tuple[dict[str, float], dict]:
+    """Cold Build -> search -> Insert -> search, every seed fixed."""
+    params = SlicerParams(
+        value_bits=BITS,
+        prime_bits=64,
+        accumulator=AccumulatorParams.demo(512, default_rng(7)),
+    )
+    generator = WorkloadGenerator(default_rng(6100))
+    database = generator.database(WorkloadSpec(N_RECORDS, BITS))
+    add = generator.database(WorkloadSpec(N_INSERT, BITS))
+
+    kernels.clear_caches()
+    owner = DataOwner(params, keys=_KEYS, rng=default_rng(61))
+    build_s, out = time_call(lambda: owner.build(database))
+    cloud = CloudServer(params, _KEYS.trapdoor.public)
+    cloud.install(out.cloud_package)
+    user = DataUser(params, out.user_package, default_rng(5))
+
+    tokens = user.make_tokens(Query.parse(64, ">"))
+    search_s, response = time_call(lambda: cloud.search(tokens))
+    report = verify_response(params, cloud.ads_value, response)
+    assert report.ok
+
+    insert_s, out2 = time_call(lambda: owner.insert(add))
+    cloud.install(out2.cloud_package)
+    user.refresh(out2.user_package)
+    tokens2 = user.make_tokens(Query.parse(64, "<"))
+    search2_s, response2 = time_call(lambda: cloud.search(tokens2))
+    assert verify_response(params, cloud.ads_value, response2).ok
+
+    timings = {
+        "build_s": build_s,
+        "search_s": search_s,
+        "insert_s": insert_s,
+        "search_after_insert_s": search2_s,
+    }
+    outputs = {
+        "primes": list(out.cloud_package.primes) + list(out2.cloud_package.primes),
+        "ads": (out.chain_ads, out2.chain_ads),
+        "final_ads": cloud.ads_value,
+        "entries": [r.entries for r in response.results]
+        + [r.entries for r in response2.results],
+        "witnesses": [r.witness.value for r in response.results]
+        + [r.witness.value for r in response2.results],
+    }
+    return timings, outputs
+
+
+def _with_legacy_pipeline(fn):
+    """Run ``fn`` with the decision-equivalent seed witness schedule."""
+    original = h2p_module.test_candidate
+    h2p_module.test_candidate = _legacy_test_candidate
+    try:
+        return fn()
+    finally:
+        h2p_module.test_candidate = original
+
+
+# ------------------------------------------------------------------- tests
+
+
+def test_round_reduction(benchmark):
+    """Machine-independent gate: the staged pipeline cuts witness rounds by
+    >= 3x at smoke scale (and records the 256-bit figure alongside)."""
+
+    def measure():
+        _RESULTS["rounds_64"] = _round_comparison(64, walks=400)
+        _RESULTS["rounds_256"] = _round_comparison(256, walks=40)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    reduction = _RESULTS["rounds_64"]["round_reduction_total"]
+    assert reduction >= MIN_ROUND_REDUCTION, (
+        f"witness-round reduction {reduction:.2f}x below the "
+        f"{MIN_ROUND_REDUCTION}x floor"
+    )
+
+
+def test_backend_wallclock(benchmark):
+    """Timed legs: new-vs-legacy pipeline A/B per available modmath backend,
+    byte-identity asserted before any timing counts."""
+
+    def measure():
+        reference = None
+        backends = {}
+        for name in modmath.available_backends():
+            modmath.set_backend(name)
+            try:
+                # Interleave the arms and keep the per-metric minimum: the
+                # flows are sub-second, so best-of-N cancels scheduler and
+                # allocator drift that a single A/B pair cannot.
+                legacy_t: dict[str, float] = {}
+                new_t: dict[str, float] = {}
+                legacy_out = new_out = None
+                for _ in range(TIMING_REPS):
+                    t, legacy_out = _with_legacy_pipeline(_run_flow)
+                    legacy_t = {k: min(v, legacy_t.get(k, v)) for k, v in t.items()}
+                    t, new_out = _run_flow()
+                    new_t = {k: min(v, new_t.get(k, v)) for k, v in t.items()}
+            finally:
+                modmath.set_backend(None)
+            assert new_out == legacy_out, f"{name}: pipeline changed protocol bytes"
+            if reference is None:
+                reference = new_out
+            else:
+                assert new_out == reference, f"{name}: backend changed protocol bytes"
+
+            def ratio(a: float, b: float) -> float:
+                return a / b if b else 0.0
+
+            backends[name] = {
+                "legacy": legacy_t,
+                "new": new_t,
+                "timing_reps": TIMING_REPS,
+                "speedup_vs_legacy": {
+                    k: ratio(legacy_t[k], new_t[k]) for k in new_t
+                },
+            }
+        _RESULTS["backends"] = backends
+        _RESULTS["outputs_identical"] = True
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    build_speedups = [
+        b["speedup_vs_legacy"]["build_s"] for b in _RESULTS["backends"].values()
+    ]
+    # The ISSUE asks for a measured cold Build win on at least one backend;
+    # the floor is conservative because CI hardware is noisy.
+    assert max(build_speedups) > 1.1, f"no Build speedup measured: {build_speedups}"
+
+
+def test_hotloop_report(benchmark):
+    touch_benchmark(benchmark)
+    r64 = _RESULTS["rounds_64"]
+    r256 = _RESULTS["rounds_256"]
+    lines = [
+        "Crypto hot loop: staged primality pipeline vs seed witness schedule",
+        "",
+        f"64-bit representatives ({r64['walks']} H_prime walks, "
+        f"{r64['candidates']} candidates, {r64['fast_rejects']} fast-rejected):",
+        f"  legacy MR rounds : {r64['legacy_mr_rounds']}",
+        f"  new MR rounds    : {r64['new_mr_rounds']} "
+        f"(+{r64['new_lucas_tests']} Lucas completions)",
+        f"  reduction        : {r64['round_reduction_total']:.2f}x "
+        f"(MR-only {r64['round_reduction_mr_only']:.2f}x)",
+        "",
+        f"256-bit representatives ({r256['walks']} walks, "
+        f"{r256['candidates']} candidates):",
+        f"  legacy MR rounds : {r256['legacy_mr_rounds']}",
+        f"  new MR rounds    : {r256['new_mr_rounds']} "
+        f"(+{r256['new_lucas_tests']} Lucas completions)",
+        f"  reduction        : {r256['round_reduction_total']:.2f}x",
+        "",
+        "Cold deployment wall-clock (new pipeline vs legacy shim):",
+    ]
+    for name, data in _RESULTS["backends"].items():
+        s = data["speedup_vs_legacy"]
+        lines.append(
+            f"  [{name}] build {data['new']['build_s']:.3f}s "
+            f"({s['build_s']:.2f}x), insert {data['new']['insert_s']:.3f}s "
+            f"({s['insert_s']:.2f}x), search {data['new']['search_s']:.4f}s"
+        )
+    write_report(
+        "crypto_hotloop",
+        "\n".join(lines),
+        data={
+            "modmath": modmath.backend_info(),
+            "round_reduction_floor": MIN_ROUND_REDUCTION,
+            **_RESULTS,
+        },
+    )
+    assert _RESULTS["outputs_identical"]

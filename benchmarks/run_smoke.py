@@ -44,6 +44,7 @@ from repro.core.params import KeyBundle  # noqa: E402
 from repro.core.query import Query  # noqa: E402
 from repro.core.user import DataUser  # noqa: E402
 from repro.core.verify import verify_response  # noqa: E402
+from repro.crypto import modmath  # noqa: E402
 from repro.obs import audit as obs_audit  # noqa: E402
 from repro.obs import trace  # noqa: E402
 from repro.obs.metrics import REGISTRY  # noqa: E402
@@ -232,6 +233,7 @@ def run_plain() -> int:
         "value_bits": BITS,
         "primes": cloud.prime_count,
         "workers": bench_workers(),
+        "modmath_backend": modmath.backend_info()["active"],
         "all_verified": True,
     }
     rows = [("Metric", "value")] + [

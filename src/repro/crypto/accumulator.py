@@ -33,7 +33,7 @@ from math import gcd
 from ..common.errors import AccumulatorError, ParameterError
 from ..common.rng import DeterministicRNG, default_rng
 from . import kernels
-from .modmath import mod_inverse, product
+from .modmath import mod_inverse, powmod, product
 from .primes import is_prime, random_safe_prime
 
 # Precomputed safe primes for demo/test parameter sets (generated once with
@@ -189,7 +189,7 @@ class Accumulator:
         self._check_prime(x)
         if x not in self._primes:
             self._primes[x] = None
-            self._value = pow(self._value, x, self.params.modulus)
+            self._value = powmod(self._value, x, self.params.modulus)
         return self._value
 
     def add_many(self, xs: list[int]) -> int:
@@ -210,7 +210,7 @@ class Accumulator:
                 # fixed generator, so the windowed table kernel applies.
                 self._value = kernels.fixed_base_pow(self.params.generator, n, exponent)
             else:
-                self._value = pow(self._value, exponent, n)
+                self._value = kernels.witness_pow(self._value, exponent, n)
         return self._value
 
     def remove(self, x: int) -> int:
@@ -227,7 +227,7 @@ class Accumulator:
         n = self.params.modulus
         if self.params.has_trapdoor:
             inv = mod_inverse(x, self.params.phi())
-            self._value = pow(self._value, inv, n)
+            self._value = powmod(self._value, inv, n)
         else:
             self._value = kernels.fixed_base_pow(
                 self.params.generator, n, product(list(self._primes))
@@ -283,7 +283,7 @@ def verify_membership(
     """``VerifyMem``: check ``witness^x == Ac`` — what the contract runs."""
     if x < 2:
         return False
-    return pow(witness.value, x, params.modulus) == accumulated % params.modulus
+    return powmod(witness.value, x, params.modulus) == accumulated % params.modulus
 
 
 def verify_membership_batch(
@@ -330,10 +330,10 @@ def verify_nonmembership(
     n = params.modulus
     a = witness.a
     if a >= 0:
-        lhs = pow(accumulated, a, n)
+        lhs = powmod(accumulated, a, n)
     else:
-        lhs = pow(mod_inverse(accumulated, n), -a, n)
-    rhs = (params.generator * pow(witness.d, x, n)) % n
+        lhs = powmod(mod_inverse(accumulated, n), -a, n)
+    rhs = (params.generator * powmod(witness.d, x, n)) % n
     return lhs == rhs
 
 

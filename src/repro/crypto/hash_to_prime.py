@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import hashlib
 
+from ..common import perfstats
 from ..common.errors import ParameterError
-from .primes import is_prime
+from .primes import test_candidate
 
 DEFAULT_PRIME_BITS = 256
 
@@ -56,12 +57,34 @@ class HashToPrime:
 
         The simulated smart contract charges hashing gas per candidate, so it
         needs to know how many counter steps the deterministic walk took.
+
+        Each candidate goes through the staged fast-rejection pipeline
+        (:func:`repro.crypto.primes.test_candidate`); the walk publishes its
+        cost accounting as ``hprime.*`` perf counters.  The counters are
+        value-deterministic — a function of the candidate integers alone —
+        so they participate in the exact-counter CI gate.
         """
+        stats = perfstats.STATS
         counter = 0
-        while True:
-            candidate = self._candidate(data, counter)
-            if is_prime(candidate):
-                return candidate, counter + 1
-            counter += 1
+        candidates = 0
+        mr_rounds = 0
+        lucas_tests = 0
+        fast_rejects = 0
+        try:
+            while True:
+                candidate = self._candidate(data, counter)
+                verdict = test_candidate(candidate)
+                candidates += 1
+                mr_rounds += verdict.mr_rounds
+                lucas_tests += verdict.lucas_tests
+                fast_rejects += verdict.fast_reject
+                if verdict.probable_prime:
+                    return candidate, counter + 1
+                counter += 1
+        finally:
+            stats.incr("hprime.candidates", candidates)
+            stats.incr("hprime.mr_rounds", mr_rounds)
+            stats.incr("hprime.lucas_tests", lucas_tests)
+            stats.incr("hprime.fast_rejects", fast_rejects)
 
     __call__ = hash_to_prime

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 
 from ..common.errors import ParameterError
+from . import modmath
 
 # A fixed 256-bit prime field modulus (2^256 - 189, the largest 256-bit prime).
 DEFAULT_FIELD_PRIME = 2**256 - 189
@@ -64,10 +65,10 @@ class MultisetHash:
     @classmethod
     def of(cls, elements: list[bytes] | tuple[bytes, ...], q: int = DEFAULT_FIELD_PRIME) -> "MultisetHash":
         """Hash a whole multiset of byte strings."""
-        acc = 1
-        for element in elements:
-            acc = (acc * cls._element_hash(element, q)) % q
-        return cls(acc, q)
+        return cls(
+            modmath.product_mod([cls._element_hash(element, q) for element in elements], q),
+            q,
+        )
 
     @classmethod
     def of_one(cls, element: bytes, q: int = DEFAULT_FIELD_PRIME) -> "MultisetHash":
@@ -90,7 +91,7 @@ class MultisetHash:
         deletion extension (paper Section V.F) relies on this.
         """
         self._check_field(other)
-        return MultisetHash((self.value * pow(other.value, -1, self.q)) % self.q, self.q)
+        return MultisetHash((self.value * modmath.invert(other.value, self.q)) % self.q, self.q)
 
     def _check_field(self, other: "MultisetHash") -> None:
         if self.q != other.q:

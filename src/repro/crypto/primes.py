@@ -1,17 +1,31 @@
 """Primality testing and prime generation.
 
-Implements Miller-Rabin (deterministic for 64-bit inputs, randomized above),
-random prime sampling, and safe-prime generation for the RSA accumulator
-setup (paper Section III.B requires ``n = p*q`` with ``p, q`` safe primes so
-that ``QR_n`` has large prime-order subgroups).
+Implements a staged fast-rejection pipeline (primorial gcd → base-2 strong
+probable prime → Baillie–PSW below 2^64 → proven Miller-Rabin witness set
+below 3.3e24 → fixed hash-derived witness schedule above), plus random prime
+sampling and safe-prime generation for the RSA accumulator setup (paper
+Section III.B requires ``n = p*q`` with ``p, q`` safe primes so that ``QR_n``
+has large prime-order subgroups).
+
+The pipeline is *deterministic at every size*: for inputs above the proven
+Miller-Rabin band, witnesses are derived from ``n`` itself via SHA-256 in
+counter mode rather than drawn from the shared deterministic RNG stream.
+(The seed code drew 40 witnesses from ``default_rng()``, silently coupling
+primality testing to every seeded protocol sequence that followed — see the
+stream-parity regression test.)  Determinism also means the owner, the cloud
+and the simulated contract agree on the exact candidate walk ``H_prime``
+performs, which the contract charges gas on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+from typing import NamedTuple
 
 from ..common.errors import ParameterError
 from ..common.rng import DeterministicRNG, default_rng
+from . import modmath
 
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -20,15 +34,55 @@ _SMALL_PRIMES = [
     233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313,
     317, 331, 337, 347, 349,
 ]
+_SMALL_PRIME_SET = frozenset(_SMALL_PRIMES)
 
 # Deterministic Miller-Rabin witnesses valid for all n < 3.3 * 10^24
 # (Sorenson & Webster), which comfortably covers 64-bit inputs.
 _DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+# Above the proven band: 24 witnesses derived from n by SHA-256 counter mode.
+# Error probability <= 4^-24 per the standard Miller-Rabin bound (and far
+# lower for uniformly random witnesses, per Damgård-Landrock-Pomerance).
+HASH_WITNESS_ROUNDS = 24
+_WITNESS_DOMAIN = b"repro/mr-witness/v1"
+
+_PRIMORIAL = math.prod(_SMALL_PRIMES)
+_LARGEST_SMALL_PRIME = _SMALL_PRIMES[-1]
+
+
+class CandidateVerdict(NamedTuple):
+    """Outcome and cost accounting of one primality pipeline run.
+
+    ``fast_reject`` is True when the candidate was discarded before entering
+    the witness schedule — by the primorial gcd (``mr_rounds == 0``) or by
+    the base-2 strong-probable-prime early exit (``mr_rounds == 1``).
+    ``mr_rounds`` counts every strong-probable-prime round executed,
+    including the base-2 one; ``lucas_tests`` counts strong Lucas tests
+    (the Baillie–PSW second stage used below 2^64).
+    """
+
+    probable_prime: bool
+    mr_rounds: int
+    lucas_tests: int
+    fast_reject: bool
+
+
+def _presieve_ok(n: int) -> bool:
+    """True when ``n`` has no prime factor <= 349 (or *is* such a prime).
+
+    One gcd against the small-prime primorial is much faster in CPython than
+    seventy trial divisions.  Exactness matters: ``g == n`` only certifies
+    ``n`` when ``n`` is itself one of the sieve primes (e.g. 15 divides the
+    primorial without being prime).
+    """
+    g = modmath.gcd(n, _PRIMORIAL)
+    return g == 1 or (g == n and n in _SMALL_PRIME_SET)
 
 
 def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
     """One Miller-Rabin round; True means 'probably prime for witness a'."""
-    x = pow(a, d, n)
+    x = modmath.powmod(a, d, n)
     if x in (1, n - 1):
         return True
     for _ in range(r - 1):
@@ -38,36 +92,147 @@ def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
     return False
 
 
-_PRIMORIAL = math.prod(_SMALL_PRIMES)
-_LARGEST_SMALL_PRIME = _SMALL_PRIMES[-1]
+def _jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd positive ``n``."""
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
 
 
-def is_prime(n: int, rng: DeterministicRNG | None = None, rounds: int = 40) -> bool:
-    """Miller-Rabin primality test.
+def _lucas_strong_prp(n: int) -> bool:
+    """Strong Lucas probable-prime test with Selfridge's Method A parameters.
 
-    Deterministic (proven) below 3.3e24; otherwise ``rounds`` random
-    witnesses give error probability <= 4**-rounds.  Small-factor rejection
-    uses one gcd against the small-prime primorial, which is much faster in
-    CPython than seventy trial divisions — ``H_prime`` calls this in a hot
-    loop during ADS construction.
+    Callers guarantee ``n`` is odd, > 349, coprime to the primorial and not
+    a perfect square (the D-search below does not terminate for squares).
+    Combined with the base-2 strong-probable-prime test this is Baillie–PSW,
+    which has no known counterexample and is verified exhaustively correct
+    below 2^64 (Feitsma/Gilchrist).
+    """
+    d = 5
+    while True:
+        j = _jacobi(d, n)
+        if j == 0:
+            # gcd(|d|, n) is a nontrivial factor (n > |d| here).
+            return abs(d) == n
+        if j == -1:
+            break
+        d = -(d + 2) if d > 0 else -(d - 2)  # 5, -7, 9, -11, ...
+    q = (1 - d) // 4
+
+    def half(x: int) -> int:
+        x %= n
+        return (x + n) // 2 if x & 1 else x // 2
+
+    # n + 1 = k * 2^s with k odd.
+    k = (n + 1) >> 1
+    s = 1
+    while not k & 1:
+        k >>= 1
+        s += 1
+    # Left-to-right double-and-add of the Lucas chain with P = 1:
+    # U_1 = 1, V_1 = P; doubling m -> 2m, increment via the P=1 identities.
+    u, v, qk = 1, 1, q % n
+    for bit in bin(k)[3:]:
+        u = u * v % n
+        v = (v * v - 2 * qk) % n
+        qk = qk * qk % n
+        if bit == "1":
+            u, v = half(u + v), half(d * u + v)
+            qk = qk * q % n
+    if u == 0 or v == 0:
+        return True
+    for _ in range(s - 1):
+        v = (v * v - 2 * qk) % n
+        if v == 0:
+            return True
+        qk = qk * qk % n
+    return False
+
+
+def _derived_witnesses(n: int, count: int):
+    """Yield ``count`` Miller-Rabin witnesses in [2, n-2] derived from ``n``.
+
+    SHA-256 in counter mode over ``n`` itself: deterministic, independent of
+    any RNG stream, and unpredictable enough that no fixed adversarial
+    composite family is known to defeat it.  Eight extra bytes of hash
+    output make the modular bias below 2^-64.
+    """
+    n_bytes = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    span = n - 3
+    width = (span.bit_length() + 7) // 8 + 8
+    for i in range(count):
+        material = b""
+        block = 0
+        while len(material) < width:
+            material += hashlib.sha256(
+                _WITNESS_DOMAIN
+                + i.to_bytes(4, "big")
+                + block.to_bytes(4, "big")
+                + n_bytes
+            ).digest()
+            block += 1
+        yield 2 + int.from_bytes(material[:width], "big") % span
+
+
+def test_candidate(n: int) -> CandidateVerdict:
+    """Run the full fast-rejection pipeline on ``n`` with cost accounting.
+
+    Stages, cheapest first:
+
+    1. primorial gcd (rejects ~80% of odd candidates for free),
+    2. base-2 strong probable prime (rejects essentially every surviving
+       composite with a single modexp),
+    3. below 2^64: one strong Lucas test completes Baillie–PSW, which is
+       deterministically correct there — no further rounds needed,
+    4. below 3.3e24: the remaining proven Sorenson-Webster witnesses,
+    5. above: ``HASH_WITNESS_ROUNDS`` hash-derived witnesses.
     """
     if n < 2:
-        return False
+        return CandidateVerdict(False, 0, 0, True)
     if n <= _LARGEST_SMALL_PRIME:
-        return n in _SMALL_PRIMES
-    if math.gcd(n, _PRIMORIAL) != 1:
-        return False
+        return CandidateVerdict(n in _SMALL_PRIME_SET, 0, 0, True)
+    if not _presieve_ok(n):
+        return CandidateVerdict(False, 0, 0, True)
     d = n - 1
     r = 0
     while d % 2 == 0:
         d //= 2
         r += 1
-    if n < 3_317_044_064_679_887_385_961_981:
-        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    if not _miller_rabin_round(n, 2, d, r):
+        return CandidateVerdict(False, 1, 0, True)
+    if n < 1 << 64:
+        if math.isqrt(n) ** 2 == n:
+            return CandidateVerdict(False, 1, 0, False)
+        return CandidateVerdict(_lucas_strong_prp(n), 1, 1, False)
+    if n < _DETERMINISTIC_BOUND:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES[1:] if a < n]
     else:
-        rng = rng or default_rng()
-        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
-    return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+        witnesses = _derived_witnesses(n, HASH_WITNESS_ROUNDS)
+    rounds = 1
+    for a in witnesses:
+        rounds += 1
+        if not _miller_rabin_round(n, a, d, r):
+            return CandidateVerdict(False, rounds, 0, False)
+    return CandidateVerdict(True, rounds, 0, False)
+
+
+def is_prime(n: int, rng: DeterministicRNG | None = None, rounds: int = 40) -> bool:
+    """Primality test (staged pipeline, deterministic at every input size).
+
+    ``rng`` and ``rounds`` are retained for call-site compatibility but
+    ignored: witnesses above the proven band are derived from ``n`` itself
+    (SHA-256 counter mode), so calling this never consumes RNG state.
+    """
+    return test_candidate(n).probable_prime
 
 
 def next_prime(n: int) -> int:
@@ -89,16 +254,24 @@ def random_prime(bits: int, rng: DeterministicRNG | None = None) -> int:
     rng = rng or default_rng()
     while True:
         candidate = rng.randbits(bits) | (1 << (bits - 1)) | 1
-        if is_prime(candidate, rng):
+        # The explicit pre-sieve skips the pipeline call for ~80% of
+        # candidates; it makes exactly the decisions stage 1 would, so the
+        # sampled stream is unchanged.
+        if not _presieve_ok(candidate):
+            continue
+        if is_prime(candidate):
             return candidate
 
 
 def random_safe_prime(bits: int, rng: DeterministicRNG | None = None) -> int:
     """Sample a ``bits``-bit safe prime ``p`` (i.e. ``(p-1)/2`` also prime).
 
-    Uses the standard search over Sophie Germain candidates with trial
-    division pre-sieving; safe primes are sparse, so this dominates
-    accumulator setup time for large moduli (done once per deployment).
+    Uses the standard search over Sophie Germain candidates; safe primes are
+    sparse, so generation dominates accumulator setup time for large moduli
+    (done once per deployment).  The joint pre-sieve is two primorial gcds —
+    the same shared rejection ``is_prime`` uses — instead of the seed code's
+    ~70-iteration trial-division loop; it accepts and rejects exactly the
+    same candidates, so seeded sampling streams are unchanged.
     """
     if bits < 4:
         raise ParameterError("safe primes need at least 4 bits")
@@ -110,15 +283,7 @@ def random_safe_prime(bits: int, rng: DeterministicRNG | None = None) -> int:
         if p.bit_length() != bits:
             continue
         # Cheap joint pre-sieve before the expensive tests.
-        composite = False
-        for sp in _SMALL_PRIMES:
-            if p != sp and p % sp == 0:
-                composite = True
-                break
-            if q != sp and q % sp == 0:
-                composite = True
-                break
-        if composite:
+        if not (_presieve_ok(p) and _presieve_ok(q)):
             continue
-        if is_prime(q, rng) and is_prime(p, rng):
+        if is_prime(q) and is_prime(p):
             return p

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..common.errors import KeyError_, ParameterError
 from ..common.rng import DeterministicRNG, default_rng
-from .modmath import crt_pair, mod_inverse
+from .modmath import crt_pair, mod_inverse, powmod
 from .primes import random_prime
 
 DEFAULT_MODULUS_BITS = 1024
@@ -39,7 +39,7 @@ class TrapdoorPublicKey:
     def apply(self, trapdoor: bytes) -> bytes:
         """``pi_pk(t)``: one step *backwards in epoch time* (cloud side)."""
         x = _decode(trapdoor, self)
-        y = pow(x, self.exponent, self.modulus)
+        y = powmod(x, self.exponent, self.modulus)
         return _encode(y, self)
 
 
@@ -60,8 +60,8 @@ class TrapdoorKeyPair:
         x = _decode(trapdoor, self.public)
         d_p = self.d % (self.p - 1)
         d_q = self.d % (self.q - 1)
-        r_p = pow(x % self.p, d_p, self.p)
-        r_q = pow(x % self.q, d_q, self.q)
+        r_p = powmod(x % self.p, d_p, self.p)
+        r_q = powmod(x % self.q, d_q, self.q)
         y = crt_pair(r_p, self.p, r_q, self.q)
         return _encode(y, self.public)
 

@@ -183,15 +183,23 @@ class MetricsRegistry:
             "gauges": dict(sorted(self._gauges.items())),
         }
 
-    def deterministic_snapshot(self, exclude_prefixes: tuple[str, ...] = ("parallel.",)) -> dict:
+    def deterministic_snapshot(
+        self,
+        exclude_prefixes: tuple[str, ...] = ("parallel.", "modmath.backend.", "wnaf."),
+    ) -> dict:
         """The machine-independent slice of :meth:`snapshot`.
 
         Drops wall-clock histograms (names ending ``_s``) and
-        execution-shape counters (``parallel.*`` by default — dispatch
-        counts differ between serial and fanned-out runs by construction).
-        What remains must be byte-identical at any worker count; the
-        cross-worker property tests and the CI counter gate compare exactly
-        this.
+        execution-shape counters: ``parallel.*`` (dispatch counts differ
+        between serial and fanned-out runs by construction),
+        ``modmath.backend.*`` (records *which* bignum backend resolved, not
+        what was computed) and ``wnaf.*`` (the wNAF kernel only engages on
+        the pure-python backend, so its activity is backend-shaped too).
+        The ``hprime.*`` pipeline counters stay in: they are functions of
+        the candidate integers alone, identical on every backend.  What
+        remains must be byte-identical at any worker count and on any
+        backend; the cross-worker property tests and the CI counter gate
+        compare exactly this.
         """
         return {
             "counters": {

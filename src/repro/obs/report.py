@@ -201,6 +201,46 @@ def render_cache_stats(counters: dict[str, int]) -> list[str]:
     return lines
 
 
+def render_primality_stats(counters: dict[str, int]) -> list[str]:
+    """The backend/primality section: ``H_prime`` pipeline cost accounting.
+
+    The ``hprime.*`` counters are value-deterministic (functions of the
+    candidate integers, identical on every modmath backend), so this section
+    reads the same from a pure-python or a gmpy2 run — only wall-clock
+    differs between backends.
+    """
+    from ..crypto.modmath import backend_info
+
+    candidates = counters.get("hprime.candidates", 0)
+    lines: list[str] = []
+    info = backend_info()
+    backend_line = f"modmath backend: {info['active']} (available: {info['available']})"
+    if info["fallback_reason"]:
+        backend_line += f" — requested {info['requested']!r}, {info['fallback_reason']}"
+    lines.append(backend_line)
+    if not candidates:
+        lines.append("no H_prime pipeline activity in this snapshot")
+        return lines
+    fast = counters.get("hprime.fast_rejects", 0)
+    mr = counters.get("hprime.mr_rounds", 0)
+    lucas = counters.get("hprime.lucas_tests", 0)
+    lines.append(
+        f"H_prime pipeline: {candidates} candidates, {fast} fast-rejected "
+        f"({fast / candidates:.0%} before the witness schedule)"
+    )
+    lines.append(
+        f"  {mr} Miller-Rabin rounds ({mr / candidates:.2f} per candidate), "
+        f"{lucas} strong Lucas tests (Baillie-PSW completions)"
+    )
+    wnaf = counters.get("wnaf.pow", 0)
+    if wnaf:
+        lines.append(
+            f"wNAF witness exponentiations: {wnaf} "
+            f"({counters.get('wnaf.table_builds', 0)} table builds)"
+        )
+    return lines
+
+
 def run_report(
     audit_paths: list[str],
     trace_paths: list[str],
@@ -237,6 +277,9 @@ def run_report(
         else:
             sections.append(f"== cache effectiveness: {path} ==")
             sections.extend(render_cache_stats(counters))
+            sections.append("")
+            sections.append(f"== backend / primality: {path} ==")
+            sections.extend(render_primality_stats(counters))
             sections.append("")
     if not sections:
         return "nothing to report (pass --audit, --trace and/or --metrics)"

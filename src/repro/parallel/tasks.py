@@ -20,7 +20,7 @@ from ..common.bitstring import xor_bytes
 from ..common.encoding import encode_uint
 from ..crypto import kernels
 from ..crypto.hash_to_prime import HashToPrime
-from ..crypto.modmath import product
+from ..crypto.modmath import powmod, product
 from ..crypto.multiset_hash import MultisetHash
 from ..crypto.prf import PRF
 from ..crypto.symmetric import SymmetricCipher
@@ -177,8 +177,10 @@ def root_factor(base: int, primes: list[int], modulus: int) -> dict[int, int]:
             continue
         mid = len(subset) // 2
         left, right = subset[:mid], subset[mid:]
-        stack.append((pow(current, product(right), modulus), left))
-        stack.append((pow(current, product(left), modulus), right))
+        # Same node value raised to both sibling exponents: witness_pow's
+        # single-slot wNAF kernel reuses the odd-power table across the pair.
+        stack.append((kernels.witness_pow(current, product(right), modulus), left))
+        stack.append((kernels.witness_pow(current, product(left), modulus), right))
     return out
 
 
@@ -222,8 +224,8 @@ def witness_map(
             break
         mid = len(subset) // 2
         left, right = subset[:mid], subset[mid:]
-        jobs.append((pow(current, product(right), modulus), left))
-        jobs.append((pow(current, product(left), modulus), right))
+        jobs.append((kernels.witness_pow(current, product(right), modulus), left))
+        jobs.append((kernels.witness_pow(current, product(left), modulus), right))
     results = executor.run_jobs(witness_subtree_chunk, jobs, shared=(modulus,))
     merged: dict[int, int] = {}
     for part in results:
@@ -234,4 +236,4 @@ def witness_map(
 def pow_chunk(shared: tuple[int, int], values: list[int]) -> list[int]:
     """Raise a chunk of group elements to a fixed exponent (cache refresh)."""
     exponent, modulus = shared
-    return [pow(value, exponent, modulus) for value in values]
+    return [powmod(value, exponent, modulus) for value in values]

@@ -117,3 +117,54 @@ class TestCrossProcessDeterminism:
         serial = hash_to_prime_chunk((64,), payloads)
         parallel = executor.map_chunks(hash_to_prime_chunk, payloads, shared=(64,))
         assert parallel == serial
+
+
+class TestCounterAccounting:
+    """The hprime.* counters must equal a manual replay of the pipeline over
+    the exact candidate walk — they feed the exact-counter CI gate."""
+
+    def test_counters_match_manual_replay(self, h64):
+        from repro.common import perfstats
+        from repro.crypto.primes import test_candidate as check_candidate
+
+        payloads = [b"acct" + i.to_bytes(2, "big") for i in range(25)]
+        expected = {"candidates": 0, "mr_rounds": 0, "lucas_tests": 0, "fast_rejects": 0}
+        for data in payloads:
+            counter = 0
+            while True:
+                verdict = check_candidate(h64._candidate(data, counter))
+                expected["candidates"] += 1
+                expected["mr_rounds"] += verdict.mr_rounds
+                expected["lucas_tests"] += verdict.lucas_tests
+                expected["fast_rejects"] += verdict.fast_reject
+                if verdict.probable_prime:
+                    break
+                counter += 1
+
+        before = perfstats.snapshot("hprime.")
+        pairs = [h64.hash_to_prime_with_counter(data) for data in payloads]
+        delta = {
+            k.removeprefix("hprime."): v - before.get(k, 0)
+            for k, v in perfstats.snapshot("hprime.").items()
+        }
+        assert delta == expected
+        # The gas-visible counter walk and the candidate counter agree too.
+        assert sum(count for _, count in pairs) == expected["candidates"]
+
+    def test_fast_reject_dominates(self, h64):
+        """The point of the pipeline: most candidates die before any real
+        witness schedule runs (presieve or the single base-2 round)."""
+        from repro.common import perfstats
+
+        before = perfstats.snapshot("hprime.")
+        for i in range(60):
+            h64(b"dom" + i.to_bytes(2, "big"))
+        after = perfstats.snapshot("hprime.")
+        candidates = after["hprime.candidates"] - before.get("hprime.candidates", 0)
+        fast = after["hprime.fast_rejects"] - before.get("hprime.fast_rejects", 0)
+        mr = after["hprime.mr_rounds"] - before.get("hprime.mr_rounds", 0)
+        assert fast / candidates > 0.6
+        # Legacy pipeline cost was ~13 deterministic MR rounds per surviving
+        # 64-bit candidate; the staged pipeline pays ~1 MR round per
+        # non-presieved candidate plus one Lucas completion per prime.
+        assert mr < candidates

@@ -300,3 +300,110 @@ class TestLifecycle:
     def test_default_enabled(self, monkeypatch):
         monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
         assert kernels.kernels_enabled()
+
+
+class TestWnafDigits:
+    def test_zero_exponent_is_empty(self):
+        assert kernels.wnaf_digits(0) == []
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.wnaf_digits(-5)
+
+    @pytest.mark.parametrize("window", [1, 13, 0])
+    def test_window_out_of_range_rejected(self, window):
+        with pytest.raises(ValueError):
+            kernels.wnaf_digits(100, window)
+
+    @pytest.mark.parametrize("window", [2, 3, 6, 12])
+    def test_recoding_invariants(self, window):
+        """Digits reconstruct the exponent; nonzero digits are odd, bounded
+        by 2^(w-1), and separated by at least w-1 zeros."""
+        rng = default_rng(17)
+        exponents = [1, 2, 3, (1 << window) - 1, 1 << window] + [
+            rng.randbits(bits) for bits in (16, 64, 300, 1200) for _ in range(4)
+        ]
+        half = 1 << (window - 1)
+        for e in exponents:
+            digits = kernels.wnaf_digits(e, window)
+            assert sum(d << i for i, d in enumerate(digits)) == e, (e, window)
+            if e:
+                assert digits[-1] != 0  # no trailing zeros
+            last_nonzero = None
+            for i, d in enumerate(digits):
+                if d == 0:
+                    continue
+                assert d % 2 == 1 or d % 2 == -1
+                assert -half < d < half
+                if last_nonzero is not None:
+                    assert i - last_nonzero >= window - 1
+                last_nonzero = i
+
+
+class TestWitnessPow:
+    def test_small_exponents_match_pow(self, acc_params):
+        n, g = acc_params.modulus, acc_params.generator
+        for e in (0, 1, 2, 3, 65537, 1 << 100):
+            assert kernels.witness_pow(g, e, n) == pow(g, e, n)
+
+    def test_large_exponent_matches_pow(self, acc_params):
+        """Above WNAF_MIN_EXP_BITS the wNAF kernel engages; result must be
+        bit-identical to the builtin."""
+        n, g = acc_params.modulus, acc_params.generator
+        rng = default_rng(23)
+        kernels.clear_caches()
+        before = perfstats.STATS.get("wnaf.pow")
+        for _ in range(3):
+            e = rng.randbits(kernels.WNAF_MIN_EXP_BITS + 57) | 1
+            assert kernels.witness_pow(g, e, n) == pow(g, e, n)
+        from repro.crypto import modmath
+
+        if kernels.kernels_enabled() and not modmath.active_backend().native:
+            assert perfstats.STATS.get("wnaf.pow") - before == 3
+
+    def test_negative_exponent_rejected(self, acc_params):
+        with pytest.raises(ValueError):
+            kernels.witness_pow(2, -1, acc_params.modulus)
+
+    def test_noninvertible_base_falls_back(self):
+        """wNAF needs base^-1; a base sharing a factor with the modulus must
+        fall back to the builtin, not crash."""
+        e = (1 << kernels.WNAF_MIN_EXP_BITS) + 3
+        before = perfstats.STATS.get("wnaf.noninvertible_fallback")
+        assert kernels.witness_pow(5, e, 15) == pow(5, e, 15)
+        if kernels.kernels_enabled():
+            assert perfstats.STATS.get("wnaf.noninvertible_fallback") >= before
+
+    def test_wnafexp_pow_matches_builtin(self, acc_params):
+        n, g = acc_params.modulus, acc_params.generator
+        exp = kernels.WNafExp(g, n)
+        rng = default_rng(31)
+        for e in (0, 1, 2, rng.randbits(2000), rng.randbits(20000)):
+            assert exp.pow(e) == pow(g, e, n)
+        # Explicit window override on the same cached tables.
+        assert exp.pow(12345, window=3) == pow(g, 12345, n)
+
+    def test_sibling_pair_reuses_table(self, acc_params):
+        """root_factor raises one node value to both sibling exponents; the
+        single-slot cache must build tables once per node, not per call."""
+        if not kernels.kernels_enabled():
+            pytest.skip("kernels disabled")
+        from repro.crypto import modmath
+
+        if modmath.active_backend().native:
+            pytest.skip("wNAF only engages on the python backend")
+        n, g = acc_params.modulus, acc_params.generator
+        kernels.clear_caches()
+        rng = default_rng(37)
+        left = rng.randbits(kernels.WNAF_MIN_EXP_BITS + 10) | 1
+        right = rng.randbits(kernels.WNAF_MIN_EXP_BITS + 11) | 1
+        before = perfstats.STATS.get("wnaf.table_builds")
+        kernels.witness_pow(g, left, n)
+        kernels.witness_pow(g, right, n)
+        assert perfstats.STATS.get("wnaf.table_builds") - before == 1
+
+    def test_clear_caches_drops_wnaf_slot(self, acc_params):
+        n, g = acc_params.modulus, acc_params.generator
+        kernels.witness_pow(g, (1 << kernels.WNAF_MIN_EXP_BITS) + 5, n)
+        kernels.clear_caches()
+        assert kernels.cache_sizes()["wnaf_tables"] == 0

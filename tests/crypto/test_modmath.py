@@ -1,9 +1,11 @@
-"""Modular arithmetic helpers."""
+"""Modular arithmetic helpers and the pluggable backend registry."""
 
 import pytest
 
 from repro.common.errors import ParameterError
+from repro.crypto import modmath
 from repro.crypto.modmath import (
+    MODMATH_ENV,
     ProductTree,
     crt_pair,
     is_quadratic_residue,
@@ -11,6 +13,8 @@ from repro.crypto.modmath import (
     product,
     product_mod,
 )
+
+HAVE_GMPY2 = "gmpy2" in modmath.available_backends()
 
 
 class TestModInverse:
@@ -114,3 +118,105 @@ class TestProductTree:
         tree.extend(range(1, 1001))
         # Binary-counter forest: at most ceil(log2(n)) + 1 subtree roots.
         assert len(tree._forest) <= 11
+
+    def test_forest_state_stays_plain_int(self):
+        """The forest is pickled into workers and cache exports; backend
+        types must never leak into it."""
+        tree = ProductTree([3, 5, 7, 11, 13])
+        assert all(type(prod) is int for _, prod in tree._forest)
+        assert type(tree.root) is int
+
+
+@pytest.fixture()
+def clean_backend():
+    """Restore env-driven backend resolution after a test that overrides it."""
+    yield
+    modmath.set_backend(None)
+
+
+class TestBackendRegistry:
+    def test_python_backend_is_default(self, clean_backend, monkeypatch):
+        monkeypatch.delenv(MODMATH_ENV, raising=False)
+        modmath.set_backend(None)
+        assert modmath.active_backend().name == "python"
+        info = modmath.backend_info()
+        assert info["active"] == "python"
+        assert info["fallback_reason"] is None
+
+    def test_available_backends_always_lists_python(self):
+        assert "python" in modmath.available_backends()
+
+    def test_set_backend_unknown_name_rejected(self, clean_backend):
+        with pytest.raises(ParameterError):
+            modmath.set_backend("openssl")
+
+    def test_env_unknown_value_rejected(self, clean_backend, monkeypatch):
+        monkeypatch.setenv(MODMATH_ENV, "not-a-backend")
+        modmath.set_backend(None)
+        with pytest.raises(ParameterError):
+            modmath.active_backend()
+
+    @pytest.mark.skipif(HAVE_GMPY2, reason="gmpy2 installed: no fallback to test")
+    def test_gmpy2_env_request_falls_back_to_python(self, clean_backend, monkeypatch):
+        """REPRO_MODMATH=gmpy2 without gmpy2 must degrade, not crash — the
+        repo never requires a native dependency."""
+        monkeypatch.setenv(MODMATH_ENV, "gmpy2")
+        modmath.set_backend(None)
+        backend = modmath.active_backend()
+        assert backend.name == "python"
+        info = modmath.backend_info()
+        assert info["requested"] == "gmpy2"
+        assert info["fallback_reason"] == "gmpy2 not installed"
+
+    @pytest.mark.skipif(HAVE_GMPY2, reason="gmpy2 installed: request succeeds")
+    def test_set_backend_gmpy2_raises_when_missing(self, clean_backend):
+        """Unlike the env path, an explicit set_backend('gmpy2') must raise —
+        a test that asks for gmpy2 wants gmpy2, not a silent fallback."""
+        with pytest.raises(ParameterError):
+            modmath.set_backend("gmpy2")
+
+    def test_operations_match_builtins(self):
+        backend = modmath.active_backend()
+        assert modmath.powmod(3, 1000, 101) == pow(3, 1000, 101)
+        assert modmath.invert(7, 101) == pow(7, -1, 101)
+        assert modmath.gcd(84, 126) == 42
+        assert backend.mul(1 << 100, 3) == 3 << 100
+        assert backend.unwrap(backend.wrap(12345)) == 12345
+
+    def test_invert_non_invertible_raises_valueerror(self):
+        """Both backends normalise to ValueError, so mod_inverse's
+        ParameterError wrapper works identically everywhere."""
+        with pytest.raises(ValueError):
+            modmath.invert(6, 9)
+
+    @pytest.mark.skipif(not HAVE_GMPY2, reason="needs gmpy2")
+    def test_gmpy2_parity_with_python(self, clean_backend):
+        """Every operation returns bit-identical plain ints on both backends."""
+        cases = [(3, 10**18 + 9, 2**127 - 1), (2**255 - 19, 65537, (2**61 - 1) ** 2)]
+        results = {}
+        for name in ("python", "gmpy2"):
+            modmath.set_backend(name)
+            results[name] = [
+                (
+                    modmath.powmod(b, e, n),
+                    modmath.gcd(b, n),
+                    modmath.product([b % 1000 + 2, e % 1000 + 2, 17]),
+                    modmath.product_mod([b, e, b + 1], n),
+                    modmath.invert(b % n or 2, 2**127 - 1),
+                )
+                for b, e, n in cases
+            ]
+            tree = ProductTree([3, 5, 7, 11])
+            tree.append(13)
+            results[name].append(tree.root)
+            assert type(modmath.powmod(b, e, n)) is int
+        assert results["python"] == results["gmpy2"]
+
+    def test_env_typo_never_silently_ignored(self, clean_backend, monkeypatch):
+        monkeypatch.setenv(MODMATH_ENV, "GMPY2 ")  # case/space-insensitive parse
+        modmath.set_backend(None)
+        if HAVE_GMPY2:
+            assert modmath.active_backend().name == "gmpy2"
+        else:
+            assert modmath.active_backend().name == "python"
+            assert modmath.backend_info()["fallback_reason"] == "gmpy2 not installed"

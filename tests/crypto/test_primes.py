@@ -1,10 +1,34 @@
-"""Miller-Rabin and prime generation."""
+"""The primality pipeline: presieve, Baillie-PSW, deterministic witnesses."""
 
 import pytest
 
 from repro.common.errors import ParameterError
 from repro.common.rng import default_rng
-from repro.crypto.primes import is_prime, next_prime, random_prime, random_safe_prime
+from repro.crypto.primes import (
+    _DETERMINISTIC_BOUND,
+    _presieve_ok,
+    is_prime,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+from repro.crypto.primes import test_candidate as check_candidate
+
+#: Strong pseudoprimes to base 2 (OEIS A001262) whose smallest prime factor
+#: exceeds 349, so the primorial pre-sieve passes them and the base-2 SPRP
+#: round alone declares them probably prime; the Lucas leg of Baillie-PSW
+#: must reject every one.
+BASE2_STRONG_PSEUDOPRIMES = [
+    514447, 580337, 741751, 838861, 873181, 916327, 1082401,
+]
+
+#: The classic small base-2 strong pseudoprimes.  These all factor into
+#: primes <= 349, so the pre-sieve catches them before any modexp runs —
+#: still composite verdicts, just cheaper ones.
+SMALL_BASE2_STRONG_PSEUDOPRIMES = [
+    2047, 3277, 4033, 4681, 8321, 15841, 29341, 42799, 49141,
+    52633, 65281, 74665, 80581, 85489, 88357, 90751,
+]
 
 KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1]
 KNOWN_COMPOSITES = [0, 1, 4, 100, 7917, 2**61 + 1, 561, 41041, 825265]  # incl. Carmichael
@@ -65,3 +89,134 @@ class TestSafePrime:
     def test_too_few_bits(self):
         with pytest.raises(ParameterError):
             random_safe_prime(2)
+
+    def test_primorial_presieve_matches_trial_division_oracle(self):
+        """The joint gcd pre-sieve accepts/rejects exactly the candidates the
+        seed code's ~70-iteration trial-division loop did, so seeded
+        safe-prime streams are unchanged."""
+        from repro.crypto.primes import _SMALL_PRIMES
+
+        def oracle(bits, rng):
+            while True:
+                q = rng.randbits(bits - 1) | (1 << (bits - 2)) | 1
+                p = 2 * q + 1
+                if p.bit_length() != bits:
+                    continue
+                composite = False
+                for sp in _SMALL_PRIMES:
+                    if p != sp and p % sp == 0:
+                        composite = True
+                        break
+                    if q != sp and q % sp == 0:
+                        composite = True
+                        break
+                if composite:
+                    continue
+                if is_prime(q) and is_prime(p):
+                    return p
+
+        for seed in (1, 8, 77, 2024):
+            for bits in (12, 16, 24):
+                assert random_safe_prime(bits, default_rng(seed)) == oracle(
+                    bits, default_rng(seed)
+                ), (seed, bits)
+
+
+def _trial_division(n: int) -> bool:
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 1
+    return True
+
+
+class TestPrimalityPipeline:
+    def test_exhaustive_small_range(self):
+        for n in range(-3, 5000):
+            assert is_prime(n) == _trial_division(n), n
+
+    @pytest.mark.parametrize("n", BASE2_STRONG_PSEUDOPRIMES)
+    def test_base2_strong_pseudoprimes_rejected(self, n):
+        """These pass the base-2 SPRP early-exit; the Lucas leg must catch
+        them (no base-2 strong pseudoprime is also a strong Lucas PRP)."""
+        verdict = check_candidate(n)
+        assert not verdict.probable_prime
+        assert verdict.mr_rounds == 1  # survived base 2, killed by Lucas
+        assert verdict.lucas_tests == 1
+
+    @pytest.mark.parametrize("n", SMALL_BASE2_STRONG_PSEUDOPRIMES)
+    def test_small_pseudoprimes_presieved(self, n):
+        verdict = check_candidate(n)
+        assert not verdict.probable_prime
+        assert verdict.fast_reject and verdict.mr_rounds == 0
+
+    def test_square_pseudoprime_caught_by_isqrt_guard(self):
+        """1093^2 is a base-2 strong pseudoprime AND a perfect square; the
+        isqrt guard rejects it without paying for a doomed Lucas D-search."""
+        verdict = check_candidate(1093 * 1093)
+        assert not verdict.probable_prime
+        assert verdict.mr_rounds == 1
+        assert verdict.lucas_tests == 0
+
+    def test_presieve_predicate_exact(self):
+        """gcd(n, primorial) == n does NOT mean n is a small prime (x=15:
+        gcd is 15); the predicate must check set membership."""
+        assert not _presieve_ok(15)
+        assert not _presieve_ok(25)
+        assert _presieve_ok(347)  # small prime itself
+        assert _presieve_ok(353 * 359)  # no factor <= 349: survives to MR
+
+    def test_verdict_small_band(self):
+        verdict = check_candidate(2**61 - 1)  # < 2^64: Baillie-PSW band
+        assert verdict.probable_prime
+        assert verdict.mr_rounds == 1
+        assert verdict.lucas_tests == 1
+        assert not verdict.fast_reject
+
+    def test_verdict_proven_witness_band(self):
+        p = next_prime(2**70)  # (2^64, 3.3e24): 13 proven witnesses
+        assert 2**64 < p < _DETERMINISTIC_BOUND
+        verdict = check_candidate(p)
+        assert verdict.probable_prime
+        assert verdict.mr_rounds == 13
+        assert verdict.lucas_tests == 0
+
+    def test_verdict_hash_witness_band(self):
+        verdict = check_candidate(2**89 - 1)  # Mersenne prime > 3.3e24
+        assert verdict.probable_prime
+        assert verdict.mr_rounds == 25  # base 2 + 24 derived witnesses
+        assert verdict.lucas_tests == 0
+
+    def test_verdict_fast_rejects(self):
+        gcd_reject = check_candidate(3 * 353)
+        assert gcd_reject.fast_reject and gcd_reject.mr_rounds == 0
+        base2_reject = check_candidate(353 * 359)
+        assert base2_reject.fast_reject and base2_reject.mr_rounds == 1
+        assert not base2_reject.probable_prime
+
+    def test_perfect_square_guard(self):
+        """Lucas D-search diverges on perfect squares; the isqrt guard must
+        reject them before the search."""
+        for root in (2**31 - 1, 2**31 + 11, 10**9 + 7):
+            assert not is_prime(root * root)
+
+    def test_stream_parity_large_inputs(self):
+        """Regression for the shared-RNG witness bug: testing a > 3.3e24
+        input must not consume state from a caller-supplied RNG, so later
+        draws are identical with and without the primality call in between."""
+        probe = default_rng(905).randbits(256)
+
+        rng = default_rng(905)
+        is_prime(2**89 - 1, rng)  # hash-witness band: previously 40 draws
+        is_prime((2**89 - 1) * (2**107 - 1), rng)
+        assert rng.randbits(256) == probe
+
+    def test_hash_witnesses_deterministic(self):
+        """Same input, same verdict and same round counts — witnesses are
+        derived from n, not sampled."""
+        n = (2**127 - 1) * (2**89 - 1)
+        assert check_candidate(n) == check_candidate(n)
+        assert not check_candidate(n).probable_prime
