@@ -289,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fail on ANY counter/histogram difference vs the baseline "
         "(the CI cross-worker determinism gate)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="re-run the smoke through a sharded serving tier of this width; "
+        "the counter gate still compares against the (single-cloud) baseline "
+        "— the tier must do identical protocol work",
+    )
     args = parser.parse_args(argv)
 
     if args.chaos:
@@ -303,7 +311,10 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_report(args.baseline)  # read BEFORE the run overwrites it
 
     if not args.no_run:
-        subprocess.run([sys.executable, str(HERE / "run_smoke.py")], check=True)
+        cmd = [sys.executable, str(HERE / "run_smoke.py")]
+        if args.shards > 1:
+            cmd += ["--shards", str(args.shards)]
+        subprocess.run(cmd, check=True)
     fresh = load_report(REPORTS / "BENCH_smoke.json")
 
     timing_rows = compare_timings(

@@ -48,6 +48,7 @@ from repro.crypto import modmath  # noqa: E402
 from repro.obs import audit as obs_audit  # noqa: E402
 from repro.obs import trace  # noqa: E402
 from repro.obs.metrics import REGISTRY  # noqa: E402
+from repro.sharding import HashShardPlan, ShardedCloudFrontend  # noqa: E402
 from repro.system import SlicerSystem  # noqa: E402
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec  # noqa: E402
 
@@ -164,13 +165,21 @@ def main(argv: list[str] | None = None) -> int:
         default="lossy",
         help="fault profile for --chaos-seed runs (default: lossy)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a sharded scatter/gather tier of this width; the "
+        "recorded counters must equal the single-cloud baseline (the tier "
+        "partitions protocol work, it never changes it)",
+    )
     args = parser.parse_args(argv)
     if args.chaos_seed is not None:
         return run_chaos(args.chaos_seed, args.chaos_profile)
-    return run_plain()
+    return run_plain(args.shards)
 
 
-def run_plain() -> int:
+def run_plain(shards: int = 1) -> int:
     _reset_observability("TRACE_smoke.jsonl")  # clean slate for the gate
     params = bench_params(BITS)
     keys = KeyBundle.generate(default_rng(31337), 1024)
@@ -178,9 +187,18 @@ def run_plain() -> int:
     database = generator.database(WorkloadSpec(N_RECORDS, BITS))
 
     owner = DataOwner(params, keys=keys, rng=default_rng(12))
-    build_s, out = time_call(lambda: owner.build(database))
-    cloud = CloudServer(params, keys.trapdoor.public)
-    cloud.install(out.cloud_package)
+    if shards > 1:
+        # The sharded serving tier duck-types the CloudServer surface; the
+        # rest of this function is width-blind, and the deterministic
+        # counter snapshot it records must match the N=1 baseline exactly.
+        owner.shard_plan = HashShardPlan(shards)
+        build_s, out = time_call(lambda: owner.build(database))
+        cloud = ShardedCloudFrontend(params, keys.trapdoor.public, owner.shard_plan)
+        cloud.install_shards(out.shard_packages)
+    else:
+        build_s, out = time_call(lambda: owner.build(database))
+        cloud = CloudServer(params, keys.trapdoor.public)
+        cloud.install(out.cloud_package)
     user = DataUser(params, out.user_package, default_rng(5))
 
     tokens = user.make_tokens(Query.parse(64, ">"))
@@ -200,7 +218,10 @@ def run_plain() -> int:
 
     add = generator.database(WorkloadSpec(N_INSERT, BITS))
     insert_s, out2 = time_call(lambda: owner.insert(add))
-    cloud.install(out2.cloud_package)
+    if shards > 1:
+        cloud.install_shards(out2.shard_packages)
+    else:
+        cloud.install(out2.cloud_package)
     user.refresh(out2.user_package)
 
     tokens2 = user.make_tokens(Query.parse(64, "<"))
@@ -233,6 +254,7 @@ def run_plain() -> int:
         "value_bits": BITS,
         "primes": cloud.prime_count,
         "workers": bench_workers(),
+        "shards": shards,
         "modmath_backend": modmath.backend_info()["active"],
         "all_verified": True,
     }

@@ -35,6 +35,7 @@ from .core import (
 )
 from .core.audit import AuditRecord, ThirdPartyAuditor
 from .dual_system import DualSearchOutcome, DualSlicerSystem
+from .sharding import HashShardPlan, ShardPlan, ShardedCloudFrontend
 from .sore import OrderCondition, SoreScheme
 from .system import RangeOutcome, SearchOutcome, SlicerSystem
 
@@ -50,6 +51,9 @@ __all__ = [
     "DualInstanceSlicer",
     "DualSearchOutcome",
     "DualSlicerSystem",
+    "HashShardPlan",
+    "ShardPlan",
+    "ShardedCloudFrontend",
     "ThirdPartyAuditor",
     "MaliciousCloud",
     "MatchCondition",

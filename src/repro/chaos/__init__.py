@@ -25,6 +25,7 @@ from .transport import (
     USER_TO_CONTRACT,
     ChaosTransport,
     chaos_enabled,
+    shard_channel,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "CLOUD_TO_CONTRACT",
     "OWNER_TO_CLOUD",
     "OWNER_TO_CONTRACT",
+    "shard_channel",
 ]

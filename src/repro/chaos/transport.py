@@ -50,6 +50,17 @@ OWNER_TO_CONTRACT = "owner->contract"
 _DEFAULT_SEED = 0xC4A05  # "chaos"
 
 
+def shard_channel(base: str, shard_id: int) -> str:
+    """Per-shard fault leg: ``contract->cloud#shard2`` etc.
+
+    :class:`~repro.chaos.faults.FaultPlan` keys its schedules by channel
+    name, so giving every shard of the serving tier its own channel makes
+    shard legs fail *independently* — one shard's drop/stall/crash schedule
+    never consumes another shard's (or the unsharded channel's) fault draws.
+    """
+    return f"{base}#shard{shard_id}"
+
+
 def chaos_enabled() -> bool:
     """``REPRO_CHAOS=1`` opts benchmarks/systems into a default chaos transport.
 

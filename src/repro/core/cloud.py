@@ -26,7 +26,7 @@ from ..common.errors import AccumulatorError
 from ..crypto import kernels
 from ..crypto.accumulator import MembershipWitness, verify_membership_batch
 from ..obs import metrics, trace
-from ..crypto.modmath import ProductTree, product
+from ..crypto.modmath import ProductTree, powmod, product
 from ..crypto.multiset_hash import MultisetHash
 from ..crypto.trapdoor import TrapdoorPublicKey
 from ..parallel import ParallelExecutor
@@ -108,7 +108,7 @@ class CloudServer:
 
     # ---------------------------------------------------------------- setup
 
-    def install(self, package: CloudPackage) -> None:
+    def install(self, package: CloudPackage, witness_primes: list[int] | None = None) -> None:
         """Receive ``(I, X, Ac)`` from the owner (Build or Insert delta).
 
         If a witness cache exists it is *updated incrementally* rather than
@@ -116,6 +116,11 @@ class CloudServer:
         primes and witnesses for the new primes are batch-derived from the
         pre-update ``Ac`` — ``O(|X|)`` exponentiations with a small exponent
         on the delta instead of an ``O(|X| log |X|)`` full rebuild.
+
+        ``witness_primes`` restricts which of the delta's primes this server
+        caches witnesses for (a shard caches its *local* keywords' primes
+        only); the full delta still enters ``X`` and the product tree, so
+        witness *values* are unchanged — only coverage shrinks.
         """
         previous_ads = self.ads_value
         had_primes = bool(self._primes)
@@ -132,15 +137,24 @@ class CloudServer:
             base = previous_ads if had_primes else (
                 self.params.accumulator.generator % self.params.accumulator.modulus
             )
-            self._refresh_witness_cache(base, fresh)
+            self._refresh_witness_cache(base, fresh, witness_primes)
 
-    def _refresh_witness_cache(self, previous_ads: int, fresh: list[int]) -> None:
+    def _refresh_witness_cache(
+        self,
+        previous_ads: int,
+        fresh: list[int],
+        witness_primes: list[int] | None = None,
+    ) -> None:
         """Incremental cache maintenance for an insert delta.
 
         For a cached prime ``p``: ``w' = w^{prod(Δ)}`` (the old witness
         raised to the delta product).  For a new prime ``p ∈ Δ``:
         ``w = Ac_old^{prod(Δ \\ p)}``, derived for the whole delta at once by
         root-factor recursion from the pre-update accumulation value.
+
+        With ``witness_primes`` only the delta primes in that set join the
+        cache; their bases are first raised by the product of the *skipped*
+        delta primes, so cached values remain exact full-product witnesses.
         """
         assert self._witness_cache is not None
         n = self.params.accumulator.modulus
@@ -150,11 +164,20 @@ class CloudServer:
             pow_chunk, [w for _, w in cached], shared=(delta, n)
         )
         cache = {p: w for (p, _), w in zip(cached, raised)}
-        cache.update(witness_map(previous_ads, fresh, n, self._executor))
+        if witness_primes is None:
+            local = fresh
+        else:
+            wanted = set(witness_primes)
+            local = [p for p in fresh if p in wanted]
+        base = previous_ads
+        if len(local) < len(fresh):
+            skipped = [p for p in fresh if p not in set(local)]
+            base = powmod(previous_ads, product(skipped), n)
+        cache.update(witness_map(base, local, n, self._executor))
         self._witness_cache = cache
         self._check_witness_cache()
 
-    def precompute_witnesses(self) -> int:
+    def precompute_witnesses(self, primes: list[int] | None = None) -> int:
         """Precompute the witness for every accumulated prime.
 
         Trades install-time work (root-factor batch, ``O(|X| log |X|)``
@@ -163,11 +186,26 @@ class CloudServer:
         production cloud serving many queries per update cycle would take.
         Later :meth:`install` calls keep the cache fresh incrementally.
         Returns the number of cached witnesses.
+
+        ``primes`` restricts the cache to a subset of the accumulated set (a
+        shard precomputes its local keywords only).  The subset's witnesses
+        are still full-product values — the base is first raised to
+        ``prod(X \\ subset)`` — so per-shard precomputes across a tier
+        partition the single-cloud precompute exactly.
         """
         acc = self.params.accumulator
-        self._witness_cache = witness_map(
-            acc.generator % acc.modulus, list(self._primes), acc.modulus, self._executor
-        )
+        g = acc.generator % acc.modulus
+        if primes is None:
+            subset = list(self._primes)
+        else:
+            subset = [p for p in primes if p in self._primes]
+        if len(subset) == len(self._primes):
+            base = g
+        else:
+            base = kernels.fixed_base_pow(
+                g, acc.modulus, self._product_tree.root // product(subset)
+            )
+        self._witness_cache = witness_map(base, subset, acc.modulus, self._executor)
         self._check_witness_cache()
         return len(self._witness_cache)
 
@@ -227,7 +265,13 @@ class CloudServer:
 
     # --------------------------------------------------------------- search
 
-    def search(self, tokens: list[SearchToken]) -> SearchResponse:
+    def search(
+        self,
+        tokens: list[SearchToken],
+        *,
+        _collected: dict[SearchToken, CollectResult] | None = None,
+        _observe: bool = True,
+    ) -> SearchResponse:
         """Algorithm 4 (Cloud.Search) over a token list.
 
         Identical tokens are probed once: the *b* boundary tokens of a range
@@ -242,22 +286,34 @@ class CloudServer:
         in by root-factor recursion over the (small) subset.  One query costs
         one full-product exponentiation instead of one per token, which is
         what keeps order-search VO generation (paper Fig. 5d) tractable.
+
+        The keyword-only hooks serve the sharded frontend: ``_collected``
+        supplies walk results its per-shard fan-out already produced (keyed
+        by token; must cover every unique token), and ``_observe=False``
+        suppresses the per-query metric observations so the frontend can
+        observe the *merged* response exactly once.
         """
         with self.stopwatch.measure("results"), trace.span("cloud.results"):
             unique: dict[SearchToken, int] = {}
             slots = [unique.setdefault(token, len(unique)) for token in tokens]
             perfstats.incr("cloud.token_dedup.saved", len(tokens) - len(unique))
-            collected = self._collect_all(list(unique))
+            if _collected is None:
+                collected = self._collect_all(list(unique))
+            else:
+                collected = [_collected[token] for token in unique]
             partials = [(token, collected[slot]) for token, slot in zip(tokens, slots)]
         with self.stopwatch.measure("vo"), trace.span("cloud.vo"):
             witnesses = self._batch_witnesses(partials)
         response = SearchResponse(
             [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
         )
-        self._observe_search(tokens, partials, response)
+        if _observe:
+            self._observe_search(tokens, partials, response)
         return response
 
-    def search_many(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+    def search_many(
+        self, token_lists: list[list[SearchToken]], *, _observe: bool = True
+    ) -> list[SearchResponse]:
         """One batch of queries, collected over the batch-wide token union.
 
         The cross-query extension of :meth:`search`'s per-query dedup:
@@ -288,7 +344,8 @@ class CloudServer:
             response = SearchResponse(
                 [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
             )
-            self._observe_search(tokens, partials, response)
+            if _observe:
+                self._observe_search(tokens, partials, response)
             responses.append(response)
         return responses
 
@@ -467,12 +524,14 @@ class MaliciousCloud(CloudServer):
         self.misbehavior = misbehavior
         self.rng = rng or default_rng()
 
-    def search(self, tokens: list[SearchToken]) -> SearchResponse:
-        honest = super().search(tokens)
+    def search(self, tokens: list[SearchToken], **hooks) -> SearchResponse:
+        honest = super().search(tokens, **hooks)
         tampered = [self._tamper(result) for result in honest.results]
         return SearchResponse(tampered)
 
-    def search_many(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+    def search_many(
+        self, token_lists: list[list[SearchToken]], **hooks
+    ) -> list[SearchResponse]:
         """Batched search with the same per-result tampering as :meth:`search`.
 
         Tampering happens per query in order, so the rng draws match a
@@ -480,7 +539,7 @@ class MaliciousCloud(CloudServer):
         clouds misbehave identically (and both get caught identically,
         warm or cold; the conformance matrix asserts this).
         """
-        honest = super().search_many(token_lists)
+        honest = super().search_many(token_lists, **hooks)
         return [
             SearchResponse([self._tamper(result) for result in response.results])
             for response in honest

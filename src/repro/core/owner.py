@@ -61,11 +61,18 @@ class UserPackage:
 class OwnerOutput:
     """The three outbound messages after Build or Insert (Algorithm 1 lines
     21-23 / Algorithm 2 lines 26-28): a package for the cloud, the bare
-    accumulation value for the blockchain, and the refreshed user package."""
+    accumulation value for the blockchain, and the refreshed user package.
+
+    With a sharded serving tier the owner additionally pre-splits the delta
+    (``shard_packages``, one per shard): routing needs ``G1``, which only
+    the owner sees next to each index entry — PRF labels are one-way, so
+    the tier cannot split a flat package itself.
+    """
 
     cloud_package: CloudPackage
     chain_ads: int
     user_package: UserPackage
+    shard_packages: list | None = None
 
 
 class DataOwner:
@@ -76,9 +83,15 @@ class DataOwner:
         params: SlicerParams,
         keys: KeyBundle | None = None,
         rng: DeterministicRNG | None = None,
+        shard_plan=None,
     ) -> None:
         self.params = params
         self.rng = rng or default_rng()
+        #: Optional :class:`~repro.sharding.plan.ShardPlan`; when set, every
+        #: Build/Insert output also carries per-shard packages.  Routing does
+        #: not touch the flat package, so setting a plan never changes the
+        #: single-cloud bytes.
+        self.shard_plan = shard_plan
         self.keys = keys or KeyBundle.generate(self.rng)
         self.trapdoor_state = TrapdoorState()
         self.set_hash_state = SetHashState()
@@ -101,8 +114,7 @@ class DataOwner:
                 f"database bit width {database.bits} != params {self.params.value_bits}"
             )
         self._built = True
-        package = self._index_batch(list(database))
-        return self._finish(package)
+        return self._index_batch(list(database))
 
     def insert(self, additions: Database | AttributedDatabase) -> OwnerOutput:
         """Algorithm 2: forward-secure insertion of new records."""
@@ -112,8 +124,7 @@ class DataOwner:
             raise StateError(
                 f"insert bit width {additions.bits} != params {self.params.value_bits}"
             )
-        package = self._index_batch(list(additions))
-        return self._finish(package)
+        return self._index_batch(list(additions))
 
     def user_package(self) -> UserPackage:
         """Keys + current trapdoor state for an authorised data user."""
@@ -171,7 +182,7 @@ class DataOwner:
             jobs.append(KeywordJob(trapdoor, epoch, g1, g2, running.value, postings))
         return jobs
 
-    def _index_batch(self, records: list[Record | AttributedRecord]) -> CloudPackage:
+    def _index_batch(self, records: list[Record | AttributedRecord]) -> OwnerOutput:
         """The shared core of Build and Insert: one epoch per touched keyword.
 
         Phase 1 ("index"): serial staging (see :meth:`_stage_keywords`), then
@@ -203,11 +214,34 @@ class DataOwner:
                 hash_to_prime_chunk, payloads, shared=(self.params.prime_bits,)
             )
             self.accumulator.add_many(new_primes)
-        return CloudPackage(new_index, new_primes, self.accumulator.value)
+        package = CloudPackage(new_index, new_primes, self.accumulator.value)
+        return self._finish(package, jobs, folded)
 
-    def _finish(self, package: CloudPackage) -> OwnerOutput:
+    def _finish(self, package: CloudPackage, jobs, folded) -> OwnerOutput:
         return OwnerOutput(
             cloud_package=package,
             chain_ads=self.accumulator.value,
             user_package=self.user_package(),
+            shard_packages=self._split_for_shards(package, jobs, folded),
+        )
+
+    def _split_for_shards(self, package: CloudPackage, jobs, folded):
+        """Route each keyword job's entries/prime to its home shard.
+
+        Jobs, folded entry lists and ``package.primes`` are parallel arrays
+        in job order, so the split is a pure regrouping of the exact bytes
+        the flat package carries — shard slices merged back together equal
+        the flat index, and every shard still receives the full delta prime
+        list (see :mod:`repro.sharding.plan`).
+        """
+        if self.shard_plan is None:
+            return None
+        from ..sharding.plan import split_package  # local: sharding builds on core
+
+        routed = [
+            (self.shard_plan.shard_of(job.g1), entries, prime)
+            for job, (entries, _), prime in zip(jobs, folded, package.primes)
+        ]
+        return split_package(
+            self.shard_plan, routed, list(package.primes), package.accumulation
         )

@@ -47,45 +47,44 @@ class DualSlicerSystem:
     """Two SlicerSystems (insert-/delete-instance) on one shared chain."""
 
     def __init__(
-        self, params: SlicerParams, rng: DeterministicRNG | None = None
+        self,
+        params: SlicerParams,
+        rng: DeterministicRNG | None = None,
+        transport_factory=None,
+        retry: RetryPolicy | None = None,
+        shards: int = 1,
     ) -> None:
         self.params = params
         self.rng = rng or default_rng()
         self.chain = Blockchain()
-        # Distinct account labels per instance are derived inside
-        # SlicerSystem via create_account; to share one chain we must rename.
+        #: ``tag -> ChaosTransport | None``; each instance needs its *own*
+        #: transport (fault schedules and idempotency caches are
+        #: per-deployment state), so a factory rather than one shared object.
+        self._transport_factory = transport_factory
+        self._retry = retry
+        self._shards = shards
+        # Distinct account labels per instance (``account_tag``) let the two
+        # deployments share one chain without address collisions.
         self.insert_system = self._make_system("ins")
         self.delete_system = self._make_system("del")
         self._live: dict[bytes, int] = {}
         self._deleted: set[bytes] = set()
 
     def _make_system(self, tag: str) -> SlicerSystem:
-        # SlicerSystem creates fixed-label accounts; patch labels by
-        # namespacing through a fresh chain-account trio.
-        system = SlicerSystem.__new__(SlicerSystem)
-        system.params = self.params
-        system.rng = self.rng.spawn()
-        system.chain = self.chain
-        from .core.owner import DataOwner
-        from .core.cloud import CloudServer
-
-        system.owner = DataOwner(self.params, rng=system.rng.spawn())
-        system.cloud = CloudServer(self.params, system.owner.keys.trapdoor.public)
-        system.owner_address = self.chain.create_account(f"{tag}-owner", 10**9)
-        system.user_address = self.chain.create_account(f"{tag}-user", 10**9)
-        system.cloud_address = self.chain.create_account(f"{tag}-cloud", 10**9)
-        system.contract = None
-        system.deploy_receipt = None
-        system.user = None
-        system.extra_users = {}
-        system._last_user_package = None
-        # Dual deployments always use the direct in-process path; the
-        # chaos transport is single-system-scoped (one cloud snapshot).
-        system.transport = None
-        system.retry = RetryPolicy()
-        system._cloud_snapshot = None
-        system._chaos_op = 0
-        return system
+        transport = self._transport_factory(tag) if self._transport_factory else None
+        return SlicerSystem(
+            params=self.params,
+            chain=self.chain,
+            rng=self.rng.spawn(),
+            transport=transport,
+            retry=self._retry,
+            shards=self._shards,
+            account_tag=tag,
+            # Without an explicit factory the dual oracle stays on the
+            # direct path even under REPRO_CHAOS=1: its transport would be
+            # per-instance state the env knob cannot scope correctly.
+            env_transport=False,
+        )
 
     # ------------------------------------------------------------ mutation
 

@@ -185,7 +185,17 @@ class MetricsRegistry:
 
     def deterministic_snapshot(
         self,
-        exclude_prefixes: tuple[str, ...] = ("parallel.", "modmath.backend.", "wnaf."),
+        exclude_prefixes: tuple[str, ...] = (
+            "parallel.",
+            "modmath.backend.",
+            "wnaf.",
+            "shard.",
+            "cloud.repeat_witness.",
+            "cloud.witness_cache.selfcheck",
+            "fixed_base.",
+            "multi_exp.calls",
+            "batch_verify.calls",
+        ),
     ) -> dict:
         """The machine-independent slice of :meth:`snapshot`.
 
@@ -195,11 +205,20 @@ class MetricsRegistry:
         ``modmath.backend.*`` (records *which* bignum backend resolved, not
         what was computed) and ``wnaf.*`` (the wNAF kernel only engages on
         the pure-python backend, so its activity is backend-shaped too).
-        The ``hprime.*`` pipeline counters stay in: they are functions of
-        the candidate integers alone, identical on every backend.  What
-        remains must be byte-identical at any worker count and on any
-        backend; the cross-worker property tests and the CI counter gate
-        compare exactly this.
+        Topology-shaped counters are excluded the same way: ``shard.*``
+        (routing/scatter bookkeeping only exists on a sharded tier),
+        ``cloud.repeat_witness.*``, the witness-cache self-check,
+        ``fixed_base.*``, ``multi_exp.calls`` and ``batch_verify.calls``
+        all count *per-serving-instance* events — N shards each derive
+        their own witness bases and self-check their own caches, so these
+        scale with the deployment shape, not with protocol work.  The
+        protocol-work counters stay in (``cloud.collect.*``, entry-cache
+        hits, dedup savings, ``hash_to_prime.*``, ``batch_verify.
+        witnesses``, settlement/audit counts): summed across shards they
+        equal the single-cloud run exactly.  What remains must be
+        byte-identical at any worker count, on any backend, and at any
+        shard count; the cross-worker/cross-shard property tests and the
+        CI counter gate compare exactly this.
         """
         return {
             "counters": {

@@ -156,6 +156,24 @@ def collect_entries_chunk(shared: CollectShared, tokens: list[TokenWork]) -> lis
     ]
 
 
+def shard_collect_chunk(
+    shared: tuple[CollectShared, ...], jobs: list[tuple[int, tuple[TokenWork, ...]]]
+) -> list[list]:
+    """Per-shard collection fan-out: one job = one shard's unique tokens.
+
+    ``shared`` holds one :class:`CollectShared` per live shard (each wrapping
+    that shard's fork-inherited index slice and entry cache); a job is
+    ``(shared_slot, tokens)``.  Inside a job the walk is exactly
+    :func:`collect_entries_chunk`, so per-shard results, counters and cache
+    exports match the shard serving itself serially bit for bit — only the
+    work schedule (one worker per shard instead of a flat token-chunk pool)
+    differs.
+    """
+    return [
+        collect_entries_chunk(shared[slot], list(tokens)) for slot, tokens in jobs
+    ]
+
+
 # ---------------------------------------------------- witness generation / cache
 
 

@@ -1,0 +1,32 @@
+"""Sharded multi-cloud serving tier: deterministic routing + scatter/gather.
+
+The paper's CSP is one logical server; this package splits it into N
+independent :class:`~repro.core.cloud.CloudServer` shards behind a
+scatter/gather front door whose merged output is byte-identical to the
+single-cloud path at any shard count.  See :mod:`repro.sharding.plan` for
+the routing/replication rules, :mod:`repro.sharding.frontend` for the
+in-process tier and :mod:`repro.sharding.net` for the real ``asyncio``
+socket deployment.
+"""
+
+from .frontend import ShardedCloudFrontend
+from .plan import (
+    HashShardPlan,
+    ShardPackage,
+    ShardPlan,
+    dump_shard_package,
+    equality_route,
+    load_shard_package,
+    split_package,
+)
+
+__all__ = [
+    "HashShardPlan",
+    "ShardPackage",
+    "ShardPlan",
+    "ShardedCloudFrontend",
+    "dump_shard_package",
+    "equality_route",
+    "load_shard_package",
+    "split_package",
+]

@@ -1,0 +1,383 @@
+"""The scatter/gather front-end over N independent cloud shards.
+
+:class:`ShardedCloudFrontend` duck-types the :class:`~repro.core.cloud.
+CloudServer` surface :class:`~repro.system.SlicerSystem` consumes (install/
+search/search_many/snapshot/restore/precompute_witnesses/ads_value), so the
+system routes submit/search/settle through it untouched.  Internally every
+search is
+
+1. **scatter** — tokens are routed per shard by the plan (``G1`` hash);
+2. **serve** — each shard runs the ordinary Algorithm 4 over its slice
+   (its own trapdoor-chain walks, entry cache and witness cache);
+3. **gather/merge** — partial responses are reassembled in the original
+   token order.
+
+Merging is a pure permutation: a token's entries come from the one shard
+holding its keyword's chain, and its witness is computed over the *full*
+replicated prime set, so the merged response is byte-identical to the
+single-cloud response at any shard count (the property suite asserts this
+bit for bit).
+
+Two execution paths exist.  The **in-process simulation** (default) serves
+shards sequentially in shard-id order — deterministic, used by tests and
+benchmarks; with ``params.workers > 1`` entry collection fans out one job
+per shard (see :func:`~repro.parallel.tasks.shard_collect_chunk`) instead
+of the flat token-chunk pool.  With a ``transport`` the request legs cross
+the fault-injecting :class:`~repro.chaos.ChaosTransport` on **per-shard
+channels** (``contract->cloud#shardK``), each with its own retry budget and
+crash-restart hook backed by a per-shard durable snapshot.  The real
+``asyncio`` socket path lives in :mod:`repro.sharding.net`.
+
+A shard marked dead (:meth:`kill_shard`, no snapshot to restart from)
+degrades *detectably*: its tokens get empty results with an invalid
+witness, so the contract refunds exactly the queries that touched it while
+queries served entirely by honest live shards still settle paid.
+"""
+
+from __future__ import annotations
+
+from ..chaos import CONTRACT_TO_CLOUD, RetryPolicy, shard_channel
+from ..common import perfstats
+from ..common.errors import ParameterError
+from ..crypto import kernels
+from ..crypto.accumulator import MembershipWitness
+from ..obs import metrics, trace
+from ..parallel import ParallelExecutor
+from ..parallel.tasks import CollectShared, TokenWork, shard_collect_chunk
+from ..core import wire
+from ..core.cloud import CloudServer, SearchResponse, TokenResult
+from ..core.entry_cache import CollectResult
+from ..core.params import SlicerParams
+from ..core.tokens import SearchToken
+from ..crypto.trapdoor import TrapdoorPublicKey
+from ..storage import codec, state_io
+from .plan import ShardPackage, ShardPlan
+
+_KIND_TIER = b"shard-tier"
+
+
+class ShardedCloudFrontend:
+    """N cloud shards behind one deterministic scatter/gather front door."""
+
+    def __init__(
+        self,
+        params: SlicerParams,
+        trapdoor_public: TrapdoorPublicKey,
+        plan: ShardPlan,
+        shard_servers: list[CloudServer] | None = None,
+        transport=None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.params = params.public()
+        self.plan = plan
+        if shard_servers is None:
+            shard_servers = [
+                CloudServer(params, trapdoor_public) for _ in range(plan.shards)
+            ]
+        if len(shard_servers) != plan.shards:
+            raise ParameterError(
+                f"plan expects {plan.shards} shards, got {len(shard_servers)} servers"
+            )
+        self.shard_servers = list(shard_servers)
+        self.transport = transport
+        self.retry = retry or RetryPolicy()
+        #: Which accumulated primes each shard's keywords own (the set its
+        #: witness cache covers); grows with every installed delta.
+        self._local_primes: list[dict[int, None]] = [{} for _ in shard_servers]
+        #: Per-shard durable snapshots for chaos crash-restart.
+        self._snapshots: list[bytes | None] = [None] * len(shard_servers)
+        #: Shards taken down hard (no restart): served as detectable failures.
+        self._dead: set[int] = set()
+        self._executor = ParallelExecutor(params.workers)
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def ads_value(self) -> int:
+        """The accumulation value — replicated, so any shard's copy serves."""
+        return self.shard_servers[0].ads_value
+
+    @property
+    def prime_count(self) -> int:
+        return self.shard_servers[0].prime_count
+
+    @property
+    def _witness_cache(self):
+        """Non-None iff any shard holds a precomputed witness cache.
+
+        Only the system's ``is not None`` restart check reads this; the
+        caches themselves stay shard-local.
+        """
+        caches = [server._witness_cache for server in self.shard_servers]
+        return caches if any(c is not None for c in caches) else None
+
+    def install_shards(self, shard_packages: list[ShardPackage]) -> None:
+        """Install one Build/Insert delta, pre-split by the owner."""
+        if len(shard_packages) != len(self.shard_servers):
+            raise ParameterError(
+                f"expected {len(self.shard_servers)} shard packages, "
+                f"got {len(shard_packages)}"
+            )
+        for pkg in shard_packages:
+            self.install_shard(pkg)
+
+    def install_shard(self, pkg: ShardPackage) -> None:
+        server = self.shard_servers[pkg.shard_id]
+        server.install(pkg.package, witness_primes=pkg.local_primes)
+        for prime in pkg.local_primes:
+            self._local_primes[pkg.shard_id][prime] = None
+        if self.transport is not None:
+            # Durable per-shard snapshot, taken atomically with the install —
+            # what a crash-restarted shard reloads.
+            self._snapshots[pkg.shard_id] = server.snapshot()
+
+    def precompute_witnesses(self) -> int:
+        """Each shard precomputes witnesses for *its own* primes only.
+
+        The per-shard subsets partition the accumulated set, so the total
+        work (and the returned count) equals the single-cloud precompute —
+        no witness is derived twice across the tier.
+        """
+        total = 0
+        for sid, server in enumerate(self.shard_servers):
+            total += server.precompute_witnesses(list(self._local_primes[sid]))
+        return total
+
+    # ------------------------------------------------- snapshots and crashes
+
+    def snapshot(self) -> bytes:
+        """Whole-tier snapshot: every shard's ``(I, X, Ac)`` plus bookkeeping."""
+        parts = [codec.encode_int(len(self.shard_servers))]
+        for server, local in zip(self.shard_servers, self._local_primes):
+            parts.append(server.snapshot())
+            parts.append(state_io.dump_primes(list(local)))
+        return codec.pack(_KIND_TIER, *parts)
+
+    def restore(self, snapshot: bytes) -> None:
+        """Cold-restart the whole tier from a :meth:`snapshot` blob."""
+        parts = codec.unpack(snapshot, _KIND_TIER)
+        count = codec.decode_int(parts[0])
+        if count != len(self.shard_servers) or len(parts) != 1 + 2 * count:
+            raise ParameterError("tier snapshot does not match this frontend's shape")
+        for sid in range(count):
+            self.shard_servers[sid].restore(parts[1 + 2 * sid])
+            self._local_primes[sid] = dict.fromkeys(
+                state_io.load_primes(parts[2 + 2 * sid])
+            )
+        self._dead.clear()
+
+    def snapshot_shard(self, shard_id: int) -> bytes:
+        return self.shard_servers[shard_id].snapshot()
+
+    def restore_shard(self, shard_id: int, snapshot: bytes) -> None:
+        """Recover one crashed shard from its own state_io snapshot."""
+        self.shard_servers[shard_id].restore(snapshot)
+        self._dead.discard(shard_id)
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Take a shard down hard: no restart, failures become detectable."""
+        self._dead.add(shard_id)
+
+    def _restart_shard(self, shard_id: int) -> None:
+        """Chaos crash hook: reload the shard's durable snapshot.
+
+        Mirrors the single-cloud restart semantics — in-memory caches die
+        with the process and the witness cache, if the shard had one, is
+        rebuilt over its local primes.
+        """
+        snap = self._snapshots[shard_id]
+        if snap is None:
+            return
+        perfstats.incr("chaos.shard_restarts")
+        server = self.shard_servers[shard_id]
+        had_cache = server._witness_cache is not None
+        server.restore(snap)
+        if had_cache:
+            server.precompute_witnesses(list(self._local_primes[shard_id]))
+
+    # --------------------------------------------------------------- search
+
+    def search(self, tokens: list[SearchToken]) -> SearchResponse:
+        """Scatter, serve per shard, merge back into token order."""
+        groups: dict[int, list[int]] = {}
+        for i, token in enumerate(tokens):
+            groups.setdefault(self.plan.shard_of(token.g1), []).append(i)
+        perfstats.incr("shard.scatter")
+        collected = self._precollect(tokens, groups)
+        results: list[TokenResult | None] = [None] * len(tokens)
+        for sid in sorted(groups):
+            indices = groups[sid]
+            shard_tokens = [tokens[i] for i in indices]
+            perfstats.incr(f"shard.route.tokens.s{sid}", len(indices))
+            with trace.span("shard.search", shard=sid, tokens=len(indices)):
+                partial = self._shard_search(sid, shard_tokens, collected.get(sid))
+            perfstats.incr(
+                f"shard.route.entries.s{sid}",
+                sum(len(r.entries) for r in partial.results),
+            )
+            for i, result in zip(indices, partial.results):
+                results[i] = result
+        response = SearchResponse([r for r in results if r is not None])
+        self._observe_search(tokens, response)
+        return response
+
+    def search_many(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+        """Batched search: each shard sees the whole batch's slice at once.
+
+        Cross-query token dedup happens *inside* each shard (dedup classes
+        are shard-local because identical tokens share ``G1``), so the
+        summed ``batch.*`` counters equal the single-cloud run and per-query
+        responses stay byte-identical to sequential :meth:`search` calls.
+        """
+        routed = [
+            [self.plan.shard_of(token.g1) for token in tokens] for tokens in token_lists
+        ]
+        shard_ids = sorted({sid for row in routed for sid in row})
+        partials: dict[int, list[SearchResponse]] = {}
+        for sid in shard_ids:
+            shard_lists = [
+                [t for t, s in zip(tokens, row) if s == sid]
+                for tokens, row in zip(token_lists, routed)
+            ]
+            with trace.span(
+                "shard.search", shard=sid, batch=len(shard_lists)
+            ):
+                partials[sid] = self._shard_search_many(sid, shard_lists)
+        responses: list[SearchResponse] = []
+        for qi, (tokens, row) in enumerate(zip(token_lists, routed)):
+            cursors = {sid: iter(partials[sid][qi].results) for sid in set(row)}
+            response = SearchResponse([next(cursors[sid]) for sid in row])
+            self._observe_search(tokens, response)
+            responses.append(response)
+        return responses
+
+    def shards_for_tokens(self, tokens: list[SearchToken]) -> list[int]:
+        """The sorted shard ids a token list touches (audit/metrics labels)."""
+        return sorted({self.plan.shard_of(token.g1) for token in tokens})
+
+    # ------------------------------------------------------------ internals
+
+    def _shard_search(
+        self,
+        sid: int,
+        shard_tokens: list[SearchToken],
+        collected: dict[SearchToken, CollectResult] | None,
+    ) -> SearchResponse:
+        if sid in self._dead:
+            return self._dead_response(sid, shard_tokens)
+        server = self.shard_servers[sid]
+        if self.transport is None:
+            return server.search(shard_tokens, _collected=collected, _observe=False)
+
+        # Chaos leg: this shard's scatter crosses the transport on its own
+        # channel, retried independently; a crash fault restarts only this
+        # shard from its durable snapshot.
+        tokens_wire = wire.dump_tokens(shard_tokens)
+        channel = shard_channel(CONTRACT_TO_CLOUD, sid)
+
+        def scatter_op(attempt: int) -> bytes:
+            return self.transport.deliver(
+                channel,
+                tokens_wire,
+                lambda blob: wire.dump_response(
+                    server.search(wire.load_tokens(blob), _observe=False)
+                ),
+                on_crash=lambda: self._restart_shard(sid),
+            )
+
+        response_wire = self.retry.run(
+            scatter_op, transport=self.transport, label=f"shard{sid}.search"
+        )
+        return wire.load_response(response_wire)
+
+    def _shard_search_many(
+        self, sid: int, shard_lists: list[list[SearchToken]]
+    ) -> list[SearchResponse]:
+        if sid in self._dead:
+            return [self._dead_response(sid, tokens) for tokens in shard_lists]
+        # Batched settlement is a direct chain call even under chaos (see
+        # SlicerSystem.batch_search), so the batch scatter stays in-process.
+        return self.shard_servers[sid].search_many(shard_lists, _observe=False)
+
+    def _dead_response(self, sid: int, shard_tokens: list[SearchToken]) -> SearchResponse:
+        """A hard-down shard's share: empty results, witness that cannot verify.
+
+        ``w = 1`` fails ``w^p == Ac`` for every prime, so the contract
+        refunds exactly the queries whose tokens routed here — a crashed
+        shard can degrade its own queries but never poison another shard's
+        settlement.
+        """
+        perfstats.incr("shard.dead_served", len(shard_tokens))
+        return SearchResponse(
+            [TokenResult(t, [], MembershipWitness(1)) for t in shard_tokens]
+        )
+
+    def _precollect(
+        self, tokens: list[SearchToken], groups: dict[int, list[int]]
+    ) -> dict[int, dict[SearchToken, CollectResult]]:
+        """Per-shard collection fan-out: one executor job per shard.
+
+        Replaces the flat token-chunk pool for sharded serving: each worker
+        walks one shard's *unique* tokens (first-occurrence order, exactly
+        the dedup :meth:`CloudServer.search` applies) against that shard's
+        fork-inherited index slice and entry cache.  Counter deltas and
+        cache exports ride home through the executor machinery, so counters
+        and cache state match the serial per-shard loop bit for bit.
+        Returns ``{}`` (shards collect for themselves) when the fan-out
+        would not pay or is unavailable; only applies to the direct path.
+        """
+        if self.transport is not None or not self._executor.parallel_available:
+            return {}
+        live = [sid for sid in sorted(groups) if sid not in self._dead]
+        unique_by_shard: dict[int, list[SearchToken]] = {}
+        for sid in live:
+            seen: dict[SearchToken, None] = {}
+            for i in groups[sid]:
+                seen.setdefault(tokens[i], None)
+            unique_by_shard[sid] = list(seen)
+        total = sum(len(v) for v in unique_by_shard.values())
+        if len(live) < 2 or total < max(2, self._executor.min_items):
+            return {}
+        kernels_on = kernels.kernels_enabled()
+        shared = tuple(
+            CollectShared(
+                self.shard_servers[sid].index.entries,
+                self.params.label_len,
+                self.shard_servers[sid].trapdoor_public,
+                self.shard_servers[sid]._entry_cache if kernels_on else None,
+                self.params.multiset_field,
+            )
+            for sid in live
+        )
+        jobs = [
+            (
+                slot,
+                tuple(
+                    TokenWork(t.trapdoor, t.epoch, t.g1, t.g2)
+                    for t in unique_by_shard[sid]
+                ),
+            )
+            for slot, sid in enumerate(live)
+        ]
+        perfstats.incr("shard.fanout.dispatches")
+        results = self._executor.run_jobs(shard_collect_chunk, jobs, shared=shared)
+        return {
+            sid: dict(zip(unique_by_shard[sid], per_shard))
+            for sid, per_shard in zip(live, results)
+        }
+
+    def _observe_search(
+        self, tokens: list[SearchToken], response: SearchResponse
+    ) -> None:
+        """The per-query observations the shards suppressed, made once.
+
+        Shards are called with ``_observe=False`` so the merged response is
+        observed exactly as the single-cloud path would — same histogram
+        names, same values, one observation per query.
+        """
+        metrics.observe("cloud.search.tokens", len(tokens))
+        metrics.observe(
+            "cloud.search.entries", sum(len(r.entries) for r in response.results)
+        )
+        metrics.observe("cloud.search.result_bytes", response.encrypted_result_bytes)
+        metrics.observe("cloud.search.witness_bytes", response.witness_bytes)

@@ -1,0 +1,154 @@
+"""Deterministic keyword -> shard routing and the per-shard install unit.
+
+The serving tier splits the encrypted index ``I`` across N independent
+:class:`~repro.core.cloud.CloudServer` instances.  The routing key is the
+keyword's PRF output ``G1``:
+
+* **stable** — ``G1 = G(K, w||1)`` depends only on the PRF key and the
+  keyword, never on the epoch, so a keyword's *entire* trapdoor chain lives
+  on exactly one shard and epoch walks never cross shard boundaries;
+* **available on both sides** — the owner sees ``G1`` while staging
+  Build/Insert (:class:`~repro.parallel.tasks.KeywordJob`) and the serving
+  tier sees it on every :class:`~repro.core.tokens.SearchToken`, so install
+  and search route identically without extra state;
+* **keyword-blind** — ``G1`` is pseudorandom, so the router learns nothing
+  about the keyword beyond what the token already reveals.
+
+What is sharded and what is replicated: the index slice (``O(postings)``)
+is sharded; the prime list ``X`` and the accumulation value ``Ac``
+(``O(keyword-epochs)`` small integers) are replicated to every shard, so
+each shard can produce witnesses over the *full* product — witness values
+``g^(prod(X)/p)`` do not depend on which shard computes them, which is what
+keeps sharded responses byte-identical to the single-cloud path at any N.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError, StateError
+from ..core.state import CloudPackage
+from ..storage import codec, state_io
+
+#: Domain separator for the routing hash — shard ids must not correlate
+#: with any other hash of ``G1`` used elsewhere in the protocol.
+_ROUTE_DOMAIN = b"repro.shard.route:"
+
+_KIND_SHARD_PACKAGE = b"shard-package"
+
+
+class ShardPlan:
+    """Pluggable deterministic router: keyword ``G1`` -> shard id.
+
+    Subclasses override :meth:`shard_of`; everything downstream (owner
+    splitting, frontend scatter, fault channels) consumes the plan through
+    this one method, so alternative placements (consistent hashing, pinned
+    hot keywords) drop in without touching the protocol.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ParameterError("shard count must be >= 1")
+        self.shards = shards
+
+    def shard_of(self, g1: bytes) -> int:
+        raise NotImplementedError
+
+
+class HashShardPlan(ShardPlan):
+    """The default router: ``sha256(domain || G1) mod N`` (stable hash)."""
+
+    def shard_of(self, g1: bytes) -> int:
+        digest = hashlib.sha256(_ROUTE_DOMAIN + g1).digest()
+        return int.from_bytes(digest[:8], "big") % self.shards
+
+
+@dataclass
+class ShardPackage:
+    """One shard's slice of a Build/Insert delta.
+
+    ``package`` carries the shard-local index slice but the *full* delta
+    prime list and the global ``Ac`` (see module docstring); ``local_primes``
+    records which of those primes belong to keywords homed on this shard —
+    the set the shard's witness cache covers.
+    """
+
+    shard_id: int
+    package: CloudPackage
+    local_primes: list[int]
+
+
+def dump_shard_package(pkg: ShardPackage) -> bytes:
+    """Wire/snapshot encoding: the owner->shard install message."""
+    return codec.pack(
+        _KIND_SHARD_PACKAGE,
+        codec.encode_int(pkg.shard_id),
+        state_io.dump_cloud_state(
+            pkg.package.index, list(pkg.package.primes), pkg.package.accumulation
+        ),
+        state_io.dump_primes(list(pkg.local_primes)),
+    )
+
+
+def load_shard_package(blob: bytes) -> ShardPackage:
+    try:
+        sid_blob, state_blob, local_blob = codec.unpack(blob, _KIND_SHARD_PACKAGE)
+    except (ParameterError, ValueError) as exc:
+        raise StateError(f"cannot load shard package: {exc}") from exc
+    index, primes, ads_value = state_io.load_cloud_state(state_blob)
+    return ShardPackage(
+        shard_id=codec.decode_int(sid_blob),
+        package=CloudPackage(index, primes, ads_value),
+        local_primes=state_io.load_primes(local_blob),
+    )
+
+
+def split_package(
+    plan: ShardPlan,
+    routed: list[tuple[int, list[tuple[bytes, bytes]], int]],
+    all_primes: list[int],
+    accumulation: int,
+) -> list[ShardPackage]:
+    """Assemble per-shard packages from routed per-keyword build output.
+
+    ``routed`` holds one ``(shard_id, entries, prime)`` triple per keyword
+    job, in job order — the owner computes the shard id while it still knows
+    each entry's keyword (``G1`` is not recoverable from a PRF label).  Every
+    shard receives the full ``all_primes`` delta; only the index entries and
+    the ``local_primes`` bookkeeping are sharded.
+    """
+    from ..core.state import EncryptedIndex  # local: state imports nothing of ours
+
+    slices = [EncryptedIndex() for _ in range(plan.shards)]
+    locals_: list[list[int]] = [[] for _ in range(plan.shards)]
+    for shard_id, entries, prime in routed:
+        for label, payload in entries:
+            slices[shard_id].put(label, payload)
+        locals_[shard_id].append(prime)
+    return [
+        ShardPackage(
+            shard_id=sid,
+            package=CloudPackage(slices[sid], list(all_primes), accumulation),
+            local_primes=locals_[sid],
+        )
+        for sid in range(plan.shards)
+    ]
+
+
+def equality_route(prf_key: bytes, value_bits: int, plan: ShardPlan):
+    """``Query -> shard id`` for equality queries (test/benchmark side).
+
+    Benchmarks and the :class:`~repro.workloads.generator.ShardSkew`
+    machinery need to know where a query will land *before* tokens exist;
+    an equality query maps to exactly one keyword, hence one shard.
+    """
+    from ..core.keywords import equality_keyword
+    from ..core.tokens import derive_g1_g2
+
+    def route(query) -> int:
+        keyword = equality_keyword(query.value, value_bits, query.attribute)
+        g1, _ = derive_g1_g2(prf_key, keyword)
+        return plan.shard_of(g1)
+
+    return route

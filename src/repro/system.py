@@ -45,6 +45,7 @@ from .chaos import (
     ChaosTransport,
     RetryPolicy,
     chaos_enabled,
+    shard_channel,
 )
 from .common import perfstats
 from .common.errors import RetryExhausted, StateError, TransientChainError
@@ -61,6 +62,12 @@ from .core.records import AttributedDatabase, Database
 from .core.state import CloudPackage
 from .core.user import DataUser, RangeQuery
 from .core.tokens import SearchToken
+from .sharding import (
+    HashShardPlan,
+    ShardedCloudFrontend,
+    dump_shard_package,
+    load_shard_package,
+)
 from .storage import codec, state_io
 
 DEFAULT_FUNDING = 10**9
@@ -167,16 +174,59 @@ class SlicerSystem:
         owner: DataOwner | None = None,
         transport: ChaosTransport | None = None,
         retry: RetryPolicy | None = None,
+        shards: int = 1,
+        shard_plan=None,
+        account_tag: str | None = None,
+        env_transport: bool = True,
     ) -> None:
         self.params = params or SlicerParams()
         self.rng = rng or default_rng()
         self.chain = chain or Blockchain()
         self.owner = owner or DataOwner(self.params, rng=self.rng.spawn())
-        self.cloud = cloud or CloudServer(self.params, self.owner.keys.trapdoor.public)
 
-        self.owner_address = self.chain.create_account("data-owner", DEFAULT_FUNDING)
-        self.user_address = self.chain.create_account("data-user", DEFAULT_FUNDING)
-        self.cloud_address = self.chain.create_account("cloud", DEFAULT_FUNDING)
+        # Chaos delivery (opt-in): None keeps the direct in-process path
+        # bit-for-bit identical to the pre-chaos system.  ``env_transport=
+        # False`` also opts out of the REPRO_CHAOS auto-detection (multi-
+        # system deployments that must stay direct regardless of env).
+        if transport is None and env_transport and chaos_enabled():
+            transport = ChaosTransport.from_env()
+        self.transport = transport
+        self.retry = retry or RetryPolicy()
+
+        # Sharded serving tier (opt-in): shards > 1 or an explicit plan
+        # replaces the single cloud with a scatter/gather frontend whose
+        # merged output is byte-identical to the single-cloud path.
+        plan = shard_plan
+        if plan is None and shards > 1:
+            plan = HashShardPlan(shards)
+        if cloud is None:
+            if plan is not None:
+                cloud = ShardedCloudFrontend(
+                    self.params,
+                    self.owner.keys.trapdoor.public,
+                    plan,
+                    transport=self.transport,
+                    retry=self.retry,
+                )
+            else:
+                cloud = CloudServer(self.params, self.owner.keys.trapdoor.public)
+        self.cloud = cloud
+        self._sharded = isinstance(self.cloud, ShardedCloudFrontend)
+        if self._sharded:
+            # The owner pre-splits every delta along the tier's plan (the
+            # tier cannot: routing needs G1, which PRF labels hide).
+            self.owner.shard_plan = self.cloud.plan
+
+        tag = account_tag
+        self.owner_address = self.chain.create_account(
+            f"{tag}-owner" if tag else "data-owner", DEFAULT_FUNDING
+        )
+        self.user_address = self.chain.create_account(
+            f"{tag}-user" if tag else "data-user", DEFAULT_FUNDING
+        )
+        self.cloud_address = self.chain.create_account(
+            f"{tag}-cloud" if tag else "cloud", DEFAULT_FUNDING
+        )
 
         self.contract: SlicerContract | None = None
         self.deploy_receipt: Receipt | None = None
@@ -185,12 +235,6 @@ class SlicerSystem:
         self.extra_users: dict[str, tuple[bytes, DataUser]] = {}
         self._last_user_package = None
 
-        # Chaos delivery (opt-in): None keeps the direct in-process path
-        # bit-for-bit identical to the pre-chaos system.
-        if transport is None and chaos_enabled():
-            transport = ChaosTransport.from_env()
-        self.transport = transport
-        self.retry = retry or RetryPolicy()
         self._cloud_snapshot: bytes | None = None
         self._chaos_op = 0
 
@@ -201,7 +245,7 @@ class SlicerSystem:
         with trace.span("setup", records=len(database.records)):
             output = self.owner.build(database)
             with trace.span("install"):
-                self.cloud.install(output.cloud_package)
+                self._install(output)
             self.contract, self.deploy_receipt = self.chain.deploy(
                 self.owner_address,
                 SlicerContract,
@@ -243,7 +287,9 @@ class SlicerSystem:
             output = self.owner.insert(additions)
             with trace.span("install"):
                 if self.transport is None:
-                    self.cloud.install(output.cloud_package)
+                    self._install(output)
+                elif self._sharded and output.shard_packages is not None:
+                    self._chaos_install_shards(output.shard_packages)
                 else:
                     self._chaos_install(output.cloud_package)
             assert self.user is not None
@@ -392,14 +438,20 @@ class SlicerSystem:
             # Leg 2: the cloud reads the tokens and searches.  Not cached —
             # an honest cloud's search is a pure function of its state, and
             # re-running it after a crash restart is exactly the recovery
-            # path under test.
+            # path under test.  A sharded tier runs its *own* per-shard
+            # transport legs inside frontend.search (channels
+            # ``contract->cloud#shardK``), so the scatter is not wrapped in
+            # a second tier-wide delivery here.
             with trace.span("cloud.search", attempt=attempt):
-                response_wire = transport.deliver(
-                    CONTRACT_TO_CLOUD,
-                    tokens_wire,
-                    lambda blob: wire.dump_response(self.cloud.search(wire.load_tokens(blob))),
-                    on_crash=self._restart_cloud,
-                )
+                if self._sharded:
+                    response_wire = wire.dump_response(self.cloud.search(tokens))
+                else:
+                    response_wire = transport.deliver(
+                        CONTRACT_TO_CLOUD,
+                        tokens_wire,
+                        lambda blob: wire.dump_response(self.cloud.search(wire.load_tokens(blob))),
+                        on_crash=self._restart_cloud,
+                    )
             # Leg 3: response + current Ac to the contract for settlement.
             with trace.span("verify_settle", attempt=attempt):
                 receipt = transport.deliver(
@@ -506,6 +558,11 @@ class SlicerSystem:
         if outcome.settle_receipt is not None:
             metrics.observe("gas.verify_and_settle", settle_gas)
         failure = outcome.failure
+        shard_extra = (
+            {"shards": self.cloud.shards_for_tokens(outcome.tokens)}
+            if self._sharded
+            else {}
+        )
         obs_audit.AUDIT_LOG.append(
             query_id=str(outcome.query_id),
             verdict=verdict,
@@ -521,6 +578,7 @@ class SlicerSystem:
             trace_id=trace.current_trace_id(),
             detail=outcome.error,
             fault_step=failure.fault_step if failure else None,
+            **shard_extra,
         )
 
     def range_search(self, range_query: RangeQuery, payment: int = DEFAULT_PAYMENT) -> RangeOutcome:
@@ -611,11 +669,23 @@ class SlicerSystem:
                     trace_id=trace_id,
                     batch_size=len(staged),
                     batch_settle_gas=settle.gas_used,
+                    **(
+                        {"shards": self.cloud.shards_for_tokens(tokens)}
+                        if self._sharded
+                        else {}
+                    ),
                 )
             self.chain.mine()
         return outcomes
 
     # ------------------------------------------------------- chaos delivery
+
+    def _install(self, output: OwnerOutput) -> None:
+        """Direct-mode install: flat package, or pre-split per shard."""
+        if self._sharded and output.shard_packages is not None:
+            self.cloud.install_shards(output.shard_packages)
+        else:
+            self.cloud.install(output.cloud_package)
 
     def _next_op(self) -> int:
         """Monotonic operation counter — the idempotency-key namespace."""
@@ -667,6 +737,43 @@ class SlicerSystem:
             )
 
         self.retry.run(install_op, transport=transport, label="install")
+
+    def _chaos_install_shards(self, shard_packages) -> None:
+        """Owner -> tier install: one independent transport leg per shard.
+
+        Each shard's package crosses its own channel
+        (``owner->cloud#shardK``) with its own idempotency key and retry
+        budget; a crash fault restarts only that shard from its per-shard
+        durable snapshot.  The tier-level snapshot is refreshed once every
+        leg has landed.
+        """
+        transport = self.transport
+        assert transport is not None
+        op = self._next_op()
+        for pkg in shard_packages:
+            pkg_wire = dump_shard_package(pkg)
+            sid = pkg.shard_id
+
+            def handler(blob: bytes) -> bytes:
+                # install_shard also refreshes that shard's durable snapshot.
+                self.cloud.install_shard(load_shard_package(blob))
+                return b"installed"
+
+            def install_op(
+                attempt: int, _wire=pkg_wire, _handler=handler, _sid=sid
+            ) -> None:
+                transport.deliver(
+                    shard_channel(OWNER_TO_CLOUD, _sid),
+                    _wire,
+                    _handler,
+                    idempotency_key=("install", op, _sid),
+                    on_crash=lambda: self.cloud._restart_shard(_sid),
+                )
+
+            self.retry.run(
+                install_op, transport=transport, label=f"install.shard{sid}"
+            )
+        self._cloud_snapshot = self.cloud.snapshot()
 
     def _chaos_update_ads(self, contract: SlicerContract, chain_ads) -> Receipt:
         """Owner -> contract ADS refresh over the transport."""

@@ -40,6 +40,36 @@ class QueryPopularity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class ShardSkew:
+    """Skewed query->shard routing for hot-shard experiments.
+
+    A sharded serving tier balances only as well as the traffic does:
+    under production skew a few hot keywords concentrate on one shard and
+    cap the tier's speedup (max/mean token imbalance).  This knob makes
+    that regime *reproducible*: ``hot_fraction`` of generated queries are
+    steered onto ``hot_shard``, the rest land uniformly on the other
+    shards.  Steering is by rejection sampling against the real routing
+    function (the PRF-hash route is not invertible), bounded by
+    ``max_attempts`` draws per query.
+    """
+
+    shards: int
+    hot_shard: int = 0
+    hot_fraction: float = 0.8
+    max_attempts: int = 512
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ParameterError("shards must be >= 1")
+        if not 0 <= self.hot_shard < self.shards:
+            raise ParameterError("hot_shard must be a valid shard id")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ParameterError("hot_fraction must be in [0, 1]")
+        if self.max_attempts < 1:
+            raise ParameterError("max_attempts must be positive")
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Declarative description of a dataset to generate."""
 
@@ -142,6 +172,51 @@ class WorkloadGenerator:
         return self.equality_queries(cut, value_bits) + self.order_queries(
             count - cut, value_bits
         )
+
+    def sharded_queries(
+        self,
+        count: int,
+        value_bits: int,
+        skew: ShardSkew,
+        route,
+        attribute: str = "",
+    ) -> list[Query]:
+        """Equality queries whose shard placement follows ``skew``.
+
+        ``route`` maps a :class:`Query` to its shard id — use
+        :func:`repro.sharding.plan.equality_route` for the real tier
+        routing.  Per query: pick the target shard first (``hot_shard``
+        with probability ``hot_fraction``, else uniform over the others),
+        then rejection-sample equality queries until one routes there.
+        With one shard the target check is vacuous, so the stream
+        degenerates to plain :meth:`equality_queries` draws.
+
+        Deterministic under a seeded rng.  If ``max_attempts`` draws never
+        hit the target (possible on tiny domains where no value routes to
+        some shard) the last draw is kept — the realised distribution is
+        then only approximately the requested one, which the benchmark
+        reports as measured imbalance rather than assuming.
+        """
+        domain = 1 << value_bits
+        out: list[Query] = []
+        for _ in range(count):
+            if skew.shards == 1:
+                target = 0
+            elif self.rng.randbits(53) / (1 << 53) < skew.hot_fraction:
+                target = skew.hot_shard
+            else:
+                others = [s for s in range(skew.shards) if s != skew.hot_shard]
+                target = others[self.rng.randint_below(len(others))]
+            query = None
+            for _attempt in range(skew.max_attempts):
+                query = Query(
+                    self.rng.randint_below(domain), MatchCondition.EQUAL, attribute
+                )
+                if skew.shards == 1 or route(query) == target:
+                    break
+            assert query is not None
+            out.append(query)
+        return out
 
     def popular_queries(
         self,

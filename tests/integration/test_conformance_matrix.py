@@ -288,3 +288,90 @@ class TestConcurrentInsertAndSearch:
         fresh = system.search(Query.parse(7, "="), payment=PAYMENT)
         assert fresh.verified
         assert len(fresh.record_ids) == len(stale_ids) + 1
+
+
+class TestShardFaultCells:
+    """The sharded serving tier's column of the matrix: one bad shard (dead
+    or tampering) is caught and refunded for exactly the queries routed to
+    it, while queries served entirely by honest live shards still settle
+    paid — a compromised shard cannot poison the rest of the tier's
+    settlements."""
+
+    AFFECTED = Query.parse(7, "=")   # routes to the victim shard
+    SPARED = Query.parse(200, "=")   # routes elsewhere (asserted per cell)
+
+    def build_tier_cell(self, tparams, owner_factory, profile_name="lossy"):
+        from repro.sharding.plan import equality_route
+
+        owner = owner_factory(tparams, seed=7)
+        transport = ChaosTransport(FaultPlan(profile_named(profile_name), seed=17))
+        system = SlicerSystem(
+            tparams, rng=default_rng(7), owner=owner, transport=transport, shards=4
+        )
+        system.setup(database(VALUES))
+        system.insert(database(EXTRA, start=100))
+        route = equality_route(owner.keys.prf_key, tparams.value_bits, system.cloud.plan)
+        victim = route(self.AFFECTED)
+        assert route(self.SPARED) != victim, "fixture queries must split shards"
+        return system, victim
+
+    def test_dead_shard_refunds_only_its_queries(self, tparams, owner_factory):
+        from repro.obs import audit as obs_audit
+
+        system, victim = self.build_tier_cell(tparams, owner_factory)
+        baseline = system.search(self.AFFECTED, payment=PAYMENT)
+        assert baseline.verified, "pre-fault tier must settle paid"
+
+        system.cloud.kill_shard(victim)
+        refunded = system.search(self.AFFECTED, payment=PAYMENT)
+        assert refunded.settled and not refunded.verified
+        assert refunded.record_ids == set()
+        paid = system.search(self.SPARED, payment=PAYMENT)
+        assert paid.settled and paid.verified
+
+        # Escrow moved money for exactly the paid searches.
+        balances = system.balances()
+        assert balances["cloud"] == DEFAULT_FUNDING + 2 * PAYMENT
+        assert balances["user"] == DEFAULT_FUNDING - 2 * PAYMENT
+        # The audit log attributes each verdict to the shards it touched.
+        last_two = obs_audit.AUDIT_LOG.records()[-2:]
+        assert [r.verdict for r in last_two] == ["refunded", "paid"]
+        assert victim in last_two[0].extra["shards"]
+        assert victim not in last_two[1].extra["shards"]
+
+    def test_tampering_shard_caught_honest_shards_paid(self, tparams, owner_factory):
+        system, victim = self.build_tier_cell(tparams, owner_factory)
+        frontend = system.cloud
+        honest_bytes = wire.dump_response(
+            system.search(self.AFFECTED, payment=PAYMENT).response
+        )
+
+        # Compromise one shard in place: same state, tampering search path.
+        evil = MaliciousCloud(
+            tparams,
+            system.owner.keys.trapdoor.public,
+            Misbehavior.TAMPER_ENTRY,
+            default_rng(11),
+        )
+        evil.restore(frontend.snapshot_shard(victim))
+        frontend.shard_servers[victim] = evil
+
+        tampered = system.search(self.AFFECTED, payment=PAYMENT)
+        assert tampered.settled and not tampered.verified
+        assert wire.dump_response(tampered.response) != honest_bytes
+        paid = system.search(self.SPARED, payment=PAYMENT)
+        assert paid.settled and paid.verified
+
+        balances = system.balances()
+        assert balances["cloud"] == DEFAULT_FUNDING + 2 * PAYMENT
+        assert balances["user"] == DEFAULT_FUNDING - 2 * PAYMENT
+
+    def test_recovered_shard_rejoins_the_paid_column(self, tparams, owner_factory):
+        system, victim = self.build_tier_cell(tparams, owner_factory)
+        frontend = system.cloud
+        snap = frontend.snapshot_shard(victim)
+        frontend.kill_shard(victim)
+        assert not system.search(self.AFFECTED, payment=PAYMENT).verified
+        frontend.restore_shard(victim, snap)
+        recovered = system.search(self.AFFECTED, payment=PAYMENT)
+        assert recovered.verified, "a restored shard must settle paid again"

@@ -1,0 +1,136 @@
+"""Scatter/gather frontend unit tests against a single-cloud reference."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.core import wire
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.sharding import HashShardPlan, ShardedCloudFrontend
+
+VALUES = [7, 7, 9, 40, 41, 64, 3, 200]
+QUERIES = [Query.parse(7, "="), Query.parse(40, ">"), Query.parse(64, "<")]
+
+
+def database(values, start=0):
+    return make_database(
+        [(f"rec-{start + i}", v) for i, v in enumerate(values)], bits=8
+    )
+
+
+@pytest.fixture()
+def deployment(tparams, owner_factory, session_keys):
+    plan = HashShardPlan(4)
+    owner = owner_factory(tparams)
+    owner.shard_plan = plan
+    out = owner.build(database(VALUES))
+    frontend = ShardedCloudFrontend(tparams, session_keys.trapdoor.public, plan)
+    frontend.install_shards(out.shard_packages)
+    reference = CloudServer(tparams, session_keys.trapdoor.public)
+    reference.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(3))
+    return owner, frontend, reference, user
+
+
+class TestMergeIdentity:
+    def test_search_byte_identical_to_single_cloud(self, deployment):
+        _, frontend, reference, user = deployment
+        assert frontend.ads_value == reference.ads_value
+        assert frontend.prime_count == reference.prime_count
+        for query in QUERIES:
+            tokens = user.make_tokens(query)
+            assert wire.dump_response(frontend.search(tokens)) == wire.dump_response(
+                reference.search(tokens)
+            )
+
+    def test_search_many_matches_sequential(self, deployment):
+        _, frontend, reference, user = deployment
+        token_lists = [user.make_tokens(q) for q in QUERIES]
+        batched = frontend.search_many(token_lists)
+        assert [wire.dump_response(r) for r in batched] == [
+            wire.dump_response(reference.search(t)) for t in token_lists
+        ]
+
+    def test_insert_delta_keeps_identity(self, deployment, tparams, session_keys):
+        owner, frontend, reference, user = deployment
+        out = owner.insert(database([7, 130], start=100))
+        frontend.install_shards(out.shard_packages)
+        reference.install(out.cloud_package)
+        user.refresh(out.user_package)
+        for query in QUERIES:
+            tokens = user.make_tokens(query)
+            assert wire.dump_response(frontend.search(tokens)) == wire.dump_response(
+                reference.search(tokens)
+            )
+
+
+class TestWitnessPrecompute:
+    def test_per_shard_precompute_partitions_the_work(self, deployment):
+        _, frontend, reference, _ = deployment
+        assert frontend.precompute_witnesses() == reference.precompute_witnesses()
+        assert frontend.precompute_witnesses() == frontend.prime_count
+        # Per-shard caches hold only local primes, together covering all.
+        sizes = [
+            len(server._witness_cache or {}) for server in frontend.shard_servers
+        ]
+        assert sum(sizes) == frontend.prime_count
+
+
+class TestDegradedShards:
+    def test_killed_shard_serves_detectable_failures(self, deployment, tparams):
+        _, frontend, _, user = deployment
+        tokens = user.make_tokens(Query.parse(10, "<"))
+        shards = frontend.shards_for_tokens(tokens)
+        assert len(shards) >= 2, "order query must fan out for this test"
+        frontend.kill_shard(shards[0])
+        response = frontend.search(tokens)
+        report = verify_response(tparams, frontend.ads_value, response)
+        assert not report.ok, "dead-shard witnesses must fail verification"
+        dead_results = [r for r in response.results if r.witness.value == 1]
+        assert dead_results and all(r.entries == [] for r in dead_results)
+
+    def test_restore_revives_a_killed_shard(self, deployment, tparams):
+        _, frontend, _, user = deployment
+        tokens = user.make_tokens(Query.parse(7, "="))
+        reference = wire.dump_response(frontend.search(tokens))
+        (victim,) = frontend.shards_for_tokens(tokens)
+        snap = frontend.snapshot_shard(victim)
+        frontend.kill_shard(victim)
+        assert not verify_response(
+            tparams, frontend.ads_value, frontend.search(tokens)
+        ).ok
+        frontend.restore_shard(victim, snap)
+        assert wire.dump_response(frontend.search(tokens)) == reference
+
+
+class TestTierSnapshot:
+    def test_roundtrip(self, deployment):
+        _, frontend, _, user = deployment
+        tokens = user.make_tokens(Query.parse(64, "<"))
+        reference = wire.dump_response(frontend.search(tokens))
+        frontend.restore(frontend.snapshot())
+        assert wire.dump_response(frontend.search(tokens)) == reference
+
+    def test_shape_mismatch_rejected(self, deployment, tparams, session_keys):
+        _, frontend, _, _ = deployment
+        other = ShardedCloudFrontend(
+            tparams, session_keys.trapdoor.public, HashShardPlan(2)
+        )
+        with pytest.raises(ParameterError):
+            other.restore(frontend.snapshot())
+
+
+class TestInstallValidation:
+    def test_wrong_package_count_rejected(self, tparams, owner_factory, session_keys):
+        owner = owner_factory(tparams)
+        owner.shard_plan = HashShardPlan(2)
+        out = owner.build(database(VALUES))
+        frontend = ShardedCloudFrontend(
+            tparams, session_keys.trapdoor.public, HashShardPlan(4)
+        )
+        with pytest.raises(ParameterError):
+            frontend.install_shards(out.shard_packages)

@@ -1,0 +1,102 @@
+"""Socket-path tests: the asyncio scatter/gather on a localhost loopback."""
+
+import asyncio
+
+from repro.common.errors import StateError
+from repro.common.rng import default_rng
+from repro.core import wire
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+from repro.sharding import HashShardPlan
+from repro.sharding.net import OP_PING, ShardClient, ShardServer
+from repro.storage import codec
+
+VALUES = [7, 7, 9, 40, 41, 64, 3, 200]
+QUERIES = [Query.parse(7, "="), Query.parse(10, "<"), Query.parse(100, ">")]
+
+
+def build(tparams, owner_factory, session_keys, shards):
+    plan = HashShardPlan(shards)
+    owner = owner_factory(tparams)
+    owner.shard_plan = plan
+    out = owner.build(
+        make_database([(f"rec-{i}", v) for i, v in enumerate(VALUES)], bits=8)
+    )
+    servers = [
+        ShardServer(sid, CloudServer(tparams, session_keys.trapdoor.public))
+        for sid in range(shards)
+    ]
+    reference = CloudServer(tparams, session_keys.trapdoor.public)
+    reference.install(out.cloud_package)
+    user = DataUser(tparams, out.user_package, default_rng(3))
+    return plan, out, servers, reference, user
+
+
+async def serve(plan, servers):
+    addresses = [await server.start() for server in servers]
+    return ShardClient(plan, addresses)
+
+
+class TestLoopbackScatterGather:
+    def test_install_and_search_match_single_cloud(
+        self, tparams, owner_factory, session_keys
+    ):
+        plan, out, servers, reference, user = build(
+            tparams, owner_factory, session_keys, 3
+        )
+
+        async def scenario():
+            client = await serve(plan, servers)
+            try:
+                await client.install(out.shard_packages)
+                responses = []
+                for query in QUERIES:
+                    tokens = user.make_tokens(query)
+                    responses.append(
+                        (tokens, wire.dump_response(await client.search(tokens)))
+                    )
+                return responses
+            finally:
+                await client.close()
+                for server in servers:
+                    await server.stop()
+
+        for tokens, blob in asyncio.run(scenario()):
+            assert blob == wire.dump_response(reference.search(tokens))
+
+    def test_ping_and_misrouted_install_error(
+        self, tparams, owner_factory, session_keys
+    ):
+        plan, out, servers, _, _ = build(tparams, owner_factory, session_keys, 2)
+
+        async def scenario():
+            client = await serve(plan, servers)
+            try:
+                pongs = [
+                    codec.decode_int(await client._call(sid, OP_PING, b""))
+                    for sid in range(2)
+                ]
+                # A package addressed to shard 1 delivered to shard 0 must be
+                # refused with an error reply, and the connection must survive.
+                misrouted = next(p for p in out.shard_packages if p.shard_id == 1)
+                from repro.sharding.plan import dump_shard_package
+                from repro.sharding.net import OP_INSTALL
+
+                try:
+                    await client._call(0, OP_INSTALL, dump_shard_package(misrouted))
+                    raised = False
+                except StateError:
+                    raised = True
+                pong_after = codec.decode_int(await client._call(0, OP_PING, b""))
+                return pongs, raised, pong_after
+            finally:
+                await client.close()
+                for server in servers:
+                    await server.stop()
+
+        pongs, raised, pong_after = asyncio.run(scenario())
+        assert pongs == [0, 1]
+        assert raised, "misrouted install must produce an error reply"
+        assert pong_after == 0, "server must keep serving after an error"

@@ -1,0 +1,122 @@
+"""Routing plan unit tests: determinism, range, splitting, wire roundtrip."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.core.keywords import equality_keyword
+from repro.core.query import Query
+from repro.core.state import CloudPackage, EncryptedIndex
+from repro.core.tokens import derive_g1_g2
+from repro.sharding.plan import (
+    HashShardPlan,
+    ShardPackage,
+    dump_shard_package,
+    equality_route,
+    load_shard_package,
+    split_package,
+)
+
+RNG = default_rng(404)
+
+
+class TestHashShardPlan:
+    def test_in_range_and_deterministic(self):
+        plan = HashShardPlan(5)
+        for _ in range(200):
+            g1 = RNG.token_bytes(16)
+            sid = plan.shard_of(g1)
+            assert 0 <= sid < 5
+            assert plan.shard_of(g1) == sid
+
+    def test_single_shard_routes_everything_to_zero(self):
+        plan = HashShardPlan(1)
+        assert all(plan.shard_of(RNG.token_bytes(16)) == 0 for _ in range(50))
+
+    def test_spreads_across_shards(self):
+        plan = HashShardPlan(4)
+        hit = {plan.shard_of(RNG.token_bytes(16)) for _ in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ParameterError):
+            HashShardPlan(0)
+
+    def test_route_is_independent_of_plan_instance(self):
+        g1 = b"\x01" * 16
+        assert HashShardPlan(7).shard_of(g1) == HashShardPlan(7).shard_of(g1)
+
+
+class TestSplitPackage:
+    def _routed(self, plan, n_jobs):
+        routed = []
+        for j in range(n_jobs):
+            g1 = RNG.token_bytes(16)
+            entries = [
+                (bytes([j, k]) + b"label", bytes([j, k]) + b"payload")
+                for k in range(3)
+            ]
+            routed.append((plan.shard_of(g1), entries, 1000 + j))
+        return routed
+
+    def test_slices_union_to_flat_index_and_locals_partition(self):
+        plan = HashShardPlan(3)
+        routed = self._routed(plan, 12)
+        all_primes = [prime for _, _, prime in routed]
+        packages = split_package(plan, routed, all_primes, accumulation=42)
+        assert len(packages) == 3
+        merged = {}
+        locals_seen = []
+        for pkg in packages:
+            assert pkg.package.primes == all_primes  # replicated, every shard
+            assert pkg.package.accumulation == 42
+            merged.update(pkg.package.index.entries)
+            locals_seen.extend(pkg.local_primes)
+        flat = {
+            label: payload for _, entries, _ in routed for label, payload in entries
+        }
+        assert merged == flat
+        assert sorted(locals_seen) == sorted(all_primes)  # a partition
+
+    def test_entries_land_on_their_keyword_shard(self):
+        plan = HashShardPlan(4)
+        routed = self._routed(plan, 8)
+        packages = split_package(
+            plan, routed, [p for _, _, p in routed], accumulation=1
+        )
+        for sid, entries, prime in routed:
+            pkg = packages[sid]
+            assert prime in pkg.local_primes
+            for label, payload in entries:
+                assert pkg.package.index.entries[label] == payload
+
+
+class TestShardPackageWire:
+    def test_dump_load_roundtrip(self):
+        index = EncryptedIndex()
+        index.put(b"label-a", b"payload-a")
+        index.put(b"label-b", b"payload-b")
+        pkg = ShardPackage(
+            shard_id=2,
+            package=CloudPackage(index, [101, 103], 7),
+            local_primes=[103],
+        )
+        loaded = load_shard_package(dump_shard_package(pkg))
+        assert loaded.shard_id == 2
+        assert loaded.package.index.entries == index.entries
+        assert loaded.package.primes == [101, 103]
+        assert loaded.package.accumulation == 7
+        assert loaded.local_primes == [103]
+
+
+class TestEqualityRoute:
+    def test_agrees_with_token_routing(self):
+        """The query-side router must predict where real tokens land."""
+        plan = HashShardPlan(4)
+        prf_key = b"\x05" * 16
+        route = equality_route(prf_key, 8, plan)
+        for value in [0, 7, 41, 200, 255]:
+            query = Query.parse(value, "=")
+            keyword = equality_keyword(value, 8, "")
+            g1, _ = derive_g1_g2(prf_key, keyword)
+            assert route(query) == plan.shard_of(g1)

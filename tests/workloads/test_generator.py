@@ -7,6 +7,7 @@ from repro.common.rng import default_rng
 from repro.core.query import MatchCondition
 from repro.workloads.generator import (
     QueryPopularity,
+    ShardSkew,
     ValueDistribution,
     WorkloadGenerator,
     WorkloadSpec,
@@ -139,3 +140,66 @@ class TestPopularQueries:
             gen.popular_queries(5, 8, pool_size=0)
         with pytest.raises(ParameterError):
             gen.popular_queries(5, 8, pool=[])
+
+
+class TestShardSkew:
+    """Hot-shard steering against an injectable route (no crypto needed)."""
+
+    @staticmethod
+    def route4(query):
+        return query.value % 4
+
+    def test_hot_fraction_concentrates_on_hot_shard(self, gen):
+        skew = ShardSkew(shards=4, hot_shard=2, hot_fraction=0.8)
+        stream = gen.sharded_queries(300, 8, skew, self.route4)
+        hot = sum(1 for q in stream if self.route4(q) == 2)
+        assert 0.7 < hot / len(stream) < 0.9  # ~hot_fraction, sampling noise
+
+    def test_cold_shards_share_the_rest(self, gen):
+        skew = ShardSkew(shards=4, hot_shard=0, hot_fraction=0.7)
+        stream = gen.sharded_queries(400, 8, skew, self.route4)
+        cold_hits = [
+            sum(1 for q in stream if self.route4(q) == sid) for sid in (1, 2, 3)
+        ]
+        assert all(hits > 0 for hits in cold_hits)
+
+    def test_single_shard_degenerates_to_plain_equality(self):
+        a = WorkloadGenerator(default_rng(5)).sharded_queries(
+            25, 8, ShardSkew(shards=1), lambda q: 0
+        )
+        b = WorkloadGenerator(default_rng(5)).equality_queries(25, 8)
+        assert a == b
+
+    def test_deterministic_given_seed(self):
+        skew = ShardSkew(shards=4, hot_fraction=0.8)
+        a = WorkloadGenerator(default_rng(5)).sharded_queries(
+            30, 8, skew, self.route4
+        )
+        b = WorkloadGenerator(default_rng(5)).sharded_queries(
+            30, 8, skew, self.route4
+        )
+        assert a == b
+
+    def test_all_equality_in_domain(self, gen):
+        stream = gen.sharded_queries(50, 8, ShardSkew(shards=4), self.route4)
+        assert all(q.condition is MatchCondition.EQUAL for q in stream)
+        assert all(0 <= q.value < 256 for q in stream)
+
+    def test_exhausted_attempts_keep_last_draw(self):
+        # No value ever routes to shard 3 under this route: the generator
+        # must still emit `count` queries (approximate distribution).
+        skew = ShardSkew(shards=4, hot_shard=3, hot_fraction=1.0, max_attempts=8)
+        stream = WorkloadGenerator(default_rng(5)).sharded_queries(
+            10, 8, skew, lambda q: q.value % 3
+        )
+        assert len(stream) == 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ShardSkew(shards=0)
+        with pytest.raises(ParameterError):
+            ShardSkew(shards=2, hot_shard=2)
+        with pytest.raises(ParameterError):
+            ShardSkew(shards=2, hot_fraction=1.5)
+        with pytest.raises(ParameterError):
+            ShardSkew(shards=2, max_attempts=0)
