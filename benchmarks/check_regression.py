@@ -248,12 +248,103 @@ def chaos_check(baseline_path: pathlib.Path, run: bool) -> int:
     return 0
 
 
+def settlement_check(baseline_path: pathlib.Path, run: bool) -> int:
+    """Exact-equality gate: block settlement vs the committed sync baseline.
+
+    ``run_smoke.py --settlement sync`` and ``--settlement block`` execute
+    the identical protocol flow; block production is a delivery knob, so
+    every deterministic counter, every value-histogram and the settlement
+    ledger totals (verdicts, gas, escrow moved) must match bit for bit.
+    Any drift means block-mode settlement changed *what* settles — not just
+    when — and fails the job.
+    """
+    if not baseline_path.exists():
+        print(f"no settlement baseline at {baseline_path}; "
+              "run run_smoke.py --settlement sync and commit the report")
+        return 2
+    baseline = load_report(baseline_path)
+    if baseline.get("settlement", {}).get("mode") != "sync":
+        print(f"{baseline_path} is not a sync-mode settlement report; regenerate it")
+        return 2
+
+    if run:
+        subprocess.run(
+            [sys.executable, str(HERE / "run_smoke.py"), "--settlement", "block"],
+            check=True,
+        )
+    fresh = load_report(REPORTS / "BENCH_settlement_block.json")
+
+    drifted: list[str] = []
+    for section in ("counters", "histograms"):
+        base_sec = baseline.get(section, {})
+        fresh_sec = fresh.get(section, {})
+        drifted += sorted(
+            f"{section}.{name}"
+            for name in set(base_sec) | set(fresh_sec)
+            if base_sec.get(name) != fresh_sec.get(name)
+        )
+    base_ledger = {
+        k: v for k, v in baseline.get("settlement", {}).items() if k != "mode"
+    }
+    fresh_ledger = {
+        k: v for k, v in fresh.get("settlement", {}).items() if k != "mode"
+    }
+    drifted += sorted(
+        f"ledger.{k}"
+        for k in set(base_ledger) | set(fresh_ledger)
+        if base_ledger.get(k) != fresh_ledger.get(k)
+    )
+
+    lines = [
+        "Settlement-mode equivalence check (block vs committed sync baseline)",
+        "",
+        f"counters compared: {len(set(baseline.get('counters', {})) | set(fresh.get('counters', {})))}",
+        f"histograms compared: {len(set(baseline.get('histograms', {})) | set(fresh.get('histograms', {})))}",
+        f"ledger totals compared: {sorted(base_ledger)}",
+    ]
+    if drifted:
+        lines += ["", "DRIFTED:"] + [f"  {name}" for name in drifted]
+    else:
+        lines.append(
+            "every counter, histogram and ledger total identical across modes"
+        )
+    text = "\n".join(lines)
+    print(text)
+    REPORTS.mkdir(exist_ok=True)
+    (REPORTS / "settlement_check.txt").write_text(text + "\n")
+    (REPORTS / "settlement_check.json").write_text(
+        json.dumps(
+            {
+                "baseline": str(baseline_path),
+                "baseline_ledger": base_ledger,
+                "fresh_ledger": fresh_ledger,
+                "drifted": drifted,
+                "ok": not drifted,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if drifted:
+        print("\nFAIL: block-mode settlement drifted from the sync baseline: "
+              f"{', '.join(drifted)}")
+        return 1
+    print("\nOK: block settlement reproduces the synchronous baseline exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--chaos",
         action="store_true",
         help="gate on exact chaos-counter equality vs reports/BENCH_chaos.json",
+    )
+    parser.add_argument(
+        "--settlement",
+        action="store_true",
+        help="gate block-mode settlement on bit-for-bit counter/ledger "
+        "equality vs reports/BENCH_settlement_sync.json",
     )
     parser.add_argument(
         "--baseline",
@@ -304,6 +395,12 @@ def main(argv: list[str] | None = None) -> int:
         if baseline == REPORTS / "BENCH_smoke.json":  # the non-chaos default
             baseline = REPORTS / "BENCH_chaos.json"
         return chaos_check(baseline, run=not args.no_run)
+
+    if args.settlement:
+        baseline = args.baseline
+        if baseline == REPORTS / "BENCH_smoke.json":  # the non-settlement default
+            baseline = REPORTS / "BENCH_settlement_sync.json"
+        return settlement_check(baseline, run=not args.no_run)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run run_smoke.py and commit the report")

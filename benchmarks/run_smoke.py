@@ -20,6 +20,11 @@ run writes ``reports/BENCH_chaos.json`` whose ``chaos.*`` / ``retry.*``
 counters are exactly reproducible from the recorded seed — the invariant
 ``check_regression.py --chaos`` gates on.
 
+With ``--settlement {sync,block}`` it runs the full-system settlement
+smoke in that mode and writes ``reports/BENCH_settlement_<mode>.json``;
+the block-mode counters, histograms and ledger totals must reproduce the
+committed sync baseline exactly (``check_regression.py --settlement``).
+
 Usage:  PYTHONPATH=src python benchmarks/run_smoke.py [--chaos-seed N]
 """
 
@@ -152,6 +157,114 @@ def run_chaos(seed: int, profile_name: str) -> int:
     return 0
 
 
+def run_settlement(mode: str) -> int:
+    """Full-system settlement smoke, settled synchronously or per-block.
+
+    Both modes run the identical protocol flow — searches, an insert, more
+    searches, through the full four-party :class:`SlicerSystem` — so the
+    deterministic counter snapshot and the settlement-ledger totals they
+    record must be bit-identical: block production moves *when* an escrow
+    settles, never what it pays or how much protocol work it takes.
+    (Batched searches are deliberately absent: sync batches settle through
+    one amortised ``batch_verify_and_settle`` receipt while block batches
+    settle per-escrow, a documented receipt-shape difference — see
+    ``bench_block_settlement.py`` for that flow.)
+
+    CI runs ``--settlement block`` and gates the recorded snapshot against
+    the committed ``BENCH_settlement_sync.json`` baseline via
+    ``check_regression.py --settlement``.
+    """
+    _reset_observability(
+        f"TRACE_settlement_{mode}.jsonl", f"AUDIT_settlement_{mode}.jsonl"
+    )
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(31337), 1024)
+    owner = DataOwner(params, keys=keys, rng=default_rng(12))
+    system = SlicerSystem(
+        params, rng=default_rng(5), owner=owner, settlement_mode=mode
+    )
+
+    generator = WorkloadGenerator(default_rng(404))
+    setup_s, _ = time_call(
+        lambda: system.setup(generator.database(WorkloadSpec(N_RECORDS, BITS)))
+    )
+    queries = [Query.parse(64, ">"), Query.parse(64, "<"), Query.parse(200, ">")]
+    search_s, outcomes = time_call(lambda: [system.search(q) for q in queries])
+    insert_s, _ = time_call(
+        lambda: system.insert(generator.database(WorkloadSpec(N_INSERT, BITS)))
+    )
+    search2_s, more = time_call(lambda: [system.search(q) for q in queries])
+    outcomes += more
+
+    for outcome in outcomes:
+        assert outcome.error is None, f"settlement smoke degraded: {outcome.error}"
+        assert outcome.verified, "honest settlement smoke must settle paid"
+
+    # Block mode additionally makes every verdict light-client provable:
+    # header + inclusion proof, no chain replay.
+    proofs_checked = 0
+    if mode == "block":
+        from repro.blockchain import follow
+
+        client = follow(system.chain)
+        for outcome in outcomes:
+            assert outcome.settle_height is not None, "missing settle height"
+            assert client.check_settlement(system.settlement_proof(outcome)), (
+                "light client rejected a settlement proof"
+            )
+            proofs_checked += 1
+
+    totals = obs_audit.AUDIT_LOG.totals()
+    assert totals["records"] == len(outcomes), "one audit record per search"
+    assert totals["verdicts"]["paid"] == len(outcomes), "all escrows paid"
+
+    deterministic = REGISTRY.deterministic_snapshot()
+    metrics = {
+        "setup_s": setup_s,
+        "search_s": search_s,
+        "insert_s": insert_s,
+        "search_after_insert_s": search2_s,
+        "searches": len(outcomes),
+        "records": N_RECORDS,
+        "inserted": N_INSERT,
+        "value_bits": BITS,
+        "chain_height": system.chain.height,
+        "light_client_proofs": proofs_checked,
+        "all_verified": True,
+    }
+    # Mode-invariant ledger facts: the settlement gate compares these
+    # (minus "mode") exactly against the committed sync baseline, alongside
+    # the counter/histogram snapshot.
+    settlement = {
+        "mode": mode,
+        "verdicts": totals["verdicts"],
+        "gas_total": totals["gas_total"],
+        "paid_out": totals["paid_out"],
+        "refunded": totals["refunded"],
+    }
+    rows = [("Metric", "value")] + [
+        (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
+    ] + [
+        ("ledger_gas_total", str(totals["gas_total"])),
+        ("ledger_paid_out", str(totals["paid_out"])),
+    ]
+    write_report(
+        f"settlement_{mode}",
+        render_kv_table(f"Settlement smoke ({mode} mode)", rows),
+        data={
+            "settlement": settlement,
+            "metrics": metrics,
+            "counters": deterministic["counters"],
+            "histograms": deterministic["histograms"],
+            "artifacts": {
+                "trace": f"TRACE_settlement_{mode}.jsonl",
+                "audit": f"AUDIT_settlement_{mode}.jsonl",
+            },
+        },
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,9 +286,19 @@ def main(argv: list[str] | None = None) -> int:
         "recorded counters must equal the single-cloud baseline (the tier "
         "partitions protocol work, it never changes it)",
     )
+    parser.add_argument(
+        "--settlement",
+        choices=("sync", "block"),
+        default=None,
+        help="run the full-system settlement smoke in this mode instead; "
+        "block mode must reproduce the sync snapshot bit for bit "
+        "(check_regression.py --settlement gates on it)",
+    )
     args = parser.parse_args(argv)
     if args.chaos_seed is not None:
         return run_chaos(args.chaos_seed, args.chaos_profile)
+    if args.settlement is not None:
+        return run_settlement(args.settlement)
     return run_plain(args.shards)
 
 

@@ -1,11 +1,22 @@
 """Simulated Ethereum-like blockchain substrate with EVM-calibrated gas."""
 
 from .accounts import Account, address_from_label, contract_address, format_address
-from .block import Block, BlockHeader, make_block
+from .block import Block, BlockHeader, make_block, settlement_leaves
+from .block_builder import BlockBuilder, BlockRecord, ExecutedCall
 from .chain import Blockchain, ChainConfig, DEFAULT_GAS_LIMIT
 from .contract import Contract, GasMeter
 from .gas import GasSchedule
-from .proofs import InclusionProof, prove_inclusion, verify_inclusion
+from .light_client import LightClient, follow
+from .mempool import DEFAULT_GAS_PRICE, Mempool, PendingCall
+from .proofs import (
+    InclusionProof,
+    SettlementProof,
+    merkle_path,
+    prove_inclusion,
+    prove_settlement,
+    verify_inclusion,
+    verify_settlement,
+)
 from .slicer_contract import (
     ChainTokenResult,
     SlicerContract,
@@ -17,26 +28,39 @@ from .transaction import LogEvent, Receipt, Transaction, encode_calldata
 __all__ = [
     "Account",
     "Block",
+    "BlockBuilder",
     "BlockHeader",
+    "BlockRecord",
     "Blockchain",
     "ChainConfig",
     "ChainTokenResult",
     "Contract",
     "DEFAULT_GAS_LIMIT",
+    "DEFAULT_GAS_PRICE",
+    "ExecutedCall",
     "GasMeter",
     "GasSchedule",
     "InclusionProof",
+    "LightClient",
     "LogEvent",
-    "prove_inclusion",
-    "verify_inclusion",
+    "Mempool",
+    "PendingCall",
     "Receipt",
+    "SettlementProof",
     "SlicerContract",
     "Transaction",
     "address_from_label",
     "contract_address",
     "encode_calldata",
+    "follow",
     "format_address",
     "make_block",
+    "merkle_path",
+    "prove_inclusion",
+    "prove_settlement",
     "response_to_chain_args",
+    "settlement_leaves",
     "tokens_digest_input",
+    "verify_inclusion",
+    "verify_settlement",
 ]

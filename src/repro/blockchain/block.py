@@ -10,10 +10,20 @@ from .transaction import Receipt, Transaction
 
 GENESIS_PARENT = b"\x00" * 32
 
+#: Empty-tree commitment (also the ``settlement_root`` of a block that
+#: settled nothing, so pre-existing headers stay constructible).
+EMPTY_ROOT = b"\x00" * 32
+
 
 @dataclass(frozen=True)
 class BlockHeader:
-    """Minimal PoA-style header: number, parent link, tx/receipt commitments."""
+    """Minimal PoA-style header: number, parent link, tx/receipt commitments.
+
+    ``settlement_root`` commits to the block's settlement verdicts (one leaf
+    per ``QuerySettled`` event, see :func:`settlement_leaves`) so a light
+    client can check *how an escrow settled* from the header alone, without
+    replaying receipts.
+    """
 
     number: int
     parent_hash: bytes
@@ -21,6 +31,7 @@ class BlockHeader:
     receipt_root: bytes
     sealer: bytes
     timestamp: int
+    settlement_root: bytes = EMPTY_ROOT
 
     def hash(self) -> bytes:
         return hashlib.sha256(
@@ -31,6 +42,7 @@ class BlockHeader:
                 self.receipt_root,
                 self.sealer,
                 encode_uint(self.timestamp),
+                self.settlement_root,
             )
         ).digest()
 
@@ -52,7 +64,7 @@ class Block:
 def merkleize(items: list[bytes]) -> bytes:
     """Binary-tree commitment over a byte-string list (empty list -> zeros)."""
     if not items:
-        return b"\x00" * 32
+        return EMPTY_ROOT
     layer = [hashlib.sha256(b"\x00" + item).digest() for item in items]
     while len(layer) > 1:
         nxt = []
@@ -61,6 +73,37 @@ def merkleize(items: list[bytes]) -> bytes:
             nxt.append(hashlib.sha256(b"\x01" + layer[i] + right).digest())
         layer = nxt
     return layer[0]
+
+
+def settlement_leaf(tx_hash: bytes, query_id: bytes, verified: bytes) -> bytes:
+    """Leaf encoding for one ``QuerySettled`` verdict.
+
+    Binding the settling transaction's hash into the leaf keeps leaves
+    unique even if (hypothetically) two transactions settled the same query
+    id, and lets a proof name the transaction that carried the verdict.
+    """
+    return encode_parts(tx_hash, query_id, verified)
+
+
+def settlement_leaves(receipts: list[Receipt]) -> list[bytes]:
+    """Settlement leaves of a block, in receipt order.
+
+    Only successful receipts carry logs (reverted calls are rolled back
+    wholesale), so every ``QuerySettled`` event here is a verdict that
+    actually took effect.
+    """
+    leaves: list[bytes] = []
+    for receipt in receipts:
+        for event in receipt.logs:
+            if event.name == "QuerySettled":
+                leaves.append(
+                    settlement_leaf(
+                        receipt.tx_hash,
+                        bytes(event.get("query_id")),
+                        bytes(event.get("verified")),
+                    )
+                )
+    return leaves
 
 
 def make_block(
@@ -78,5 +121,6 @@ def make_block(
         receipt_root=merkleize([r.tx_hash + (b"\x01" if r.status else b"\x00") for r in receipts]),
         sealer=sealer,
         timestamp=timestamp,
+        settlement_root=merkleize(settlement_leaves(receipts)),
     )
     return Block(header, list(transactions), list(receipts))

@@ -213,6 +213,55 @@ class Blockchain:
         """Value transfer initiated by contract code (escrow payouts)."""
         self._move_value(contract_addr, to, amount)
 
+    # ----------------------------------------------------------- reorg state
+
+    def state_checkpoint(self) -> dict:
+        """Capture world state (balances, nonces, contract storage).
+
+        The block builder snapshots this before sealing so a reorg can
+        rewind to the pre-block state and deterministically re-execute the
+        orphaned transactions.  The block clock is deliberately *not*
+        captured: timestamps stay monotonic across reorgs, which is what
+        gives replacement blocks distinct hashes.
+        """
+        return {
+            "height": len(self.blocks),
+            "balances": {a: acct.balance for a, acct in self.accounts.items()},
+            "nonces": {a: acct.nonce for a, acct in self.accounts.items()},
+            "storages": {a: c._snapshot() for a, c in self.contracts.items()},
+        }
+
+    def restore_checkpoint(self, checkpoint: dict) -> None:
+        """Rewind world state to a :meth:`state_checkpoint`.
+
+        Accounts and contracts created *after* the checkpoint are left in
+        place (account creation is off-chain in this simulation); pending
+        transactions staged since are dropped — the caller re-executes.
+        """
+        for address, balance in checkpoint["balances"].items():
+            if address in self.accounts:
+                self.accounts[address].balance = balance
+        for address, nonce in checkpoint["nonces"].items():
+            if address in self.accounts:
+                self.accounts[address].nonce = nonce
+        for address, storage in checkpoint["storages"].items():
+            contract = self.contracts.get(address)
+            if contract is not None:
+                # Hand the contract a copy: the checkpoint may be restored
+                # again (deeper reorg) and live storage mutates in place.
+                contract._restore(dict(storage))
+        self._pending_txs = []
+        self._pending_receipts = []
+
+    def pop_block(self) -> Block:
+        """Orphan the tip block (reorg primitive). State is NOT rewound —
+        pair with :meth:`restore_checkpoint` and re-execution."""
+        if not self.blocks:
+            raise BlockchainError("cannot pop the genesis boundary: chain is empty")
+        if self._pending_txs:
+            raise BlockchainError("cannot pop a block with transactions pending")
+        return self.blocks.pop()
+
     # ------------------------------------------------------------- sealing
 
     def mine(self) -> Block:

@@ -1,4 +1,4 @@
-"""Light client: header-chain tracking + inclusion checking.
+"""Light client: header-chain tracking + inclusion/settlement checking.
 
 The data user's freshness guarantee rests on the blockchain being a trusted
 anchor, but a user device should not need to replay every transaction.  A
@@ -6,8 +6,15 @@ light client keeps only the *headers* (checking parent links and the PoA
 sealer rotation) and verifies specific facts against them:
 
 * that a transaction — e.g. the owner's latest ``update_ads`` — is included
-  in a sealed block (Merkle inclusion against the header's tx root), and
-* that the header chain it follows is internally consistent.
+  in a sealed block (Merkle inclusion against the header's tx root),
+* that a specific escrow settled with a specific verdict (a
+  :class:`~repro.blockchain.proofs.SettlementProof` against the header's
+  settlement root — block-mode settlement's "verify your verdict without
+  replaying the chain" path), and
+* that the header chain it follows is internally consistent — *including
+  across reorgs*: when the tracked chain orphans blocks, :meth:`sync` walks
+  back to the last common header and replaces the orphaned suffix, instead
+  of wedging on a parent-link mismatch.
 
 This closes the loop on the paper's multi-user freshness story: a user can
 convince itself the ``Ac`` digest it relies on was anchored on chain,
@@ -18,11 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..common import perfstats
 from ..common.errors import BlockchainError
 from .accounts import address_from_label
 from .block import GENESIS_PARENT, BlockHeader
 from .chain import Blockchain
-from .proofs import InclusionProof, verify_inclusion
+from .proofs import InclusionProof, SettlementProof, verify_inclusion, verify_settlement
 
 
 @dataclass
@@ -31,6 +39,8 @@ class LightClient:
 
     sealers: tuple[str, ...]
     headers: list[BlockHeader] = field(default_factory=list)
+    #: Headers discarded across all reorgs this client has followed.
+    orphaned: int = 0
 
     def __post_init__(self) -> None:
         self._sealer_addresses = [address_from_label(s) for s in self.sealers]
@@ -57,8 +67,36 @@ class LightClient:
             raise BlockchainError("header sealed by an unauthorised sealer")
         self.headers.append(header)
 
+    def _rewind_to_ancestor(self, chain: Blockchain) -> int:
+        """Drop tracked headers the chain no longer has; returns the count.
+
+        After a reorg the chain's block at some height hashes differently
+        from the header this client accepted for it.  Headers are compared
+        by hash from the tip down to the last agreement point; everything
+        above it is orphaned.  Validity of the replacement headers is *not*
+        assumed — they go back through :meth:`accept_header`.
+        """
+        keep = min(len(self.headers), len(chain.blocks))
+        while keep > 0 and self.headers[keep - 1].hash() != chain.blocks[keep - 1].hash():
+            keep -= 1
+        dropped = len(self.headers) - keep
+        if dropped:
+            del self.headers[keep:]
+            self.orphaned += dropped
+            perfstats.incr("light_client.orphaned_headers", dropped)
+        return dropped
+
     def sync(self, chain: Blockchain) -> int:
-        """Pull any headers the client has not seen yet; returns new count."""
+        """Pull headers the client has not seen; returns newly accepted count.
+
+        Reorg-aware: tracked headers the chain has since orphaned are
+        discarded back to the common ancestor before the new suffix is
+        validated and accepted.  (The pre-reorg behaviour — blindly slicing
+        ``chain.blocks[len(self.headers):]`` — wedged on the first
+        replacement header's parent-link mismatch and silently kept proofs
+        anchored in orphaned headers checking out.)
+        """
+        self._rewind_to_ancestor(chain)
         new = 0
         for block in chain.blocks[len(self.headers) :]:
             self.accept_header(block.header)
@@ -72,6 +110,20 @@ class LightClient:
         if not 0 <= proof.block_number < len(self.headers):
             return False
         return verify_inclusion(self.headers[proof.block_number].tx_root, proof)
+
+    def check_settlement(self, proof: SettlementProof) -> bool:
+        """Did the proven escrow settle, with that verdict, in that block?
+
+        True iff the proof's ``(tx_hash, query_id, verified)`` claim folds
+        to the ``settlement_root`` of a header this client accepted — the
+        settlement verdict is then as trustworthy as the header chain,
+        with no receipt replay.
+        """
+        if not 0 <= proof.block_number < len(self.headers):
+            return False
+        return verify_settlement(
+            self.headers[proof.block_number].settlement_root, proof
+        )
 
 
 def follow(chain: Blockchain) -> LightClient:

@@ -1,0 +1,201 @@
+"""The mempool: staged contract calls awaiting block inclusion.
+
+The synchronous settlement path executes every contract call the moment it
+is made — there is no window between "transaction sent" and "transaction
+sealed" for a chain-level fault to land on.  Block-mode settlement opens
+that window deliberately: settlement calls are *staged* here, and the
+:class:`~repro.blockchain.block_builder.BlockBuilder` drains the pool into
+blocks under the chain's gas limit.
+
+Inclusion order is the standard fee-market rule, made fully deterministic:
+
+* higher ``gas_price`` first,
+* ties broken by arrival sequence (first staged, first included),
+* subject to per-sender nonce order — a sender's later staging can never
+  execute before its earlier one, whatever the prices say.
+
+Duplicate protection is two-fold: a staged ``tx_id`` can never be staged
+again (idempotent re-submission), and two live stagings can never claim the
+same ``(sender, nonce)`` slot (no in-pool replacement — this chain has no
+fee-bump semantics).  Both reject with
+:class:`~repro.common.errors.MempoolError`.
+
+``hold_until`` models late inclusion (the ``DELAY`` chain fault): a staged
+call is invisible to the builder until the chain reaches that height, so a
+settlement can be provably *late* without ever being lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common import perfstats
+from ..common.errors import MempoolError
+from .chain import DEFAULT_GAS_LIMIT, Blockchain
+from .contract import Contract
+
+#: Default gas price for staged calls (the simulated chain has no fee
+#: auction; tests raise it to exercise price-priority ordering).
+DEFAULT_GAS_PRICE = 1
+
+
+@dataclass(frozen=True)
+class PendingCall:
+    """One staged contract call: everything needed to execute it later."""
+
+    tx_id: object
+    sender: bytes
+    contract: Contract
+    method: str
+    args: tuple
+    value: int
+    gas_limit: int
+    gas_price: int
+    nonce: int
+    seq: int
+    hold_until: int = 0
+
+    @property
+    def priority(self) -> tuple[int, int]:
+        """Sort key: price descending, then arrival order."""
+        return (-self.gas_price, self.seq)
+
+
+class Mempool:
+    """Deterministic fee-ordered pool of :class:`PendingCall`s."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+        self._pool: dict[object, PendingCall] = {}
+        self._seen_ids: set = set()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx_id: object) -> bool:
+        return tx_id in self._pool
+
+    # ---------------------------------------------------------------- stage
+
+    def next_nonce(self, sender: bytes) -> int:
+        """The nonce a new staging by ``sender`` will execute with."""
+        executed = self.chain.accounts[sender].nonce
+        staged = sum(1 for call in self._pool.values() if call.sender == sender)
+        return executed + staged
+
+    def stage(
+        self,
+        sender: bytes,
+        contract: Contract,
+        method: str,
+        args: tuple = (),
+        *,
+        value: int = 0,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+        gas_price: int = DEFAULT_GAS_PRICE,
+        tx_id: object = None,
+        hold_until: int = 0,
+    ) -> PendingCall:
+        """Admit one call to the pool; returns the staged :class:`PendingCall`.
+
+        ``tx_id`` defaults to the ``(sender, nonce)`` slot.  Re-staging an
+        id that was ever admitted — still pooled *or* already included — is
+        rejected: that is the duplicate re-submission guard the conformance
+        matrix leans on.
+        """
+        nonce = self.next_nonce(sender)
+        if tx_id is None:
+            tx_id = (bytes(sender), nonce)
+        if tx_id in self._seen_ids:
+            perfstats.incr("mempool.rejected.duplicate")
+            raise MempoolError(f"transaction {tx_id!r} already staged")
+        if any(
+            c.sender == sender and c.nonce == nonce for c in self._pool.values()
+        ):  # unreachable via next_nonce; guards direct PendingCall admission
+            perfstats.incr("mempool.rejected.nonce")
+            raise MempoolError(f"nonce {nonce} already staged for this sender")
+        if gas_limit > self.chain.config.block_gas_limit:
+            perfstats.incr("mempool.rejected.oversize")
+            raise MempoolError("transaction gas limit exceeds the block gas limit")
+        call = PendingCall(
+            tx_id=tx_id,
+            sender=bytes(sender),
+            contract=contract,
+            method=method,
+            args=tuple(args),
+            value=value,
+            gas_limit=gas_limit,
+            gas_price=gas_price,
+            nonce=nonce,
+            seq=self._seq,
+            hold_until=hold_until,
+        )
+        self._seq += 1
+        self._seen_ids.add(tx_id)
+        self._pool[tx_id] = call
+        perfstats.incr("mempool.staged")
+        return call
+
+    def requeue(self, call: PendingCall) -> None:
+        """Put an already-admitted call back (reorg replay path only)."""
+        self._pool[call.tx_id] = call
+
+    # ----------------------------------------------------------- inclusion
+
+    def eligible(self, height: int) -> list[PendingCall]:
+        """Pool contents includable at ``height``, in inclusion order.
+
+        Fee-priority order with the per-sender nonce constraint applied: a
+        call only appears once every lower-nonce call from the same sender
+        has appeared before it (a held or pricier-later sibling therefore
+        holds its whole sender lane back).
+        """
+        ripe = sorted(
+            (c for c in self._pool.values() if c.hold_until <= height),
+            key=lambda c: c.priority,
+        )
+        # Per-sender lane: the sorted nonces still pooled (held ones too —
+        # a held earlier staging blocks the sender's whole lane).
+        lanes: dict[bytes, list[int]] = {}
+        for call in self._pool.values():
+            lanes.setdefault(call.sender, []).append(call.nonce)
+        for nonces in lanes.values():
+            nonces.sort()
+        out: list[PendingCall] = []
+        placed: dict[bytes, set[int]] = {}
+        progressed = True
+        remaining = ripe
+        while progressed and remaining:
+            progressed, deferred = False, []
+            for call in remaining:
+                done = placed.setdefault(call.sender, set())
+                if all(n in done for n in lanes[call.sender] if n < call.nonce):
+                    out.append(call)
+                    done.add(call.nonce)
+                    progressed = True
+                else:
+                    deferred.append(call)
+            remaining = deferred
+        return out
+
+    def take(self, height: int, gas_budget: int) -> list[PendingCall]:
+        """Pop the calls one block at ``height`` can execute.
+
+        Walks the eligible order, skipping (not popping) any call whose
+        declared ``gas_limit`` overflows the remaining budget — and, to
+        preserve nonce order, everything later in that sender's lane.
+        """
+        chosen: list[PendingCall] = []
+        skipped_senders: set[bytes] = set()
+        budget = gas_budget
+        for call in self.eligible(height):
+            if call.sender in skipped_senders or call.gas_limit > budget:
+                skipped_senders.add(call.sender)
+                continue
+            chosen.append(call)
+            budget -= call.gas_limit
+        for call in chosen:
+            del self._pool[call.tx_id]
+        perfstats.incr("mempool.included", len(chosen))
+        return chosen

@@ -10,10 +10,15 @@ byte-identical to before this package existed.
 """
 
 from .faults import (
+    CHAIN_PROFILES,
     PROFILES,
+    ChainFaultKind,
+    ChainFaultPlan,
+    ChainFaultProfile,
     FaultKind,
     FaultPlan,
     FaultProfile,
+    chain_profile_named,
     profile_named,
 )
 from .retry import RetryPolicy
@@ -29,10 +34,15 @@ from .transport import (
 )
 
 __all__ = [
+    "CHAIN_PROFILES",
     "PROFILES",
+    "ChainFaultKind",
+    "ChainFaultPlan",
+    "ChainFaultProfile",
     "FaultKind",
     "FaultPlan",
     "FaultProfile",
+    "chain_profile_named",
     "profile_named",
     "RetryPolicy",
     "ChaosTransport",

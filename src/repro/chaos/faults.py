@@ -153,6 +153,124 @@ def profile_named(name: str) -> FaultProfile:
         ) from None
 
 
+class ChainFaultKind(enum.Enum):
+    """One injectable chain-level fault (block production, not transport)."""
+
+    REORG = "reorg"  # sealed block(s) orphaned; their txs re-execute
+    DELAY = "delay"  # a staged settlement held out of the next N blocks
+
+
+@dataclass(frozen=True)
+class ChainFaultProfile:
+    """Per-mille weights for chain-level faults plus their severity bounds.
+
+    ``reorg`` is drawn once per sealed block; on a hit the chain rewinds
+    ``1..reorg_depth_max`` blocks (uniform) and deterministically re-executes
+    the orphaned transactions.  ``delay`` is drawn once per staged
+    settlement; on a hit the transaction is ineligible for the next
+    ``1..delay_blocks_max`` blocks, so settlement lands late but still
+    lands.  ``force_clean_after`` bounds consecutive faulty draws per leg,
+    which is what makes every settle round terminate.
+    """
+
+    name: str
+    reorg: int = 0
+    reorg_depth_max: int = 2
+    delay: int = 0
+    delay_blocks_max: int = 3
+    force_clean_after: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.reorg <= WEIGHT_SCALE:
+            raise ParameterError("reorg weight exceeds the scale")
+        if not 0 <= self.delay <= WEIGHT_SCALE:
+            raise ParameterError("delay weight exceeds the scale")
+        if self.reorg_depth_max < 1 or self.delay_blocks_max < 1:
+            raise ParameterError("chain fault severity bounds must be >= 1")
+        if self.force_clean_after < 1:
+            raise ParameterError("force_clean_after must be >= 1")
+
+    # ------------------------------------------------------------ profiles
+
+    @classmethod
+    def stable(cls) -> "ChainFaultProfile":
+        """The single-branch chain every existing test implicitly assumed."""
+        return cls(name="stable")
+
+    @classmethod
+    def reorgy(cls) -> "ChainFaultProfile":
+        """A contentious chain: frequent shallow reorgs, some late inclusion."""
+        return cls(name="reorgy", reorg=250, reorg_depth_max=2, delay=150)
+
+    @classmethod
+    def congested(cls) -> "ChainFaultProfile":
+        """A congested chain: settlement regularly priced out for blocks."""
+        return cls(name="congested", reorg=80, delay=400, delay_blocks_max=3)
+
+
+#: Named chain-fault profiles the conformance matrix and CLI knobs accept.
+CHAIN_PROFILES: dict[str, ChainFaultProfile] = {
+    "stable": ChainFaultProfile.stable(),
+    "reorgy": ChainFaultProfile.reorgy(),
+    "congested": ChainFaultProfile.congested(),
+}
+
+
+def chain_profile_named(name: str) -> ChainFaultProfile:
+    try:
+        return CHAIN_PROFILES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown chain fault profile {name!r} "
+            f"(have: {', '.join(sorted(CHAIN_PROFILES))})"
+        ) from None
+
+
+class ChainFaultPlan:
+    """A replayable chain-fault schedule, independent of the transport plan.
+
+    Owns its own :class:`~repro.common.rng.DeterministicRNG` so enabling
+    chain faults never perturbs a :class:`FaultPlan`'s draw sequence — the
+    transport schedule for a given (profile, seed) stays bit-identical with
+    and without reorgs, which the block-settlement property suite asserts.
+    """
+
+    def __init__(self, profile: ChainFaultProfile, seed: int) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.rng = DeterministicRNG(seed)
+        self._consecutive: dict[str, int] = {}
+        self.history: list[tuple[int, str, str]] = []
+        self._step = 0
+
+    def _record(self, leg: str, outcome: str) -> None:
+        self.history.append((self._step, leg, outcome))
+        self._step += 1
+
+    def _draw(self, leg: str, weight: int, severity_max: int) -> int:
+        """Severity draw (0 = clean); ``force_clean_after`` bounds streaks."""
+        if self._consecutive.get(leg, 0) >= self.profile.force_clean_after:
+            self._consecutive[leg] = 0
+            self._record(leg, "forced-clean")
+            return 0
+        if weight and self.rng.randint_below(WEIGHT_SCALE) < weight:
+            severity = 1 + self.rng.randint_below(severity_max)
+            self._consecutive[leg] = self._consecutive.get(leg, 0) + 1
+            self._record(leg, f"{leg}:{severity}")
+            return severity
+        self._consecutive[leg] = 0
+        self._record(leg, "clean")
+        return 0
+
+    def draw_reorg(self) -> int:
+        """Reorg depth hitting the block just sealed (0 = none)."""
+        return self._draw("reorg", self.profile.reorg, self.profile.reorg_depth_max)
+
+    def draw_delay(self) -> int:
+        """Blocks a staged settlement is held out of inclusion (0 = none)."""
+        return self._draw("delay", self.profile.delay, self.profile.delay_blocks_max)
+
+
 class FaultPlan:
     """A replayable fault schedule: (profile, seed) fixes every decision.
 

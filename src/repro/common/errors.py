@@ -108,6 +108,10 @@ class OutOfGasError(BlockchainError):
     """A metered contract call exceeded its gas allowance."""
 
 
+class MempoolError(BlockchainError):
+    """The mempool rejected a staged transaction (duplicate id or nonce)."""
+
+
 class InsufficientFundsError(BlockchainError):
     """An account tried to spend more than its balance."""
 

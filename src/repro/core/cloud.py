@@ -62,7 +62,15 @@ class TokenResult:
 
 @dataclass
 class SearchResponse:
-    """Everything the cloud posts to the blockchain for one query."""
+    """Everything the cloud posts to the blockchain for one query.
+
+    Locally-produced responses additionally carry a ``membership_items``
+    attribute — the (prime, witness) pairs behind the VOs — set dynamically
+    so it never enters the wire format or dataclass equality.  Block-mode
+    settlement folds them through the trusted batch-verify kernel as the
+    cloud's self-check; responses that crossed the wire (or a merging
+    frontend) may lack it, and consumers must treat it as optional.
+    """
 
     results: list[TokenResult] = field(default_factory=list)
 
@@ -307,6 +315,7 @@ class CloudServer:
         response = SearchResponse(
             [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
         )
+        response.membership_items = list(self.last_membership_items)
         if _observe:
             self._observe_search(tokens, partials, response)
         return response
@@ -344,6 +353,7 @@ class CloudServer:
             response = SearchResponse(
                 [TokenResult(t, c.entries, w) for (t, c), w in zip(partials, witnesses)]
             )
+            response.membership_items = list(self.last_membership_items)
             if _observe:
                 self._observe_search(tokens, partials, response)
             responses.append(response)
@@ -461,6 +471,11 @@ class CloudServer:
                 if fallback is None:
                     fallback = kernels.fixed_base_pow(g, n, self._product_tree.root)
                 out.append(MembershipWitness(fallback))
+        # Remember this query's (prime, witness) pairs: block-mode settlement
+        # folds a whole block's worth through the trusted batch-verify kernel
+        # as the cloud's self-check, and capturing them here avoids re-deriving
+        # the primes (which would drift the gated hash_to_prime.* counters).
+        self.last_membership_items = [(p, w.value) for p, w in zip(primes, out)]
         return out
 
     def _subset_witnesses(self, subset: tuple[int, ...]) -> dict[int, int]:

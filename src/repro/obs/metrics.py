@@ -193,8 +193,12 @@ class MetricsRegistry:
             "cloud.repeat_witness.",
             "cloud.witness_cache.selfcheck",
             "fixed_base.",
-            "multi_exp.calls",
-            "batch_verify.calls",
+            "multi_exp.",
+            "batch_verify.",
+            "mempool.",
+            "blocks.",
+            "blockmode.",
+            "light_client.",
         ),
     ) -> dict:
         """The machine-independent slice of :meth:`snapshot`.
@@ -208,17 +212,24 @@ class MetricsRegistry:
         Topology-shaped counters are excluded the same way: ``shard.*``
         (routing/scatter bookkeeping only exists on a sharded tier),
         ``cloud.repeat_witness.*``, the witness-cache self-check,
-        ``fixed_base.*``, ``multi_exp.calls`` and ``batch_verify.calls``
-        all count *per-serving-instance* events — N shards each derive
-        their own witness bases and self-check their own caches, so these
-        scale with the deployment shape, not with protocol work.  The
-        protocol-work counters stay in (``cloud.collect.*``, entry-cache
-        hits, dedup savings, ``hash_to_prime.*``, ``batch_verify.
-        witnesses``, settlement/audit counts): summed across shards they
-        equal the single-cloud run exactly.  What remains must be
-        byte-identical at any worker count, on any backend, and at any
-        shard count; the cross-worker/cross-shard property tests and the
-        CI counter gate compare exactly this.
+        ``fixed_base.*`` and the whole ``multi_exp.*`` /
+        ``batch_verify.*`` families all count *per-serving-instance* events —
+        N shards each derive their own witness bases and self-check their
+        own caches, and block-mode settlement runs extra trusted batch
+        folds — so these scale with the deployment shape, not with
+        protocol work.  Settlement-delivery machinery is excluded the same
+        way: ``mempool.*``, ``blocks.*``, ``blockmode.*`` and
+        ``light_client.*`` only tick in block-settlement deployments,
+        while the *outcomes* they deliver (contract settle counts, gas
+        histograms, audit counts) stay in and must equal the synchronous
+        path bit for bit.  The protocol-work counters stay in
+        (``cloud.collect.*``, entry-cache hits, dedup savings,
+        ``hash_to_prime.*``, settlement/audit counts): summed across
+        shards they equal the single-cloud run exactly.  What remains must
+        be byte-identical at any worker count, on any backend, at any
+        shard count, and in either settlement mode; the cross-worker/
+        cross-shard/cross-mode property tests and the CI counter gates
+        compare exactly this.
         """
         return {
             "counters": {

@@ -118,6 +118,39 @@ def render_audit(log: SettlementAuditLog, verdict: str | None = None) -> list[st
             refunded_amt=totals["refunded"],
         )
     )
+    lines.extend(render_block_settlements(records))
+    return lines
+
+
+def render_block_settlements(records) -> list[str]:
+    """Per-block settlement table for block-mode ledgers.
+
+    Block-settled records carry the height they landed at in
+    ``extra["block"]``; grouping them shows the batching the mempool
+    actually achieved (settlements per block, verdict split, gas).  Ledgers
+    from synchronous runs have no height-stamped records and get no
+    section — the table never renders empty.
+    """
+    by_block: dict[int, list] = {}
+    for r in records:
+        height = r.extra.get("block")
+        if height is not None:
+            by_block.setdefault(int(height), []).append(r)
+    if not by_block:
+        return []
+    lines = ["", "settlements by block:"]
+    header = f"{'block':>6} {'settled':>8} {'paid':>5} {'refunded':>9} {'gas':>9}  seqs"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for height in sorted(by_block):
+        group = by_block[height]
+        paid = sum(1 for r in group if r.verdict == "paid")
+        refunded = sum(1 for r in group if r.verdict == "refunded")
+        seqs = ",".join(str(r.seq) for r in group)
+        lines.append(
+            f"{height:>6} {len(group):>8} {paid:>5} {refunded:>9} "
+            f"{sum(r.gas for r in group):>9}  {seqs}"
+        )
     return lines
 
 

@@ -23,13 +23,33 @@ Two delivery modes coexist:
   wrapped in a :class:`~repro.chaos.RetryPolicy` with idempotent
   re-submission.  When the retry budget runs out the search degrades to a
   :class:`SearchOutcome` error state instead of raising.
+
+Orthogonally to delivery, ``settlement_mode`` picks how settlements reach
+the chain:
+
+* ``"sync"`` (default) — every contract call executes immediately and each
+  search mines its own block, byte-identical to before block production
+  existed;
+* ``"block"`` — settlement transactions stage in a
+  :class:`~repro.blockchain.mempool.Mempool` and a
+  :class:`~repro.blockchain.block_builder.BlockBuilder` packs them into
+  blocks (fee-ordered, gas-budgeted); a :class:`~repro.chaos.ChainFaultPlan`
+  can reorg sealed blocks or delay staged settlements.  Verdicts, balances,
+  gas and the deterministic counter snapshot are bit-identical to sync mode
+  — block production moves *when* a settlement lands, never *how* it
+  settles — and each outcome records the block height it settled at, which
+  a light client can check against the header's settlement root without
+  replaying the chain.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .blockchain.block_builder import BlockBuilder
 from .blockchain.chain import Blockchain
+from .blockchain.mempool import Mempool
+from .blockchain.proofs import SettlementProof, prove_settlement
 from .blockchain.slicer_contract import (
     SlicerContract,
     response_to_chain_args,
@@ -48,7 +68,9 @@ from .chaos import (
     shard_channel,
 )
 from .common import perfstats
+from .common.encoding import encode_uint
 from .common.errors import RetryExhausted, StateError, TransientChainError
+from .crypto import kernels
 from .obs import audit as obs_audit
 from .obs import metrics, trace
 from .obs.audit import VERDICT_DEGRADED, VERDICT_PAID, VERDICT_REFUNDED
@@ -72,6 +94,17 @@ from .storage import codec, state_io
 
 DEFAULT_FUNDING = 10**9
 DEFAULT_PAYMENT = 10**6
+
+#: Gas allowance a block-mode settlement transaction declares.  Block
+#: packing budgets by declared limits, so this is what lets one block carry
+#: many settlements (vs. the 30M default that fills a block with one tx).
+#: Roughly 10x the largest ``verify_and_settle`` bill seen at bench scale;
+#: an overflow is a loud failure, never a silent verdict flip.
+SETTLE_GAS_LIMIT = 4_000_000
+
+#: Liveness backstop for the block-mode settle loop: far above any chain
+#: fault profile's maximum delay, so hitting it means a genuine bug.
+MAX_SETTLE_ROUNDS = 64
 
 
 @dataclass(frozen=True)
@@ -130,6 +163,9 @@ class SearchOutcome:
     #: Structured failure attribution (exception class, retried label,
     #: FaultPlan step); None unless the search degraded.
     failure: DeliveryFailure | None = None
+    #: Block number the settlement landed in (block settlement mode only;
+    #: None under synchronous settlement or when the search degraded).
+    settle_height: int | None = None
 
     @property
     def settled(self) -> bool:
@@ -178,11 +214,29 @@ class SlicerSystem:
         shard_plan=None,
         account_tag: str | None = None,
         env_transport: bool = True,
+        settlement_mode: str = "sync",
+        chain_faults=None,
+        settle_gas_limit: int = SETTLE_GAS_LIMIT,
     ) -> None:
         self.params = params or SlicerParams()
         self.rng = rng or default_rng()
         self.chain = chain or Blockchain()
         self.owner = owner or DataOwner(self.params, rng=self.rng.spawn())
+
+        # Settlement delivery: "sync" executes and mines per call (the
+        # byte-identity reference); "block" stages settlements in a mempool
+        # and produces blocks, optionally under a ChainFaultPlan.
+        if settlement_mode not in ("sync", "block"):
+            raise StateError(f"unknown settlement_mode {settlement_mode!r}")
+        if chain_faults is not None and settlement_mode != "block":
+            raise StateError("chain_faults requires settlement_mode='block'")
+        self.settlement_mode = settlement_mode
+        self.settle_gas_limit = settle_gas_limit
+        self.mempool: Mempool | None = None
+        self.builder: BlockBuilder | None = None
+        if settlement_mode == "block":
+            self.mempool = Mempool(self.chain)
+            self.builder = BlockBuilder(self.chain, self.mempool, fault_plan=chain_faults)
 
         # Chaos delivery (opt-in): None keeps the direct in-process path
         # bit-for-bit identical to the pre-chaos system.  ``env_transport=
@@ -237,6 +291,10 @@ class SlicerSystem:
 
         self._cloud_snapshot: bytes | None = None
         self._chaos_op = 0
+        #: Block heights chaos-delivered settlements landed at, by query id
+        #: (the chaos settle handler runs inside ``transport.deliver`` and
+        #: cannot thread the height back through the cached receipt).
+        self._settle_heights: dict[int, int] = {}
 
     # ---------------------------------------------------------------- setup
 
@@ -299,7 +357,7 @@ class SlicerSystem:
             self._last_user_package = output.user_package
             with trace.span("update_ads"):
                 if self.transport is None:
-                    receipt = self.chain.call(
+                    receipt = self._chain_call(
                         self.owner_address, contract, "update_ads", (output.chain_ads,)
                     )
                 else:
@@ -307,7 +365,7 @@ class SlicerSystem:
             if not receipt.status:
                 raise StateError(f"ADS update reverted: {receipt.revert_reason}")
             metrics.observe("insert.update_ads_gas", receipt.gas_used)
-            self.chain.mine()
+            self._mine_boundary()
         return receipt
 
     # --------------------------------------------------------------- search
@@ -346,9 +404,17 @@ class SlicerSystem:
     def _search_direct(
         self, contract, query, payment, tokens, searcher, searcher_address
     ) -> SearchOutcome:
-        """In-process delivery — the original, fault-free flow."""
+        """In-process delivery — the original, fault-free flow.
+
+        Block settlement changes *when* things land, never what executes:
+        the submit still runs immediately (journaled through the builder so
+        a reorg can replay it), but the settlement stages in the mempool and
+        lands when :meth:`BlockBuilder.seal_block` packs it — same sender,
+        same calldata, same per-call gas metering, so the receipt is
+        bit-identical to the synchronous one.
+        """
         with trace.span("submit"):
-            submit_receipt = self.chain.call(
+            submit_receipt = self._chain_call(
                 searcher_address,
                 contract,
                 "submit_query",
@@ -361,16 +427,23 @@ class SlicerSystem:
 
         with trace.span("cloud.search"):
             response = self.cloud.search(tokens)
+        settle_height: int | None = None
         with trace.span("verify_settle"):
-            settle_receipt = self.chain.call(
-                self.cloud_address,
-                contract,
-                "verify_and_settle",
-                (query_id, self.cloud.ads_value, response_to_chain_args(response)),
-            )
+            if self.builder is not None:
+                settle_receipt, settle_height = self._settle_block(
+                    contract, [(query_id, response)]
+                )[query_id]
+            else:
+                settle_receipt = self.chain.call(
+                    self.cloud_address,
+                    contract,
+                    "verify_and_settle",
+                    (query_id, self.cloud.ads_value, response_to_chain_args(response)),
+                )
         verified = bool(settle_receipt.status and settle_receipt.return_value)
         record_ids = searcher.decrypt_results(response) if verified else set()
-        self.chain.mine()
+        if self.builder is None:
+            self.chain.mine()
         return SearchOutcome(
             query=query,
             query_id=query_id,
@@ -380,6 +453,7 @@ class SlicerSystem:
             record_ids=record_ids,
             submit_receipt=submit_receipt,
             settle_receipt=settle_receipt,
+            settle_height=settle_height,
         )
 
     def _search_chaos(
@@ -409,7 +483,7 @@ class SlicerSystem:
             receipt = transport.deliver(
                 USER_TO_CONTRACT,
                 tokens_wire,
-                lambda blob: self.chain.call(
+                lambda blob: self._chain_call(
                     searcher_address,
                     contract,
                     "submit_query",
@@ -453,20 +527,31 @@ class SlicerSystem:
                         on_crash=self._restart_cloud,
                     )
             # Leg 3: response + current Ac to the contract for settlement.
+            # Under block settlement the delivered handler stages the tx and
+            # runs seal rounds until it lands; the idempotency key stays the
+            # op-scoped one (a duplicated message must not re-settle), while
+            # the mempool tx id is *attempt*-scoped — a retry after a
+            # transient revert is a new staging, not a duplicate.
+            if self.builder is not None:
+                settle_handler = lambda blob: self._chaos_block_settle(
+                    contract, query_id, blob, op, attempt
+                )
+            else:
+                settle_handler = lambda blob: self.chain.call(
+                    self.cloud_address,
+                    contract,
+                    "verify_and_settle",
+                    (
+                        query_id,
+                        self.cloud.ads_value,
+                        response_to_chain_args(wire.load_response(blob)),
+                    ),
+                )
             with trace.span("verify_settle", attempt=attempt):
                 receipt = transport.deliver(
                     CLOUD_TO_CONTRACT,
                     response_wire,
-                    lambda blob: self.chain.call(
-                        self.cloud_address,
-                        contract,
-                        "verify_and_settle",
-                        (
-                            query_id,
-                            self.cloud.ads_value,
-                            response_to_chain_args(wire.load_response(blob)),
-                        ),
-                    ),
+                    settle_handler,
                     idempotency_key=("settle", op),
                     cache_if=lambda r: r.status,
                     on_crash=self._restart_cloud,
@@ -495,7 +580,8 @@ class SlicerSystem:
         response = wire.load_response(response_wire)
         verified = bool(settle_receipt.return_value)
         record_ids = searcher.decrypt_results(response) if verified else set()
-        self.chain.mine()
+        if self.builder is None:
+            self.chain.mine()
         return SearchOutcome(
             query=query,
             query_id=query_id,
@@ -506,6 +592,7 @@ class SlicerSystem:
             submit_receipt=submit_receipt,
             settle_receipt=settle_receipt,
             attempts=attempts["n"],
+            settle_height=self._settle_heights.get(query_id),
         )
 
     def _degraded(
@@ -518,7 +605,7 @@ class SlicerSystem:
         submit_receipt: Receipt | None = None,
     ) -> SearchOutcome:
         """Graceful degradation: the retry budget ran out on some leg."""
-        self.chain.mine()
+        self._mine_boundary()
         return SearchOutcome(
             query=query,
             query_id=query_id,
@@ -563,6 +650,11 @@ class SlicerSystem:
             if self._sharded
             else {}
         )
+        block_extra = (
+            {"block": outcome.settle_height}
+            if outcome.settle_height is not None
+            else {}
+        )
         obs_audit.AUDIT_LOG.append(
             query_id=str(outcome.query_id),
             verdict=verdict,
@@ -579,6 +671,7 @@ class SlicerSystem:
             detail=outcome.error,
             fault_step=failure.fault_step if failure else None,
             **shard_extra,
+            **block_extra,
         )
 
     def range_search(self, range_query: RangeQuery, payment: int = DEFAULT_PAYMENT) -> RangeOutcome:
@@ -599,9 +692,14 @@ class SlicerSystem:
         per-query responses stay byte-identical to sequential
         :meth:`CloudServer.search` calls (the entry-cache property tests
         assert this), only the duplicated walks disappear.
+
+        Under block settlement the amortisation moves from the transaction
+        to the *block*: see :meth:`_batch_search_block`.
         """
         contract = self._require_setup()
         assert self.user is not None
+        if self.builder is not None:
+            return self._batch_search_block(contract, queries, payment)
 
         with trace.span("batch_search", queries=len(queries)):
             submitted = []
@@ -677,6 +775,216 @@ class SlicerSystem:
                 )
             self.chain.mine()
         return outcomes
+
+    # ----------------------------------------------------- block settlement
+
+    def _chain_call(self, sender, contract, method, args, value: int = 0) -> Receipt:
+        """One contract call, journaled through the builder in block mode.
+
+        Every immediate call a block-mode system makes must go through the
+        builder so a reorg can deterministically re-execute it; sync mode
+        falls through to the plain ``chain.call`` it always used.
+        """
+        if self.builder is not None:
+            return self.builder.execute_now(sender, contract, method, args, value=value)
+        return self.chain.call(sender, contract, method, args, value=value)
+
+    def _mine_boundary(self) -> None:
+        """The per-step block boundary: mine (sync) or seal a block (block)."""
+        if self.builder is not None:
+            self.builder.seal_block()
+        else:
+            self.chain.mine()
+
+    def _settle_block(
+        self, contract: SlicerContract, staged: list[tuple[int, SearchResponse]]
+    ) -> dict[int, tuple[Receipt, int]]:
+        """Stage every ``(query_id, response)`` settlement and seal until landed.
+
+        Returns ``query_id -> (receipt, block_number)``.  One seal round
+        normally lands everything; a :class:`ChainFaultPlan` delay pushes a
+        staged tx past later blocks, and the round loop keeps sealing until
+        it ripens — delayed, never lost.
+        """
+        assert self.builder is not None and self.mempool is not None
+        tx_ids: dict[int, tuple] = {}
+        for query_id, response in staged:
+            tx_id = ("settle", self._next_op())
+            self.builder.stage_settlement(
+                self.cloud_address,
+                contract,
+                "verify_and_settle",
+                (query_id, self.cloud.ads_value, response_to_chain_args(response)),
+                gas_limit=self.settle_gas_limit,
+                tx_id=tx_id,
+            )
+            tx_ids[query_id] = tx_id
+        self._fold_membership_checks([response for _, response in staged])
+        landed = self._run_settle_rounds(list(tx_ids.values()))
+        return {query_id: landed[tx_id] for query_id, tx_id in tx_ids.items()}
+
+    def _run_settle_rounds(self, tx_ids: list[tuple]) -> dict[tuple, tuple[Receipt, int]]:
+        """Seal blocks until every staged tx has a receipt (delay-tolerant)."""
+        builder = self.builder
+        assert builder is not None
+        rounds = 0
+        while any(tx_id not in builder.receipts for tx_id in tx_ids):
+            if rounds >= MAX_SETTLE_ROUNDS:
+                raise StateError(
+                    f"settlement did not land within {MAX_SETTLE_ROUNDS} blocks"
+                )
+            builder.seal_block()
+            rounds += 1
+        return {tx_id: builder.receipts[tx_id] for tx_id in tx_ids}
+
+    def _fold_membership_checks(self, responses: list[SearchResponse]) -> None:
+        """Trusted self-check: fold one settle round's membership checks
+        through the batched kernel.
+
+        The per-token *untrusted* verification stays per-item inside the
+        contract (``batch_verify_membership`` is complete but not
+        adversarially sound — see its docstring); this fold is the cloud
+        double-checking what it shipped, one ``multi_exp`` pass for the
+        whole round instead of one pow per witness.  Responses that crossed
+        a wire boundary or a sharded frontend don't carry their captured
+        ``membership_items``; the fold is skipped (counted) rather than
+        re-deriving primes, which would drift the gated ``hash_to_prime.*``
+        counters.
+        """
+        items: list[tuple[int, int]] = []
+        for response in responses:
+            captured = getattr(response, "membership_items", None)
+            if captured is None:
+                perfstats.incr("blockmode.selfcheck.skipped")
+                return
+            items.extend(captured)
+        if not items:
+            perfstats.incr("blockmode.selfcheck.skipped")
+            return
+        ok = kernels.batch_verify_membership(
+            self.params.accumulator.modulus, self.cloud.ads_value, items
+        )
+        perfstats.incr("blockmode.selfcheck.pass" if ok else "blockmode.selfcheck.fail")
+        perfstats.incr("blockmode.selfcheck.items", len(items))
+        trace.event("blockmode.selfcheck", ok=ok, items=len(items))
+
+    def _chaos_block_settle(
+        self, contract: SlicerContract, query_id: int, blob: bytes, op: int, attempt: int
+    ) -> Receipt:
+        """Chaos-delivery settle handler under block settlement.
+
+        The mempool tx id is attempt-scoped: after a transient revert (e.g.
+        a crash-restarted cloud briefly serving a stale ``Ac``) the retry
+        stages a *new* transaction — the mempool's duplicate guard would
+        permanently reject a re-staging under the old id, and rightly so.
+        """
+        assert self.builder is not None
+        response = wire.load_response(blob)
+        tx_id = ("settle", op, attempt)
+        self.builder.stage_settlement(
+            self.cloud_address,
+            contract,
+            "verify_and_settle",
+            (query_id, self.cloud.ads_value, response_to_chain_args(response)),
+            gas_limit=self.settle_gas_limit,
+            tx_id=tx_id,
+        )
+        self._fold_membership_checks([response])
+        receipt, height = self._run_settle_rounds([tx_id])[tx_id]
+        self._settle_heights[query_id] = height
+        return receipt
+
+    def _batch_search_block(
+        self, contract: SlicerContract, queries: list[Query], payment: int
+    ) -> list[SearchOutcome]:
+        """Block-mode batch: one sealed block settles every staged escrow.
+
+        Where the synchronous batch amortises gas into a single
+        ``batch_verify_and_settle`` transaction (whose verdicts are only in
+        the receipt), the block-mode batch stages one ``verify_and_settle``
+        per escrow and lets ONE block carry them all — the amortisation
+        moves from the transaction to the block, and every verdict lands in
+        the header's settlement root individually, so each is light-client
+        provable.  The cloud still folds the whole round's membership
+        checks through the trusted batch kernel in one pass.
+        """
+        assert self.user is not None
+        with trace.span("batch_search", queries=len(queries), mode="block"):
+            submitted = []
+            for query in queries:
+                tokens = self.user.make_tokens(query)
+                with trace.span("submit"):
+                    submit = self._chain_call(
+                        self.user_address,
+                        contract,
+                        "submit_query",
+                        (tokens_digest_input(tokens),),
+                        value=payment,
+                    )
+                if not submit.status:
+                    raise StateError(f"query submission reverted: {submit.revert_reason}")
+                submitted.append((query, submit, tokens))
+            with trace.span("cloud.search", batch=len(submitted)):
+                responses = self.cloud.search_many([t for _, _, t in submitted])
+            with trace.span("verify_settle", batch=len(submitted)):
+                landed = self._settle_block(
+                    contract,
+                    [
+                        (submit.return_value, response)
+                        for (_, submit, _), response in zip(submitted, responses)
+                    ],
+                )
+            outcomes = []
+            trace_id = trace.current_trace_id()
+            for (query, submit, tokens), response in zip(submitted, responses):
+                settle, height = landed[submit.return_value]
+                verified = bool(settle.status and settle.return_value)
+                metrics.observe("gas.verify_and_settle", settle.gas_used)
+                outcome = SearchOutcome(
+                    query=query,
+                    query_id=submit.return_value,
+                    tokens=tokens,
+                    response=response,
+                    verified=verified,
+                    record_ids=self.user.decrypt_results(response) if verified else set(),
+                    submit_receipt=submit,
+                    settle_receipt=settle,
+                    settle_height=height,
+                )
+                outcomes.append(outcome)
+                verdict = VERDICT_PAID if verified else VERDICT_REFUNDED
+                obs_audit.AUDIT_LOG.append(
+                    query_id=str(outcome.query_id),
+                    verdict=verdict,
+                    tokens_posted=len(tokens),
+                    result_count=len(outcome.record_ids),
+                    accumulator=self.cloud.ads_value,
+                    paid_to="cloud" if verified else "user",
+                    amount=payment,
+                    gas=submit.gas_used + settle.gas_used,
+                    attempts=1,
+                    trace_id=trace_id,
+                    batch_size=len(submitted),
+                    block=height,
+                    **(
+                        {"shards": self.cloud.shards_for_tokens(tokens)}
+                        if self._sharded
+                        else {}
+                    ),
+                )
+        return outcomes
+
+    def settlement_proof(self, outcome: SearchOutcome) -> SettlementProof:
+        """Build the light-client proof that ``outcome``'s verdict settled.
+
+        Only block settlement anchors per-query verdicts in a header
+        (``settlement_root``); a sync-mode or degraded outcome has nothing
+        to prove against.
+        """
+        if outcome.settle_height is None:
+            raise StateError("settlement proofs require settlement_mode='block'")
+        block = self.chain.blocks[outcome.settle_height]
+        return prove_settlement(block, encode_uint(outcome.query_id))
 
     # ------------------------------------------------------- chaos delivery
 
@@ -785,7 +1093,7 @@ class SlicerSystem:
             return transport.deliver(
                 OWNER_TO_CONTRACT,
                 codec.encode_int(chain_ads),
-                lambda blob: self.chain.call(
+                lambda blob: self._chain_call(
                     self.owner_address,
                     contract,
                     "update_ads",

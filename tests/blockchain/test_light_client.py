@@ -97,3 +97,92 @@ class TestInclusionChecks:
         block = system.chain.blocks[-1]
         proof = prove_inclusion(block, receipt.tx_hash)
         assert client.check_inclusion(proof)
+
+
+class TestMultiBlockReplay:
+    """The latent gap: nothing exercised a client across many blocks + reorgs.
+
+    A client that tracked N blocks must keep working when later blocks — or
+    blocks it already accepted — are orphaned and replaced.  The pre-fix
+    ``sync`` sliced ``chain.blocks[len(headers):]`` and wedged on the first
+    replacement header (parent-link mismatch) while silently keeping proofs
+    against the orphaned header checking out.
+    """
+
+    def _mined_chain(self, blocks: int = 6):
+        from repro.blockchain.accounts import address_from_label
+
+        chain = Blockchain()
+        alice = chain.create_account("alice", 10**9)
+        contract, _ = chain.deploy(alice, Pinger)
+        chain.mine()
+        for _ in range(blocks - 1):
+            chain.call(alice, contract, "ping")
+            chain.mine()
+        return chain, contract, alice
+
+    def test_incremental_sync_over_many_blocks(self):
+        chain, contract, alice = self._mined_chain()
+        client = LightClient(chain.config.sealers)
+        total = 0
+        # Sync in uneven increments, mining between them.
+        for extra in (0, 1, 3):
+            for _ in range(extra):
+                chain.call(alice, contract, "ping")
+                chain.mine()
+            total += client.sync(chain)
+        assert total == client.height == chain.height
+        for number in range(chain.height):
+            assert client.headers[number].hash() == chain.blocks[number].hash()
+
+    def test_sync_recovers_from_deep_reorg(self):
+        from repro.blockchain.block_builder import BlockBuilder
+        from repro.blockchain.mempool import Mempool
+        from repro.chaos import ChainFaultPlan, ChainFaultProfile
+
+        chain, contract, alice = self._mined_chain()
+        builder = BlockBuilder(chain, Mempool(chain))
+        builder.execute_now(alice, contract, "ping")
+        builder.seal_block()
+        builder.execute_now(alice, contract, "ping")
+        builder.seal_block()
+        client = follow(chain)
+        tracked = [h.hash() for h in client.headers]
+
+        profile = ChainFaultProfile(
+            name="always", reorg=1000, reorg_depth_max=2, force_clean_after=10**6
+        )
+        builder.fault_plan = ChainFaultPlan(profile, seed=9)
+        builder.execute_now(alice, contract, "ping")
+        builder.seal_block()  # reorgs 2 deep: orphans one tracked header
+        assert builder.orphaned == 2
+
+        accepted = client.sync(chain)
+        assert client.orphaned == 1
+        assert accepted == 2  # replacement + the new block
+        assert client.height == chain.height
+        # The orphaned header is gone; every kept one matches the chain.
+        for number in range(chain.height):
+            assert client.headers[number].hash() == chain.blocks[number].hash()
+        assert tracked[-1] not in {h.hash() for h in client.headers}
+
+    def test_repeated_reorgs_never_wedge_sync(self):
+        from repro.blockchain.block_builder import BlockBuilder
+        from repro.blockchain.mempool import Mempool
+        from repro.chaos import ChainFaultPlan, ChainFaultProfile
+
+        chain, contract, alice = self._mined_chain(blocks=2)
+        profile = ChainFaultProfile(
+            name="churn", reorg=600, reorg_depth_max=2, force_clean_after=2
+        )
+        builder = BlockBuilder(
+            chain, Mempool(chain), fault_plan=ChainFaultPlan(profile, seed=3)
+        )
+        client = follow(chain)
+        for _ in range(8):
+            builder.execute_now(alice, contract, "ping")
+            builder.seal_block()
+            client.sync(chain)
+            assert client.height == chain.height
+            assert client.headers[-1].hash() == chain.blocks[-1].hash()
+        assert builder.reorgs > 0  # the churn profile actually fired

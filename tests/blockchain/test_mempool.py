@@ -1,0 +1,162 @@
+"""Mempool: fee-priority ordering, nonce lanes, duplicate/oversize rejection."""
+
+import pytest
+
+from repro.blockchain.chain import Blockchain, DEFAULT_GAS_LIMIT
+from repro.blockchain.contract import Contract
+from repro.blockchain.mempool import Mempool
+from repro.common.errors import MempoolError
+
+
+class Counter(Contract):
+    CODE_SIZE = 100
+
+    def init(self) -> None:
+        self._sstore_int("count", 0, 8)
+
+    def bump(self) -> int:
+        value = self._sload_int("count") + 1
+        self._sstore_int("count", value, 8)
+        return value
+
+
+@pytest.fixture()
+def setup():
+    chain = Blockchain()
+    alice = chain.create_account("alice", 10**9)
+    bob = chain.create_account("bob", 10**9)
+    contract, _ = chain.deploy(alice, Counter)
+    chain.mine()
+    return chain, Mempool(chain), contract, alice, bob
+
+
+class TestOrdering:
+    def test_price_priority_beats_arrival(self, setup):
+        chain, pool, contract, alice, bob = setup
+        cheap = pool.stage(alice, contract, "bump", gas_price=1, tx_id="cheap")
+        rich = pool.stage(bob, contract, "bump", gas_price=9, tx_id="rich")
+        assert pool.eligible(chain.height) == [rich, cheap]
+
+    def test_equal_price_is_fifo(self, setup):
+        chain, pool, contract, alice, bob = setup
+        first = pool.stage(alice, contract, "bump", tx_id="first")
+        second = pool.stage(bob, contract, "bump", tx_id="second")
+        assert pool.eligible(chain.height) == [first, second]
+
+    def test_sender_nonce_order_overrides_price(self, setup):
+        """A sender's pricey later tx cannot jump its own earlier one."""
+        chain, pool, contract, alice, _ = setup
+        early = pool.stage(alice, contract, "bump", gas_price=1, tx_id="early")
+        late = pool.stage(alice, contract, "bump", gas_price=100, tx_id="late")
+        assert pool.eligible(chain.height) == [early, late]
+
+    def test_other_senders_interleave_between_lanes(self, setup):
+        chain, pool, contract, alice, bob = setup
+        a1 = pool.stage(alice, contract, "bump", gas_price=1, tx_id="a1")
+        a2 = pool.stage(alice, contract, "bump", gas_price=100, tx_id="a2")
+        b1 = pool.stage(bob, contract, "bump", gas_price=50, tx_id="b1")
+        # b1 outprices a1, a2 is lane-blocked behind a1 despite its price.
+        assert pool.eligible(chain.height) == [b1, a1, a2]
+
+    def test_ordering_is_deterministic(self, setup):
+        chain, pool, contract, alice, bob = setup
+        for i in range(6):
+            pool.stage(
+                alice if i % 2 else bob,
+                contract,
+                "bump",
+                gas_price=(i * 7) % 5,
+                tx_id=f"tx{i}",
+            )
+        first = [c.tx_id for c in pool.eligible(chain.height)]
+        again = [c.tx_id for c in pool.eligible(chain.height)]
+        assert first == again
+        assert sorted(first) == [f"tx{i}" for i in range(6)]
+
+
+class TestRejection:
+    def test_duplicate_tx_id_rejected_while_pooled(self, setup):
+        chain, pool, contract, alice, _ = setup
+        pool.stage(alice, contract, "bump", tx_id="once")
+        with pytest.raises(MempoolError):
+            pool.stage(alice, contract, "bump", tx_id="once")
+
+    def test_duplicate_tx_id_rejected_after_inclusion(self, setup):
+        """The duplicate guard is permanent, not just while pooled."""
+        chain, pool, contract, alice, _ = setup
+        pool.stage(alice, contract, "bump", tx_id="settled")
+        taken = pool.take(chain.height, DEFAULT_GAS_LIMIT)
+        assert [c.tx_id for c in taken] == ["settled"]
+        with pytest.raises(MempoolError):
+            pool.stage(alice, contract, "bump", tx_id="settled")
+
+    def test_default_tx_id_slots_by_sender_nonce(self, setup):
+        chain, pool, contract, alice, bob = setup
+        a = pool.stage(alice, contract, "bump")
+        b = pool.stage(bob, contract, "bump")
+        assert a.tx_id != b.tx_id
+        assert a.tx_id == (bytes(alice), a.nonce)
+        assert b.tx_id == (bytes(bob), b.nonce)
+
+    def test_oversize_gas_limit_rejected(self, setup):
+        chain, pool, contract, alice, _ = setup
+        too_big = chain.config.block_gas_limit + 1
+        with pytest.raises(MempoolError):
+            pool.stage(alice, contract, "bump", gas_limit=too_big, tx_id="big")
+
+    def test_next_nonce_counts_staged_calls(self, setup):
+        chain, pool, contract, alice, _ = setup
+        base = pool.next_nonce(alice)
+        pool.stage(alice, contract, "bump", tx_id="n0")
+        pool.stage(alice, contract, "bump", tx_id="n1")
+        assert pool.next_nonce(alice) == base + 2
+
+
+class TestTake:
+    def test_take_pops_in_order_and_respects_budget(self, setup):
+        chain, pool, contract, alice, bob = setup
+        pool.stage(alice, contract, "bump", gas_limit=60_000, gas_price=5, tx_id="a")
+        pool.stage(bob, contract, "bump", gas_limit=60_000, gas_price=1, tx_id="b")
+        taken = pool.take(chain.height, 100_000)
+        assert [c.tx_id for c in taken] == ["a"]
+        assert "b" in pool  # skipped, not dropped
+        assert [c.tx_id for c in pool.take(chain.height, 100_000)] == ["b"]
+
+    def test_budget_skip_holds_the_whole_sender_lane(self, setup):
+        """Skipping an oversized call must not let its successor jump it."""
+        chain, pool, contract, alice, bob = setup
+        pool.stage(alice, contract, "bump", gas_limit=90_000, tx_id="a-big")
+        pool.stage(alice, contract, "bump", gas_limit=10_000, tx_id="a-small")
+        pool.stage(bob, contract, "bump", gas_limit=10_000, tx_id="b")
+        taken = pool.take(chain.height, 50_000)
+        assert [c.tx_id for c in taken] == ["b"]
+        assert "a-big" in pool and "a-small" in pool
+
+    def test_empty_pool_takes_nothing(self, setup):
+        chain, pool, _, _, _ = setup
+        assert pool.take(chain.height, DEFAULT_GAS_LIMIT) == []
+
+    def test_zero_budget_takes_nothing(self, setup):
+        chain, pool, contract, alice, _ = setup
+        pool.stage(alice, contract, "bump", tx_id="waiting")
+        assert pool.take(chain.height, 0) == []
+        assert "waiting" in pool
+
+
+class TestHold:
+    def test_held_call_invisible_until_height(self, setup):
+        chain, pool, contract, alice, _ = setup
+        ripe_at = chain.height + 2
+        pool.stage(alice, contract, "bump", tx_id="late", hold_until=ripe_at)
+        assert pool.eligible(chain.height) == []
+        assert pool.take(chain.height, DEFAULT_GAS_LIMIT) == []
+        assert [c.tx_id for c in pool.eligible(ripe_at)] == ["late"]
+
+    def test_held_call_blocks_its_sender_lane(self, setup):
+        """Nonce order survives a delay: the successor waits with it."""
+        chain, pool, contract, alice, _ = setup
+        pool.stage(alice, contract, "bump", tx_id="held", hold_until=chain.height + 3)
+        pool.stage(alice, contract, "bump", tx_id="after")
+        assert pool.eligible(chain.height) == []
+        ripe = pool.eligible(chain.height + 3)
+        assert [c.tx_id for c in ripe] == ["held", "after"]

@@ -375,3 +375,216 @@ class TestShardFaultCells:
         frontend.restore_shard(victim, snap)
         recovered = system.search(self.AFFECTED, payment=PAYMENT)
         assert recovered.verified, "a restored shard must settle paid again"
+
+
+class TestBlockSettlementCells:
+    """Block settlement's column of the matrix: reorgs, late settlement,
+    duplicate re-submission, malicious clouds — none of it moves a verdict
+    or an escrowed coin relative to the synchronous reference.
+
+    Chain faults act *below* the protocol (on when blocks carry what), so
+    the oracle is double: every outcome must match the honest twin byte-
+    oracle AND the verdict the synchronous cell produced for the same seed.
+    """
+
+    CHAIN_PROFILES = ["stable", "reorgy", "congested"]
+
+    def build_block_cell(
+        self, tparams, owner_factory, behavior, chain_profile, chaos_seed=17
+    ):
+        from repro.chaos import ChainFaultPlan, chain_profile_named
+
+        owner = owner_factory(tparams, seed=7)
+        transport = ChaosTransport(FaultPlan(profile_named("lossy"), seed=chaos_seed))
+        system = SlicerSystem(
+            tparams,
+            rng=default_rng(7),
+            owner=owner,
+            transport=transport,
+            settlement_mode="block",
+            chain_faults=ChainFaultPlan(
+                chain_profile_named(chain_profile), seed=chaos_seed
+            ),
+        )
+        if behavior is not None:
+            system.cloud = MaliciousCloud(
+                tparams, owner.keys.trapdoor.public, behavior, default_rng(11)
+            )
+        system.setup(database(VALUES))
+        system.insert(database(EXTRA, start=100))
+        return system
+
+    def run_shapes(self, system, twin=None):
+        verdicts = {}
+        expected_cloud_gain = 0
+        for shape_name, run_shape in SHAPES:
+            sides = run_shape(system)
+            for outcome in sides:
+                assert outcome.error is None, (shape_name, outcome.error)
+                assert outcome.settled
+                if twin is not None:
+                    honest_bytes = wire.dump_response(twin.search(outcome.tokens))
+                    assert outcome.verified == (
+                        wire.dump_response(outcome.response) == honest_bytes
+                    ), shape_name
+                expected_cloud_gain += PAYMENT if outcome.verified else 0
+            verdicts[shape_name] = tuple(o.verified for o in sides)
+        return verdicts, expected_cloud_gain
+
+    @pytest.mark.parametrize(
+        "behavior",
+        [None, Misbehavior.TAMPER_ENTRY, Misbehavior.FORGE_WITNESS],
+        ids=lambda b: "honest" if b is None else b.value,
+    )
+    def test_chain_faults_never_flip_a_verdict(
+        self, tparams, owner_factory, behavior
+    ):
+        # The synchronous reference cell for the same seeds.
+        sync_system = build_cell(
+            tparams, owner_factory, behavior, profile_named("lossy")
+        )
+        sync_verdicts, _ = self.run_shapes(sync_system)
+        sync_balances = sync_system.balances()
+
+        for chain_profile in self.CHAIN_PROFILES:
+            perfstats.reset()
+            system = self.build_block_cell(
+                tparams, owner_factory, behavior, chain_profile
+            )
+            # Oracle 1 (inside run_shapes): paid iff byte-identical to the
+            # honest twin.
+            twin = honest_twin(system)
+            verdicts, expected_cloud_gain = self.run_shapes(system, twin=twin)
+            # Oracle 2: the sync cell saw the same verdicts.
+            assert verdicts == sync_verdicts, (behavior, chain_profile)
+
+            # Exact escrow arithmetic: funds moved for paid cells only, and
+            # no reorg or delay leaked a single escrowed coin.
+            balances = system.balances()
+            assert balances["cloud"] == DEFAULT_FUNDING + expected_cloud_gain
+            assert balances["user"] == DEFAULT_FUNDING - expected_cloud_gain
+            assert balances == sync_balances, (behavior, chain_profile)
+            assert perfstats.get("retry.gave_up") == 0
+            system.chain.verify_integrity()
+
+    def test_malicious_cloud_refunded_and_refund_is_provable(
+        self, tparams, owner_factory
+    ):
+        """MaliciousCloud x block settlement: the refund verdict itself is
+        anchored in the settlement root — the user can prove they were
+        refunded from a header, without replaying the chain."""
+        from repro.blockchain import follow
+
+        system = self.build_block_cell(
+            tparams, owner_factory, Misbehavior.TAMPER_ENTRY, "reorgy"
+        )
+        twin = honest_twin(system)
+        outcome = system.search(Query.parse(7, "="), payment=PAYMENT)
+        honest_bytes = wire.dump_response(twin.search(outcome.tokens))
+        assert wire.dump_response(outcome.response) != honest_bytes
+        assert outcome.settled and not outcome.verified
+        assert outcome.settle_height is not None
+
+        proof = system.settlement_proof(outcome)
+        assert proof.verified == b"\x00"
+        assert follow(system.chain).check_settlement(proof)
+        assert system.balances()["user"] == DEFAULT_FUNDING
+
+    def test_reorg_depths_one_and_two_fire_and_preserve_outcomes(
+        self, tparams, owner_factory
+    ):
+        """Both reorg depths actually occur, replay receipts match, and the
+        sealed chain stays internally consistent."""
+        from repro.chaos import ChainFaultPlan, ChainFaultProfile
+
+        owner = owner_factory(tparams, seed=7)
+        profile = ChainFaultProfile(
+            name="churn", reorg=700, reorg_depth_max=2, force_clean_after=2
+        )
+        system = SlicerSystem(
+            tparams,
+            rng=default_rng(7),
+            owner=owner,
+            settlement_mode="block",
+            chain_faults=ChainFaultPlan(profile, seed=29),
+        )
+        system.setup(database(VALUES))
+        depths = set()
+        for value in (7, 40, 41, 64, 3, 200, 9):
+            outcome = system.search(Query.parse(value, "="), payment=PAYMENT)
+            assert outcome.settled and outcome.verified
+            depths = {
+                severity
+                for _, leg, out in system.builder.fault_plan.history
+                if leg == "reorg" and ":" in out
+                for severity in [int(out.split(":")[1])]
+            }
+        assert {1, 2} <= depths, f"both depths must fire, saw {depths}"
+        assert system.builder.reorgs >= 2
+        system.chain.verify_integrity()
+        paid = 7 * PAYMENT
+        assert system.balances()["cloud"] == DEFAULT_FUNDING + paid
+
+    def test_settlement_delayed_past_blocks_lands_late_not_lost(
+        self, tparams, owner_factory
+    ):
+        """Every settlement is held back: it lands d blocks late, the block
+        gap is observable, and the verdict + escrow are untouched."""
+        from repro.chaos import ChainFaultPlan, ChainFaultProfile
+
+        owner = owner_factory(tparams, seed=7)
+        profile = ChainFaultProfile(
+            name="always-late",
+            delay=1000,
+            delay_blocks_max=3,
+            force_clean_after=10**6,
+        )
+        system = SlicerSystem(
+            tparams,
+            rng=default_rng(7),
+            owner=owner,
+            settlement_mode="block",
+            chain_faults=ChainFaultPlan(profile, seed=31),
+        )
+        system.setup(database(VALUES))
+        submit_height = system.chain.height
+        outcome = system.search(Query.parse(7, "="), payment=PAYMENT)
+        assert outcome.verified
+        assert outcome.settle_height is not None
+        # Held past at least one extra sealed block boundary.
+        assert outcome.settle_height > submit_height
+        assert perfstats.get("chaos.chain.delayed") >= 1
+        assert perfstats.get("chaos.chain.delay_blocks") >= 1
+        assert system.balances()["cloud"] == DEFAULT_FUNDING + PAYMENT
+
+    def test_duplicate_resubmission_of_settled_escrow_rejected(
+        self, tparams, owner_factory
+    ):
+        """Re-staging an already-settled settlement id is permanently
+        rejected by the mempool — the double-settle the escrow state machine
+        would also catch never even reaches the chain."""
+        from repro.common.errors import MempoolError
+
+        owner = owner_factory(tparams, seed=7)
+        system = SlicerSystem(
+            tparams, rng=default_rng(7), owner=owner, settlement_mode="block"
+        )
+        system.setup(database(VALUES))
+        outcome = system.search(Query.parse(7, "="), payment=PAYMENT)
+        assert outcome.verified
+        settled_ids = [
+            tx_id for tx_id in system.builder.receipts if tx_id is not None
+        ]
+        tx_id = settled_ids[-1]
+        with pytest.raises(MempoolError):
+            system.mempool.stage(
+                system.cloud_address,
+                system.contract,
+                "verify_and_settle",
+                (outcome.query_id, system.cloud.ads_value, ()),
+                gas_limit=system.settle_gas_limit,
+                tx_id=tx_id,
+            )
+        assert perfstats.get("mempool.rejected.duplicate") >= 1
+        # The escrow stayed settled exactly once.
+        assert system.balances()["cloud"] == DEFAULT_FUNDING + PAYMENT

@@ -140,3 +140,25 @@ class TestMetricsSection:
         path.write_text(json.dumps({"counters": {"x": "not-an-int"}}))
         assert main(["report", "--metrics", str(path)]) == 1
         assert "not a counter snapshot" in capsys.readouterr().err
+
+
+class TestBlockSettlementTable:
+    def test_per_block_table_rendered_for_block_ledgers(self, tmp_path, capsys):
+        log = SettlementAuditLog()
+        log.set_sink(str(tmp_path / "blocks.jsonl"))
+        log.append(query_id="0", verdict=VERDICT_PAID, gas=100, amount=9, block=3)
+        log.append(query_id="1", verdict=VERDICT_REFUNDED, gas=90, amount=9, block=3)
+        log.append(query_id="2", verdict=VERDICT_PAID, gas=110, amount=9, block=5)
+        assert main(["report", "--audit", str(tmp_path / "blocks.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "settlements by block:" in out
+        lines = [l for l in out.splitlines() if l.strip().startswith(("3", "5"))]
+        # block 3: two settlements (one paid, one refunded), block 5: one.
+        row3 = next(l for l in lines if l.split()[0] == "3")
+        assert row3.split()[1:5] == ["2", "1", "1", "190"]
+        row5 = next(l for l in lines if l.split()[0] == "5")
+        assert row5.split()[1:5] == ["1", "1", "0", "110"]
+
+    def test_sync_ledger_gets_no_block_section(self, audit_file, capsys):
+        assert main(["report", "--audit", audit_file]) == 0
+        assert "settlements by block:" not in capsys.readouterr().out

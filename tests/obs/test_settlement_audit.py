@@ -95,3 +95,80 @@ class TestReplay:
         lines = ["", '{"type": "span", "span_id": "x"}', record.to_json()]
         replayed = SettlementAuditLog.replay(lines)
         assert len(replayed) == 1
+
+
+class TestBlockModeLedger:
+    """Block settlement's audit contract: contiguous seqs, height-stamped.
+
+    A block settling many escrows appends one record per escrow — the seq
+    numbers stay contiguous across the block boundary (replay would reject
+    a gap), and every block-settled record carries the height it landed at
+    in ``extra["block"]`` so the ledger can be grouped block by block.
+    """
+
+    def _block_system(self, tparams, owner_factory):
+        from repro.common.rng import default_rng
+        from repro.core.records import make_database
+        from repro.system import SlicerSystem
+
+        system = SlicerSystem(
+            tparams,
+            rng=default_rng(7),
+            owner=owner_factory(tparams, seed=7),
+            settlement_mode="block",
+        )
+        system.setup(
+            make_database([(f"r{i}", v) for i, v in enumerate([7, 7, 9, 40])], bits=8)
+        )
+        return system
+
+    def test_seq_contiguous_and_height_stamped(
+        self, tparams, owner_factory, tmp_path
+    ):
+        from repro.core.query import Query
+        from repro.obs import audit as obs_audit
+
+        obs_audit.AUDIT_LOG.reset()
+        sink = tmp_path / "audit.jsonl"
+        obs_audit.AUDIT_LOG.set_sink(str(sink))
+        try:
+            system = self._block_system(tparams, owner_factory)
+            system.search(Query.parse(7, "="))
+            system.batch_search([Query.parse(9, "="), Query.parse(40, "=")])
+        finally:
+            obs_audit.AUDIT_LOG.set_sink(None)
+
+        records = obs_audit.AUDIT_LOG.records()
+        assert [r.seq for r in records] == list(range(len(records)))
+        assert all(isinstance(r.extra["block"], int) for r in records)
+        # The batch's two records settled in ONE block, distinct from the
+        # single search's.
+        batch_heights = {r.extra["block"] for r in records[-2:]}
+        assert len(batch_heights) == 1
+        assert records[0].extra["block"] not in batch_heights
+
+        # Replay from the JSONL sink enforces the same contiguity and
+        # round-trips the height.
+        replayed = SettlementAuditLog.load(str(sink))
+        assert [r.seq for r in replayed.records()] == [r.seq for r in records]
+        assert [r.extra["block"] for r in replayed.records()] == [
+            r.extra["block"] for r in records
+        ]
+        obs_audit.AUDIT_LOG.reset()
+
+    def test_sync_records_carry_no_height(self, tparams, owner_factory):
+        from repro.common.rng import default_rng
+        from repro.core.query import Query
+        from repro.core.records import make_database
+        from repro.obs import audit as obs_audit
+        from repro.system import SlicerSystem
+
+        obs_audit.AUDIT_LOG.reset()
+        system = SlicerSystem(
+            tparams, rng=default_rng(7), owner=owner_factory(tparams, seed=7)
+        )
+        system.setup(make_database([("r0", 7)], bits=8))
+        system.search(Query.parse(7, "="))
+        (record,) = obs_audit.AUDIT_LOG.records()
+        assert "block" not in record.extra
+        obs_audit.AUDIT_LOG.reset()
