@@ -333,6 +333,84 @@ def settlement_check(baseline_path: pathlib.Path, run: bool) -> int:
     return 0
 
 
+def restart_check(baseline_path: pathlib.Path, run: bool) -> int:
+    """Exact-equality gate on the warm-restart smoke counters.
+
+    ``run_smoke.py --restart`` already asserts the hard invariants before
+    it reports anything — the reopened cloud's first repeat query must be
+    byte-identical to the never-restarted oracle with 0 index probes and
+    0 PRF evaluations.  This check adds the regression dimension: the
+    deterministic counters and histograms of the whole restart flow, plus
+    the per-leg counter deltas, must reproduce the committed baseline bit
+    for bit.  Any drift means the segment store, the warm checkpoint or
+    the rehydration path changed behaviour and the baseline must be
+    regenerated deliberately.
+    """
+    if not baseline_path.exists():
+        print(f"no warm-restart baseline at {baseline_path}; "
+              "run run_smoke.py --restart and commit the report")
+        return 2
+    baseline = load_report(baseline_path)
+    if "restart_leg" not in baseline:
+        print(f"{baseline_path} records no restart leg; regenerate it")
+        return 2
+
+    if run:
+        subprocess.run(
+            [sys.executable, str(HERE / "run_smoke.py"), "--restart"],
+            check=True,
+        )
+    fresh = load_report(REPORTS / "BENCH_warm_restart.json")
+
+    drifted: list[str] = []
+    for section in ("counters", "histograms", "restart_leg"):
+        base_sec = baseline.get(section, {})
+        fresh_sec = fresh.get(section, {})
+        drifted += sorted(
+            f"{section}.{name}"
+            for name in set(base_sec) | set(fresh_sec)
+            if base_sec.get(name) != fresh_sec.get(name)
+        )
+
+    leg = fresh.get("restart_leg", {})
+    lines = [
+        "Warm-restart determinism check (reopen vs committed baseline)",
+        "",
+        f"restart leg: byte_identical={leg.get('byte_identical')} "
+        f"index_probes={leg.get('index_probes')} prf_evals={leg.get('prf_evals')}",
+        f"counters compared: {len(set(baseline.get('counters', {})) | set(fresh.get('counters', {})))}",
+        f"histograms compared: {len(set(baseline.get('histograms', {})) | set(fresh.get('histograms', {})))}",
+    ]
+    if drifted:
+        lines += ["", "DRIFTED:"] + [f"  {name}" for name in drifted]
+    else:
+        lines.append(
+            "every counter, histogram and per-leg delta identical to baseline"
+        )
+    text = "\n".join(lines)
+    print(text)
+    REPORTS.mkdir(exist_ok=True)
+    (REPORTS / "restart_check.txt").write_text(text + "\n")
+    (REPORTS / "restart_check.json").write_text(
+        json.dumps(
+            {
+                "baseline": str(baseline_path),
+                "restart_leg": leg,
+                "drifted": drifted,
+                "ok": not drifted,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if drifted:
+        print("\nFAIL: warm-restart counters drifted from the committed "
+              f"baseline: {', '.join(drifted)}")
+        return 1
+    print("\nOK: warm restart reproduces the committed baseline exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -345,6 +423,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="gate block-mode settlement on bit-for-bit counter/ledger "
         "equality vs reports/BENCH_settlement_sync.json",
+    )
+    parser.add_argument(
+        "--restart",
+        action="store_true",
+        help="gate the warm-restart smoke on bit-for-bit counter/leg "
+        "equality vs reports/BENCH_warm_restart.json",
     )
     parser.add_argument(
         "--baseline",
@@ -401,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
         if baseline == REPORTS / "BENCH_smoke.json":  # the non-settlement default
             baseline = REPORTS / "BENCH_settlement_sync.json"
         return settlement_check(baseline, run=not args.no_run)
+
+    if args.restart:
+        baseline = args.baseline
+        if baseline == REPORTS / "BENCH_smoke.json":  # the non-restart default
+            baseline = REPORTS / "BENCH_warm_restart.json"
+        return restart_check(baseline, run=not args.no_run)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run run_smoke.py and commit the report")

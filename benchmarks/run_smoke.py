@@ -31,8 +31,10 @@ Usage:  PYTHONPATH=src python benchmarks/run_smoke.py [--chaos-seed N]
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 import pathlib
+import tempfile
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
@@ -49,7 +51,7 @@ from repro.core.params import KeyBundle  # noqa: E402
 from repro.core.query import Query  # noqa: E402
 from repro.core.user import DataUser  # noqa: E402
 from repro.core.verify import verify_response  # noqa: E402
-from repro.crypto import modmath  # noqa: E402
+from repro.crypto import kernels, modmath  # noqa: E402
 from repro.obs import audit as obs_audit  # noqa: E402
 from repro.obs import trace  # noqa: E402
 from repro.obs.metrics import REGISTRY  # noqa: E402
@@ -265,6 +267,152 @@ def run_settlement(mode: str) -> int:
     return 0
 
 
+def _deterministic_delta(base: dict) -> dict:
+    """Counter delta since ``base``, filtered to the deterministic slice."""
+    allowed = set(REGISTRY.deterministic_snapshot()["counters"])
+    return {
+        k: v for k, v in perfstats.delta_since(base).items() if k in allowed
+    }
+
+
+def run_restart() -> int:
+    """Warm-restart smoke: a reopened cloud serves its first repeat query warm.
+
+    Runs the plain smoke flow against a durable segment store (build,
+    skewed searches, insert, more searches, witness precompute), records
+    the never-restarted cloud's warm repeat of the hot query as the
+    **oracle leg**, then checkpoints, clears every process-global kernel
+    memo (a cold process), reopens the store into a *fresh* CloudServer and
+    serves the same repeat query.  Byte-identity against the oracle leg is
+    asserted before any timing is reported, and the restarted leg must
+    touch neither the index nor the PRF:
+    ``cloud.collect.index_probes == cloud.collect.prf_evals == 0``.
+    ``check_regression.py --restart`` gates the recorded counters,
+    histograms and both leg deltas bit for bit.
+    """
+    _reset_observability("TRACE_restart.jsonl")
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(31337), 1024)
+    generator = WorkloadGenerator(default_rng(404))
+    database = generator.database(WorkloadSpec(N_RECORDS, BITS))
+    owner = DataOwner(params, keys=keys, rng=default_rng(12))
+
+    store_dir = tempfile.mkdtemp(prefix="slicer-segstore-")
+    try:
+        cloud = CloudServer(params, keys.trapdoor.public)
+        cloud.attach_store(store_dir)
+        build_s, out = time_call(lambda: owner.build(database))
+        cloud.install(out.cloud_package)
+        user = DataUser(params, out.user_package, default_rng(5))
+
+        queries = [Query.parse(64, ">"), Query.parse(64, "<"), Query.parse(200, ">")]
+        for query in queries:
+            response = cloud.search(user.make_tokens(query))
+            assert verify_response(params, cloud.ads_value, response).ok
+
+        add = generator.database(WorkloadSpec(N_INSERT, BITS))
+        insert_s, out2 = time_call(lambda: owner.insert(add))
+        cloud.install(out2.cloud_package)
+        user.refresh(out2.user_package)
+
+        # Zipf-ish skew: the hot query repeats, the tail runs once — what a
+        # production repeat-heavy workload leaves in the caches.
+        hot = user.make_tokens(queries[0])
+        for tokens in [hot] + [user.make_tokens(q) for q in queries[1:]]:
+            cloud.search(tokens)
+        precompute_s, count = time_call(cloud.precompute_witnesses)
+        assert count == cloud.prime_count
+
+        # Oracle leg: the never-restarted cloud's warm repeat, recorded
+        # BEFORE clear_caches() below (which also empties this cloud's
+        # entry cache through the kernel registry).
+        base = perfstats.snapshot()
+        oracle_warm_s, oracle_response = time_call(lambda: cloud.search(hot))
+        oracle_delta = _deterministic_delta(base)
+        oracle_bytes = wire.dump_response(oracle_response)
+
+        checkpoint_s, _ = time_call(cloud.checkpoint)
+        store_bytes = sum(
+            p.stat().st_size for p in pathlib.Path(store_dir).iterdir()
+        )
+
+        # Process death: fresh server object, cold global kernel memos.
+        kernels.clear_caches()
+        resumed = CloudServer(params, keys.trapdoor.public)
+        # The timed reopen includes full rehydration (prime_count forces the
+        # lazy replay + warm-checkpoint load) so the measured leg below is
+        # purely the query.
+        reopen_s, _ = time_call(
+            lambda: (resumed.reopen(store_dir), resumed.prime_count)
+        )
+        base = perfstats.snapshot()
+        restart_warm_s, response = time_call(lambda: resumed.search(hot))
+        restart_delta = _deterministic_delta(base)
+
+        # Byte-identity and zero-probe assertions come before any timing
+        # is reported: a fast-but-wrong restart must fail the bench.
+        assert wire.dump_response(response) == oracle_bytes, (
+            "restarted cloud's warm leg drifted from the oracle response"
+        )
+        assert restart_delta.get("cloud.collect.index_probes", 0) == 0, (
+            f"warm restart probed the index: {restart_delta}"
+        )
+        assert restart_delta.get("cloud.collect.prf_evals", 0) == 0, (
+            f"warm restart evaluated the PRF: {restart_delta}"
+        )
+        assert restart_delta == oracle_delta, (
+            "restarted warm leg did different deterministic work than the "
+            f"oracle leg: {restart_delta} != {oracle_delta}"
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    metrics = {
+        "build_s": build_s,
+        "insert_s": insert_s,
+        "precompute_s": precompute_s,
+        "oracle_warm_search_s": oracle_warm_s,
+        "checkpoint_s": checkpoint_s,
+        "reopen_s": reopen_s,
+        "restart_warm_search_s": restart_warm_s,
+        "records": N_RECORDS,
+        "inserted": N_INSERT,
+        "value_bits": BITS,
+        "primes": count,
+        "segments": 2,
+        "store_bytes": store_bytes,
+        "workers": bench_workers(),
+        "modmath_backend": modmath.backend_info()["active"],
+        "all_verified": True,
+    }
+    rows = [("Metric", "value")] + [
+        (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
+    ]
+    deterministic = REGISTRY.deterministic_snapshot()
+    write_report(
+        "warm_restart",
+        render_kv_table("Warm-restart smoke benchmark", rows),
+        data={
+            "metrics": metrics,
+            "counters": deterministic["counters"],
+            "histograms": deterministic["histograms"],
+            # The gated heart of the bench: the restarted cloud's first
+            # repeat-query leg did exactly the oracle's deterministic work
+            # — zero index probes, zero PRF evaluations, byte-identical
+            # response — and both deltas are reproduced exactly on re-run.
+            "restart_leg": {
+                "byte_identical": True,
+                "index_probes": restart_delta.get("cloud.collect.index_probes", 0),
+                "prf_evals": restart_delta.get("cloud.collect.prf_evals", 0),
+                "oracle_counters": oracle_delta,
+                "restart_counters": restart_delta,
+            },
+            "artifacts": {"trace": "TRACE_restart.jsonl"},
+        },
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -294,11 +442,21 @@ def main(argv: list[str] | None = None) -> int:
         "block mode must reproduce the sync snapshot bit for bit "
         "(check_regression.py --settlement gates on it)",
     )
+    parser.add_argument(
+        "--restart",
+        action="store_true",
+        help="run the warm-restart smoke instead: install through a durable "
+        "segment store, checkpoint, reopen into a fresh process and serve "
+        "the first repeat query warm (0 index probes, 0 PRF evals, "
+        "byte-identical to the never-restarted oracle)",
+    )
     args = parser.parse_args(argv)
     if args.chaos_seed is not None:
         return run_chaos(args.chaos_seed, args.chaos_profile)
     if args.settlement is not None:
         return run_settlement(args.settlement)
+    if args.restart:
+        return run_restart()
     return run_plain(args.shards)
 
 

@@ -22,7 +22,7 @@ from ..common.encoding import encode_parts, sizeof
 from ..common.rng import DeterministicRNG, default_rng
 from ..common import perfstats
 from ..common.timing import Stopwatch
-from ..common.errors import AccumulatorError
+from ..common.errors import AccumulatorError, ParameterError, StateError
 from ..crypto import kernels
 from ..crypto.accumulator import MembershipWitness, verify_membership_batch
 from ..obs import metrics, trace
@@ -37,7 +37,7 @@ from ..parallel.tasks import (
     pow_chunk,
     witness_map,
 )
-from .entry_cache import CollectResult, EntryCache, collect_entries
+from .entry_cache import CacheNode, CollectResult, EntryCache, collect_entries
 from .params import SlicerParams
 from .state import CloudPackage, EncryptedIndex, set_hash_key
 from .tokens import SearchToken
@@ -108,9 +108,18 @@ class CloudServer:
         self._repeat_witness_cache: dict[tuple[int, ...], dict[int, int]] = {}
         #: Epoch-suffix result cache: needs no invalidation (epochs are
         #: immutable, :meth:`install` leaves it intact); :meth:`restore`
-        #: drops it with the other in-memory caches.
+        #: keeps it only when the incoming snapshot provably matches it.
         self._entry_cache = EntryCache()
         self._executor = ParallelExecutor(params.workers)
+        #: Durable epoch-segment store (attach_store/reopen); None keeps the
+        #: cloud purely in-memory, exactly as before the store existed.
+        self._store = None
+        #: False between reopen() and the first state access: segments are
+        #: replayed lazily so a restarted-but-idle cloud costs nothing.
+        self._hydrated = True
+        #: Shard-local witness primes recovered from replayed segments —
+        #: what a sharded frontend rebuilds its routing bookkeeping from.
+        self._store_local_primes: dict[int, None] = {}
         #: Phase timings ("results" / "vo") for the Fig. 5 benches.
         self.stopwatch = Stopwatch()
 
@@ -129,7 +138,12 @@ class CloudServer:
         caches witnesses for (a shard caches its *local* keywords' primes
         only); the full delta still enters ``X`` and the product tree, so
         witness *values* are unchanged — only coverage shrinks.
+
+        With a segment store attached the delta is also committed as one
+        immutable segment *before* any cache refresh — a crash mid-refresh
+        loses only in-memory acceleration, never the installed epoch.
         """
+        self._ensure_hydrated()
         previous_ads = self.ads_value
         had_primes = bool(self._primes)
         self.index.merge(package.index)
@@ -138,6 +152,16 @@ class CloudServer:
             self._primes[prime] = None
         self._product_tree.extend(fresh)
         self.ads_value = package.accumulation
+        if self._store is not None:
+            self._store.append(
+                dict(package.index.entries),
+                list(package.primes),
+                package.accumulation,
+                local_primes=witness_primes,
+            )
+            if witness_primes is not None:
+                for prime in witness_primes:
+                    self._store_local_primes[prime] = None
         if fresh:
             # The prime set changed; per-query witness maps are stale.
             self._repeat_witness_cache.clear()
@@ -201,6 +225,7 @@ class CloudServer:
         ``prod(X \\ subset)`` — so per-shard precomputes across a tier
         partition the single-cloud precompute exactly.
         """
+        self._ensure_hydrated()
         acc = self.params.accumulator
         g = acc.generator % acc.modulus
         if primes is None:
@@ -240,35 +265,227 @@ class CloudServer:
         """Serialize the full working state ``(I, X, Ac)`` for crash recovery."""
         from ..storage import state_io  # local: storage depends on core
 
+        self._ensure_hydrated()
         return state_io.dump_cloud_state(
             self.index, list(self._primes), self.ads_value
         )
 
     def restore(self, snapshot: bytes) -> None:
-        """Cold-restart recovery: drop all in-memory state, reload a snapshot.
+        """Snapshot-based recovery, keeping caches the snapshot cannot stale.
 
-        Models a crashed cloud process coming back up: the encrypted index,
-        prime set and ``Ac`` return from durable storage; every in-memory
-        cache (witness cache, repeat-search memo, product tree) is gone and
-        must be rebuilt.  The snapshot is integrity-checked before anything
-        is mutated, so a corrupt file raises
+        Reloads a :meth:`snapshot` blob.  The snapshot is integrity-checked
+        before anything is mutated, so a corrupt file raises
         :class:`~repro.common.errors.StateError` and leaves the current
         state untouched.
-        """
-        from ..storage import state_io  # local: storage depends on core
 
+        Caches whose validity is provable against the incoming state are
+        *kept* rather than nuked: when the snapshot's accumulation value and
+        prime-set digest equal the live ones, every cached witness is still
+        exact (witnesses are a pure function of ``(X, Ac)``), and when the
+        index entries also match, the entry cache's nodes still describe the
+        stored epochs.  Restoring a cloud from its own snapshot is therefore
+        counter-identical to not restarting at all — the property test
+        asserts this — while restoring *older* state still drops every cache
+        that could have gone stale.
+
+        A cloud with a segment store attached restarts through
+        :meth:`reopen` instead (the store is the durable source of truth);
+        mixing the two would fork the history, so this raises.
+        """
+        from ..storage import segment_store, state_io  # local: storage depends on core
+
+        if self._store is not None:
+            raise StateError(
+                "snapshot restore unavailable with a segment store attached; "
+                "use reopen()"
+            )
         index, primes, ads_value = state_io.load_cloud_state(snapshot)
+        keep_witness = (
+            ads_value == self.ads_value
+            and segment_store.primes_digest(primes)
+            == segment_store.primes_digest(self._primes)
+        )
+        keep_entries = keep_witness and index.entries == self.index.entries
+        witness_cache = self._witness_cache if keep_witness else None
+        repeat_cache = self._repeat_witness_cache if keep_witness else {}
+        entry_cache = self._entry_cache if keep_entries else EntryCache()
         self.index = EncryptedIndex()
         self._primes = {}
         self._product_tree = ProductTree()
         self.ads_value = 0
         self._witness_cache = None
         self._repeat_witness_cache = {}
-        self._entry_cache = EntryCache()
+        self._entry_cache = entry_cache
         self.install(CloudPackage(index, list(primes), ads_value))
+        # install() treats every snapshot prime as fresh and clears the
+        # repeat memo; reassign the validated caches after it ran.
+        self._witness_cache = witness_cache
+        self._repeat_witness_cache = repeat_cache
+        if witness_cache is not None:
+            self._check_witness_cache()
+        perfstats.incr(
+            "cloud.restore.caches_kept" if keep_witness else "cloud.restore.caches_dropped"
+        )
+
+    # -------------------------------------------------------- segment store
+
+    def attach_store(self, path, plan_tag: bytes | None = None) -> None:
+        """Create a durable epoch-segment store at ``path`` and write through.
+
+        Every subsequent :meth:`install` appends one immutable segment; a
+        cloud that already holds state bootstraps the store with one
+        full-state segment so the on-disk chain is complete from segment 0.
+        """
+        from ..storage import segment_store  # local: storage depends on core
+
+        if self._store is not None:
+            raise StateError("a segment store is already attached")
+        self._ensure_hydrated()
+        store = segment_store.SegmentStore.create(
+            path, plan=plan_tag if plan_tag is not None else segment_store.SINGLE_PLAN
+        )
+        if self._primes or len(self.index):
+            store.append(dict(self.index.entries), list(self._primes), self.ads_value)
+        self._store = store
+
+    def reopen(self, path=None, plan_tag: bytes | None = None) -> None:
+        """Restart this cloud from a segment store (the durable truth).
+
+        Models a crashed process coming back up over its store directory:
+        all in-memory state dies, the manifest is validated (torn tail
+        truncated, interior corruption refused, plan mismatch refused) and
+        ``Ac`` is immediately served from it; segments replay **lazily** on
+        the first state access, and the warm checkpoint — when its stamps
+        match the replayed state — rehydrates the entry cache, witness
+        cache, repeat-witness memo and kernel memos, so the first repeat
+        query runs at cache speed with byte-identical output.
+
+        With no ``path`` the currently attached store's directory is reused
+        (the chaos layer's in-place crash-restart hook).
+        """
+        from ..storage import segment_store  # local: storage depends on core
+
+        if path is None:
+            if self._store is None:
+                raise StateError("no segment store attached; pass a path to reopen()")
+            path = self._store.root
+            if plan_tag is None:
+                plan_tag = self._store.plan
+        elif plan_tag is None:
+            plan_tag = segment_store.SINGLE_PLAN
+        store = segment_store.SegmentStore.open(path, plan=plan_tag)
+        self.index = EncryptedIndex()
+        self._primes = {}
+        self._product_tree = ProductTree()
+        self._witness_cache = None
+        self._repeat_witness_cache = {}
+        self._entry_cache = EntryCache()
+        self._store_local_primes = {}
+        self.ads_value = store.ads_value
+        self._store = store
+        self._hydrated = False
+        perfstats.incr("segstore.reopens")
+
+    def checkpoint(self) -> None:
+        """Persist the warm-restart checkpoint (caches + kernel memo slices).
+
+        Purely an accelerator: the next :meth:`reopen` serves repeat
+        queries warm from it, and a checkpoint that went stale (state moved
+        on after it was written) is detected by its stamps and ignored.
+        """
+        from ..storage import segment_store  # local: storage depends on core
+
+        if self._store is None:
+            raise StateError("no segment store attached; call attach_store() first")
+        self._ensure_hydrated()
+        blob = segment_store.pack_warm_state(
+            self.ads_value,
+            segment_store.primes_digest(self._primes),
+            segment_store.index_digest(self.index.entries),
+            [
+                (key, (node.entries, node.suffix_hash, node.next_trapdoor))
+                for key, node in self._entry_cache.nodes.items()
+            ],
+            self._witness_cache,
+            self._repeat_witness_cache,
+            kernels.trapdoor_chain_items(self.trapdoor_public),
+            kernels.hash_memo_items(self.params.prime_bits),
+        )
+        self._store.write_warm(blob)
+        perfstats.incr("segstore.checkpoints")
+
+    def _ensure_hydrated(self) -> None:
+        """Replay committed segments into memory on the first state access."""
+        if self._hydrated:
+            return
+        self._hydrated = True
+        store = self._store
+        assert store is not None
+        with self.stopwatch.measure("rehydrate"), trace.span("cloud.rehydrate"):
+            for segment in store.replay():
+                for label, payload in segment.entries.items():
+                    self.index.put(label, payload)
+                fresh = [p for p in segment.primes if p not in self._primes]
+                for prime in fresh:
+                    self._primes[prime] = None
+                self._product_tree.extend(fresh)
+                self.ads_value = segment.ads_value
+                if segment.local_primes is not None:
+                    for prime in segment.local_primes:
+                        self._store_local_primes[prime] = None
+            self._load_warm()
+        perfstats.incr("segstore.rehydrations")
+
+    def _load_warm(self) -> None:
+        """Rehydrate caches from the warm checkpoint, when its stamps hold."""
+        from ..storage import segment_store  # local: storage depends on core
+
+        assert self._store is not None
+        payload = self._store.read_warm()
+        if payload is None:
+            return
+        try:
+            warm = segment_store.unpack_warm_state(payload)
+        except (ParameterError, ValueError):
+            perfstats.incr("segstore.warm.invalid")
+            return
+        if (
+            warm.ads_value != self.ads_value
+            or warm.primes_digest != segment_store.primes_digest(self._primes)
+        ):
+            # The checkpoint predates later installs: witnesses (and the
+            # repeat memo) would be stale.  Cold rebuild, correct answers.
+            perfstats.incr("segstore.warm.stale")
+            return
+        if warm.witness_cache is not None:
+            self._witness_cache = dict(warm.witness_cache)
+            self._check_witness_cache()
+        self._repeat_witness_cache = dict(warm.repeat_cache)
+        if warm.index_digest == segment_store.index_digest(self.index.entries):
+            for key, (entries, suffix_hash, next_trapdoor) in warm.entry_nodes:
+                self._entry_cache.install(
+                    key, CacheNode(entries, suffix_hash, next_trapdoor)
+                )
+        else:
+            perfstats.incr("segstore.warm.stale_entries")
+        kernels.absorb_cache_export(
+            {
+                "hash": {
+                    (self.params.prime_bits, b"H_prime"): warm.hash_items,
+                },
+                "trapdoor": {
+                    (
+                        self.trapdoor_public.modulus,
+                        self.trapdoor_public.exponent,
+                    ): warm.trapdoor_items,
+                },
+            }
+        )
+        perfstats.incr("segstore.warm.loaded")
 
     @property
     def prime_count(self) -> int:
+        self._ensure_hydrated()
         return len(self._primes)
 
     # --------------------------------------------------------------- search
@@ -301,6 +518,7 @@ class CloudServer:
         suppresses the per-query metric observations so the frontend can
         observe the *merged* response exactly once.
         """
+        self._ensure_hydrated()
         with self.stopwatch.measure("results"), trace.span("cloud.results"):
             unique: dict[SearchToken, int] = {}
             slots = [unique.setdefault(token, len(unique)) for token in tokens]
@@ -334,6 +552,7 @@ class CloudServer:
         collection is a pure function per unique token, and witness values
         ``g^(prod(X)/p)`` do not depend on how queries group the primes.
         """
+        self._ensure_hydrated()
         unique: dict[SearchToken, int] = {}
         slot_lists = [
             [unique.setdefault(token, len(unique)) for token in tokens]

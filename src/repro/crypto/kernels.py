@@ -681,6 +681,23 @@ def absorb_cache_export(export: dict) -> None:
 
 # ------------------------------------------------------------------- lifecycle
 
+def hash_memo_items(prime_bits: int, domain: bytes = b"H_prime") -> list:
+    """Snapshot of one ``H_prime`` memo's entries, in insertion order.
+
+    Serves warm-restart checkpoints (the cloud persists its memo slice and
+    feeds it back through :func:`absorb_cache_export` on reopen); insertion
+    order is preserved so FIFO eviction behaves identically after a restart.
+    """
+    memo = _HASH_MEMOS.get((prime_bits, domain))
+    return list(memo.items()) if memo else []
+
+
+def trapdoor_chain_items(public) -> list[tuple[bytes, bytes]]:
+    """Snapshot of one public key's trapdoor-chain memo, in insertion order."""
+    cache = _TRAPDOOR_CHAINS.get((public.modulus, public.exponent))
+    return list(cache._memo.items()) if cache is not None else []
+
+
 def clear_caches() -> None:
     """Drop every process-local kernel cache (benchmarks' cold-path reset)."""
     global _WNAF_LAST

@@ -199,6 +199,8 @@ class MetricsRegistry:
             "blocks.",
             "blockmode.",
             "light_client.",
+            "segstore.",
+            "cloud.restore.",
         ),
     ) -> dict:
         """The machine-independent slice of :meth:`snapshot`.
@@ -222,7 +224,11 @@ class MetricsRegistry:
         ``light_client.*`` only tick in block-settlement deployments,
         while the *outcomes* they deliver (contract settle counts, gas
         histograms, audit counts) stay in and must equal the synchronous
-        path bit for bit.  The protocol-work counters stay in
+        path bit for bit.  Durability machinery is deployment-shaped too:
+        ``segstore.*`` (segment appends/replays/checkpoints only tick when
+        a store is attached) and ``cloud.restore.*`` (restart-recovery
+        bookkeeping) are excluded, while the protocol work a recovered
+        cloud performs stays in and must match the never-crashed run.  The protocol-work counters stay in
         (``cloud.collect.*``, entry-cache hits, dedup savings,
         ``hash_to_prime.*``, settlement/audit counts): summed across
         shards they equal the single-cloud run exactly.  What remains must

@@ -36,9 +36,12 @@ queries served entirely by honest live shards still settle paid.
 
 from __future__ import annotations
 
+import pathlib
+
 from ..chaos import CONTRACT_TO_CLOUD, RetryPolicy, shard_channel
 from ..common import perfstats
-from ..common.errors import ParameterError
+from ..common.encoding import encode_parts, encode_uint
+from ..common.errors import ParameterError, StateError
 from ..crypto import kernels
 from ..crypto.accumulator import MembershipWitness
 from ..obs import metrics, trace
@@ -88,6 +91,8 @@ class ShardedCloudFrontend:
         self._snapshots: list[bytes | None] = [None] * len(shard_servers)
         #: Shards taken down hard (no restart): served as detectable failures.
         self._dead: set[int] = set()
+        #: Root of the per-shard segment stores once :meth:`attach_store` ran.
+        self._store_root: pathlib.Path | None = None
         self._executor = ParallelExecutor(params.workers)
 
     # ---------------------------------------------------------------- state
@@ -143,6 +148,51 @@ class ShardedCloudFrontend:
             total += server.precompute_witnesses(list(self._local_primes[sid]))
         return total
 
+    # -------------------------------------------------------- segment stores
+
+    def _shard_plan_tag(self, sid: int) -> bytes:
+        """The plan fingerprint stamped into shard ``sid``'s store manifest.
+
+        Binds the store to the routing function: reopening a shard directory
+        under a different plan class, width or slot would silently misroute
+        tokens, so the manifest's plan check turns that into a loud
+        :class:`StateError` instead.
+        """
+        return encode_parts(
+            type(self.plan).__name__.encode(),
+            encode_uint(self.plan.shards),
+            encode_uint(sid),
+        )
+
+    def attach_store(self, path) -> None:
+        """Create one segment store per shard under ``path/shard-<sid>``."""
+        root = pathlib.Path(path)
+        for sid, server in enumerate(self.shard_servers):
+            server.attach_store(root / f"shard-{sid}", plan_tag=self._shard_plan_tag(sid))
+        self._store_root = root
+
+    def reopen(self, path=None) -> None:
+        """Restart the whole tier from its per-shard segment stores.
+
+        Every shard replays its own segment chain and warm checkpoint; the
+        frontend's routing bookkeeping (``_local_primes``) is rebuilt from
+        the shard-local primes recorded in the replayed segments, so a
+        restarted tier precomputes and routes exactly as the original did.
+        """
+        if path is None:
+            if self._store_root is None:
+                raise StateError("no segment stores attached; pass a path to reopen()")
+            path = self._store_root
+        root = pathlib.Path(path)
+        for sid, server in enumerate(self.shard_servers):
+            server.reopen(root / f"shard-{sid}", plan_tag=self._shard_plan_tag(sid))
+            # Hydrate eagerly: the routing bookkeeping below needs the
+            # replayed shard-local primes, so laziness buys nothing here.
+            server._ensure_hydrated()
+            self._local_primes[sid] = dict(server._store_local_primes)
+        self._store_root = root
+        self._dead.clear()
+
     # ------------------------------------------------- snapshots and crashes
 
     def snapshot(self) -> bytes:
@@ -179,20 +229,28 @@ class ShardedCloudFrontend:
         self._dead.add(shard_id)
 
     def _restart_shard(self, shard_id: int) -> None:
-        """Chaos crash hook: reload the shard's durable snapshot.
+        """Chaos crash hook: restart the shard from its durable state.
 
-        Mirrors the single-cloud restart semantics — in-memory caches die
-        with the process and the witness cache, if the shard had one, is
-        rebuilt over its local primes.
+        With a segment store attached the shard reopens from its own store
+        directory (and may come back *warm* from its checkpoint); otherwise
+        it reloads the per-install snapshot.  Either way the witness cache,
+        if the shard had one and recovery didn't rehydrate it, is rebuilt
+        over its local primes — the single-cloud restart semantics.
         """
+        server = self.shard_servers[shard_id]
+        has_store = server._store is not None
         snap = self._snapshots[shard_id]
-        if snap is None:
+        if snap is None and not has_store:
             return
         perfstats.incr("chaos.shard_restarts")
-        server = self.shard_servers[shard_id]
         had_cache = server._witness_cache is not None
-        server.restore(snap)
-        if had_cache:
+        if has_store:
+            server.reopen()
+            server._ensure_hydrated()
+            self._local_primes[shard_id] = dict(server._store_local_primes)
+        else:
+            server.restore(snap)
+        if had_cache and server._witness_cache is None:
             server.precompute_witnesses(list(self._local_primes[shard_id]))
 
     # --------------------------------------------------------------- search

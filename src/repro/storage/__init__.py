@@ -1,11 +1,13 @@
 """Persistence for protocol state (binary, versioned)."""
 
+from .segment_store import SegmentStore
 from .state_io import (
     dump_cloud_state,
     dump_index,
     dump_primes,
     dump_set_hash_state,
     dump_trapdoor_state,
+    fsync_dir,
     load,
     load_cloud_state,
     load_index,
@@ -16,11 +18,13 @@ from .state_io import (
 )
 
 __all__ = [
+    "SegmentStore",
     "dump_cloud_state",
     "dump_index",
     "dump_primes",
     "dump_set_hash_state",
     "dump_trapdoor_state",
+    "fsync_dir",
     "load",
     "load_cloud_state",
     "load_index",

@@ -145,12 +145,38 @@ def load_cloud_state(blob: bytes) -> tuple[EncryptedIndex, list[int], int]:
 
 # ------------------------------------------------------------ file helpers
 
+def fsync_dir(path: str | pathlib.Path) -> None:
+    """fsync a directory so a just-renamed/created entry survives power loss.
+
+    ``os.replace`` makes a rename atomic but not durable: the new directory
+    entry lives in the page cache until the *directory* inode is synced, so
+    a crash after the rename can resurrect the old file — or, for a freshly
+    created file, lose it entirely.  Platforms whose filesystems refuse
+    ``open(dir, O_RDONLY)`` (some network mounts, Windows) degrade to the
+    rename-only guarantee rather than failing the write.
+    """
+    try:
+        fd = os.open(pathlib.Path(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save(path: str | pathlib.Path, blob: bytes) -> None:
-    """Atomically persist a state blob: write-temp, fsync, rename.
+    """Durably persist a state blob: write-temp, fsync, rename, fsync dir.
 
     A crash at any point leaves either the old file or the new one — never
     a torn mix — which is the property the chaos layer's crash-restart
-    recovery depends on.
+    recovery depends on.  The final directory fsync makes the rename itself
+    durable; without it a post-rename crash could roll the directory entry
+    back to the old snapshot.  The segment store's manifest swap rides on
+    this same helper, so both persistence paths share one durability
+    contract.
     """
     path = pathlib.Path(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -159,7 +185,22 @@ def save(path: str | pathlib.Path, blob: bytes) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    fsync_dir(path.parent)
 
 
 def load(path: str | pathlib.Path) -> bytes:
-    return pathlib.Path(path).read_bytes()
+    """Read a state blob; missing/unreadable files raise :class:`StateError`.
+
+    The module's robustness contract covers the filesystem too: callers on
+    the crash-recovery path handle exactly one exception type, so a missing
+    snapshot (never written, or lost with its directory) and an unreadable
+    one (permissions, I/O errors) must not leak raw ``FileNotFoundError`` /
+    ``OSError`` past this boundary.
+    """
+    path = pathlib.Path(path)
+    try:
+        return path.read_bytes()
+    except FileNotFoundError as exc:
+        raise StateError(f"state file missing: {path}") from exc
+    except OSError as exc:
+        raise StateError(f"cannot read state file {path}: {exc}") from exc

@@ -217,6 +217,7 @@ class SlicerSystem:
         settlement_mode: str = "sync",
         chain_faults=None,
         settle_gas_limit: int = SETTLE_GAS_LIMIT,
+        store_dir=None,
     ) -> None:
         self.params = params or SlicerParams()
         self.rng = rng or default_rng()
@@ -270,6 +271,11 @@ class SlicerSystem:
             # The owner pre-splits every delta along the tier's plan (the
             # tier cannot: routing needs G1, which PRF labels hide).
             self.owner.shard_plan = self.cloud.plan
+        if store_dir is not None:
+            # Durable epoch-segment store(s): every install appends a
+            # segment, and the chaos crash hook restarts *from the store*
+            # instead of the monolithic snapshot (warm when checkpointed).
+            self.cloud.attach_store(store_dir)
 
         tag = account_tag
         self.owner_address = self.chain.create_account(
@@ -1001,19 +1007,29 @@ class SlicerSystem:
         return self._chaos_op
 
     def _restart_cloud(self) -> None:
-        """Crash-fault hook: restart the cloud from its durable snapshot.
+        """Crash-fault hook: restart the cloud from its durable state.
 
         Models a process restart — in-memory caches are gone, durable state
-        (the last installed ``(I, X, Ac)`` snapshot) survives.  If the dead
-        cloud had precomputed witnesses, the restarted one rebuilds them:
-        that is the witness-cache rebuild path the chaos tests exercise.
+        survives.  With a segment store attached the cloud reopens from the
+        store (possibly *warm*, from its checkpoint); otherwise it reloads
+        the last installed ``(I, X, Ac)`` snapshot.  If the dead cloud had
+        precomputed witnesses and recovery didn't rehydrate them, the
+        restarted one rebuilds them: that is the witness-cache rebuild path
+        the chaos tests exercise.
         """
-        if self._cloud_snapshot is None:
+        has_store = (
+            getattr(self.cloud, "_store", None) is not None
+            or getattr(self.cloud, "_store_root", None) is not None
+        )
+        if self._cloud_snapshot is None and not has_store:
             return
         perfstats.incr("chaos.cloud_restarts")
         had_cache = self.cloud._witness_cache is not None
-        self.cloud.restore(self._cloud_snapshot)
-        if had_cache:
+        if has_store:
+            self.cloud.reopen()
+        else:
+            self.cloud.restore(self._cloud_snapshot)
+        if had_cache and self.cloud._witness_cache is None:
             self.cloud.precompute_witnesses()
 
     def _chaos_install(self, package: CloudPackage) -> None:

@@ -1,0 +1,205 @@
+"""Crash matrix: kill the cloud at every commit-protocol point, at every shape.
+
+Each cell of {workers 0, 2} x {shards 1, 4} kills the serving tier at one of
+three points — during a segment append (file written, manifest not), during
+the manifest swap itself (tmp written, rename never ran), and mid-rehydrate
+(replay dies halfway through a reopen) — then recovers from the store and
+re-sends exactly the installs whose commit never landed.  The recovered tier
+must equal a never-crashed oracle byte for byte: same state snapshot, same
+response bytes, same deterministic counter deltas over the measured workload.
+"""
+
+import inspect
+import os
+
+import pytest
+
+from repro.common import perfstats
+from repro.common.rng import default_rng
+from repro.core import wire
+from repro.core.cloud import CloudServer
+from repro.core.params import SlicerParams
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+from repro.crypto import kernels
+from repro.obs.metrics import MetricsRegistry
+from repro.sharding import HashShardPlan, ShardedCloudFrontend
+from repro.storage.segment_store import SegmentStore
+
+#: The canonical machine/topology-shaped counter exclusions — the measured
+#: deltas are compared over exactly what the CI counter gates compare.
+EXCLUDE = inspect.signature(MetricsRegistry.deterministic_snapshot).parameters[
+    "exclude_prefixes"
+].default
+
+BASE_VALUES = [7, 7, 9, 40, 41, 64, 3, 200, 128, 255]
+DELTA_VALUES = [7, 130, 65, 0]
+QUERIES = [Query.parse(7, "="), Query.parse(40, ">"), Query.parse(64, "<")]
+
+MATRIX = [(0, 1), (0, 4), (2, 1), (2, 4)]
+
+
+def database(values, start=0):
+    return make_database(
+        [(f"rec-{start + i}", v) for i, v in enumerate(values)], bits=8
+    )
+
+
+def make_serving(params, keys, plan, store_dir=None):
+    if plan is None:
+        serving = CloudServer(params, keys.trapdoor.public)
+    else:
+        serving = ShardedCloudFrontend(params, keys.trapdoor.public, plan)
+    if store_dir is not None:
+        serving.attach_store(store_dir)
+    return serving
+
+
+def install(serving, out, plan):
+    if plan is None:
+        serving.install(out.cloud_package)
+    else:
+        serving.install_shards(out.shard_packages)
+
+
+def resend_uncommitted(serving, delta_out, plan):
+    """Re-send exactly the installs the torn tail rolled back.
+
+    Committed shards (two segments) must NOT see the delta again — their
+    index already holds its labels and a duplicate put is corruption.
+    """
+    if plan is None:
+        if serving._store.segment_count == 1:
+            serving.install(delta_out.cloud_package)
+    else:
+        for sid, server in enumerate(serving.shard_servers):
+            if server._store.segment_count == 1:
+                serving.install_shard(delta_out.shard_packages[sid])
+
+
+def measured_workload(serving, token_lists):
+    """The post-recovery phase the oracle comparison is scored on."""
+    kernels.clear_caches()  # both runs start cold in the global kernel memos
+    base = perfstats.snapshot()
+    blobs = [wire.dump_response(serving.search(tokens)) for tokens in token_lists]
+    delta = {
+        k: v
+        for k, v in perfstats.delta_since(base).items()
+        if not k.startswith(EXCLUDE)
+    }
+    return blobs, delta
+
+
+@pytest.fixture(params=MATRIX, ids=lambda wk: f"workers{wk[0]}-shards{wk[1]}")
+def cell(request, session_keys, owner_factory):
+    workers, shards = request.param
+    params = SlicerParams.testing(value_bits=8, workers=workers)
+    plan = HashShardPlan(shards) if shards > 1 else None
+    owner = owner_factory(params, seed=301)
+    if plan is not None:
+        owner.shard_plan = plan
+    build_out = owner.build(database(BASE_VALUES))
+    delta_out = owner.insert(database(DELTA_VALUES, start=100))
+    user = DataUser(params, delta_out.user_package, default_rng(3))
+    token_lists = [user.make_tokens(q) for q in QUERIES]
+    return params, session_keys, plan, build_out, delta_out, token_lists
+
+
+def oracle_run(cell, tmp_path):
+    params, keys, plan, build_out, delta_out, token_lists = cell
+    oracle = make_serving(params, keys, plan, tmp_path / "oracle-store")
+    install(oracle, build_out, plan)
+    install(oracle, delta_out, plan)
+    blobs, delta = measured_workload(oracle, token_lists)
+    return oracle, blobs, delta
+
+
+def assert_matches_oracle(cell, tmp_path, recovered):
+    _, _, plan, _, _, token_lists = cell
+    oracle, oracle_blobs, oracle_delta = oracle_run(cell, tmp_path)
+    assert recovered.snapshot() == oracle.snapshot()
+    blobs, delta = measured_workload(recovered, token_lists)
+    assert blobs == oracle_blobs
+    assert delta == oracle_delta
+
+
+class TestCrashMatrix:
+    def test_crash_during_segment_append(self, cell, tmp_path, monkeypatch):
+        """Die after the segment file landed but before the manifest swap:
+        the tail is truncated on reopen and the lost installs re-sent."""
+        params, keys, plan, build_out, delta_out, _ = cell
+        serving = make_serving(params, keys, plan, tmp_path / "store")
+        install(serving, build_out, plan)
+
+        calls = {"n": 0}
+        crash_at = 1 if plan is None else 3  # shards: some commit, one tears
+        real = SegmentStore._write_manifest
+
+        def crashing(self):
+            calls["n"] += 1
+            if calls["n"] == crash_at:
+                raise RuntimeError("simulated crash during segment append")
+            real(self)
+
+        monkeypatch.setattr(SegmentStore, "_write_manifest", crashing)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            install(serving, delta_out, plan)
+        monkeypatch.undo()
+
+        recovered = make_serving(params, keys, plan)
+        recovered.reopen(tmp_path / "store")
+        resend_uncommitted(recovered, delta_out, plan)
+        assert_matches_oracle(cell, tmp_path, recovered)
+
+    def test_crash_during_manifest_swap(self, cell, tmp_path, monkeypatch):
+        """Die inside the manifest's atomic save (before the rename): the
+        old manifest survives, the new segment becomes a torn tail."""
+        params, keys, plan, build_out, delta_out, _ = cell
+        serving = make_serving(params, keys, plan, tmp_path / "store")
+        install(serving, build_out, plan)
+
+        calls = {"n": 0}
+        crash_at = 1 if plan is None else 3
+        real = os.replace
+
+        def crashing(src, dst):
+            calls["n"] += 1
+            if calls["n"] == crash_at:
+                raise OSError("simulated power loss before rename")
+            real(src, dst)
+
+        monkeypatch.setattr(os, "replace", crashing)
+        with pytest.raises(OSError, match="simulated power loss"):
+            install(serving, delta_out, plan)
+        monkeypatch.undo()
+
+        recovered = make_serving(params, keys, plan)
+        recovered.reopen(tmp_path / "store")
+        resend_uncommitted(recovered, delta_out, plan)
+        assert_matches_oracle(cell, tmp_path, recovered)
+
+    def test_crash_mid_rehydrate(self, cell, tmp_path, monkeypatch):
+        """Die halfway through replay on restart: rehydration only reads, so
+        a second, clean reopen recovers the full committed state."""
+        params, keys, plan, build_out, delta_out, _ = cell
+        serving = make_serving(params, keys, plan, tmp_path / "store")
+        install(serving, build_out, plan)
+        install(serving, delta_out, plan)
+
+        real_replay = SegmentStore.replay
+
+        def torn_replay(self):
+            yield next(real_replay(self))
+            raise RuntimeError("simulated crash mid-rehydrate")
+
+        monkeypatch.setattr(SegmentStore, "replay", torn_replay)
+        half = make_serving(params, keys, plan)
+        with pytest.raises(RuntimeError, match="mid-rehydrate"):
+            half.reopen(tmp_path / "store")
+            half.prime_count  # single cloud: hydration is lazy; force it
+        monkeypatch.undo()
+
+        recovered = make_serving(params, keys, plan)
+        recovered.reopen(tmp_path / "store")
+        assert_matches_oracle(cell, tmp_path, recovered)

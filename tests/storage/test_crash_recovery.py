@@ -115,13 +115,29 @@ class TestCloudSnapshotRoundTrip:
         response = cloud.search(user.make_tokens(Query.parse(100, ">")))
         assert verify_response(tparams, cloud.ads_value, response).ok
 
-    def test_restore_drops_witness_cache(self, world):
-        """A restart models a cold process: precomputed witnesses are gone
-        until explicitly rebuilt (what the chaos restart hook does)."""
+    def test_restore_from_own_snapshot_keeps_caches(self, world):
+        """The cache-amnesia fix: witnesses are a pure function of
+        ``(X, Ac)``, so restoring state identical to the live state must not
+        throw away a provably-still-exact cache."""
         _, cloud, _, _ = world
         cloud.precompute_witnesses()
-        assert cloud._witness_cache is not None
+        before = dict(cloud._witness_cache)
+        entry_cache = cloud._entry_cache
         cloud.restore(cloud.snapshot())
+        assert cloud._witness_cache == before
+        assert cloud._entry_cache is entry_cache
+
+    def test_restore_of_stale_state_drops_witness_cache(self, world, tparams):
+        """Restoring *older* state (different primes/Ac) models rollback: the
+        cache would be stale for the restored prime set, so it is dropped
+        until explicitly rebuilt (what the chaos restart hook does)."""
+        owner, cloud, _, _ = world
+        old_snapshot = cloud.snapshot()
+        delta = owner.insert(make_database([("z0", 13), ("z1", 77)], bits=8))
+        cloud.install(delta.cloud_package)
+        cloud.precompute_witnesses()
+        assert cloud._witness_cache is not None
+        cloud.restore(old_snapshot)
         assert cloud._witness_cache is None
         assert cloud.precompute_witnesses() == cloud.prime_count
 
@@ -155,6 +171,25 @@ class TestAtomicSave:
 
         assert load(path) == old_blob
         load_cloud_state(load(path))  # still a valid snapshot
+
+    def test_save_fsyncs_parent_directory(self, world, tmp_path, monkeypatch):
+        """The durability half of the satellite fix: ``os.replace`` alone
+        leaves the new directory entry in the page cache, so ``save`` must
+        fsync the parent directory after the rename or a post-rename crash
+        can resurrect the old snapshot."""
+        from repro.storage import state_io
+
+        synced: list[object] = []
+        real = state_io.fsync_dir
+
+        def recording(path):
+            synced.append(os.fspath(path))
+            real(path)
+
+        monkeypatch.setattr(state_io, "fsync_dir", recording)
+        path = tmp_path / "cloud.slcr"
+        save(path, world[1].snapshot())
+        assert os.fspath(tmp_path) in synced
 
     def test_torn_file_on_disk_is_rejected_at_load(self, world, tmp_path):
         """If a non-atomic writer DID tear the file, loading it is loud."""

@@ -1,0 +1,289 @@
+"""The durable epoch-segment store: append, reopen, torn tails, warm restarts.
+
+Store-level tests exercise the commit protocol directly (manifest as commit
+point, torn-tail truncation, interior-corruption refusal); cloud-level tests
+assert the contract the bench measures — a reopened cloud serves byte-identical
+responses, and a warm checkpoint brings its caches back.
+"""
+
+import pytest
+
+from repro.common import perfstats
+from repro.common.errors import StateError
+from repro.common.rng import default_rng
+from repro.core.cloud import CloudServer
+from repro.core.query import Query
+from repro.core.records import make_database
+from repro.core.user import DataUser
+from repro.core.verify import verify_response
+from repro.storage import SegmentStore
+from repro.storage.segment_store import (
+    MANIFEST_NAME,
+    WARM_NAME,
+    index_digest,
+    pack_warm_state,
+    primes_digest,
+    unpack_warm_state,
+)
+
+
+@pytest.fixture()
+def world(tparams, owner_factory):
+    owner = owner_factory(tparams, seed=201)
+    db = make_database([(f"r{i}", (i * 23) % 256) for i in range(15)], bits=8)
+    out = owner.build(db)
+    return owner, out, db
+
+
+def sample_segments():
+    return [
+        ({b"label-a": b"payload-a", b"label-b": b"payload-b"}, [3, 5, 7], 11, None),
+        ({b"label-c": b"payload-c"}, [13], 17, [13]),
+        ({}, [], 17, []),
+    ]
+
+
+class TestStoreChain:
+    def test_append_replay_round_trip(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        for entries, primes, ads, local in sample_segments():
+            store.append(entries, primes, ads, local_primes=local)
+        reopened = SegmentStore.open(tmp_path / "store")
+        assert reopened.ads_value == 17
+        assert reopened.segment_count == 3
+        replayed = list(reopened.replay())
+        for seq, (segment, (entries, primes, ads, local)) in enumerate(
+            zip(replayed, sample_segments())
+        ):
+            assert segment.seq == seq
+            assert segment.entries == entries
+            assert segment.primes == primes
+            assert segment.ads_value == ads
+            # None (single-cloud) and [] (shard with no local primes) are
+            # distinct on disk — the frontend's bookkeeping needs the split.
+            assert segment.local_primes == local
+
+    def test_create_refuses_existing_store(self, tmp_path):
+        SegmentStore.create(tmp_path / "store")
+        with pytest.raises(StateError, match="already exists"):
+            SegmentStore.create(tmp_path / "store")
+
+    def test_open_missing_store_raises(self, tmp_path):
+        with pytest.raises(StateError, match="no segment store"):
+            SegmentStore.open(tmp_path / "nowhere")
+
+    def test_plan_mismatch_refused(self, tmp_path):
+        SegmentStore.create(tmp_path / "store", plan=b"shard-plan-A")
+        with pytest.raises(StateError, match="plan mismatch"):
+            SegmentStore.open(tmp_path / "store", plan=b"shard-plan-B")
+        # The recorded plan still opens (and None skips the check).
+        SegmentStore.open(tmp_path / "store", plan=b"shard-plan-A")
+        SegmentStore.open(tmp_path / "store")
+
+
+class TestTornTail:
+    def test_orphan_segment_is_truncated(self, tmp_path):
+        """A crash between segment write and manifest swap: the orphan file
+        is deleted on open and the store continues from the committed tip."""
+        store = SegmentStore.create(tmp_path / "store")
+        store.append({b"a": b"1"}, [3], 5)
+        # Simulate the torn write: the next segment landed, the manifest
+        # swap never did.
+        torn = tmp_path / "store" / "seg-00001.slcr"
+        torn.write_bytes(b"partially written segment that never committed")
+        reopened = SegmentStore.open(tmp_path / "store")
+        assert not torn.exists()
+        assert reopened.segment_count == 1
+        assert perfstats.get("segstore.tail_truncated") >= 1
+        # The re-sent install reuses the freed sequence number.
+        assert reopened.append({b"b": b"2"}, [7], 35) == 1
+        assert [s.entries for s in reopened.replay()] == [{b"a": b"1"}, {b"b": b"2"}]
+
+    def test_interior_corruption_is_refused(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        store.append({b"a": b"1"}, [3], 5)
+        store.append({b"b": b"2"}, [7], 35)
+        target = tmp_path / "store" / "seg-00000.slcr"
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        target.write_bytes(bytes(blob))
+        reopened = SegmentStore.open(tmp_path / "store")  # open is lazy
+        with pytest.raises(StateError, match="interior corruption"):
+            list(reopened.replay())
+
+    def test_missing_listed_segment_is_refused(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        store.append({b"a": b"1"}, [3], 5)
+        (tmp_path / "store" / "seg-00000.slcr").unlink()
+        reopened = SegmentStore.open(tmp_path / "store")
+        with pytest.raises(StateError, match="file is missing"):
+            list(reopened.replay())
+
+    def test_corrupt_manifest_is_refused(self, tmp_path):
+        SegmentStore.create(tmp_path / "store")
+        manifest = tmp_path / "store" / MANIFEST_NAME
+        blob = bytearray(manifest.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        manifest.write_bytes(bytes(blob))
+        with pytest.raises(StateError, match="corrupt segment manifest"):
+            SegmentStore.open(tmp_path / "store")
+
+
+class TestWarmCheckpoint:
+    def test_warm_round_trip(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        store.write_warm(b"warm payload")
+        assert SegmentStore.open(tmp_path / "store").read_warm() == b"warm payload"
+
+    def test_corrupt_warm_degrades_to_none(self, tmp_path):
+        """The checkpoint is an accelerator: corruption means a cold
+        rebuild, never a refusal and never wrong caches."""
+        store = SegmentStore.create(tmp_path / "store")
+        store.write_warm(b"warm payload")
+        warm_path = tmp_path / "store" / WARM_NAME
+        warm_path.write_bytes(warm_path.read_bytes()[:-2])
+        assert SegmentStore.open(tmp_path / "store").read_warm() is None
+        assert perfstats.get("segstore.warm.invalid") >= 1
+
+    def test_orphan_warm_file_is_removed(self, tmp_path):
+        SegmentStore.create(tmp_path / "store")
+        orphan = tmp_path / "store" / WARM_NAME
+        orphan.write_bytes(b"checkpoint the manifest never recorded")
+        SegmentStore.open(tmp_path / "store")
+        assert not orphan.exists()
+
+    def test_warm_state_payload_round_trip(self):
+        packed = pack_warm_state(
+            42,
+            primes_digest([3, 5, 7]),
+            index_digest({b"a": b"1"}),
+            [(b"node-key", ((b"e1", b"e2"), 12345, b"next-t")),
+             (b"other-key", ((), 0, None))],
+            {3: 99, 5: 101},
+            {(3, 5): {3: 7}, (): {}},
+            [(b"t0", b"t1")],
+            [(b"data", (1009, 4))],
+        )
+        warm = unpack_warm_state(packed)
+        assert warm.ads_value == 42
+        assert warm.primes_digest == primes_digest([7, 5, 3])
+        assert warm.entry_nodes == [
+            (b"node-key", ((b"e1", b"e2"), 12345, b"next-t")),
+            (b"other-key", ((), 0, None)),
+        ]
+        assert warm.witness_cache == {3: 99, 5: 101}
+        assert warm.repeat_cache == {(3, 5): {3: 7}, (): {}}
+        assert warm.trapdoor_items == [(b"t0", b"t1")]
+        assert warm.hash_items == [(b"data", (1009, 4))]
+
+    def test_warm_state_none_witness_cache_distinct_from_empty(self):
+        base = (0, b"\x00" * 32, b"\x01" * 32, [], None, {}, [], [])
+        assert unpack_warm_state(pack_warm_state(*base)).witness_cache is None
+        filled = (0, b"\x00" * 32, b"\x01" * 32, [], {}, {}, [], [])
+        assert unpack_warm_state(pack_warm_state(*filled)).witness_cache == {}
+
+
+class TestCloudReopen:
+    def make_cloud(self, tparams, owner, store_dir=None):
+        cloud = CloudServer(tparams, owner.keys.trapdoor.public)
+        if store_dir is not None:
+            cloud.attach_store(store_dir)
+        return cloud
+
+    def test_reopen_serves_byte_identical_state(self, world, tparams, tmp_path):
+        owner, out, db = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        cloud.install(out.cloud_package)
+        delta = owner.insert(make_database([("w0", 8), ("w1", 199)], bits=8))
+        cloud.install(delta.cloud_package)
+        before = cloud.snapshot()
+
+        resumed = self.make_cloud(tparams, owner)
+        resumed.reopen(tmp_path / "store")
+        assert resumed.snapshot() == before  # snapshot() hydrates first
+
+        user = DataUser(tparams, delta.user_package, default_rng(9))
+        query = Query.parse(100, ">")
+        response = resumed.search(user.make_tokens(query))
+        assert verify_response(tparams, resumed.ads_value, response).ok
+
+    def test_reopen_is_lazy(self, world, tparams, tmp_path):
+        owner, out, _ = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        cloud.install(out.cloud_package)
+        resumed = self.make_cloud(tparams, owner)
+        base = perfstats.snapshot()
+        resumed.reopen(tmp_path / "store")
+        # Ac serves straight from the manifest; no segment was read yet.
+        assert resumed.ads_value == cloud.ads_value
+        assert perfstats.delta_since(base).get("segstore.segments_replayed", 0) == 0
+        assert resumed.prime_count == cloud.prime_count  # first state access
+        assert perfstats.delta_since(base)["segstore.segments_replayed"] == 1
+
+    def test_warm_reopen_rehydrates_caches(self, world, tparams, tmp_path):
+        owner, out, _ = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        cloud.install(out.cloud_package)
+        user = DataUser(tparams, out.user_package, default_rng(9))
+        tokens = user.make_tokens(Query.parse(100, ">"))
+        cloud.precompute_witnesses()
+        warm_response = cloud.search(tokens)
+        cloud.checkpoint()
+        witness_cache = dict(cloud._witness_cache)
+        node_keys = list(cloud._entry_cache.nodes)
+
+        resumed = self.make_cloud(tparams, owner)
+        resumed.reopen(tmp_path / "store")
+        base = perfstats.snapshot()
+        response = resumed.search(tokens)
+        delta = perfstats.delta_since(base)
+        assert response == warm_response
+        assert delta.get("cloud.collect.index_probes", 0) == 0
+        assert delta.get("cloud.collect.prf_evals", 0) == 0
+        assert resumed._witness_cache == witness_cache
+        assert list(resumed._entry_cache.nodes) == node_keys
+
+    def test_stale_checkpoint_degrades_to_cold(self, world, tparams, tmp_path):
+        """A checkpoint taken before a later install fails its stamps: the
+        reopened cloud rebuilds cold but still answers correctly."""
+        owner, out, _ = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        cloud.install(out.cloud_package)
+        cloud.precompute_witnesses()
+        cloud.checkpoint()  # stamps the pre-insert state
+        delta = owner.insert(make_database([("s0", 64)], bits=8))
+        cloud.install(delta.cloud_package)
+
+        resumed = self.make_cloud(tparams, owner)
+        resumed.reopen(tmp_path / "store")
+        user = DataUser(tparams, delta.user_package, default_rng(9))
+        query = Query.parse(100, ">")
+        response = resumed.search(user.make_tokens(query))
+        assert resumed._witness_cache is None  # stale checkpoint ignored
+        assert perfstats.get("segstore.warm.stale") >= 1
+        assert verify_response(tparams, resumed.ads_value, response).ok
+
+    def test_attach_store_bootstraps_existing_state(self, world, tparams, tmp_path):
+        owner, out, _ = world
+        cloud = self.make_cloud(tparams, owner)
+        cloud.install(out.cloud_package)
+        cloud.attach_store(tmp_path / "store")  # after the fact
+        resumed = self.make_cloud(tparams, owner)
+        resumed.reopen(tmp_path / "store")
+        assert resumed.prime_count == cloud.prime_count
+        assert resumed.ads_value == cloud.ads_value
+
+    def test_attach_twice_refused(self, world, tparams, tmp_path):
+        owner, _, _ = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        with pytest.raises(StateError, match="already attached"):
+            cloud.attach_store(tmp_path / "other")
+
+    def test_restore_refused_with_store_attached(self, world, tparams, tmp_path):
+        """Snapshot restore would fork the store's history — loud refusal."""
+        owner, out, _ = world
+        cloud = self.make_cloud(tparams, owner, tmp_path / "store")
+        cloud.install(out.cloud_package)
+        snapshot = cloud.snapshot()
+        with pytest.raises(StateError, match="use reopen"):
+            cloud.restore(snapshot)

@@ -76,6 +76,42 @@ class TestPrimesRoundTrip:
         assert load_primes(dump_primes([])) == []
 
 
+class TestFileErrorsAreStateErrors:
+    """The satellite fix: the filesystem boundary honours the module's
+    one-exception contract — ``load`` never leaks ``FileNotFoundError`` or
+    raw ``OSError`` to crash-recovery callers, and the message names the
+    offending path."""
+
+    def test_missing_file_raises_state_error_with_path(self, tmp_path):
+        from repro.common.errors import StateError
+        from repro.storage import load
+
+        missing = tmp_path / "never-written.slcr"
+        with pytest.raises(StateError, match="state file missing") as excinfo:
+            load(missing)
+        assert str(missing) in str(excinfo.value)
+
+    def test_unreadable_file_raises_state_error_with_path(self, tmp_path):
+        """A directory at the snapshot path is an OSError on read — the
+        closest portable stand-in for permission/I-O failures."""
+        from repro.common.errors import StateError
+        from repro.storage import load
+
+        unreadable = tmp_path / "snapshot-dir.slcr"
+        unreadable.mkdir()
+        with pytest.raises(StateError, match="cannot read state file") as excinfo:
+            load(unreadable)
+        assert str(unreadable) in str(excinfo.value)
+
+    def test_original_error_is_chained(self, tmp_path):
+        from repro.common.errors import StateError
+        from repro.storage import load
+
+        with pytest.raises(StateError) as excinfo:
+            load(tmp_path / "gone.slcr")
+        assert isinstance(excinfo.value.__cause__, FileNotFoundError)
+
+
 class TestResumedCloudServesSearches:
     def test_search_after_reload(self, world, tparams):
         """A cloud rebuilt from persisted state answers and verifies searches."""
