@@ -411,6 +411,88 @@ def restart_check(baseline_path: pathlib.Path, run: bool) -> int:
     return 0
 
 
+def range_check(baseline_path: pathlib.Path, run: bool) -> int:
+    """Exact-equality gate on the range-planner smoke counters.
+
+    ``run_smoke.py --range`` already asserts the hard invariants before it
+    reports anything — every plan verified, every intersection equal to
+    the plaintext oracle, ``planner.dedup_saved > 0``.  This check adds
+    the regression dimension: the ``planner.*`` family, the full
+    deterministic counter snapshot and the value-histograms must reproduce
+    the committed baseline bit for bit.  Planner work is a pure function
+    of the query stream (same at any worker count, shard width or
+    settlement mode), so any drift means plan compilation, leg dedup or
+    the intersection semantics changed and the baseline must be
+    regenerated deliberately.
+    """
+    if not baseline_path.exists():
+        print(f"no range-planner baseline at {baseline_path}; "
+              "run run_smoke.py --range and commit the report")
+        return 2
+    baseline = load_report(baseline_path)
+    if "planner" not in baseline:
+        print(f"{baseline_path} records no planner section; regenerate it")
+        return 2
+
+    if run:
+        subprocess.run(
+            [sys.executable, str(HERE / "run_smoke.py"), "--range"],
+            check=True,
+        )
+    fresh = load_report(REPORTS / "BENCH_range.json")
+
+    drifted: list[str] = []
+    for section in ("planner", "counters", "histograms"):
+        base_sec = baseline.get(section, {})
+        fresh_sec = fresh.get(section, {})
+        drifted += sorted(
+            f"{section}.{name}"
+            for name in set(base_sec) | set(fresh_sec)
+            if base_sec.get(name) != fresh_sec.get(name)
+        )
+
+    planner = fresh.get("planner", {})
+    lines = [
+        "Range-planner determinism check (plan stream vs committed baseline)",
+        "",
+        f"planner: plans={planner.get('planner.plans')} "
+        f"legs={planner.get('planner.legs')} "
+        f"dedup_saved={planner.get('planner.dedup_saved')} "
+        f"intersect_dropped={planner.get('planner.intersect_dropped')}",
+        f"counters compared: {len(set(baseline.get('counters', {})) | set(fresh.get('counters', {})))}",
+        f"histograms compared: {len(set(baseline.get('histograms', {})) | set(fresh.get('histograms', {})))}",
+    ]
+    if drifted:
+        lines += ["", "DRIFTED:"] + [f"  {name}" for name in drifted]
+    else:
+        lines.append(
+            "every planner counter, kernel counter and histogram identical "
+            "to baseline"
+        )
+    text = "\n".join(lines)
+    print(text)
+    REPORTS.mkdir(exist_ok=True)
+    (REPORTS / "range_check.txt").write_text(text + "\n")
+    (REPORTS / "range_check.json").write_text(
+        json.dumps(
+            {
+                "baseline": str(baseline_path),
+                "planner": planner,
+                "drifted": drifted,
+                "ok": not drifted,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if drifted:
+        print("\nFAIL: range-planner counters drifted from the committed "
+              f"baseline: {', '.join(drifted)}")
+        return 1
+    print("\nOK: range planner reproduces the committed baseline exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -429,6 +511,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="gate the warm-restart smoke on bit-for-bit counter/leg "
         "equality vs reports/BENCH_warm_restart.json",
+    )
+    parser.add_argument(
+        "--range",
+        action="store_true",
+        dest="range_planner",
+        help="gate the range-planner smoke on bit-for-bit planner/counter "
+        "equality vs reports/BENCH_range.json",
     )
     parser.add_argument(
         "--baseline",
@@ -491,6 +580,12 @@ def main(argv: list[str] | None = None) -> int:
         if baseline == REPORTS / "BENCH_smoke.json":  # the non-restart default
             baseline = REPORTS / "BENCH_warm_restart.json"
         return restart_check(baseline, run=not args.no_run)
+
+    if args.range_planner:
+        baseline = args.baseline
+        if baseline == REPORTS / "BENCH_smoke.json":  # the non-range default
+            baseline = REPORTS / "BENCH_range.json"
+        return range_check(baseline, run=not args.no_run)
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run run_smoke.py and commit the report")

@@ -57,7 +57,11 @@ from repro.obs import trace  # noqa: E402
 from repro.obs.metrics import REGISTRY  # noqa: E402
 from repro.sharding import HashShardPlan, ShardedCloudFrontend  # noqa: E402
 from repro.system import SlicerSystem  # noqa: E402
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    RangeWorkload,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 
 N_RECORDS = 120
 N_INSERT = 30
@@ -413,6 +417,105 @@ def run_restart() -> int:
     return 0
 
 
+def run_range() -> int:
+    """Range-planner smoke: plan streams through the full system, gated.
+
+    Builds a two-attribute database, draws a Zipf-hot stream of range and
+    conjunctive plan expressions, and runs them through
+    :meth:`SlicerSystem.search_plans` — compile, one batched collection
+    over the leg union, per-leg escrow settlement, user-side intersection.
+    Every plan must verify and answer exactly its plaintext oracle, and the
+    ``planner.*`` counters (plans/legs compiled, token walks deduped,
+    record IDs dropped by intersection) land in the report for
+    ``check_regression.py --range`` to pin bit for bit.
+    """
+    _reset_observability("TRACE_range.jsonl", "AUDIT_range.jsonl")
+    params = bench_params(BITS)
+    keys = KeyBundle.generate(default_rng(31337), 1024)
+    owner = DataOwner(params, keys=keys, rng=default_rng(12))
+    system = SlicerSystem(params, rng=default_rng(5), owner=owner)
+
+    generator = WorkloadGenerator(default_rng(404))
+    database = generator.attributed_database(
+        N_RECORDS,
+        {"lat": WorkloadSpec(N_RECORDS, BITS), "lon": WorkloadSpec(N_RECORDS, BITS)},
+    )
+    setup_s, _ = time_call(lambda: system.setup(database))
+
+    streams = [
+        ("range", RangeWorkload(selectivity=0.1, fan_in=1, pool_size=4)),
+        ("conjunctive", RangeWorkload(selectivity=0.25, fan_in=2, pool_size=4)),
+    ]
+    plan_rows = []
+    search_s = 0.0
+    n_plans = 0
+    for label, workload in streams:
+        exprs = generator.range_plans(8, BITS, workload, attributes=["lat", "lon"])
+        leg_s, outcomes = time_call(lambda exprs=exprs: system.search_plans(exprs))
+        search_s += leg_s
+        n_plans += len(outcomes)
+        for outcome in outcomes:
+            assert outcome.verified, f"honest {label} plan must verify"
+            assert outcome.record_ids == outcome.plan.oracle_ids(database), (
+                f"{label} plan {outcome.plan.describe()} answered wrong IDs"
+            )
+        plan_rows.append(
+            {
+                "stream": label,
+                "plans": len(outcomes),
+                "legs": sum(len(o.plan.legs) for o in outcomes),
+                "merged_away": sum(o.plan.merged_away for o in outcomes),
+                "results": sum(len(o.record_ids) for o in outcomes),
+            }
+        )
+
+    deterministic = REGISTRY.deterministic_snapshot()
+    planner = {
+        k: v
+        for k, v in deterministic["counters"].items()
+        if k.startswith("planner.")
+    }
+    assert planner.get("planner.plans") == n_plans
+    assert planner.get("planner.dedup_saved", 0) > 0, (
+        "the Zipf-hot plan pool must repeat legs for the planner to dedup"
+    )
+
+    totals = obs_audit.AUDIT_LOG.totals()
+    metrics = {
+        "setup_s": setup_s,
+        "search_plans_s": search_s,
+        "plans": n_plans,
+        "records": N_RECORDS,
+        "value_bits": BITS,
+        "workers": bench_workers(),
+        "modmath_backend": modmath.backend_info()["active"],
+        "audit_records": totals["records"],
+        "all_verified": True,
+    }
+    rows = [("Metric", "value")] + [
+        (k, f"{v:.4f}" if isinstance(v, float) else str(v)) for k, v in metrics.items()
+    ] + [(k, str(v)) for k, v in sorted(planner.items())]
+    write_report(
+        "range",
+        render_kv_table("Range-planner smoke benchmark", rows),
+        data={
+            "metrics": metrics,
+            "streams": plan_rows,
+            # The gated heart of the bench: planner work is a pure function
+            # of the query stream, so these reproduce exactly on re-run at
+            # any worker count.
+            "planner": planner,
+            "counters": deterministic["counters"],
+            "histograms": deterministic["histograms"],
+            "artifacts": {
+                "trace": "TRACE_range.jsonl",
+                "audit": "AUDIT_range.jsonl",
+            },
+        },
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -450,6 +553,15 @@ def main(argv: list[str] | None = None) -> int:
         "the first repeat query warm (0 index probes, 0 PRF evals, "
         "byte-identical to the never-restarted oracle)",
     )
+    parser.add_argument(
+        "--range",
+        dest="range_planner",
+        action="store_true",
+        help="run the range-planner smoke instead: Zipf-hot range/"
+        "conjunctive plan streams through SlicerSystem.search_plans, every "
+        "plan verified against the plaintext oracle and the planner.* "
+        "counters recorded (check_regression.py --range gates on them)",
+    )
     args = parser.parse_args(argv)
     if args.chaos_seed is not None:
         return run_chaos(args.chaos_seed, args.chaos_profile)
@@ -457,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_settlement(args.settlement)
     if args.restart:
         return run_restart()
+    if args.range_planner:
+        return run_range()
     return run_plain(args.shards)
 
 

@@ -19,6 +19,7 @@ Subpackages: :mod:`repro.sore` (the order-revealing encryption),
 """
 
 from .core import (
+    And,
     AttributedDatabase,
     Database,
     DataOwner,
@@ -29,19 +30,22 @@ from .core import (
     MatchCondition,
     Misbehavior,
     Query,
+    Range,
     RangeQuery,
     SlicerParams,
     make_database,
 )
 from .core.audit import AuditRecord, ThirdPartyAuditor
 from .dual_system import DualSearchOutcome, DualSlicerSystem
+from .planner import QueryPlan, compile_plan, compile_plans
 from .sharding import HashShardPlan, ShardPlan, ShardedCloudFrontend
 from .sore import OrderCondition, SoreScheme
-from .system import RangeOutcome, SearchOutcome, SlicerSystem
+from .system import PlanOutcome, RangeOutcome, SearchOutcome, SlicerSystem
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "And",
     "AttributedDatabase",
     "AuditRecord",
     "CloudServer",
@@ -59,13 +63,18 @@ __all__ = [
     "MatchCondition",
     "Misbehavior",
     "OrderCondition",
+    "PlanOutcome",
     "Query",
+    "QueryPlan",
+    "Range",
     "RangeOutcome",
     "RangeQuery",
     "SearchOutcome",
     "SlicerParams",
     "SlicerSystem",
     "SoreScheme",
+    "compile_plan",
+    "compile_plans",
     "make_database",
     "__version__",
 ]

@@ -17,7 +17,7 @@ from .keywords import (
 )
 from .owner import DataOwner, OwnerOutput, UserPackage
 from .params import KeyBundle, SlicerParams, UserKeys
-from .query import MatchCondition, Query
+from .query import And, MatchCondition, Query, Range
 from .records import (
     AttributedDatabase,
     AttributedRecord,
@@ -33,6 +33,7 @@ from .verify import VerificationReport, verify_response, verify_token_result
 from .wire import dump_response, dump_tokens, load_response, load_tokens
 
 __all__ = [
+    "And",
     "AttributedDatabase",
     "AttributedRecord",
     "AuditRecord",
@@ -55,6 +56,7 @@ __all__ = [
     "Misbehavior",
     "OwnerOutput",
     "Query",
+    "Range",
     "RangeQuery",
     "Record",
     "SearchResponse",

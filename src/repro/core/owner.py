@@ -50,11 +50,18 @@ from .tokens import derive_g1_g2
 
 @dataclass
 class UserPackage:
-    """What the owner shares with an authorised user: keys + trapdoor state."""
+    """What the owner shares with an authorised user: keys + trapdoor state.
+
+    ``attributes`` is the index's attribute-name set (``("",)`` for a plain
+    single-value database) so users can reject malformed queries — e.g. a
+    bare ``attribute=""`` query against a multi-attribute index — before
+    paying to search.  ``None`` means the owner has indexed nothing yet.
+    """
 
     keys: UserKeys
     trapdoor_state: TrapdoorState
     ads_value: int
+    attributes: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -100,6 +107,9 @@ class DataOwner:
         self._hash_to_prime = params.hash_to_prime()
         self._executor = ParallelExecutor(params.workers)
         self._built = False
+        #: Attribute names seen across every indexed record (shared with
+        #: users so they can validate queries before paying to search).
+        self._attributes: set[str] = set()
         #: Phase timings ("index" / "ads") for the Fig. 3 and Fig. 7 benches.
         self.stopwatch = Stopwatch()
 
@@ -132,6 +142,7 @@ class DataOwner:
             keys=self.keys.user_view(),
             trapdoor_state=self.trapdoor_state.snapshot(),
             ads_value=self.accumulator.value,
+            attributes=tuple(sorted(self._attributes)) if self._attributes else None,
         )
 
     # ------------------------------------------------------------ internals
@@ -146,6 +157,7 @@ class DataOwner:
             else:
                 pairs = (("", record.value),)
             for attribute, value in pairs:
+                self._attributes.add(attribute)
                 for keyword in keywords_for_record(value, bits, attribute):
                     postings.setdefault(keyword, []).append(record.record_id)
         return postings

@@ -1,10 +1,17 @@
-"""Query model: a value plus a matching condition ``mc ∈ {"=", ">", "<"}``."""
+"""Query model: a value plus a matching condition ``mc ∈ {"=", ">", "<"}``.
+
+Besides the paper's atomic ``(v, mc)`` query this module carries the plan
+DSL the range planner compiles: :class:`Range` (a closed two-sided range
+over one attribute) and :class:`And` (a conjunction of atoms).  The atoms
+stay dumb data — decomposition into slice-query legs lives in
+:mod:`repro.planner`.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..common.bitstring import check_value_fits
 from ..common.errors import ParameterError
@@ -51,11 +58,50 @@ class Query:
     attribute: str = ""
 
     @classmethod
-    def parse(cls, value: int, symbol: str, attribute: str = "") -> "Query":
-        return cls(value, MatchCondition.from_symbol(symbol), attribute)
+    def parse(
+        cls,
+        value: int,
+        symbol: str,
+        attribute: str = "",
+        *,
+        attributes: Iterable[str] | None = None,
+    ) -> "Query":
+        """Parse ``(v, symbol)`` into a query.
+
+        ``attributes`` is the attribute-name set of the target index (the
+        owner shares it through the user package).  When given, the query is
+        checked against it immediately: a bare ``attribute=""`` against a
+        multi-attribute index is rejected instead of silently querying the
+        (nonexistent) unnamed attribute and verifying an empty result.
+        """
+        query = cls(value, MatchCondition.from_symbol(symbol), attribute)
+        if attributes is not None:
+            query.check_attribute(attributes)
+        return query
+
+    @classmethod
+    def range(cls, lo: int, hi: int, attribute: str = "") -> "Range":
+        """The closed range ``lo <= a <= hi`` as a plan-DSL atom."""
+        return Range(lo, hi, attribute)
 
     def validate(self, bits: int) -> None:
         check_value_fits(self.value, bits)
+
+    def check_attribute(self, attributes: Iterable[str]) -> None:
+        """Validate this query's attribute against an index's attribute set."""
+        known = set(attributes)
+        if not known:
+            return
+        if not self.attribute and any(name for name in known):
+            raise ParameterError(
+                "query names no attribute but the index is multi-attribute; "
+                f"pick one of {sorted(n for n in known if n)}"
+            )
+        if self.attribute and self.attribute not in known:
+            raise ParameterError(
+                f"unknown attribute {self.attribute!r}; "
+                f"the index has {sorted(n for n in known if n) or ['(unnamed)']}"
+            )
 
     def predicate(self) -> Callable[[int], bool]:
         """Plaintext ground truth ``a -> (v mc a)`` for oracle checks."""
@@ -69,3 +115,82 @@ class Query:
     def describe(self) -> str:
         attr = f"{self.attribute} " if self.attribute else ""
         return f"{attr}{self.value} {self.condition.value} a"
+
+
+@dataclass(frozen=True)
+class Range:
+    """A closed two-sided range ``lo <= a <= hi`` over one attribute.
+
+    The protocol natively answers single-sided order queries; a two-sided
+    range is the intersection of one ``"<"`` and one ``">"`` leg (each
+    independently verifiable against the accumulator).  Bounds at the
+    domain edge drop the redundant side, and a point range (``lo == hi``)
+    collapses to a single equality leg.
+    """
+
+    lo: int
+    hi: int
+    attribute: str = ""
+
+    def validate(self, bits: int) -> None:
+        if self.lo > self.hi:
+            raise ParameterError(f"empty range [{self.lo}, {self.hi}]")
+        if self.lo < 0 or self.hi >= (1 << bits):
+            raise ParameterError("range bounds outside the value domain")
+
+    def to_queries(self, bits: int) -> list[Query]:
+        """The minimal slice-query legs whose intersection answers the range."""
+        self.validate(bits)
+        if self.lo == self.hi:
+            return [Query(self.lo, MatchCondition.EQUAL, self.attribute)]
+        queries = []
+        if self.lo > 0:
+            # a >= lo  <=>  (lo - 1) < a
+            queries.append(Query(self.lo - 1, MatchCondition.LESS, self.attribute))
+        if self.hi < (1 << bits) - 1:
+            # a <= hi  <=>  (hi + 1) > a
+            queries.append(Query(self.hi + 1, MatchCondition.GREATER, self.attribute))
+        if not queries:
+            raise ParameterError(
+                "range covers the whole domain; fetch the dataset instead of searching"
+            )
+        return queries
+
+    def predicate(self) -> Callable[[int], bool]:
+        """Plaintext ground truth ``a -> lo <= a <= hi`` for oracle checks."""
+        lo, hi = self.lo, self.hi
+        return lambda a: lo <= a <= hi
+
+    def describe(self) -> str:
+        attr = f"{self.attribute} " if self.attribute else ""
+        return f"{attr}{self.lo} <= a <= {self.hi}"
+
+
+@dataclass(frozen=True, init=False)
+class And:
+    """A conjunction of plan atoms (:class:`Query` / :class:`Range`).
+
+    Nested conjunctions flatten on construction, so ``And(a, And(b, c))``
+    and ``And(a, b, c)`` are the same expression.  Semantics are set
+    intersection: a record matches iff it matches every term.
+    """
+
+    terms: tuple
+
+    def __init__(self, *terms) -> None:
+        if not terms:
+            raise ParameterError("And() needs at least one term")
+        flat = []
+        for term in terms:
+            if isinstance(term, And):
+                flat.extend(term.terms)
+            elif isinstance(term, (Query, Range)):
+                flat.append(term)
+            else:
+                raise ParameterError(
+                    f"unsupported plan term {term!r}; expected Query, Range or And"
+                )
+        object.__setattr__(self, "terms", tuple(flat))
+
+    def describe(self) -> str:
+        return " AND ".join(f"({term.describe()})" for term in self.terms)

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..common.errors import ParameterError, StateError
+from ..common.errors import StateError
 from ..common.rng import DeterministicRNG, default_rng
 from ..crypto.symmetric import SymmetricCipher
 from .cloud import SearchResponse
 from .owner import UserPackage
 from .params import SlicerParams
-from .query import MatchCondition, Query
+from .query import Query, Range
 from .tokens import SearchToken, generate_search_tokens
 from .verify import VerificationReport, verify_response
 
@@ -37,24 +37,10 @@ class RangeQuery:
     attribute: str = ""
 
     def to_queries(self, bits: int) -> list[Query]:
-        if self.lo > self.hi:
-            raise ParameterError(f"empty range [{self.lo}, {self.hi}]")
-        if self.lo < 0 or self.hi >= (1 << bits):
-            raise ParameterError("range bounds outside the value domain")
-        queries = []
-        if self.lo == self.hi:
-            return [Query(self.lo, MatchCondition.EQUAL, self.attribute)]
-        if self.lo > 0:
-            # a >= lo  <=>  (lo - 1) < a
-            queries.append(Query(self.lo - 1, MatchCondition.LESS, self.attribute))
-        if self.hi < (1 << bits) - 1:
-            # a <= hi  <=>  (hi + 1) > a
-            queries.append(Query(self.hi + 1, MatchCondition.GREATER, self.attribute))
-        if not queries:
-            raise ParameterError(
-                "range covers the whole domain; fetch the dataset instead of searching"
-            )
-        return queries
+        # The decomposition now lives on the plan-DSL atom (the planner
+        # compiles the same legs); this wrapper predates the DSL and stays
+        # for its callers.
+        return Range(self.lo, self.hi, self.attribute).to_queries(bits)
 
 
 class DataUser:
@@ -71,12 +57,14 @@ class DataUser:
         self._keys = package.keys
         self._trapdoor_state = package.trapdoor_state
         self._ads_value = package.ads_value
+        self._attributes = package.attributes
         self._cipher = SymmetricCipher(self._keys.record_key, self.rng)
 
     def refresh(self, package: UserPackage) -> None:
         """Absorb the owner's post-insert state update (Algorithm 2 line 28)."""
         self._trapdoor_state = package.trapdoor_state
         self._ads_value = package.ads_value
+        self._attributes = package.attributes
 
     @property
     def ads_value(self) -> int:
@@ -86,7 +74,15 @@ class DataUser:
     # --------------------------------------------------------------- tokens
 
     def make_tokens(self, query: Query) -> list[SearchToken]:
-        """Algorithm 3: search tokens for one query."""
+        """Algorithm 3: search tokens for one query.
+
+        When the owner shared the index's attribute-name set, the query is
+        checked against it first — a bare ``attribute=""`` query against a
+        multi-attribute index would otherwise silently search a nonexistent
+        unnamed attribute and pay to verify an empty result.
+        """
+        if self._attributes is not None:
+            query.check_attribute(self._attributes)
         return generate_search_tokens(
             self._keys.prf_key, self._trapdoor_state, query, self.params.value_bits, self.rng
         )

@@ -1,0 +1,21 @@
+"""Range/conjunctive query planner: DSL atoms + leg compilation.
+
+``from repro.planner import And, Range, compile_plan`` is the whole
+surface: build an expression, compile it against the index's bit width,
+and hand the legs to :meth:`repro.system.SlicerSystem.search_plans` (or
+any per-leg executor — the legs are ordinary :class:`~repro.core.query.
+Query` atoms).
+"""
+
+from ..core.query import And, Query, Range
+from .plan import PlanExpr, QueryPlan, compile_plan, compile_plans
+
+__all__ = [
+    "And",
+    "PlanExpr",
+    "Query",
+    "QueryPlan",
+    "Range",
+    "compile_plan",
+    "compile_plans",
+]

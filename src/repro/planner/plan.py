@@ -1,0 +1,183 @@
+"""Compile the range/conjunctive DSL into a minimal set of slice-query legs.
+
+The protocol answers one ``(v, mc)`` token-set at a time, so a plan
+expression — a :class:`~repro.core.query.Range`, an
+:class:`~repro.core.query.And`, or a bare :class:`~repro.core.query.Query`
+— must decompose into *legs*: atomic queries whose verified result sets
+intersect to the expression's answer.  The compiler keeps that leg set
+minimal:
+
+* every term is normalised to a closed interval over its attribute
+  (``Query(v, ">")`` selects ``a < v`` and becomes ``[0, v-1]``; equality
+  is the point interval ``[v, v]``);
+* intervals on the same attribute intersect into one — ``And(Range(10,
+  50), Range(20, 80))`` plans as ``[20, 50]``, two legs instead of four —
+  and a contradiction (an empty intersection) is rejected at compile time
+  rather than paid for on chain;
+* a full-domain interval constrains nothing and is dropped when any other
+  attribute still constrains the result (a plan that is *only* full-domain
+  intervals is rejected, like a whole-domain range);
+* the surviving intervals emit the classic decomposition — one equality
+  leg for a point, one order leg for an edge-touching range, two order
+  legs for an interior range — and identical legs are deduplicated.
+
+Execution is not this module's job: :meth:`repro.system.SlicerSystem.
+search_plans` runs the legs of a whole plan batch through one
+``CloudServer.search_many`` collection (cross-leg/cross-plan token dedup),
+verifies and settles each leg individually against the one on-chain
+accumulator, and intersects the decrypted record-ID sets.  The ID
+intersection happens *user-side* by construction: index payloads carry a
+fresh nonce per (keyword, record) posting, so the same record's ciphertext
+is unlinkable across legs — the cloud cannot intersect what it cannot
+link, and per-leg result multisets must reach the contract anyway for the
+fairness guarantee (a tampered leg refunds exactly the queries it served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ParameterError
+from ..core.query import And, MatchCondition, Query, Range
+from ..core.records import AttributedDatabase, Database
+
+#: Anything compile_plan accepts as one plan expression.
+PlanExpr = Query | Range | And
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One compiled expression: its legs plus compile-time accounting.
+
+    ``legs`` is the minimal deduplicated leg list, in deterministic order
+    (attributes by first appearance in the expression, ``<`` leg before
+    ``>`` within a range).  ``intervals`` records the post-merge closed
+    interval per attribute — the plan's plaintext semantics, which
+    :meth:`oracle_ids` evaluates for ground-truth checks.  ``naive_legs``
+    counts the legs a planner-less client would issue (one decomposition
+    per term, no cross-term merging), so ``merged_away`` is the compile-
+    time saving before any token-level dedup.
+    """
+
+    expr: PlanExpr
+    legs: tuple[Query, ...]
+    intervals: tuple[tuple[str, int, int], ...]
+    atoms: int
+    naive_legs: int
+
+    @property
+    def merged_away(self) -> int:
+        return self.naive_legs - len(self.legs)
+
+    def oracle_ids(self, database: Database | AttributedDatabase) -> set[bytes]:
+        """Ground-truth record IDs from the plaintext database."""
+        out: set[bytes] | None = None
+        for attribute, lo, hi in self.intervals:
+            pred = Range(lo, hi, attribute).predicate()
+            if isinstance(database, AttributedDatabase):
+                ids = database.ids_matching(attribute, pred)
+            else:
+                ids = database.ids_matching(pred)
+            out = ids if out is None else out & ids
+        return out or set()
+
+    def describe(self) -> str:
+        parts = " AND ".join(
+            f"{attr or 'a'} in [{lo}, {hi}]" for attr, lo, hi in self.intervals
+        )
+        return f"plan({parts}; {len(self.legs)} legs)"
+
+
+def _flatten(expr: PlanExpr) -> list[Query | Range]:
+    if isinstance(expr, And):
+        return list(expr.terms)
+    if isinstance(expr, (Query, Range)):
+        return [expr]
+    raise ParameterError(
+        f"unsupported plan expression {expr!r}; expected Query, Range or And"
+    )
+
+
+def _term_interval(term: Query | Range, bits: int) -> tuple[str, int, int]:
+    """Normalise one term to ``(attribute, lo, hi)``; may be empty (lo > hi)."""
+    domain_hi = (1 << bits) - 1
+    if isinstance(term, Range):
+        term.validate(bits)
+        return term.attribute, term.lo, term.hi
+    term.validate(bits)
+    v = term.value
+    if term.condition is MatchCondition.EQUAL:
+        return term.attribute, v, v
+    if term.condition is MatchCondition.GREATER:
+        # v > a selects a in [0, v-1]
+        return term.attribute, 0, v - 1
+    # v < a selects a in [v+1, domain_hi]
+    return term.attribute, v + 1, domain_hi
+
+
+def _naive_leg_count(lo: int, hi: int, bits: int) -> int:
+    """Legs the classic per-term decomposition issues for ``[lo, hi]``."""
+    if lo == hi:
+        return 1
+    return int(lo > 0) + int(hi < (1 << bits) - 1)
+
+
+def compile_plan(expr: PlanExpr, bits: int) -> QueryPlan:
+    """Compile one expression into its minimal leg set (see module doc)."""
+    terms = _flatten(expr)
+    if not terms:
+        raise ParameterError("empty plan expression")
+    domain_hi = (1 << bits) - 1
+    order: list[str] = []
+    bounds: dict[str, tuple[int, int]] = {}
+    naive_legs = 0
+    for term in terms:
+        attribute, lo, hi = _term_interval(term, bits)
+        if lo > hi:
+            raise ParameterError(
+                f"unsatisfiable plan term on attribute {attribute!r}: "
+                f"{term.describe()} matches nothing"
+            )
+        naive_legs += _naive_leg_count(lo, hi, bits)
+        if attribute not in bounds:
+            order.append(attribute)
+            bounds[attribute] = (lo, hi)
+        else:
+            cur_lo, cur_hi = bounds[attribute]
+            merged = (max(cur_lo, lo), min(cur_hi, hi))
+            if merged[0] > merged[1]:
+                raise ParameterError(
+                    f"unsatisfiable conjunction on attribute {attribute!r}: "
+                    f"[{cur_lo}, {cur_hi}] and [{lo}, {hi}] do not intersect"
+                )
+            bounds[attribute] = merged
+
+    intervals: list[tuple[str, int, int]] = []
+    legs: list[Query] = []
+    for attribute in order:
+        lo, hi = bounds[attribute]
+        if lo == 0 and hi == domain_hi and len(order) > 1:
+            # Vacuous term: constrains nothing when anything else does.
+            continue
+        intervals.append((attribute, lo, hi))
+        legs.extend(Range(lo, hi, attribute).to_queries(bits))
+    if not intervals:
+        # Every attribute was vacuous: the plan selects the whole dataset.
+        raise ParameterError(
+            "plan covers the whole domain; fetch the dataset instead of searching"
+        )
+    # Identical legs across attributes cannot collide, but dedup anyway so
+    # a repeated atom never pays twice.
+    deduped = tuple(dict.fromkeys(legs))
+    return QueryPlan(
+        expr=expr,
+        legs=deduped,
+        intervals=tuple(intervals),
+        atoms=len(terms),
+        naive_legs=naive_legs,
+    )
+
+
+def compile_plans(exprs: list[PlanExpr], bits: int) -> list[QueryPlan]:
+    """Compile a batch of expressions (one :class:`QueryPlan` each)."""
+    return [compile_plan(expr, bits) for expr in exprs]

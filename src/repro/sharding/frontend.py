@@ -309,6 +309,17 @@ class ShardedCloudFrontend:
             responses.append(response)
         return responses
 
+    def search_plan(self, token_lists: list[list[SearchToken]]) -> list[SearchResponse]:
+        """Serve a compiled plan's legs across the tier in one batch.
+
+        The planner hands the *union* of all legs' token lists straight to
+        the batched scatter: each shard sees its slice of the whole plan at
+        once, so cross-leg token dedup happens inside every shard exactly
+        as on a single cloud, and the gather/merge reassembles per-leg
+        responses byte-identical to serving each leg alone.
+        """
+        return self.search_many(token_lists)
+
     def shards_for_tokens(self, tokens: list[SearchToken]) -> list[int]:
         """The sorted shard ids a token list touches (audit/metrics labels)."""
         return sorted({self.plan.shard_of(token.g1) for token in tokens})

@@ -84,6 +84,7 @@ from .core.records import AttributedDatabase, Database
 from .core.state import CloudPackage
 from .core.user import DataUser, RangeQuery
 from .core.tokens import SearchToken
+from .planner import PlanExpr, QueryPlan, compile_plans
 from .sharding import (
     HashShardPlan,
     ShardedCloudFrontend,
@@ -195,6 +196,35 @@ class RangeOutcome:
         out = set(self.sides[0].record_ids)
         for side in self.sides[1:]:
             out &= side.record_ids
+        return out
+
+
+@dataclass
+class PlanOutcome:
+    """One executed query plan: a verified outcome per leg, intersected.
+
+    Every leg is an independent on-chain escrow, so a tampered leg refunds
+    exactly the queries it served and flips only this plan's ``verified``
+    — sibling plans in the same batch keep their verdicts.  ``record_ids``
+    is the intersection of the decrypted per-leg ID sets, and is only
+    meaningful (non-empty-able) when every leg verified: an unverified
+    leg's result set is untrusted, so the plan answers nothing.
+    """
+
+    plan: QueryPlan
+    legs: list[SearchOutcome] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        return all(leg.verified for leg in self.legs)
+
+    @property
+    def record_ids(self) -> set[bytes]:
+        if not self.legs or not self.verified:
+            return set()
+        out = set(self.legs[0].record_ids)
+        for leg in self.legs[1:]:
+            out &= leg.record_ids
         return out
 
 
@@ -781,6 +811,79 @@ class SlicerSystem:
                 )
             self.chain.mine()
         return outcomes
+
+    # -------------------------------------------------------------- planner
+
+    def search_plan(self, expr: PlanExpr, payment: int = DEFAULT_PAYMENT) -> PlanOutcome:
+        """Compile and execute one range/conjunctive plan expression."""
+        return self.search_plans([expr], payment)[0]
+
+    def search_plans(
+        self, exprs: list[PlanExpr], payment: int = DEFAULT_PAYMENT
+    ) -> list[PlanOutcome]:
+        """Compile a batch of plan expressions and execute all legs at once.
+
+        The planner (:mod:`repro.planner`) reduces every expression to a
+        minimal leg set; the flattened legs of the whole batch then ride
+        the existing :meth:`batch_search` machinery — one per-leg escrow
+        each, ONE :meth:`CloudServer.search_many` collection over the
+        batch-wide token union (shared trapdoor-chain walks and PRF labels
+        across legs *and* plans are paid once; behind a sharded tier the
+        scatter/gather fans the union out per shard), and per-leg
+        verification against the one on-chain accumulator before
+        settlement, in sync or block mode alike.  Results are therefore
+        byte-identical to a naive per-leg loop by construction — the
+        planner only removes duplicated work, never changes any leg's
+        bytes — which is what the plan ≡ naive property tests pin.
+
+        Record-ID intersection happens here, user-side: index payloads
+        carry a fresh nonce per (keyword, record) posting, so a record's
+        ciphertexts are unlinkable across legs and the cloud cannot
+        intersect them.  What *is* pushed to the cloud is the collection
+        over all legs in one batch; what comes back per leg is the full
+        verifiable result multiset the fairness guarantee needs.
+        """
+        plans = compile_plans(exprs, self.params.value_bits)
+        flat_legs = [leg for plan in plans for leg in plan.legs]
+        with trace.span("search_plans", plans=len(plans), legs=len(flat_legs)):
+            outcomes = self.batch_search(flat_legs, payment)
+            results: list[PlanOutcome] = []
+            cursor = 0
+            for plan in plans:
+                legs = outcomes[cursor : cursor + len(plan.legs)]
+                cursor += len(plan.legs)
+                results.append(PlanOutcome(plan=plan, legs=legs))
+            self._record_plans(results)
+        return results
+
+    def _record_plans(self, results: list[PlanOutcome]) -> None:
+        """Planner counters (deterministic; under the exact-counter gate).
+
+        ``planner.dedup_saved`` counts token posts the batch-wide
+        ``search_many`` dedup collapsed (duplicate tokens across legs and
+        plans walk the index once); ``planner.intersect_dropped`` counts
+        record IDs that appeared in some leg but fell out of a verified
+        plan's intersection.  Both are pure functions of the query stream,
+        so they are identical at any worker count, shard width or
+        settlement mode.
+        """
+        perfstats.incr("planner.plans", len(results))
+        total_tokens = 0
+        unique_tokens: set[SearchToken] = set()
+        for outcome in results:
+            perfstats.incr("planner.legs", len(outcome.legs))
+            for leg in outcome.legs:
+                total_tokens += len(leg.tokens)
+                unique_tokens.update(leg.tokens)
+        perfstats.incr("planner.dedup_saved", total_tokens - len(unique_tokens))
+        for outcome in results:
+            if outcome.verified and outcome.legs:
+                union: set[bytes] = set()
+                for leg in outcome.legs:
+                    union |= leg.record_ids
+                perfstats.incr(
+                    "planner.intersect_dropped", len(union) - len(outcome.record_ids)
+                )
 
     # ----------------------------------------------------- block settlement
 

@@ -1,10 +1,19 @@
 """Workload generators, domain datasets and benchmark scaling presets."""
 
 from .datasets import medical_records, sensor_readings, transaction_ledger
-from .generator import ShardSkew, ValueDistribution, WorkloadGenerator, WorkloadSpec
+from .generator import (
+    QueryPopularity,
+    RangeWorkload,
+    ShardSkew,
+    ValueDistribution,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 from .scaling import ScalePreset, current_scale, get_scale
 
 __all__ = [
+    "QueryPopularity",
+    "RangeWorkload",
     "ScalePreset",
     "ShardSkew",
     "ValueDistribution",

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..common.errors import ParameterError
 from ..common.rng import DeterministicRNG, default_rng
-from ..core.query import MatchCondition, Query
+from ..core.query import And, MatchCondition, Query, Range
 from ..core.records import AttributedDatabase, Database
 
 
@@ -67,6 +67,33 @@ class ShardSkew:
             raise ParameterError("hot_fraction must be in [0, 1]")
         if self.max_attempts < 1:
             raise ParameterError("max_attempts must be positive")
+
+
+@dataclass(frozen=True)
+class RangeWorkload:
+    """A repeat-heavy stream of range/conjunctive plan expressions.
+
+    ``selectivity`` fixes each range's width as a fraction of the value
+    domain (the paper-style 0.1%/1%/10% sweep); ``fan_in`` is how many
+    attributes each conjunction constrains (1 = plain range).  Like
+    :meth:`WorkloadGenerator.popular_queries`, draws come from a fixed
+    pool with rank skew — hot ranges recur, which is the regime where the
+    planner's cross-leg token dedup pays.
+    """
+
+    selectivity: float
+    fan_in: int = 1
+    popularity: QueryPopularity = QueryPopularity.ZIPF
+    zipf_s: float = 1.2
+    pool_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ParameterError("selectivity must be in (0, 1]")
+        if not 1 <= self.fan_in <= 3:
+            raise ParameterError("fan_in must be between 1 and 3")
+        if self.pool_size < 1:
+            raise ParameterError("pool_size must be positive")
 
 
 @dataclass(frozen=True)
@@ -252,3 +279,59 @@ class WorkloadGenerator:
                 rank = min(self._zipf(len(pool), zipf_s), len(pool) - 1)
             out.append(pool[rank])
         return out
+
+    # --------------------------------------------------------------- plans
+
+    def range_plans(
+        self,
+        count: int,
+        value_bits: int,
+        workload: RangeWorkload,
+        attributes: list[str] | None = None,
+    ) -> list[Range | And]:
+        """A stream of plan expressions for the range-planner benchmarks.
+
+        Each pool entry is a random closed range of width
+        ``selectivity * domain`` (clamped to at least one value and to fit
+        the domain); with ``fan_in > 1`` the entry conjoins ranges over
+        ``fan_in`` distinct attributes.  The stream then draws pool ranks
+        with the configured popularity, exactly like
+        :meth:`popular_queries` — so hot plans repeat and their legs'
+        tokens dedup inside one batched collection.
+        """
+        attrs = list(attributes) if attributes is not None else [""]
+        if workload.fan_in > len(attrs):
+            raise ParameterError(
+                f"fan_in {workload.fan_in} exceeds the {len(attrs)} known attributes"
+            )
+        domain = 1 << value_bits
+        width = max(1, round(workload.selectivity * domain))
+        if width >= domain:
+            raise ParameterError(
+                "selectivity covers the whole domain; a plan that selects "
+                "everything is rejected at compile time"
+            )
+        pool: list[Range | And] = []
+        for _ in range(workload.pool_size):
+            chosen = self._sample_attrs(attrs, workload.fan_in)
+            terms = []
+            for attribute in chosen:
+                lo = self.rng.randint_below(domain - width + 1)
+                terms.append(Range(lo, lo + width - 1, attribute))
+            pool.append(terms[0] if len(terms) == 1 else And(*terms))
+        out: list[Range | And] = []
+        for _ in range(count):
+            if workload.popularity is QueryPopularity.UNIFORM:
+                rank = self.rng.randint_below(len(pool))
+            else:
+                rank = min(self._zipf(len(pool), workload.zipf_s), len(pool) - 1)
+            out.append(pool[rank])
+        return out
+
+    def _sample_attrs(self, attrs: list[str], k: int) -> list[str]:
+        """Draw ``k`` distinct attributes, deterministically under the rng."""
+        remaining = list(attrs)
+        chosen = []
+        for _ in range(k):
+            chosen.append(remaining.pop(self.rng.randint_below(len(remaining))))
+        return chosen

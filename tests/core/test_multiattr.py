@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ParameterError
 from repro.common.rng import default_rng
 from repro.core.cloud import CloudServer
 from repro.core.owner import DataOwner
@@ -49,11 +50,15 @@ class TestAttributeIsolation:
         ids, response = run(cloud, user, Query.parse(50, ">", "age"))
         assert ids == db.ids_matching("age", lambda v: v < 50)
 
-    def test_unscoped_query_sees_nothing(self, world):
-        """Records were indexed only under named attributes."""
+    def test_unscoped_query_rejected_before_paying(self, world):
+        """Records were indexed only under named attributes, so a bare
+        ``attribute=""`` query could only ever verify an empty result.
+        The user package now carries the index's attribute set and the
+        user refuses to mint tokens for it instead of paying to search
+        a nonexistent attribute."""
         _, cloud, user, _ = world
-        ids, _ = run(cloud, user, Query.parse(30, "="))
-        assert ids == set()
+        with pytest.raises(ParameterError, match="multi-attribute"):
+            user.make_tokens(Query.parse(30, "="))
 
 
 class TestMultiAttrVerification:

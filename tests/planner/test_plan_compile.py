@@ -1,0 +1,213 @@
+"""Plan compilation: leg decomposition, interval merging, rejection cases."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.core.query import And, MatchCondition, Query, Range
+from repro.core.records import AttributedDatabase, Database
+from repro.planner import compile_plan, compile_plans
+
+BITS = 8
+DOMAIN_HI = (1 << BITS) - 1
+
+
+def legs_of(expr):
+    return compile_plan(expr, BITS).legs
+
+
+class TestLegDecomposition:
+    def test_interior_range_is_two_order_legs(self):
+        legs = legs_of(Range(10, 50))
+        assert legs == (
+            Query(9, MatchCondition.LESS),
+            Query(51, MatchCondition.GREATER),
+        )
+
+    def test_left_edge_range_is_one_greater_leg(self):
+        assert legs_of(Range(0, 20)) == (Query(21, MatchCondition.GREATER),)
+
+    def test_right_edge_range_is_one_less_leg(self):
+        assert legs_of(Range(200, DOMAIN_HI)) == (Query(199, MatchCondition.LESS),)
+
+    def test_point_range_is_one_equality_leg(self):
+        assert legs_of(Range(42, 42)) == (Query(42, MatchCondition.EQUAL),)
+
+    def test_bare_query_passes_through_as_interval(self):
+        plan = compile_plan(Query(42, MatchCondition.EQUAL), BITS)
+        assert plan.legs == (Query(42, MatchCondition.EQUAL),)
+        assert plan.intervals == (("", 42, 42),)
+
+    def test_order_query_normalises_to_edge_range(self):
+        # Query(50, ">") selects a < 50, i.e. [0, 49] -> one GREATER leg.
+        plan = compile_plan(Query(50, MatchCondition.GREATER), BITS)
+        assert plan.intervals == (("", 0, 49),)
+        assert plan.legs == (Query(50, MatchCondition.GREATER),)
+
+    def test_less_query_normalises_to_right_edge(self):
+        # Query(200, "<") selects a > 200, i.e. [201, 255] -> one LESS leg.
+        plan = compile_plan(Query(200, MatchCondition.LESS), BITS)
+        assert plan.intervals == (("", 201, DOMAIN_HI),)
+        assert plan.legs == (Query(200, MatchCondition.LESS),)
+
+    def test_leg_order_is_less_then_greater(self):
+        legs = legs_of(Range(100, 120))
+        assert [leg.condition for leg in legs] == [
+            MatchCondition.LESS,
+            MatchCondition.GREATER,
+        ]
+
+    def test_attributes_emit_in_first_appearance_order(self):
+        plan = compile_plan(
+            And(Range(10, 20, "b"), Range(30, 40, "a")), BITS
+        )
+        assert [attr for attr, _, _ in plan.intervals] == ["b", "a"]
+        assert [leg.attribute for leg in plan.legs] == ["b", "b", "a", "a"]
+
+
+class TestIntervalMerging:
+    def test_same_attribute_ranges_intersect(self):
+        plan = compile_plan(And(Range(10, 50), Range(20, 80)), BITS)
+        assert plan.intervals == (("", 20, 50),)
+        assert len(plan.legs) == 2
+        assert plan.naive_legs == 4
+        assert plan.merged_away == 2
+
+    def test_range_and_query_merge(self):
+        # a in [30, 120] AND a == 99  ->  point interval [99, 99].
+        plan = compile_plan(
+            And(Range(30, 120), Query(99, MatchCondition.EQUAL)), BITS
+        )
+        assert plan.intervals == (("", 99, 99),)
+        assert plan.legs == (Query(99, MatchCondition.EQUAL),)
+
+    def test_repeated_atom_dedups_to_one_leg(self):
+        plan = compile_plan(
+            And(Query(7, MatchCondition.EQUAL), Query(7, MatchCondition.EQUAL)), BITS
+        )
+        assert plan.legs == (Query(7, MatchCondition.EQUAL),)
+
+    def test_distinct_attributes_do_not_merge(self):
+        plan = compile_plan(And(Range(10, 50, "x"), Range(10, 50, "y")), BITS)
+        assert len(plan.intervals) == 2
+        assert len(plan.legs) == 4
+
+    def test_vacuous_full_domain_interval_dropped_when_others_constrain(self):
+        plan = compile_plan(
+            And(Range(0, DOMAIN_HI, "x"), Range(10, 20, "y")), BITS
+        )
+        assert plan.intervals == (("y", 10, 20),)
+
+    def test_atoms_counts_flattened_terms(self):
+        plan = compile_plan(And(Range(10, 50), And(Range(20, 80), Range(30, 90))), BITS)
+        assert plan.atoms == 3
+
+
+class TestRejection:
+    def test_unsatisfiable_conjunction_raises_at_compile(self):
+        with pytest.raises(ParameterError, match="unsatisfiable conjunction"):
+            compile_plan(And(Range(10, 20), Range(30, 40)), BITS)
+
+    def test_unsatisfiable_term_raises(self):
+        # Query(0, ">") selects a < 0 — nothing.
+        with pytest.raises(ParameterError, match="unsatisfiable plan term"):
+            compile_plan(Query(0, MatchCondition.GREATER), BITS)
+
+    def test_whole_domain_range_raises(self):
+        with pytest.raises(ParameterError, match="whole domain"):
+            compile_plan(Range(0, DOMAIN_HI), BITS)
+
+    def test_all_vacuous_conjunction_raises(self):
+        with pytest.raises(ParameterError, match="whole domain"):
+            compile_plan(
+                And(Range(0, DOMAIN_HI, "x"), Range(0, DOMAIN_HI, "y")), BITS
+            )
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ParameterError, match="empty range"):
+            compile_plan(Range(50, 10), BITS)
+
+    def test_out_of_domain_bounds_rejected(self):
+        with pytest.raises(ParameterError, match="outside the value domain"):
+            compile_plan(Range(0, 1 << BITS), BITS)
+
+    def test_unsupported_expression_rejected(self):
+        with pytest.raises(ParameterError, match="unsupported plan expression"):
+            compile_plan("not a plan", BITS)
+
+
+class TestOracle:
+    def test_oracle_matches_predicates_exhaustively(self):
+        db = Database(4)
+        for value in range(16):
+            db.add(value, value)
+        for lo in range(16):
+            for hi in range(lo, 16):
+                if lo == 0 and hi == 15:
+                    continue  # whole-domain plans are rejected
+                plan = compile_plan(Range(lo, hi), 4)
+                expected = {
+                    record.record_id for record in db if lo <= record.value <= hi
+                }
+                assert plan.oracle_ids(db) == expected
+
+    def test_oracle_intersects_across_attributes(self):
+        db = AttributedDatabase(BITS)
+        db.add(1, {"x": 10, "y": 200})
+        db.add(2, {"x": 10, "y": 5})
+        db.add(3, {"x": 100, "y": 200})
+        plan = compile_plan(And(Range(0, 50, "x"), Range(100, 255, "y")), BITS)
+        assert plan.oracle_ids(db) == {
+            record.record_id for record in db if record.record_id.endswith(b"\x01")
+        }
+
+    def test_compile_plans_batches(self):
+        plans = compile_plans([Range(10, 50), Range(42, 42)], BITS)
+        assert [len(p.legs) for p in plans] == [2, 1]
+
+
+class TestDslAtoms:
+    def test_and_flattens_nested(self):
+        inner = And(Range(1, 2), Range(3, 4))
+        outer = And(Range(0, 0), inner)
+        assert len(outer.terms) == 3
+
+    def test_and_rejects_empty(self):
+        with pytest.raises(ParameterError, match="at least one term"):
+            And()
+
+    def test_and_rejects_junk_terms(self):
+        with pytest.raises(ParameterError, match="unsupported plan term"):
+            And(Range(1, 2), 17)
+
+    def test_query_range_helper(self):
+        rng = Query.range(5, 9, "lat")
+        assert rng == Range(5, 9, "lat")
+
+    def test_range_predicate(self):
+        pred = Range(10, 20).predicate()
+        assert pred(10) and pred(20) and not pred(9) and not pred(21)
+
+    def test_describe_strings(self):
+        assert Range(3, 9, "lat").describe() == "lat 3 <= a <= 9"
+        assert "AND" in And(Range(1, 2), Range(3, 4)).describe()
+
+
+class TestAttributeValidation:
+    def test_parse_rejects_bare_attribute_on_multi_index(self):
+        with pytest.raises(ParameterError, match="multi-attribute"):
+            Query.parse(5, "=", attributes=("lat", "city"))
+
+    def test_parse_rejects_unknown_attribute(self):
+        with pytest.raises(ParameterError, match="unknown attribute"):
+            Query.parse(5, "=", "lon", attributes=("lat", "city"))
+
+    def test_parse_accepts_known_attribute(self):
+        query = Query.parse(5, "=", "lat", attributes=("lat", "city"))
+        assert query.attribute == "lat"
+
+    def test_parse_accepts_bare_attribute_on_plain_index(self):
+        query = Query.parse(5, "=", attributes=("",))
+        assert query.attribute == ""
+
+    def test_check_attribute_noop_on_empty_set(self):
+        Query(5, MatchCondition.EQUAL).check_attribute(())

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.common",
     "repro.core",
     "repro.crypto",
+    "repro.planner",
     "repro.security",
     "repro.sore",
     "repro.storage",

@@ -1,0 +1,99 @@
+"""RangeWorkload: deterministic range/conjunctive plan streams."""
+
+import pytest
+
+from repro.common.errors import ParameterError
+from repro.common.rng import default_rng
+from repro.core.query import And, Range
+from repro.planner import compile_plan
+from repro.workloads import QueryPopularity, RangeWorkload, WorkloadGenerator
+
+BITS = 8
+
+
+def make_generator(seed=11):
+    return WorkloadGenerator(default_rng(seed))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("selectivity", [0.0, -0.1, 1.5])
+    def test_selectivity_bounds(self, selectivity):
+        with pytest.raises(ParameterError, match="selectivity"):
+            RangeWorkload(selectivity=selectivity)
+
+    @pytest.mark.parametrize("fan_in", [0, 4])
+    def test_fan_in_bounds(self, fan_in):
+        with pytest.raises(ParameterError, match="fan_in"):
+            RangeWorkload(selectivity=0.01, fan_in=fan_in)
+
+    def test_pool_size_positive(self):
+        with pytest.raises(ParameterError, match="pool_size"):
+            RangeWorkload(selectivity=0.01, pool_size=0)
+
+    def test_fan_in_needs_enough_attributes(self):
+        workload = RangeWorkload(selectivity=0.01, fan_in=2)
+        with pytest.raises(ParameterError, match="fan_in"):
+            make_generator().range_plans(4, BITS, workload)
+
+    def test_full_domain_selectivity_rejected(self):
+        workload = RangeWorkload(selectivity=1.0)
+        with pytest.raises(ParameterError, match="whole domain"):
+            make_generator().range_plans(4, BITS, workload)
+
+
+class TestStreamShape:
+    def test_deterministic_under_seed(self):
+        workload = RangeWorkload(selectivity=0.05)
+        first = make_generator(7).range_plans(20, BITS, workload)
+        second = make_generator(7).range_plans(20, BITS, workload)
+        assert first == second
+
+    def test_width_tracks_selectivity(self):
+        workload = RangeWorkload(selectivity=0.1)
+        plans = make_generator().range_plans(10, BITS, workload)
+        expected = round(0.1 * (1 << BITS))
+        for plan in plans:
+            assert isinstance(plan, Range)
+            assert plan.hi - plan.lo + 1 == expected
+            assert 0 <= plan.lo <= plan.hi < (1 << BITS)
+
+    def test_tiny_selectivity_clamps_to_one_value(self):
+        workload = RangeWorkload(selectivity=0.001)
+        plans = make_generator().range_plans(5, BITS, workload)
+        for plan in plans:
+            assert plan.hi == plan.lo  # width 1 on an 8-bit domain
+
+    def test_fan_in_conjoins_distinct_attributes(self):
+        workload = RangeWorkload(selectivity=0.05, fan_in=3)
+        plans = make_generator().range_plans(
+            10, BITS, workload, attributes=["lat", "lon", "alt"]
+        )
+        for plan in plans:
+            assert isinstance(plan, And)
+            attrs = [term.attribute for term in plan.terms]
+            assert len(attrs) == 3
+            assert len(set(attrs)) == 3
+            assert set(attrs) <= {"lat", "lon", "alt"}
+
+    def test_all_plans_compile(self):
+        workload = RangeWorkload(selectivity=0.05, fan_in=2)
+        plans = make_generator().range_plans(
+            12, BITS, workload, attributes=["lat", "lon"]
+        )
+        for plan in plans:
+            compiled = compile_plan(plan, BITS)
+            assert compiled.legs
+
+    def test_zipf_stream_repeats_hot_plans(self):
+        workload = RangeWorkload(selectivity=0.05, pool_size=8)
+        plans = make_generator().range_plans(64, BITS, workload)
+        distinct = {repr(plan) for plan in plans}
+        # Zipf rank skew: far fewer distinct plans than draws.
+        assert len(distinct) <= len(plans) // 2
+
+    def test_uniform_popularity_draws_from_pool(self):
+        workload = RangeWorkload(
+            selectivity=0.05, popularity=QueryPopularity.UNIFORM, pool_size=4
+        )
+        plans = make_generator().range_plans(40, BITS, workload)
+        assert len({repr(plan) for plan in plans}) <= 4
